@@ -1,0 +1,58 @@
+#pragma once
+
+// Shared helpers for the table-reproduction benches.
+//
+// Knobs (environment variables):
+//   RCFG_FATTREE_K  fat-tree parameter k (default 8; paper scale is 12 —
+//                   180 nodes / 864 links — which takes a few minutes of
+//                   from-scratch time on a laptop-class core)
+//   RCFG_SAMPLES    changes sampled per change type (default 5)
+//   RCFG_ROUNDS     generator max_rounds (default 12; plenty for fat trees)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace rcfg::bench {
+
+inline unsigned env_unsigned(const char* name, unsigned fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long parsed = std::strtol(v, nullptr, 10);
+  return parsed > 0 ? static_cast<unsigned>(parsed) : fallback;
+}
+
+inline unsigned fat_tree_k() { return env_unsigned("RCFG_FATTREE_K", 8); }
+inline unsigned samples() { return env_unsigned("RCFG_SAMPLES", 5); }
+inline unsigned rounds() { return env_unsigned("RCFG_ROUNDS", 12); }
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct Stats {
+  double sum = 0;
+  double min = 1e300;
+  double max = 0;
+  unsigned n = 0;
+
+  void add(double v) {
+    sum += v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+    ++n;
+  }
+  double mean() const { return n == 0 ? 0 : sum / n; }
+};
+
+}  // namespace rcfg::bench

@@ -1,0 +1,56 @@
+// Specification mining under link failures (paper §2, Config2Spec-style).
+//
+// Which reachability guarantees does this network *actually* provide under
+// every single-link failure? Sweeping all |E| failure scenarios with a
+// from-scratch verifier costs |E| full verifications; RealConfig's
+// verify::sweep_single_link_failures re-verifies each scenario
+// incrementally, touching only the failure's blast radius.
+//
+//   $ ./examples/spec_mining [k]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "config/builders.h"
+#include "topo/generators.h"
+#include "verify/failures.h"
+
+using namespace rcfg;
+
+int main(int argc, char** argv) {
+  const unsigned k = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 6;
+  const topo::Topology topo = topo::make_fat_tree(k);
+  config::NetworkConfig cfg = config::build_ospf_network(topo);
+
+  verify::RealConfig rc(topo);
+  auto t0 = std::chrono::steady_clock::now();
+  rc.apply(cfg);
+  auto ms = [](auto a) {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - a)
+        .count();
+  };
+  const double full_ms = ms(t0);
+  std::printf("fat tree k=%u (%zu nodes, %zu links); from-scratch verification %.0f ms\n", k,
+              topo.node_count(), topo.link_count(), full_ms);
+
+  t0 = std::chrono::steady_clock::now();
+  const verify::FailureSweepResult mined = verify::sweep_single_link_failures(rc, cfg);
+  const double sweep_ms = ms(t0);
+
+  std::printf("\nmined fault-tolerant spec:\n");
+  std::printf("  %zu of %zu healthy (s,d) pairs survive EVERY single-link failure\n",
+              mined.fault_tolerant_pairs.size(), mined.healthy_pairs.size());
+  std::printf("  %zu of %zu links are critical (their failure disconnects something)\n",
+              mined.critical_links.size(), topo.link_count());
+  std::printf("  %zu scenarios produced forwarding loops\n", mined.loop_scenarios.size());
+
+  const double per_scenario = sweep_ms / static_cast<double>(mined.scenarios);
+  std::printf("\nsweep cost: %zu scenarios in %.0f ms (%.1f ms/scenario, incremental)\n",
+              mined.scenarios, sweep_ms, per_scenario);
+  std::printf("from-scratch estimate: 2 x %zu x %.0f ms = %.0f ms  (speedup ~%.0fx)\n",
+              mined.scenarios, full_ms, 2.0 * mined.scenarios * full_ms,
+              2.0 * mined.scenarios * full_ms / sweep_ms);
+  std::printf("(the paper reports ~20x for this workload on its 180-node fat tree)\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Planning a large-scale change in small, individually verified steps
+// (paper §2, modeled on Alibaba's ACL migration: move packet filters from
+// core routers to dedicated edge devices, re-configuring a third of the
+// network).
+//
+// The plan: (1) install per-edge ACLs that deny a quarantined subnet,
+// (2) remove the old core ACLs, pod by pod. One planned step contains a
+// bug — the new edge ACL forgets the catch-all permit, blackholing
+// everything — and incremental verification pins the violation on exactly
+// that step instead of surfacing it after the whole migration.
+//
+//   $ ./examples/upgrade_planning
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "config/builders.h"
+#include "topo/generators.h"
+#include "verify/realconfig.h"
+
+using namespace rcfg;
+
+namespace {
+
+constexpr unsigned kK = 4;
+
+/// The subnet the security team quarantines: edge1-1's hosts.
+net::Ipv4Prefix quarantined(const topo::Topology& t) {
+  return config::host_prefix(t.find_node("edge1-1"));
+}
+
+config::Acl make_filter(const topo::Topology& t, bool forget_catch_all) {
+  config::Acl acl;
+  acl.name = "QUARANTINE";
+  config::AclRule deny;
+  deny.seq = 10;
+  deny.action = config::Action::kDeny;
+  deny.dst = quarantined(t);
+  acl.rules.push_back(deny);
+  if (!forget_catch_all) {
+    config::AclRule permit;
+    permit.seq = 20;
+    permit.action = config::Action::kPermit;
+    acl.rules.push_back(permit);
+  }
+  return acl;
+}
+
+void bind_on_uplinks(config::DeviceConfig& dev, const config::Acl& acl) {
+  dev.acls[acl.name] = acl;
+  for (auto& iface : dev.interfaces) {
+    if (iface.name != "lan0") iface.acl_in = acl.name;
+  }
+}
+
+void unbind(config::DeviceConfig& dev) {
+  dev.acls.erase("QUARANTINE");
+  for (auto& iface : dev.interfaces) iface.acl_in.reset();
+}
+
+}  // namespace
+
+int main() {
+  const topo::Topology topo = topo::make_fat_tree(kK);
+  config::NetworkConfig cfg = config::build_ospf_network(topo);
+
+  // Phase 0: today's state — the quarantine is enforced on every core
+  // router.
+  for (unsigned c = 0; c < kK * kK / 4; ++c) {
+    bind_on_uplinks(cfg.devices.at("core" + std::to_string(c)), make_filter(topo, false));
+  }
+
+  verify::RealConfig rc(topo);
+  rc.apply(cfg);
+
+  // Intent that must hold through the whole migration.
+  const auto ok_prefix = config::host_prefix(topo.find_node("edge2-0"));
+  rc.require_reachable("edge0-0", "edge2-0", ok_prefix);
+  rc.require_isolated("edge0-0", "edge1-1", quarantined(topo));
+  rc.require_isolated("edge3-1", "edge1-1", quarantined(topo));
+  std::printf("migration start: %zu policies hold on the current network\n\n",
+              rc.checker().policy_count());
+
+  // The migration plan, one step per pod, then core cleanup.
+  struct Step {
+    std::string description;
+    bool buggy;
+  };
+  unsigned step_no = 0;
+  auto run_step = [&](const std::string& what, auto&& edit) {
+    ++step_no;
+    config::NetworkConfig draft = cfg;
+    edit(draft);
+    const auto report = rc.apply(draft);
+    bool bad = false;
+    for (const auto& event : report.check.events) bad |= !event.satisfied;
+    std::printf("step %u: %-58s %s (%.1f ms, %zu ECs affected)\n", step_no, what.c_str(),
+                bad ? "VIOLATION" : "ok", report.total_ms(),
+                report.check.affected_ecs.size());
+    if (bad) {
+      for (const auto& event : report.check.events) {
+        if (!event.satisfied) {
+          std::printf("        broken: %s\n", rc.checker().policy(event.id).name.c_str());
+        }
+      }
+      std::printf("        -> rolling back this step only\n");
+      rc.apply(cfg);
+      return false;
+    }
+    cfg = std::move(draft);
+    return true;
+  };
+
+  // Phase 1: install edge filters pod by pod. Pod 2's step is the buggy one.
+  for (unsigned pod = 0; pod < kK; ++pod) {
+    const bool buggy = pod == 2;
+    const bool landed = run_step(
+        "install edge ACLs in pod " + std::to_string(pod) + (buggy ? " (buggy draft)" : ""),
+        [&](config::NetworkConfig& draft) {
+          for (unsigned e = 0; e < kK / 2; ++e) {
+            auto& dev =
+                draft.devices.at("edge" + std::to_string(pod) + "-" + std::to_string(e));
+            bind_on_uplinks(dev, make_filter(topo, buggy));
+          }
+        });
+    if (!landed) {
+      // Fix the draft and retry the same step.
+      run_step("install edge ACLs in pod " + std::to_string(pod) + " (fixed)",
+               [&](config::NetworkConfig& draft) {
+                 for (unsigned e = 0; e < kK / 2; ++e) {
+                   auto& dev = draft.devices.at("edge" + std::to_string(pod) + "-" +
+                                                std::to_string(e));
+                   bind_on_uplinks(dev, make_filter(topo, false));
+                 }
+               });
+    }
+  }
+
+  // Phase 2: remove the core ACLs, two cores at a time.
+  for (unsigned c = 0; c < kK * kK / 4; c += 2) {
+    run_step("decommission core ACLs on core" + std::to_string(c) + ", core" +
+                 std::to_string(c + 1),
+             [&](config::NetworkConfig& draft) {
+               unbind(draft.devices.at("core" + std::to_string(c)));
+               unbind(draft.devices.at("core" + std::to_string(c + 1)));
+             });
+  }
+
+  std::printf("\nmigration complete; all %zu policies still hold\n",
+              rc.checker().policy_count());
+  return 0;
+}

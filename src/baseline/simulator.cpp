@@ -1,0 +1,379 @@
+#include "baseline/simulator.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hash.h"
+#include "routing/semantics.h"
+
+namespace rcfg::baseline {
+
+namespace {
+
+using namespace rcfg::routing;
+
+using Key = std::pair<topo::NodeId, net::Ipv4Prefix>;
+
+/// An OSPF origin for one prefix (native origin fact or a redistributed
+/// BGP route acting as one).
+struct OspfSeed {
+  topo::NodeId node = topo::kInvalidNode;
+  std::uint32_t cost = 0;
+  topo::IfaceId egress = topo::kInvalidIface;
+  std::uint8_t tag = kTagNative;
+
+  friend bool operator==(const OspfSeed&, const OspfSeed&) = default;
+};
+
+/// Converged OSPF state for one (prefix, node): the minimum cost and every
+/// (egress, tag) that achieves it — exactly the engine's best-route set
+/// projected to the fields that matter downstream.
+struct OspfBest {
+  std::uint32_t cost = 0;
+  std::vector<std::pair<topo::IfaceId, std::uint8_t>> achievers;  ///< (egress, tag), deduped
+
+  bool has_native() const {
+    for (const auto& [e, t] : achievers) {
+      if (t == kTagNative) return true;
+    }
+    return false;
+  }
+};
+
+/// Per-prefix multi-source Dijkstra over the OSPF adjacency, followed by a
+/// dist-order sweep assigning achiever (egress, tag) sets. Only the tags of
+/// a node's *best* routes propagate, mirroring best-route propagation in
+/// the dataflow program.
+std::unordered_map<topo::NodeId, OspfBest> ospf_single_prefix(
+    std::size_t node_count, const std::vector<std::vector<OspfLinkFact>>& arcs_by_from,
+    const std::vector<OspfSeed>& seeds, std::uint32_t max_metric) {
+  constexpr std::uint32_t kInf = ~std::uint32_t{0};
+  std::vector<std::uint32_t> dist(node_count, kInf);
+
+  using QEntry = std::pair<std::uint32_t, topo::NodeId>;  // (cost, node)
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+  for (const OspfSeed& s : seeds) {
+    if (s.cost <= max_metric && s.cost < dist[s.node]) {
+      dist[s.node] = s.cost;
+      pq.push({s.cost, s.node});
+    }
+  }
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    for (const OspfLinkFact& l : arcs_by_from[u]) {
+      const std::uint32_t nd = d + l.cost;
+      if (nd <= max_metric && nd < dist[l.to]) {
+        dist[l.to] = nd;
+        pq.push({nd, l.to});
+      }
+    }
+  }
+
+  // Tag propagation in increasing-dist order (arc costs are >= 1, so every
+  // achieving predecessor has strictly smaller dist).
+  std::vector<topo::NodeId> order;
+  for (topo::NodeId n = 0; n < node_count; ++n) {
+    if (dist[n] != kInf) order.push_back(n);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](topo::NodeId a, topo::NodeId b) { return dist[a] < dist[b]; });
+
+  std::vector<std::vector<OspfLinkFact>> arcs_by_to(node_count);
+  for (topo::NodeId u = 0; u < node_count; ++u) {
+    for (const OspfLinkFact& l : arcs_by_from[u]) arcs_by_to[l.to].push_back(l);
+  }
+  std::vector<std::uint8_t> has_tag(node_count * 2, 0);
+
+  std::unordered_map<topo::NodeId, OspfBest> out;
+  for (topo::NodeId n : order) {
+    OspfBest& b = out[n];
+    b.cost = dist[n];
+    for (const OspfSeed& s : seeds) {
+      if (s.node == n && s.cost == dist[n]) {
+        b.achievers.emplace_back(s.egress, s.tag);
+        has_tag[2 * n + s.tag] = 1;
+      }
+    }
+    for (const OspfLinkFact& l : arcs_by_to[n]) {
+      if (dist[l.from] == kInf || dist[l.from] + l.cost != dist[n]) continue;
+      for (std::uint8_t tag : {kTagNative, kTagRedistributed}) {
+        if (has_tag[2 * l.from + tag]) {
+          b.achievers.emplace_back(l.via_iface, tag);
+          has_tag[2 * n + tag] = 1;
+        }
+      }
+    }
+    std::sort(b.achievers.begin(), b.achievers.end());
+    b.achievers.erase(std::unique(b.achievers.begin(), b.achievers.end()), b.achievers.end());
+  }
+  return out;
+}
+
+/// All-prefix OSPF pass.
+using OspfState = std::unordered_map<net::Ipv4Prefix, std::unordered_map<topo::NodeId, OspfBest>>;
+
+OspfState ospf_pass(std::size_t node_count,
+                    const std::vector<std::vector<OspfLinkFact>>& arcs_by_from,
+                    const std::unordered_map<net::Ipv4Prefix, std::vector<OspfSeed>>& seeds,
+                    std::uint32_t max_metric = ~std::uint32_t{0}) {
+  OspfState out;
+  for (const auto& [prefix, seed_list] : seeds) {
+    out.emplace(prefix, ospf_single_prefix(node_count, arcs_by_from, seed_list, max_metric));
+  }
+  return out;
+}
+
+/// Synchronous path-vector BGP. `seeds` are the locally available routes
+/// (origins + redistributed); each round every node re-selects from its
+/// seeds plus the extensions of its neighbors' previous bests.
+std::unordered_map<Key, BgpRoute, core::TupleHash> bgp_pass(
+    std::size_t node_count, const std::vector<std::vector<BgpSessionFact>>& sessions_by_from,
+    const std::unordered_map<Key, std::vector<BgpRoute>, core::TupleHash>& seeds,
+    const std::vector<BgpAggregateFact>& aggregates, unsigned* rounds_out) {
+  std::unordered_map<Key, BgpRoute, core::TupleHash> best;
+  const unsigned max_rounds = static_cast<unsigned>(2 * node_count + 5);
+  unsigned round = 0;
+  for (; round < max_rounds; ++round) {
+    std::unordered_map<Key, BgpRoute, core::TupleHash> next;
+    auto offer = [&next](const BgpRoute& r) {
+      const Key k{r.node, r.prefix};
+      auto [it, inserted] = next.try_emplace(k, r);
+      if (!inserted && bgp_better(r, it->second)) it->second = r;
+    };
+    for (const auto& [key, routes] : seeds) {
+      for (const BgpRoute& r : routes) offer(r);
+    }
+    for (const auto& [key, r] : best) {
+      for (const BgpSessionFact& s : sessions_by_from[key.first]) {
+        if (auto nr = extend_bgp(r, s)) offer(*nr);
+      }
+    }
+    // Aggregates originate while a contributor sits in the previous round's
+    // table — the same equation the dataflow program solves.
+    for (const BgpAggregateFact& f : aggregates) {
+      for (const auto& [key, r] : best) {
+        if (contributes_to_aggregate(r, f)) {
+          offer(make_bgp_aggregate(f));
+          break;
+        }
+      }
+    }
+    if (next == best) break;
+    best = std::move(next);
+  }
+  if (round == max_rounds) {
+    throw NonconvergenceError("synchronous BGP iteration did not stabilize within " +
+                              std::to_string(max_rounds) + " rounds");
+  }
+  if (rounds_out != nullptr) *rounds_out = round;
+  return best;
+}
+
+}  // namespace
+
+SimulationResult simulate_facts(const topo::Topology& topo, const FactSnapshot& facts) {
+  const std::size_t n = topo.node_count();
+  using SeedMap = std::unordered_map<net::Ipv4Prefix, std::vector<OspfSeed>>;
+  using BgpSeedMap = std::unordered_map<Key, std::vector<BgpRoute>, core::TupleHash>;
+
+  std::vector<std::vector<OspfLinkFact>> ospf_arcs(n);
+  for (const auto& [l, w] : facts.ospf_links) ospf_arcs[l.from].push_back(l);
+  // RIP arcs reuse the OSPF arc shape with unit cost.
+  std::vector<std::vector<OspfLinkFact>> rip_arcs(n);
+  for (const auto& [l, w] : facts.rip_links) {
+    rip_arcs[l.from].push_back(OspfLinkFact{l.from, l.to, l.via_iface, 1});
+  }
+  std::vector<std::vector<BgpSessionFact>> sessions_by_from(n);
+  for (const auto& [s2, w] : facts.bgp_sessions) sessions_by_from[s2.from].push_back(s2);
+
+  SeedMap native_ospf_seeds;
+  for (const auto& [f, w] : facts.ospf_origins) {
+    native_ospf_seeds[f.prefix].push_back(
+        OspfSeed{f.node, f.metric, topo::kInvalidIface, kTagNative});
+  }
+  SeedMap native_rip_seeds;
+  for (const auto& [f, w] : facts.rip_origins) {
+    native_rip_seeds[f.prefix].push_back(
+        OspfSeed{f.node, f.metric, topo::kInvalidIface, kTagNative});
+  }
+  BgpSeedMap native_bgp_seeds;
+  for (const auto& [f, w] : facts.bgp_origins) {
+    const BgpRoute r = make_bgp_origin(f);
+    native_bgp_seeds[Key{r.node, r.prefix}].push_back(r);
+  }
+
+  std::vector<DynRedistFact> redist;
+  for (const auto& [f, w] : facts.redist) redist.push_back(f);
+  std::vector<BgpAggregateFact> aggregates;
+  for (const auto& [f, w] : facts.bgp_aggregates) aggregates.push_back(f);
+
+  // Alternate protocol passes until the redistributed seed sets are stable.
+  // Without redistribution this settles after the first pass. Stability is
+  // checked on order-independent canonical (ZSet) forms; the seed
+  // containers themselves have nondeterministic iteration order.
+  using OspfSeedCanon =
+      std::tuple<net::Ipv4Prefix, topo::NodeId, std::uint32_t, topo::IfaceId, std::uint8_t>;
+  auto canon_ospf = [](const SeedMap& m) {
+    dd::ZSet<OspfSeedCanon> z;
+    for (const auto& [p2, list] : m) {
+      for (const OspfSeed& s2 : list) {
+        z.add(OspfSeedCanon{p2, s2.node, s2.cost, s2.egress, s2.tag}, 1);
+      }
+    }
+    return z;
+  };
+  auto canon_bgp = [](const BgpSeedMap& m) {
+    dd::ZSet<BgpRoute> z;
+    for (const auto& [k, list] : m) {
+      for (const BgpRoute& r : list) z.add(r, 1);
+    }
+    return z;
+  };
+  auto merged = [](const SeedMap& native, const SeedMap& extra) {
+    SeedMap seeds = native;
+    for (const auto& [p2, list] : extra) {
+      auto& dst = seeds[p2];
+      dst.insert(dst.end(), list.begin(), list.end());
+    }
+    return seeds;
+  };
+
+  SimulationResult result;
+  OspfState ospf, rip;
+  std::unordered_map<Key, BgpRoute, core::TupleHash> bgp;
+  SeedMap extra_ospf_seeds, extra_rip_seeds;
+  BgpSeedMap extra_bgp_seeds = native_bgp_seeds;
+
+  constexpr unsigned kMaxRedistRounds = 10;
+  unsigned iter = 0;
+  for (; iter < kMaxRedistRounds; ++iter) {
+    ospf = ospf_pass(n, ospf_arcs, merged(native_ospf_seeds, extra_ospf_seeds));
+    rip = ospf_pass(n, rip_arcs, merged(native_rip_seeds, extra_rip_seeds),
+                    config::kRipInfinity - 1);
+
+    SeedMap new_extra_ospf, new_extra_rip;
+    BgpSeedMap new_extra_bgp = native_bgp_seeds;
+
+    // Exports from the link-state-style protocols (native achievers only).
+    auto export_from_state = [&](const OspfState& state, Proto from) {
+      for (const DynRedistFact& f : redist) {
+        if (f.from != from) continue;
+        for (const auto& [prefix, per_node] : state) {
+          auto it = per_node.find(f.node);
+          if (it == per_node.end()) continue;
+          for (const auto& [egress, tag] : it->second.achievers) {
+            if (tag != kTagNative) continue;
+            switch (f.to) {
+              case Proto::kBgp:
+                if (auto r = make_redist_bgp(prefix, egress, f)) {
+                  new_extra_bgp[Key{r->node, r->prefix}].push_back(*r);
+                }
+                break;
+              case Proto::kOspf:
+                if (auto r = make_redist_ospf(prefix, egress, f)) {
+                  new_extra_ospf[r->prefix].push_back(
+                      OspfSeed{r->node, r->cost, r->egress, kTagRedistributed});
+                }
+                break;
+              case Proto::kRip:
+                if (auto r = make_redist_rip(prefix, egress, f)) {
+                  new_extra_rip[r->prefix].push_back(
+                      OspfSeed{r->node, r->metric, r->egress, kTagRedistributed});
+                }
+                break;
+            }
+          }
+        }
+      }
+    };
+    export_from_state(ospf, Proto::kOspf);
+    export_from_state(rip, Proto::kRip);
+
+    unsigned rounds = 0;
+    bgp = bgp_pass(n, sessions_by_from, new_extra_bgp, aggregates, &rounds);
+    result.bgp_rounds = rounds;
+
+    // Exports from BGP.
+    for (const DynRedistFact& f : redist) {
+      if (f.from != Proto::kBgp) continue;
+      for (const auto& [key, r] : bgp) {
+        if (key.first != f.node || r.tag != kTagNative) continue;
+        switch (f.to) {
+          case Proto::kOspf:
+            if (auto nr = make_redist_ospf(r.prefix, r.egress, f)) {
+              new_extra_ospf[nr->prefix].push_back(
+                  OspfSeed{nr->node, nr->cost, nr->egress, kTagRedistributed});
+            }
+            break;
+          case Proto::kRip:
+            if (auto nr = make_redist_rip(r.prefix, r.egress, f)) {
+              new_extra_rip[nr->prefix].push_back(
+                  OspfSeed{nr->node, nr->metric, nr->egress, kTagRedistributed});
+            }
+            break;
+          case Proto::kBgp:
+            break;  // BGP-to-BGP redistribution is a no-op
+        }
+      }
+    }
+
+    const bool stable = canon_ospf(new_extra_ospf) == canon_ospf(extra_ospf_seeds) &&
+                        canon_ospf(new_extra_rip) == canon_ospf(extra_rip_seeds) &&
+                        canon_bgp(new_extra_bgp) == canon_bgp(extra_bgp_seeds);
+    extra_bgp_seeds = std::move(new_extra_bgp);
+    extra_ospf_seeds = std::move(new_extra_ospf);
+    extra_rip_seeds = std::move(new_extra_rip);
+    if (stable) break;
+  }
+  if (iter == kMaxRedistRounds) {
+    throw NonconvergenceError("mutual route redistribution did not stabilize within " +
+                              std::to_string(kMaxRedistRounds) + " alternations");
+  }
+  result.redistribution_rounds = iter + 1;
+
+  // ---- FIB assembly ---------------------------------------------------------
+  std::unordered_map<Key, std::vector<FibCandidate>, core::TupleHash> cands;
+  for (const auto& [f, w] : facts.connected) {
+    cands[Key{f.node, f.prefix}].push_back(candidate_of(f));
+  }
+  for (const auto& [f, w] : facts.statics) cands[Key{f.node, f.prefix}].push_back(candidate_of(f));
+  for (const auto& [prefix, per_node] : ospf) {
+    for (const auto& [node, best] : per_node) {
+      for (const auto& [egress, tag] : best.achievers) {
+        OspfRoute r;
+        r.cost = best.cost;
+        r.egress = egress;
+        cands[Key{node, prefix}].push_back(candidate_of(r));
+      }
+    }
+  }
+  for (const auto& [prefix, per_node] : rip) {
+    for (const auto& [node, best] : per_node) {
+      for (const auto& [egress, tag] : best.achievers) {
+        RipRoute r;
+        r.metric = best.cost;
+        r.egress = egress;
+        cands[Key{node, prefix}].push_back(candidate_of(r));
+      }
+    }
+  }
+  for (const auto& [key, r] : bgp) {
+    cands[key].push_back(candidate_of(r));
+    result.bgp_best.add(r, 1);
+  }
+
+  for (const auto& [key, list] : cands) {
+    result.fib.add(select_fib(key.first, key.second, list), 1);
+  }
+  return result;
+}
+
+SimulationResult simulate(const topo::Topology& topo, const config::NetworkConfig& cfg) {
+  return simulate_facts(topo, compile_facts(topo, cfg));
+}
+
+}  // namespace rcfg::baseline

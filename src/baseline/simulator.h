@@ -1,0 +1,45 @@
+#pragma once
+
+// The from-scratch baseline simulator — the "Batfish (current)" role in the
+// paper's Table 2: a non-incremental control-plane simulator built on
+// domain-specific algorithms (per-prefix multi-source Dijkstra for OSPF,
+// synchronous path-vector iteration for BGP).
+//
+// It consumes the same compiled facts and calls the same semantic functions
+// (routing/semantics.h) as the incremental engine, so it doubles as the
+// differential-testing oracle: for any configuration, simulate().fib must
+// equal IncrementalGenerator::fib() — and stays equal after any sequence of
+// incremental apply() calls.
+
+#include <stdexcept>
+
+#include "config/types.h"
+#include "dd/zset.h"
+#include "routing/facts.h"
+#include "routing/types.h"
+#include "topo/topology.h"
+
+namespace rcfg::baseline {
+
+/// The synchronous BGP/redistribution iteration exceeded its round bound —
+/// the control plane has no (unique) converged state.
+class NonconvergenceError : public std::runtime_error {
+ public:
+  explicit NonconvergenceError(const std::string& message) : std::runtime_error(message) {}
+};
+
+struct SimulationResult {
+  dd::ZSet<routing::FibEntry> fib;
+  dd::ZSet<routing::BgpRoute> bgp_best;  ///< one winner per (node, prefix)
+  unsigned bgp_rounds = 0;               ///< rounds until the path-vector iteration stabilized
+  unsigned redistribution_rounds = 0;    ///< OSPF<->BGP alternations until stable
+};
+
+/// Compute the converged data plane from scratch.
+SimulationResult simulate(const topo::Topology& topo, const config::NetworkConfig& cfg);
+
+/// Same, starting from pre-compiled facts (used by benches to separate
+/// compile time from simulation time).
+SimulationResult simulate_facts(const topo::Topology& topo, const routing::FactSnapshot& facts);
+
+}  // namespace rcfg::baseline

@@ -1,0 +1,187 @@
+#include "config/builders.h"
+
+#include <stdexcept>
+
+namespace rcfg::config {
+
+namespace {
+
+constexpr std::uint32_t kHostBase = (10u << 24);             // 10.0.0.0
+constexpr std::uint32_t kLinkBase = (172u << 24) | (16u << 16);  // 172.16.0.0
+
+/// The base skeleton shared by all protocol builders: one DeviceConfig per
+/// node with addressed interfaces for every wired link plus the "lan0"
+/// stub holding the host subnet.
+NetworkConfig build_skeleton(const topo::Topology& topo) {
+  NetworkConfig net;
+  for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+    DeviceConfig dev;
+    dev.hostname = topo.node(n).name;
+    InterfaceConfig lan;
+    lan.name = "lan0";
+    lan.address = host_prefix(n);
+    dev.interfaces.push_back(lan);
+    for (const auto& adj : topo.adjacencies(n)) {
+      InterfaceConfig ic;
+      ic.name = topo.iface(adj.iface).name;
+      ic.address = link_subnet(adj.link);
+      dev.interfaces.push_back(ic);
+    }
+    net.devices.emplace(dev.hostname, std::move(dev));
+  }
+  return net;
+}
+
+DeviceConfig& device_or_throw(NetworkConfig& net, const std::string& name) {
+  auto it = net.devices.find(name);
+  if (it == net.devices.end()) throw std::invalid_argument("unknown device: " + name);
+  return it->second;
+}
+
+InterfaceConfig& iface_or_throw(DeviceConfig& dev, const std::string& iface) {
+  InterfaceConfig* i = dev.find_interface(iface);
+  if (i == nullptr) {
+    throw std::invalid_argument("unknown interface " + iface + " on " + dev.hostname);
+  }
+  return *i;
+}
+
+}  // namespace
+
+net::Ipv4Prefix host_prefix(topo::NodeId node) {
+  return net::Ipv4Prefix{net::Ipv4Addr{kHostBase | (node << 8)}, 24};
+}
+
+net::Ipv4Prefix link_subnet(topo::LinkId link) {
+  return net::Ipv4Prefix{net::Ipv4Addr{kLinkBase + 2 * link}, 31};
+}
+
+NetworkConfig build_ospf_network(const topo::Topology& topo, std::uint32_t default_cost) {
+  NetworkConfig net = build_skeleton(topo);
+  for (auto& [name, dev] : net.devices) {
+    for (InterfaceConfig& i : dev.interfaces) {
+      i.ospf_area = 0;
+      i.ospf_cost = default_cost;
+      if (i.name == "lan0") i.ospf_passive = true;
+    }
+    dev.ospf.emplace();
+  }
+  return net;
+}
+
+NetworkConfig build_rip_network(const topo::Topology& topo) {
+  NetworkConfig net = build_skeleton(topo);
+  for (auto& [name, dev] : net.devices) {
+    for (InterfaceConfig& i : dev.interfaces) i.rip = true;
+    dev.rip.emplace();
+  }
+  return net;
+}
+
+NetworkConfig build_bgp_network(const topo::Topology& topo, std::uint32_t base_as) {
+  NetworkConfig net = build_skeleton(topo);
+  for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+    DeviceConfig& dev = net.devices.at(topo.node(n).name);
+    BgpConfig bgp;
+    bgp.local_as = base_as + n;
+    bgp.networks.push_back(host_prefix(n));
+    for (const auto& adj : topo.adjacencies(n)) {
+      BgpNeighbor nb;
+      nb.iface = topo.iface(adj.iface).name;
+      nb.remote_as = base_as + adj.peer;
+      bgp.neighbors.push_back(std::move(nb));
+    }
+    dev.bgp = std::move(bgp);
+  }
+  return net;
+}
+
+void fail_link(NetworkConfig& net, const topo::Topology& topo, topo::LinkId link) {
+  const topo::Link& l = topo.link(link);
+  iface_or_throw(device_or_throw(net, topo.node(l.a).name), topo.iface(l.a_iface).name)
+      .shutdown = true;
+  iface_or_throw(device_or_throw(net, topo.node(l.b).name), topo.iface(l.b_iface).name)
+      .shutdown = true;
+}
+
+void restore_link(NetworkConfig& net, const topo::Topology& topo, topo::LinkId link) {
+  const topo::Link& l = topo.link(link);
+  iface_or_throw(device_or_throw(net, topo.node(l.a).name), topo.iface(l.a_iface).name)
+      .shutdown = false;
+  iface_or_throw(device_or_throw(net, topo.node(l.b).name), topo.iface(l.b_iface).name)
+      .shutdown = false;
+}
+
+void set_ospf_cost(NetworkConfig& net, const std::string& device, const std::string& iface,
+                   std::uint32_t cost) {
+  iface_or_throw(device_or_throw(net, device), iface).ospf_cost = cost;
+}
+
+void set_local_pref(NetworkConfig& net, const std::string& device, const std::string& iface,
+                    std::uint32_t pref) {
+  DeviceConfig& dev = device_or_throw(net, device);
+  if (!dev.bgp) throw std::invalid_argument("device runs no BGP: " + device);
+
+  // Match-all prefix list (idempotent).
+  PrefixList& pl = dev.prefix_lists["PL-ANY"];
+  if (pl.entries.empty()) {
+    pl.name = "PL-ANY";
+    pl.entries.push_back(PrefixListEntry{10, Action::kPermit, net::kDefaultRoute, 0, 32});
+  }
+
+  const std::string rm_name = "LP-" + iface;
+  RouteMap& rm = dev.route_maps[rm_name];
+  rm.name = rm_name;
+  rm.clauses.clear();
+  RouteMapClause c;
+  c.seq = 10;
+  c.action = Action::kPermit;
+  c.match_prefix_list = "PL-ANY";
+  c.set_local_pref = pref;
+  rm.clauses.push_back(c);
+
+  for (BgpNeighbor& n : dev.bgp->neighbors) {
+    if (n.iface == iface) {
+      n.import_route_map = rm_name;
+      return;
+    }
+  }
+  throw std::invalid_argument("no BGP neighbor on interface " + iface);
+}
+
+void attach_random_acl(NetworkConfig& net, const topo::Topology& topo,
+                       const std::string& device, const std::string& iface, bool inbound,
+                       unsigned rules, core::Rng& rng) {
+  DeviceConfig& dev = device_or_throw(net, device);
+  const std::string acl_name = "ACL-" + iface + (inbound ? "-in" : "-out");
+  Acl& acl = dev.acls[acl_name];
+  acl.name = acl_name;
+  acl.rules.clear();
+  for (unsigned r = 0; r < rules; ++r) {
+    AclRule rule;
+    rule.seq = (r + 1) * 10;
+    rule.action = rng.next_bool(0.7) ? Action::kPermit : Action::kDeny;
+    rule.proto = rng.next_bool(0.5) ? IpProto::kTcp : IpProto::kAny;
+    const auto dst_node = static_cast<topo::NodeId>(rng.next_below(topo.node_count()));
+    rule.dst = host_prefix(dst_node);
+    if (rng.next_bool(0.5)) {
+      const auto src_node = static_cast<topo::NodeId>(rng.next_below(topo.node_count()));
+      rule.src = host_prefix(src_node);
+    }
+    if (rule.proto == IpProto::kTcp && rng.next_bool(0.5)) {
+      const auto port = static_cast<std::uint16_t>(rng.next_in(1, 1024));
+      rule.dst_ports = PortRange{port, port};
+    }
+    acl.rules.push_back(rule);
+  }
+  // Final catch-all so the ACL's intent is explicit.
+  AclRule tail;
+  tail.seq = (rules + 1) * 10;
+  tail.action = Action::kPermit;
+  acl.rules.push_back(tail);
+
+  InterfaceConfig& i = iface_or_throw(dev, iface);
+  (inbound ? i.acl_in : i.acl_out) = acl_name;
+}
+
+}  // namespace rcfg::config

@@ -1,0 +1,70 @@
+#pragma once
+
+// Programmatic construction of complete network configurations for a given
+// topology, plus the three change mutators the paper evaluates (§5):
+// LinkFailure, LC (OSPF link cost), and LP (BGP local preference).
+//
+// Address plan (documented because tests and examples rely on it):
+//  - node i originates "host" subnet 10.(i/256).(i%256).0/24 on a passive
+//    stub interface named "lan0";
+//  - link l uses the /31 subnet 172.16.0.0 + 2l.
+
+#include <cstdint>
+#include <string>
+
+#include "config/types.h"
+#include "core/rng.h"
+#include "topo/topology.h"
+
+namespace rcfg::config {
+
+/// The /24 a node originates (its simulated attached hosts).
+net::Ipv4Prefix host_prefix(topo::NodeId node);
+
+/// The /31 assigned to a link.
+net::Ipv4Prefix link_subnet(topo::LinkId link);
+
+/// Single-area OSPF everywhere: every wired interface runs OSPF in area 0
+/// with cost `default_cost`; every node advertises its host subnet via a
+/// passive "lan0" interface.
+NetworkConfig build_ospf_network(const topo::Topology& topo,
+                                 std::uint32_t default_cost = kDefaultOspfCost);
+
+/// eBGP everywhere: node i gets AS base_as+i, peers with every physical
+/// neighbor, and originates its host subnet with a `network` statement.
+NetworkConfig build_bgp_network(const topo::Topology& topo, std::uint32_t base_as = 65000);
+
+/// RIPv2 everywhere: every interface (including the "lan0" stub, whose
+/// subnet is thereby advertised) participates. Mind the 15-hop horizon on
+/// large-diameter topologies.
+NetworkConfig build_rip_network(const topo::Topology& topo);
+
+// ---------------------------------------------------------------------------
+// Paper §5 change mutators. Each edits the NetworkConfig in place; callers
+// snapshot the old config first if they need a diff.
+// ---------------------------------------------------------------------------
+
+/// LinkFailure: deactivate (shutdown) the interfaces on both ends of `link`.
+void fail_link(NetworkConfig& net, const topo::Topology& topo, topo::LinkId link);
+
+/// Undo fail_link.
+void restore_link(NetworkConfig& net, const topo::Topology& topo, topo::LinkId link);
+
+/// LC: set the OSPF cost of one interface (paper: 1 -> 100).
+void set_ospf_cost(NetworkConfig& net, const std::string& device, const std::string& iface,
+                   std::uint32_t cost);
+
+/// LP: set the BGP local preference for all routes received on one
+/// interface (paper: 100 -> 150). Implemented the way an operator would:
+/// a match-all prefix list + a route map attached as the neighbor's import
+/// policy.
+void set_local_pref(NetworkConfig& net, const std::string& device, const std::string& iface,
+                    std::uint32_t pref);
+
+/// Attach a randomly generated ACL (entries drawn from host prefixes) to an
+/// interface; used by dpm tests/benches to exercise multi-field rules.
+void attach_random_acl(NetworkConfig& net, const topo::Topology& topo,
+                       const std::string& device, const std::string& iface, bool inbound,
+                       unsigned rules, core::Rng& rng);
+
+}  // namespace rcfg::config

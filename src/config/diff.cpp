@@ -1,0 +1,91 @@
+#include "config/diff.h"
+
+#include <algorithm>
+
+#include "config/print.h"
+#include "core/strings.h"
+
+namespace rcfg::config {
+
+namespace {
+
+std::vector<std::string_view> nonempty_lines(std::string_view text) {
+  std::vector<std::string_view> out;
+  for (std::string_view l : core::split(text, '\n')) {
+    if (!core::trim(l).empty()) out.push_back(l);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<LineEdit> diff_lines(std::string_view old_text, std::string_view new_text) {
+  const std::vector<std::string_view> a = nonempty_lines(old_text);
+  const std::vector<std::string_view> b = nonempty_lines(new_text);
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+
+  // Classic LCS dynamic program; config stanzas are small enough that the
+  // quadratic table is cheap, and it gives the minimal edit script.
+  std::vector<std::vector<std::uint32_t>> lcs(n + 1, std::vector<std::uint32_t>(m + 1, 0));
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t j = m; j-- > 0;) {
+      lcs[i][j] = a[i] == b[j] ? lcs[i + 1][j + 1] + 1
+                               : std::max(lcs[i + 1][j], lcs[i][j + 1]);
+    }
+  }
+
+  std::vector<LineEdit> edits;
+  std::size_t i = 0, j = 0;
+  while (i < n && j < m) {
+    if (a[i] == b[j]) {
+      ++i;
+      ++j;
+    } else if (lcs[i + 1][j] >= lcs[i][j + 1]) {
+      edits.push_back(LineEdit{LineEdit::Kind::kDelete, i + 1, std::string{a[i]}});
+      ++i;
+    } else {
+      edits.push_back(LineEdit{LineEdit::Kind::kInsert, j + 1, std::string{b[j]}});
+      ++j;
+    }
+  }
+  for (; i < n; ++i) edits.push_back(LineEdit{LineEdit::Kind::kDelete, i + 1, std::string{a[i]}});
+  for (; j < m; ++j) edits.push_back(LineEdit{LineEdit::Kind::kInsert, j + 1, std::string{b[j]}});
+  return edits;
+}
+
+std::vector<DeviceDiff> diff_networks(const NetworkConfig& old_net, const NetworkConfig& new_net) {
+  std::vector<DeviceDiff> out;
+  auto oi = old_net.devices.begin();
+  auto ni = new_net.devices.begin();
+  auto emit = [&](const std::string& name, const std::string& old_text,
+                  const std::string& new_text) {
+    std::vector<LineEdit> edits = diff_lines(old_text, new_text);
+    if (!edits.empty()) out.push_back(DeviceDiff{name, std::move(edits)});
+  };
+  while (oi != old_net.devices.end() || ni != new_net.devices.end()) {
+    if (ni == new_net.devices.end() ||
+        (oi != old_net.devices.end() && oi->first < ni->first)) {
+      emit(oi->first, print_device(oi->second), "");
+      ++oi;
+    } else if (oi == old_net.devices.end() || ni->first < oi->first) {
+      emit(ni->first, "", print_device(ni->second));
+      ++ni;
+    } else {
+      if (!(oi->second == ni->second)) {
+        emit(oi->first, print_device(oi->second), print_device(ni->second));
+      }
+      ++oi;
+      ++ni;
+    }
+  }
+  return out;
+}
+
+std::size_t edit_count(const std::vector<DeviceDiff>& diffs) {
+  std::size_t n = 0;
+  for (const DeviceDiff& d : diffs) n += d.edits.size();
+  return n;
+}
+
+}  // namespace rcfg::config

@@ -1,0 +1,48 @@
+#pragma once
+
+// Line-level configuration diffing.
+//
+// The paper defines a configuration change as "insertions or deletions of
+// configuration lines" (a modification = delete + insert). This module
+// computes exactly that: an LCS-based line diff between the canonical
+// renderings of two configurations, grouped per device. The routing layer
+// does not consume these edits directly (it diffs compiled facts), but the
+// edits are the operator-facing change description, and their count drives
+// the "change size" statistics reported by the benches.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/types.h"
+
+namespace rcfg::config {
+
+struct LineEdit {
+  enum class Kind : std::uint8_t { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  std::size_t line = 0;  ///< line number in the *new* (insert) or *old* (delete) text
+  std::string text;
+
+  friend bool operator==(const LineEdit&, const LineEdit&) = default;
+};
+
+/// Minimal line edit script turning `old_text` into `new_text`
+/// (deletions reported in old-line order, insertions in new-line order).
+std::vector<LineEdit> diff_lines(std::string_view old_text, std::string_view new_text);
+
+struct DeviceDiff {
+  std::string device;
+  std::vector<LineEdit> edits;
+};
+
+/// Per-device diffs between two network configurations; devices present in
+/// only one side appear as all-insert / all-delete diffs. Devices with no
+/// changes are omitted.
+std::vector<DeviceDiff> diff_networks(const NetworkConfig& old_net, const NetworkConfig& new_net);
+
+/// Total number of line edits across all devices.
+std::size_t edit_count(const std::vector<DeviceDiff>& diffs);
+
+}  // namespace rcfg::config

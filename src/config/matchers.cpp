@@ -1,0 +1,54 @@
+#include "config/matchers.h"
+
+namespace rcfg::config {
+
+bool entry_matches(const PrefixListEntry& entry, net::Ipv4Prefix route) noexcept {
+  if (!entry.prefix.contains(route)) return false;
+  const std::uint8_t ge = entry.ge != 0 ? entry.ge : entry.prefix.length();
+  const std::uint8_t le = entry.le != 0 ? entry.le : ge;
+  return route.length() >= ge && route.length() <= le;
+}
+
+Action evaluate_prefix_list(const PrefixList& pl, net::Ipv4Prefix route) noexcept {
+  for (const PrefixListEntry& e : pl.entries) {
+    if (entry_matches(e, route)) return e.action;
+  }
+  return Action::kDeny;
+}
+
+std::optional<RouteAttrs> apply_route_map(const RouteMap& rm, const DeviceConfig& device,
+                                          net::Ipv4Prefix route, RouteAttrs attrs) {
+  for (const RouteMapClause& c : rm.clauses) {
+    bool matches = true;
+    if (c.match_prefix_list) {
+      auto it = device.prefix_lists.find(*c.match_prefix_list);
+      matches = it != device.prefix_lists.end() &&
+                evaluate_prefix_list(it->second, route) == Action::kPermit;
+    }
+    if (!matches) continue;
+    if (c.action == Action::kDeny) return std::nullopt;
+    if (c.set_local_pref) attrs.local_pref = *c.set_local_pref;
+    if (c.set_med) attrs.med = *c.set_med;
+    if (c.set_metric) attrs.metric = *c.set_metric;
+    return attrs;
+  }
+  return std::nullopt;  // implicit deny
+}
+
+bool rule_matches(const AclRule& rule, const Flow& flow) noexcept {
+  if (rule.proto != IpProto::kAny && rule.proto != flow.proto) return false;
+  if (!rule.src.contains(flow.src)) return false;
+  if (!rule.dst.contains(flow.dst)) return false;
+  if (flow.src_port < rule.src_ports.lo || flow.src_port > rule.src_ports.hi) return false;
+  if (flow.dst_port < rule.dst_ports.lo || flow.dst_port > rule.dst_ports.hi) return false;
+  return true;
+}
+
+Action evaluate_acl(const Acl& acl, const Flow& flow) noexcept {
+  for (const AclRule& r : acl.rules) {
+    if (rule_matches(r, flow)) return r.action;
+  }
+  return Action::kDeny;
+}
+
+}  // namespace rcfg::config

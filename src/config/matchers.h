@@ -1,0 +1,61 @@
+#pragma once
+
+// Evaluation semantics for the policy objects in the config model:
+// prefix lists, route maps, and ACLs. These functions are the single
+// definition of semantics shared by the incremental engine (rcfg::routing),
+// the from-scratch baseline (rcfg::baseline), and the data plane model
+// compiler (rcfg::dpm) — so the implementations can never disagree on what
+// a route map means.
+
+#include <cstdint>
+#include <optional>
+
+#include "config/types.h"
+#include "net/ipv4.h"
+
+namespace rcfg::config {
+
+/// Does `route` match a single prefix-list entry?
+/// The entry matches when `entry.prefix` covers `route` and route.length()
+/// is within [ge, le] (with the usual Cisco defaulting: unset ge => the
+/// entry prefix length; unset le => ge).
+bool entry_matches(const PrefixListEntry& entry, net::Ipv4Prefix route) noexcept;
+
+/// First-match evaluation of a prefix list. Returns the action of the
+/// first matching entry; no match => kDeny (implicit deny).
+Action evaluate_prefix_list(const PrefixList& pl, net::Ipv4Prefix route) noexcept;
+
+/// Mutable route attributes a route map may rewrite.
+struct RouteAttrs {
+  std::uint32_t local_pref = kDefaultLocalPref;
+  std::uint32_t med = 0;
+  std::uint32_t metric = 0;
+
+  friend bool operator==(const RouteAttrs&, const RouteAttrs&) = default;
+};
+
+/// Apply a route map to (route, attrs). Returns the rewritten attributes
+/// if accepted, nullopt if rejected. Prefix lists referenced by clauses are
+/// resolved against `device`; a clause referencing a missing prefix list
+/// never matches (fail-closed).
+std::optional<RouteAttrs> apply_route_map(const RouteMap& rm, const DeviceConfig& device,
+                                          net::Ipv4Prefix route, RouteAttrs attrs);
+
+/// A concrete flow for ACL evaluation (tests / trace queries).
+struct Flow {
+  net::Ipv4Addr src;
+  net::Ipv4Addr dst;
+  IpProto proto = IpProto::kAny;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+};
+
+/// Does `flow` match one ACL rule? kAny proto in the rule matches
+/// everything; a concrete proto in the rule requires equality (a kAny flow
+/// proto only matches kAny rules).
+bool rule_matches(const AclRule& rule, const Flow& flow) noexcept;
+
+/// First-match evaluation of an ACL; no match => kDeny (implicit deny).
+Action evaluate_acl(const Acl& acl, const Flow& flow) noexcept;
+
+}  // namespace rcfg::config

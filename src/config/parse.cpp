@@ -1,0 +1,461 @@
+#include "config/parse.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/strings.h"
+
+namespace rcfg::config {
+
+namespace {
+
+using core::split_ws;
+using core::trim;
+
+/// Parser context: which block (if any) the current line belongs to.
+struct Context {
+  enum class Kind { kTop, kInterface, kAcl, kRouteMap, kOspf, kRip, kBgp };
+  Kind kind = Kind::kTop;
+  InterfaceConfig* iface = nullptr;
+  Acl* acl = nullptr;
+  RouteMapClause* rm_clause = nullptr;
+};
+
+class DeviceParser {
+ public:
+  explicit DeviceParser(std::size_t base_line) : base_line_(base_line) {}
+
+  DeviceConfig finish(const std::vector<std::string_view>& lines) {
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      line_no_ = base_line_ + i + 1;
+      parse_line(trim(lines[i]));
+    }
+    if (dev_.hostname.empty()) throw err("missing hostname statement");
+    return std::move(dev_);
+  }
+
+ private:
+  ParseError err(const std::string& message) const { return ParseError(line_no_, message); }
+
+  net::Ipv4Prefix parse_prefix(std::string_view tok) const {
+    auto p = net::Ipv4Prefix::parse(tok);
+    if (!p) throw err("malformed prefix: " + std::string{tok});
+    return *p;
+  }
+
+  net::Ipv4Prefix parse_prefix_or_any(std::string_view tok) const {
+    if (tok == "any") return net::kDefaultRoute;
+    return parse_prefix(tok);
+  }
+
+  std::uint32_t parse_u32(std::string_view tok, const char* what) const {
+    std::uint64_t v = 0;
+    if (!core::parse_u64(tok, v) || v > UINT32_MAX) {
+      throw err(std::string{"malformed "} + what + ": " + std::string{tok});
+    }
+    return static_cast<std::uint32_t>(v);
+  }
+
+  Action parse_action(std::string_view tok) const {
+    if (tok == "permit") return Action::kPermit;
+    if (tok == "deny") return Action::kDeny;
+    throw err("expected permit/deny, got: " + std::string{tok});
+  }
+
+  Redistribution parse_redistribution(const std::vector<std::string_view>& t,
+                                      std::size_t from) const {
+    // redistribute <source> [metric N] [route-map NAME]
+    Redistribution r;
+    const std::string_view src = t.at(from);
+    if (src == "connected") {
+      r.source = Redistribution::Source::kConnected;
+    } else if (src == "static") {
+      r.source = Redistribution::Source::kStatic;
+    } else if (src == "ospf") {
+      r.source = Redistribution::Source::kOspf;
+    } else if (src == "bgp") {
+      r.source = Redistribution::Source::kBgp;
+    } else if (src == "rip") {
+      r.source = Redistribution::Source::kRip;
+    } else {
+      throw err("unknown redistribution source: " + std::string{src});
+    }
+    for (std::size_t i = from + 1; i < t.size();) {
+      if (t[i] == "metric" && i + 1 < t.size()) {
+        r.metric = parse_u32(t[i + 1], "metric");
+        i += 2;
+      } else if (t[i] == "route-map" && i + 1 < t.size()) {
+        r.route_map = std::string{t[i + 1]};
+        i += 2;
+      } else {
+        throw err("unexpected token in redistribute: " + std::string{t[i]});
+      }
+    }
+    return r;
+  }
+
+  void parse_line(std::string_view line) {
+    if (line.empty() || line[0] == '#') return;
+    if (line == "!") {
+      ctx_ = Context{};
+      return;
+    }
+    const std::vector<std::string_view> t = split_ws(line);
+
+    // --- statements that open or belong to top level ---------------------
+    if (t[0] == "hostname") {
+      if (!dev_.hostname.empty()) throw err("duplicate hostname");
+      if (t.size() != 2) throw err("hostname requires one argument");
+      dev_.hostname = std::string{t[1]};
+      ctx_ = Context{};
+      return;
+    }
+    if (t[0] == "interface") {
+      if (t.size() != 2) throw err("interface requires one argument");
+      dev_.interfaces.push_back(InterfaceConfig{});
+      dev_.interfaces.back().name = std::string{t[1]};
+      ctx_ = Context{};
+      ctx_.kind = Context::Kind::kInterface;
+      ctx_.iface = &dev_.interfaces.back();
+      return;
+    }
+    if (t[0] == "router" && t.size() >= 2 && t[1] == "ospf") {
+      if (!dev_.ospf) dev_.ospf.emplace();
+      ctx_ = Context{};
+      ctx_.kind = Context::Kind::kOspf;
+      return;
+    }
+    if (t[0] == "router" && t.size() >= 2 && t[1] == "rip") {
+      if (!dev_.rip) dev_.rip.emplace();
+      ctx_ = Context{};
+      ctx_.kind = Context::Kind::kRip;
+      return;
+    }
+    if (t[0] == "router" && t.size() >= 2 && t[1] == "bgp") {
+      if (t.size() != 3) throw err("router bgp requires an AS number");
+      if (!dev_.bgp) dev_.bgp.emplace();
+      dev_.bgp->local_as = parse_u32(t[2], "AS number");
+      ctx_ = Context{};
+      ctx_.kind = Context::Kind::kBgp;
+      return;
+    }
+    if (t[0] == "route-map") {
+      // route-map NAME permit|deny SEQ
+      if (t.size() != 4) throw err("route-map header requires NAME ACTION SEQ");
+      RouteMap& rm = dev_.route_maps[std::string{t[1]}];
+      rm.name = std::string{t[1]};
+      RouteMapClause clause;
+      clause.action = parse_action(t[2]);
+      clause.seq = parse_u32(t[3], "sequence number");
+      rm.clauses.push_back(clause);
+      std::sort(rm.clauses.begin(), rm.clauses.end(),
+                [](const RouteMapClause& a, const RouteMapClause& b) { return a.seq < b.seq; });
+      ctx_ = Context{};
+      ctx_.kind = Context::Kind::kRouteMap;
+      // find the clause we just inserted (by seq)
+      for (RouteMapClause& c : rm.clauses) {
+        if (c.seq == clause.seq) ctx_.rm_clause = &c;
+      }
+      return;
+    }
+    if (t[0] == "ip" && t.size() >= 2 && t[1] == "route") {
+      // ip route PREFIX IFACE [distance N]
+      if (t.size() != 4 && t.size() != 6) throw err("ip route requires PREFIX IFACE [distance N]");
+      StaticRoute r;
+      r.prefix = parse_prefix(t[2]);
+      r.out_iface = std::string{t[3]};
+      if (t.size() == 6) {
+        if (t[4] != "distance") throw err("expected 'distance'");
+        r.admin_distance = parse_u32(t[5], "distance");
+      }
+      dev_.static_routes.push_back(r);
+      return;
+    }
+    if (t[0] == "ip" && t.size() >= 2 && t[1] == "prefix-list") {
+      // ip prefix-list NAME seq N permit|deny PREFIX [ge N] [le N]
+      if (t.size() < 7 || t[3] != "seq") {
+        throw err("prefix-list requires NAME seq N ACTION PREFIX");
+      }
+      PrefixList& pl = dev_.prefix_lists[std::string{t[2]}];
+      pl.name = std::string{t[2]};
+      PrefixListEntry e;
+      e.seq = parse_u32(t[4], "sequence number");
+      e.action = parse_action(t[5]);
+      e.prefix = parse_prefix(t[6]);
+      for (std::size_t i = 7; i < t.size();) {
+        if (t[i] == "ge" && i + 1 < t.size()) {
+          e.ge = static_cast<std::uint8_t>(parse_u32(t[i + 1], "ge"));
+          i += 2;
+        } else if (t[i] == "le" && i + 1 < t.size()) {
+          e.le = static_cast<std::uint8_t>(parse_u32(t[i + 1], "le"));
+          i += 2;
+        } else {
+          throw err("unexpected token in prefix-list: " + std::string{t[i]});
+        }
+      }
+      pl.entries.push_back(e);
+      std::sort(pl.entries.begin(), pl.entries.end(),
+                [](const PrefixListEntry& a, const PrefixListEntry& b) { return a.seq < b.seq; });
+      return;
+    }
+    if (t[0] == "ip" && t.size() >= 2 && t[1] == "access-list") {
+      if (t.size() != 3) throw err("ip access-list requires a name");
+      Acl& acl = dev_.acls[std::string{t[2]}];
+      acl.name = std::string{t[2]};
+      ctx_ = Context{};
+      ctx_.kind = Context::Kind::kAcl;
+      ctx_.acl = &acl;
+      return;
+    }
+
+    // --- block bodies -----------------------------------------------------
+    switch (ctx_.kind) {
+      case Context::Kind::kInterface:
+        parse_interface_line(t);
+        return;
+      case Context::Kind::kAcl:
+        parse_acl_line(t);
+        return;
+      case Context::Kind::kRouteMap:
+        parse_route_map_line(t);
+        return;
+      case Context::Kind::kOspf:
+        parse_ospf_line(t);
+        return;
+      case Context::Kind::kRip:
+        parse_rip_line(t);
+        return;
+      case Context::Kind::kBgp:
+        parse_bgp_line(t);
+        return;
+      case Context::Kind::kTop:
+        throw err("unknown statement: " + std::string{t[0]});
+    }
+  }
+
+  void parse_interface_line(const std::vector<std::string_view>& t) {
+    InterfaceConfig& i = *ctx_.iface;
+    if (t[0] == "ip" && t.size() == 3 && t[1] == "address") {
+      // The address keeps its host bits; store as (addr, len) pair. We
+      // re-parse manually because Ipv4Prefix would canonicalize.
+      const auto slash = t[2].find('/');
+      if (slash == std::string_view::npos) throw err("address requires /len");
+      auto addr = net::Ipv4Addr::parse(t[2].substr(0, slash));
+      std::uint64_t len = 0;
+      if (!addr || !core::parse_u64(t[2].substr(slash + 1), len) || len > 32) {
+        throw err("malformed address");
+      }
+      // We model the interface by its subnet; the concrete host address is
+      // not needed for verification, so canonical form is stored.
+      i.address = net::Ipv4Prefix{*addr, static_cast<std::uint8_t>(len)};
+      return;
+    }
+    if (t[0] == "shutdown" && t.size() == 1) {
+      i.shutdown = true;
+      return;
+    }
+    if (t[0] == "ospf" && t.size() == 3 && t[1] == "cost") {
+      i.ospf_cost = parse_u32(t[2], "cost");
+      return;
+    }
+    if (t[0] == "ospf" && t.size() == 3 && t[1] == "area") {
+      i.ospf_area = parse_u32(t[2], "area");
+      return;
+    }
+    if (t[0] == "ospf" && t.size() == 2 && t[1] == "passive") {
+      i.ospf_passive = true;
+      return;
+    }
+    if (t[0] == "rip" && t.size() == 2 && t[1] == "enable") {
+      i.rip = true;
+      return;
+    }
+    if (t[0] == "ip" && t.size() == 4 && t[1] == "access-group") {
+      if (t[3] == "in") {
+        i.acl_in = std::string{t[2]};
+      } else if (t[3] == "out") {
+        i.acl_out = std::string{t[2]};
+      } else {
+        throw err("access-group direction must be in/out");
+      }
+      return;
+    }
+    throw err("unknown interface statement: " + std::string{t[0]});
+  }
+
+  void parse_acl_line(const std::vector<std::string_view>& t) {
+    // SEQ permit|deny PROTO SRC [eq N | range A B] DST [eq N | range A B]
+    if (t.size() < 5) throw err("ACL rule too short");
+    AclRule r;
+    r.seq = parse_u32(t[0], "sequence number");
+    r.action = parse_action(t[1]);
+    if (t[2] == "ip") {
+      r.proto = IpProto::kAny;
+    } else if (t[2] == "tcp") {
+      r.proto = IpProto::kTcp;
+    } else if (t[2] == "udp") {
+      r.proto = IpProto::kUdp;
+    } else if (t[2] == "icmp") {
+      r.proto = IpProto::kIcmp;
+    } else {
+      throw err("unknown protocol: " + std::string{t[2]});
+    }
+    std::size_t i = 3;
+    auto parse_endpoint = [&](net::Ipv4Prefix& prefix, PortRange& ports) {
+      prefix = parse_prefix_or_any(t.at(i++));
+      if (i < t.size() && t[i] == "eq") {
+        if (i + 1 >= t.size()) throw err("eq requires a port");
+        const auto p = static_cast<std::uint16_t>(parse_u32(t[i + 1], "port"));
+        ports = PortRange{p, p};
+        i += 2;
+      } else if (i < t.size() && t[i] == "range") {
+        if (i + 2 >= t.size()) throw err("range requires two ports");
+        ports.lo = static_cast<std::uint16_t>(parse_u32(t[i + 1], "port"));
+        ports.hi = static_cast<std::uint16_t>(parse_u32(t[i + 2], "port"));
+        i += 3;
+      }
+    };
+    parse_endpoint(r.src, r.src_ports);
+    if (i >= t.size()) throw err("ACL rule missing destination");
+    parse_endpoint(r.dst, r.dst_ports);
+    if (i != t.size()) throw err("trailing tokens in ACL rule");
+    ctx_.acl->rules.push_back(r);
+    std::sort(ctx_.acl->rules.begin(), ctx_.acl->rules.end(),
+              [](const AclRule& a, const AclRule& b) { return a.seq < b.seq; });
+    return;
+  }
+
+  void parse_route_map_line(const std::vector<std::string_view>& t) {
+    RouteMapClause& c = *ctx_.rm_clause;
+    if (t[0] == "match" && t.size() == 4 && t[1] == "ip" && t[2] == "prefix-list") {
+      c.match_prefix_list = std::string{t[3]};
+      return;
+    }
+    if (t[0] == "set" && t.size() == 3 && t[1] == "local-preference") {
+      c.set_local_pref = parse_u32(t[2], "local-preference");
+      return;
+    }
+    if (t[0] == "set" && t.size() == 3 && t[1] == "med") {
+      c.set_med = parse_u32(t[2], "med");
+      return;
+    }
+    if (t[0] == "set" && t.size() == 3 && t[1] == "metric") {
+      c.set_metric = parse_u32(t[2], "metric");
+      return;
+    }
+    throw err("unknown route-map statement: " + std::string{t[0]});
+  }
+
+  void parse_ospf_line(const std::vector<std::string_view>& t) {
+    if (t[0] == "redistribute" && t.size() >= 2) {
+      dev_.ospf->redistribute.push_back(parse_redistribution(t, 1));
+      return;
+    }
+    throw err("unknown router ospf statement: " + std::string{t[0]});
+  }
+
+  void parse_rip_line(const std::vector<std::string_view>& t) {
+    if (t[0] == "redistribute" && t.size() >= 2) {
+      dev_.rip->redistribute.push_back(parse_redistribution(t, 1));
+      return;
+    }
+    throw err("unknown router rip statement: " + std::string{t[0]});
+  }
+
+  void parse_bgp_line(const std::vector<std::string_view>& t) {
+    BgpConfig& bgp = *dev_.bgp;
+    if (t[0] == "network" && t.size() == 2) {
+      bgp.networks.push_back(parse_prefix(t[1]));
+      return;
+    }
+    if (t[0] == "neighbor" && t.size() == 4 && t[2] == "remote-as") {
+      const std::string iface{t[1]};
+      BgpNeighbor* n = find_neighbor(bgp, iface);
+      if (n == nullptr) {
+        bgp.neighbors.push_back(BgpNeighbor{});
+        n = &bgp.neighbors.back();
+        n->iface = iface;
+      }
+      n->remote_as = parse_u32(t[3], "AS number");
+      return;
+    }
+    if (t[0] == "neighbor" && t.size() == 5 && t[2] == "route-map") {
+      const std::string iface{t[1]};
+      BgpNeighbor* n = find_neighbor(bgp, iface);
+      if (n == nullptr) throw err("route-map for unknown neighbor: " + iface);
+      if (t[4] == "in") {
+        n->import_route_map = std::string{t[3]};
+      } else if (t[4] == "out") {
+        n->export_route_map = std::string{t[3]};
+      } else {
+        throw err("neighbor route-map direction must be in/out");
+      }
+      return;
+    }
+    if (t[0] == "aggregate-address" && (t.size() == 2 || t.size() == 3)) {
+      BgpAggregate agg;
+      agg.prefix = parse_prefix(t[1]);
+      if (t.size() == 3) {
+        if (t[2] != "summary-only") throw err("expected 'summary-only'");
+        agg.summary_only = true;
+      }
+      bgp.aggregates.push_back(agg);
+      return;
+    }
+    if (t[0] == "redistribute" && t.size() >= 2) {
+      bgp.redistribute.push_back(parse_redistribution(t, 1));
+      return;
+    }
+    throw err("unknown router bgp statement: " + std::string{t[0]});
+  }
+
+  static BgpNeighbor* find_neighbor(BgpConfig& bgp, const std::string& iface) {
+    for (BgpNeighbor& n : bgp.neighbors) {
+      if (n.iface == iface) return &n;
+    }
+    return nullptr;
+  }
+
+  DeviceConfig dev_;
+  Context ctx_;
+  std::size_t base_line_;
+  std::size_t line_no_ = 0;
+};
+
+}  // namespace
+
+DeviceConfig parse_device(std::string_view text) {
+  std::vector<std::string_view> lines;
+  for (std::string_view l : core::split(text, '\n')) lines.push_back(l);
+  DeviceParser p{0};
+  return p.finish(lines);
+}
+
+NetworkConfig parse_network(std::string_view text) {
+  NetworkConfig net;
+  const std::vector<std::string_view> lines = core::split(text, '\n');
+  std::size_t start = 0;
+  bool in_device = false;
+  auto flush = [&](std::size_t end) {
+    if (!in_device) return;
+    std::vector<std::string_view> chunk(lines.begin() + static_cast<std::ptrdiff_t>(start),
+                                        lines.begin() + static_cast<std::ptrdiff_t>(end));
+    DeviceParser p{start};
+    DeviceConfig dev = p.finish(chunk);
+    const std::string host = dev.hostname;
+    if (!net.devices.emplace(host, std::move(dev)).second) {
+      throw ParseError(start + 1, "duplicate device: " + host);
+    }
+  };
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (core::starts_with(trim(lines[i]), "hostname ")) {
+      flush(i);
+      start = i;
+      in_device = true;
+    }
+  }
+  flush(lines.size());
+  return net;
+}
+
+}  // namespace rcfg::config

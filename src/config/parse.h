@@ -1,0 +1,40 @@
+#pragma once
+
+// Parser for the Cisco-flavoured configuration DSL.
+//
+// The grammar is line-oriented: a top-level keyword either is a complete
+// statement (`ip route ...`) or opens a block (`interface ...`,
+// `router bgp ...`, `ip access-list ...`, `route-map ...`) whose body runs
+// until the next top-level keyword or a `!` separator. Indentation is
+// ignored. See print.h for the canonical rendering (parse/print round-trip
+// is tested).
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "config/types.h"
+
+namespace rcfg::config {
+
+/// Thrown on malformed input; carries the 1-based line number.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message), line_(line) {}
+
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parse one device's configuration. The text must contain exactly one
+/// `hostname` statement.
+DeviceConfig parse_device(std::string_view text);
+
+/// Parse a multi-device file: each `hostname` statement starts a new
+/// device.
+NetworkConfig parse_network(std::string_view text);
+
+}  // namespace rcfg::config

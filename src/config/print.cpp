@@ -1,0 +1,168 @@
+#include "config/print.h"
+
+namespace rcfg::config {
+
+namespace {
+
+void print_redistribution(std::string& out, const Redistribution& r) {
+  out += "  redistribute ";
+  switch (r.source) {
+    case Redistribution::Source::kConnected:
+      out += "connected";
+      break;
+    case Redistribution::Source::kStatic:
+      out += "static";
+      break;
+    case Redistribution::Source::kOspf:
+      out += "ospf";
+      break;
+    case Redistribution::Source::kBgp:
+      out += "bgp";
+      break;
+    case Redistribution::Source::kRip:
+      out += "rip";
+      break;
+  }
+  if (r.metric != 0) out += " metric " + std::to_string(r.metric);
+  if (r.route_map) out += " route-map " + *r.route_map;
+  out += '\n';
+}
+
+std::string endpoint_to_string(net::Ipv4Prefix p, const PortRange& ports) {
+  std::string out = p == net::kDefaultRoute ? "any" : p.to_string();
+  if (!ports.is_any()) {
+    if (ports.lo == ports.hi) {
+      out += " eq " + std::to_string(ports.lo);
+    } else {
+      out += " range " + std::to_string(ports.lo) + " " + std::to_string(ports.hi);
+    }
+  }
+  return out;
+}
+
+const char* action_str(Action a) { return a == Action::kPermit ? "permit" : "deny"; }
+
+}  // namespace
+
+std::string print_device(const DeviceConfig& dev) {
+  std::string out;
+  out += "hostname " + dev.hostname + "\n!\n";
+
+  for (const InterfaceConfig& i : dev.interfaces) {
+    out += "interface " + i.name + "\n";
+    if (i.address) out += "  ip address " + i.address->to_string() + "\n";
+    if (i.shutdown) out += "  shutdown\n";
+    // Cost/passive are printed even without an area (meaningless to the
+    // protocol then, but faithful to what the operator wrote).
+    if (i.ospf_enabled()) out += "  ospf area " + std::to_string(i.ospf_area) + "\n";
+    if (i.ospf_cost != kDefaultOspfCost) {
+      out += "  ospf cost " + std::to_string(i.ospf_cost) + "\n";
+    }
+    if (i.ospf_passive) out += "  ospf passive\n";
+    if (i.rip) out += "  rip enable\n";
+    if (i.acl_in) out += "  ip access-group " + *i.acl_in + " in\n";
+    if (i.acl_out) out += "  ip access-group " + *i.acl_out + " out\n";
+    out += "!\n";
+  }
+
+  for (const StaticRoute& r : dev.static_routes) {
+    out += "ip route " + r.prefix.to_string() + " " + r.out_iface;
+    if (r.admin_distance != 1) out += " distance " + std::to_string(r.admin_distance);
+    out += "\n";
+  }
+  if (!dev.static_routes.empty()) out += "!\n";
+
+  for (const auto& [name, pl] : dev.prefix_lists) {
+    for (const PrefixListEntry& e : pl.entries) {
+      out += "ip prefix-list " + name + " seq " + std::to_string(e.seq) + " " +
+             action_str(e.action) + " " + e.prefix.to_string();
+      if (e.ge != 0) out += " ge " + std::to_string(e.ge);
+      if (e.le != 0) out += " le " + std::to_string(e.le);
+      out += "\n";
+    }
+    out += "!\n";
+  }
+
+  for (const auto& [name, acl] : dev.acls) {
+    out += "ip access-list " + name + "\n";
+    for (const AclRule& r : acl.rules) {
+      out += "  " + std::to_string(r.seq) + " " + std::string{action_str(r.action)} + " ";
+      switch (r.proto) {
+        case IpProto::kAny:
+          out += "ip";
+          break;
+        case IpProto::kTcp:
+          out += "tcp";
+          break;
+        case IpProto::kUdp:
+          out += "udp";
+          break;
+        case IpProto::kIcmp:
+          out += "icmp";
+          break;
+      }
+      out += " " + endpoint_to_string(r.src, r.src_ports);
+      out += " " + endpoint_to_string(r.dst, r.dst_ports);
+      out += "\n";
+    }
+    out += "!\n";
+  }
+
+  for (const auto& [name, rm] : dev.route_maps) {
+    for (const RouteMapClause& c : rm.clauses) {
+      out += "route-map " + name + " " + action_str(c.action) + " " + std::to_string(c.seq) + "\n";
+      if (c.match_prefix_list) out += "  match ip prefix-list " + *c.match_prefix_list + "\n";
+      if (c.set_local_pref) out += "  set local-preference " + std::to_string(*c.set_local_pref) + "\n";
+      if (c.set_med) out += "  set med " + std::to_string(*c.set_med) + "\n";
+      if (c.set_metric) out += "  set metric " + std::to_string(*c.set_metric) + "\n";
+      out += "!\n";
+    }
+  }
+
+  if (dev.ospf) {
+    out += "router ospf\n";
+    for (const Redistribution& r : dev.ospf->redistribute) print_redistribution(out, r);
+    out += "!\n";
+  }
+
+  if (dev.rip) {
+    out += "router rip\n";
+    for (const Redistribution& r : dev.rip->redistribute) print_redistribution(out, r);
+    out += "!\n";
+  }
+
+  if (dev.bgp) {
+    out += "router bgp " + std::to_string(dev.bgp->local_as) + "\n";
+    for (const net::Ipv4Prefix& p : dev.bgp->networks) {
+      out += "  network " + p.to_string() + "\n";
+    }
+    for (const BgpAggregate& a : dev.bgp->aggregates) {
+      out += "  aggregate-address " + a.prefix.to_string();
+      if (a.summary_only) out += " summary-only";
+      out += "\n";
+    }
+    for (const BgpNeighbor& n : dev.bgp->neighbors) {
+      out += "  neighbor " + n.iface + " remote-as " + std::to_string(n.remote_as) + "\n";
+      if (n.import_route_map) {
+        out += "  neighbor " + n.iface + " route-map " + *n.import_route_map + " in\n";
+      }
+      if (n.export_route_map) {
+        out += "  neighbor " + n.iface + " route-map " + *n.export_route_map + " out\n";
+      }
+    }
+    for (const Redistribution& r : dev.bgp->redistribute) print_redistribution(out, r);
+    out += "!\n";
+  }
+
+  return out;
+}
+
+std::string print_network(const NetworkConfig& net) {
+  std::string out;
+  for (const auto& [name, dev] : net.devices) {
+    out += print_device(dev);
+  }
+  return out;
+}
+
+}  // namespace rcfg::config

@@ -1,0 +1,18 @@
+#pragma once
+
+// Canonical text rendering of the config model (the inverse of parse.h).
+//
+// The renderer is deterministic: stanzas appear in a fixed order and maps
+// are emitted sorted, so two equal DeviceConfigs always print identically.
+// The line-level config differ (diff.h) relies on this canonical form.
+
+#include <string>
+
+#include "config/types.h"
+
+namespace rcfg::config {
+
+std::string print_device(const DeviceConfig& dev);
+std::string print_network(const NetworkConfig& net);
+
+}  // namespace rcfg::config

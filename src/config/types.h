@@ -1,0 +1,253 @@
+#pragma once
+
+// The vendor-neutral configuration model.
+//
+// This is the "source of truth" input to verification: a NetworkConfig maps
+// device hostnames to DeviceConfigs, each holding the stanza types the
+// paper models (§4.2): interfaces, OSPF, BGP, static routes, ACLs, route
+// redistribution — plus the policy machinery they need (prefix lists and
+// route maps). A Cisco-flavoured text form is defined in parse.h/print.h.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace rcfg::config {
+
+enum class Action : std::uint8_t { kPermit, kDeny };
+
+// ---------------------------------------------------------------------------
+// Prefix lists
+// ---------------------------------------------------------------------------
+
+/// One entry of a prefix list: matches a route's prefix if it is covered by
+/// `prefix` and its length lies in [ge, le] (defaults: exactly
+/// prefix.length()).
+struct PrefixListEntry {
+  std::uint32_t seq = 0;
+  Action action = Action::kPermit;
+  net::Ipv4Prefix prefix;
+  std::uint8_t ge = 0;  ///< 0 means "unset" (defaults to prefix length)
+  std::uint8_t le = 0;  ///< 0 means "unset" (defaults to ge or prefix length)
+
+  friend bool operator==(const PrefixListEntry&, const PrefixListEntry&) = default;
+};
+
+struct PrefixList {
+  std::string name;
+  std::vector<PrefixListEntry> entries;  ///< evaluated in seq order
+
+  friend bool operator==(const PrefixList&, const PrefixList&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Route maps
+// ---------------------------------------------------------------------------
+
+/// One clause of a route map. A route is tested against clauses in seq
+/// order; the first clause whose matches all pass decides: permit applies
+/// the set-actions and accepts, deny rejects. No matching clause => reject.
+struct RouteMapClause {
+  std::uint32_t seq = 0;
+  Action action = Action::kPermit;
+  std::optional<std::string> match_prefix_list;
+  std::optional<std::uint32_t> set_local_pref;
+  std::optional<std::uint32_t> set_med;
+  std::optional<std::uint32_t> set_metric;  ///< for redistribution maps
+
+  friend bool operator==(const RouteMapClause&, const RouteMapClause&) = default;
+};
+
+struct RouteMap {
+  std::string name;
+  std::vector<RouteMapClause> clauses;
+
+  friend bool operator==(const RouteMap&, const RouteMap&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// ACLs
+// ---------------------------------------------------------------------------
+
+enum class IpProto : std::uint8_t { kAny, kTcp, kUdp, kIcmp };
+
+struct PortRange {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = 65535;
+  bool is_any() const { return lo == 0 && hi == 65535; }
+  friend bool operator==(const PortRange&, const PortRange&) = default;
+};
+
+/// One ACL rule (5-tuple match). "any" is encoded as 0.0.0.0/0 / full port
+/// range / IpProto::kAny. First match wins; implicit deny terminates.
+struct AclRule {
+  std::uint32_t seq = 0;
+  Action action = Action::kPermit;
+  IpProto proto = IpProto::kAny;
+  net::Ipv4Prefix src;  ///< default 0.0.0.0/0
+  net::Ipv4Prefix dst;
+  PortRange src_ports;
+  PortRange dst_ports;
+
+  friend bool operator==(const AclRule&, const AclRule&) = default;
+};
+
+struct Acl {
+  std::string name;
+  std::vector<AclRule> rules;
+
+  friend bool operator==(const Acl&, const Acl&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Interfaces
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint32_t kDefaultOspfCost = 1;
+inline constexpr std::uint32_t kNoOspfArea = ~std::uint32_t{0};
+
+struct InterfaceConfig {
+  std::string name;
+  std::optional<net::Ipv4Prefix> address;  ///< address + subnet length
+  bool shutdown = false;                   ///< administratively down
+  std::uint32_t ospf_cost = kDefaultOspfCost;
+  std::uint32_t ospf_area = kNoOspfArea;   ///< kNoOspfArea => not in OSPF
+  bool ospf_passive = false;               ///< advertise subnet, no adjacency
+  bool rip = false;                        ///< participates in RIPv2
+  std::optional<std::string> acl_in;       ///< ACL applied to ingress traffic
+  std::optional<std::string> acl_out;      ///< ACL applied to egress traffic
+
+  bool ospf_enabled() const { return ospf_area != kNoOspfArea; }
+
+  friend bool operator==(const InterfaceConfig&, const InterfaceConfig&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Static routes
+// ---------------------------------------------------------------------------
+
+struct StaticRoute {
+  net::Ipv4Prefix prefix;
+  std::string out_iface;  ///< egress interface; "null0" discards
+  std::uint32_t admin_distance = 1;
+
+  friend bool operator==(const StaticRoute&, const StaticRoute&) = default;
+};
+
+inline constexpr const char* kNullInterface = "null0";
+
+// ---------------------------------------------------------------------------
+// Routing processes
+// ---------------------------------------------------------------------------
+
+/// Which other RIB a process imports routes from (route redistribution).
+struct Redistribution {
+  enum class Source : std::uint8_t { kConnected, kStatic, kOspf, kBgp, kRip };
+  Source source = Source::kConnected;
+  std::uint32_t metric = 0;                   ///< 0 => protocol default
+  std::optional<std::string> route_map;       ///< filter/transform
+
+  friend bool operator==(const Redistribution&, const Redistribution&) = default;
+};
+
+struct OspfConfig {
+  std::vector<Redistribution> redistribute;
+
+  friend bool operator==(const OspfConfig&, const OspfConfig&) = default;
+};
+
+/// RIPv2: interfaces opt in via InterfaceConfig::rip; hop-count metric with
+/// the protocol's 15-hop reachability horizon (16 = infinity).
+struct RipConfig {
+  std::vector<Redistribution> redistribute;
+
+  friend bool operator==(const RipConfig&, const RipConfig&) = default;
+};
+
+inline constexpr std::uint32_t kRipInfinity = 16;
+
+inline constexpr std::uint32_t kDefaultLocalPref = 100;
+
+struct BgpNeighbor {
+  std::string iface;          ///< single-hop session over this interface
+  std::uint32_t remote_as = 0;
+  std::optional<std::string> import_route_map;  ///< applied to received routes
+  std::optional<std::string> export_route_map;  ///< applied to sent routes
+
+  friend bool operator==(const BgpNeighbor&, const BgpNeighbor&) = default;
+};
+
+/// BGP route aggregation: the aggregate is originated whenever a strictly
+/// more-specific route exists in the local BGP table; `summary_only`
+/// additionally suppresses the more-specifics when advertising to
+/// neighbors. The origin installs a discard route for the aggregate
+/// (packets with no more-specific match are dropped, as on real routers).
+struct BgpAggregate {
+  net::Ipv4Prefix prefix;
+  bool summary_only = false;
+
+  friend bool operator==(const BgpAggregate&, const BgpAggregate&) = default;
+};
+
+struct BgpConfig {
+  std::uint32_t local_as = 0;
+  std::vector<net::Ipv4Prefix> networks;  ///< locally originated prefixes
+  std::vector<BgpNeighbor> neighbors;
+  std::vector<BgpAggregate> aggregates;
+  std::vector<Redistribution> redistribute;
+
+  friend bool operator==(const BgpConfig&, const BgpConfig&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Device & network
+// ---------------------------------------------------------------------------
+
+/// Administrative distances used to pick among protocols for the FIB.
+struct AdminDistance {
+  static constexpr std::uint32_t kConnected = 0;
+  static constexpr std::uint32_t kStatic = 1;
+  static constexpr std::uint32_t kBgp = 20;  ///< eBGP
+  static constexpr std::uint32_t kOspf = 110;
+  static constexpr std::uint32_t kRip = 120;
+};
+
+struct DeviceConfig {
+  std::string hostname;
+  std::vector<InterfaceConfig> interfaces;
+  std::vector<StaticRoute> static_routes;
+  std::optional<OspfConfig> ospf;
+  std::optional<RipConfig> rip;
+  std::optional<BgpConfig> bgp;
+  std::map<std::string, Acl> acls;
+  std::map<std::string, PrefixList> prefix_lists;
+  std::map<std::string, RouteMap> route_maps;
+
+  /// Find an interface config by name; nullptr if absent.
+  const InterfaceConfig* find_interface(const std::string& name) const {
+    for (const auto& i : interfaces) {
+      if (i.name == name) return &i;
+    }
+    return nullptr;
+  }
+  InterfaceConfig* find_interface(const std::string& name) {
+    return const_cast<InterfaceConfig*>(
+        static_cast<const DeviceConfig*>(this)->find_interface(name));
+  }
+
+  friend bool operator==(const DeviceConfig&, const DeviceConfig&) = default;
+};
+
+/// The whole network's configuration, keyed by hostname (== topology node
+/// name).
+struct NetworkConfig {
+  std::map<std::string, DeviceConfig> devices;
+
+  friend bool operator==(const NetworkConfig&, const NetworkConfig&) = default;
+};
+
+}  // namespace rcfg::config

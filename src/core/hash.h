@@ -1,0 +1,77 @@
+#pragma once
+
+// Hashing utilities shared by all RealConfig modules.
+//
+// The incremental engine (rcfg::dd) keys most of its state by tuple hashes,
+// so hash quality and the ability to combine field hashes cheaply matter.
+// We use the boost-style combiner on top of a 64-bit mixer.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace rcfg::core {
+
+/// Final mixing step of SplitMix64; a cheap, well-distributed 64-bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine a field hash into a running seed (order-sensitive).
+constexpr void hash_combine(std::size_t& seed, std::size_t value) noexcept {
+  seed ^= mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hash any value with std::hash and fold it into `seed`.
+template <class T>
+void hash_field(std::size_t& seed, const T& value) {
+  hash_combine(seed, std::hash<T>{}(value));
+}
+
+/// Hash a pack of values into one size_t.
+template <class... Ts>
+std::size_t hash_all(const Ts&... values) {
+  std::size_t seed = 0;
+  (hash_field(seed, values), ...);
+  return seed;
+}
+
+/// Generic hasher for std::pair / std::tuple / std::vector, usable as the
+/// Hash template argument of unordered containers.
+struct TupleHash {
+  template <class A, class B>
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    std::size_t seed = 0;
+    hash_combine(seed, (*this)(p.first));
+    hash_combine(seed, (*this)(p.second));
+    return seed;
+  }
+
+  template <class... Ts>
+  std::size_t operator()(const std::tuple<Ts...>& t) const {
+    std::size_t seed = 0;
+    std::apply([&](const Ts&... vs) { (hash_combine(seed, (*this)(vs)), ...); }, t);
+    return seed;
+  }
+
+  template <class T>
+  std::size_t operator()(const std::vector<T>& v) const {
+    std::size_t seed = v.size();
+    for (const T& x : v) hash_combine(seed, (*this)(x));
+    return seed;
+  }
+
+  template <class T>
+  std::size_t operator()(const T& v) const {
+    return std::hash<T>{}(v);
+  }
+};
+
+}  // namespace rcfg::core

@@ -1,0 +1,48 @@
+#pragma once
+
+// Deterministic pseudo-random number generation.
+//
+// Tests, workload generators and benchmarks must be reproducible across
+// runs and platforms, so we ship our own SplitMix64 generator instead of
+// relying on the (implementation-defined) std distributions.
+
+#include <cstdint>
+#include <vector>
+
+namespace rcfg::core {
+
+/// SplitMix64: tiny, fast, 2^64-period generator with a one-word state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform value in [0, bound). `bound` must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rcfg::core

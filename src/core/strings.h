@@ -1,0 +1,30 @@
+#pragma once
+
+// Small string helpers used by the config parser and printers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rcfg::core {
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Split on a delimiter character; empty fields are kept.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Split on runs of whitespace; empty tokens are dropped.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Parse a non-negative decimal integer; returns false on any non-digit or
+/// overflow of uint64.
+bool parse_u64(std::string_view s, std::uint64_t& out) noexcept;
+
+}  // namespace rcfg::core

@@ -1,0 +1,164 @@
+#include "dpm/bdd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+namespace rcfg::dpm {
+
+namespace {
+constexpr unsigned kTerminalVar = ~0u;
+
+std::uint64_t unique_key(unsigned var, BddRef lo, BddRef hi) {
+  // var < 2^16 in practice; lo/hi < 2^24 comfortably for our workloads, but
+  // mix a full hash to stay safe at any size.
+  std::size_t h = rcfg::core::hash_all(var, lo, hi);
+  return static_cast<std::uint64_t>(h);
+}
+
+std::uint64_t apply_key(unsigned op, BddRef a, BddRef b) {
+  return static_cast<std::uint64_t>(rcfg::core::hash_all(op, a, b));
+}
+}  // namespace
+
+BddManager::BddManager(unsigned var_count) : var_count_(var_count) {
+  nodes_.push_back(Node{kTerminalVar, kBddFalse, kBddFalse});  // 0 = false
+  nodes_.push_back(Node{kTerminalVar, kBddTrue, kBddTrue});    // 1 = true
+}
+
+BddRef BddManager::make(unsigned var, BddRef lo, BddRef hi) {
+  if (lo == hi) return lo;  // reduction rule
+  const std::uint64_t key = unique_key(var, lo, hi);
+  auto it = unique_.find(key);
+  if (it != unique_.end()) {
+    // Guard against (astronomically unlikely) hash collisions.
+    const Node& n = nodes_[it->second];
+    if (n.var == var && n.lo == lo && n.hi == hi) return it->second;
+  }
+  const BddRef r = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back(Node{var, lo, hi});
+  unique_[key] = r;
+  return r;
+}
+
+BddRef BddManager::var(unsigned v) {
+  if (v >= var_count_) throw std::out_of_range("BDD variable out of range");
+  return make(v, kBddFalse, kBddTrue);
+}
+
+BddRef BddManager::nvar(unsigned v) {
+  if (v >= var_count_) throw std::out_of_range("BDD variable out of range");
+  return make(v, kBddTrue, kBddFalse);
+}
+
+BddRef BddManager::apply(Op op, BddRef a, BddRef b) {
+  // Terminal cases.
+  switch (op) {
+    case Op::kAnd:
+      if (a == kBddFalse || b == kBddFalse) return kBddFalse;
+      if (a == kBddTrue) return b;
+      if (b == kBddTrue) return a;
+      if (a == b) return a;
+      break;
+    case Op::kOr:
+      if (a == kBddTrue || b == kBddTrue) return kBddTrue;
+      if (a == kBddFalse) return b;
+      if (b == kBddFalse) return a;
+      if (a == b) return a;
+      break;
+    case Op::kXor:
+      if (a == kBddFalse) return b;
+      if (b == kBddFalse) return a;
+      if (a == b) return kBddFalse;
+      break;
+  }
+  // Commutative ops: canonicalize operand order for better cache hits.
+  if (a > b) std::swap(a, b);
+  const std::uint64_t key = apply_key(static_cast<unsigned>(op), a, b);
+  if (auto it = apply_cache_.find(key); it != apply_cache_.end()) return it->second;
+
+  const unsigned va = var_of(a);
+  const unsigned vb = var_of(b);
+  const unsigned v = std::min(va, vb);
+  const BddRef a_lo = va == v ? nodes_[a].lo : a;
+  const BddRef a_hi = va == v ? nodes_[a].hi : a;
+  const BddRef b_lo = vb == v ? nodes_[b].lo : b;
+  const BddRef b_hi = vb == v ? nodes_[b].hi : b;
+
+  const BddRef lo = apply(op, a_lo, b_lo);
+  const BddRef hi = apply(op, a_hi, b_hi);
+  const BddRef r = make(v, lo, hi);
+  apply_cache_[key] = r;
+  return r;
+}
+
+BddRef BddManager::bdd_and(BddRef a, BddRef b) { return apply(Op::kAnd, a, b); }
+BddRef BddManager::bdd_or(BddRef a, BddRef b) { return apply(Op::kOr, a, b); }
+BddRef BddManager::bdd_xor(BddRef a, BddRef b) { return apply(Op::kXor, a, b); }
+
+BddRef BddManager::bdd_not(BddRef a) {
+  if (a == kBddFalse) return kBddTrue;
+  if (a == kBddTrue) return kBddFalse;
+  if (auto it = not_cache_.find(a); it != not_cache_.end()) return it->second;
+  // Copy, not reference: the recursive calls may grow (and reallocate)
+  // nodes_, which would leave a dangling reference.
+  const Node n = nodes_[a];
+  const BddRef lo = bdd_not(n.lo);
+  const BddRef hi = bdd_not(n.hi);
+  const BddRef r = make(n.var, lo, hi);
+  not_cache_[a] = r;
+  return r;
+}
+
+BddRef BddManager::bdd_diff(BddRef a, BddRef b) { return bdd_and(a, bdd_not(b)); }
+
+BddRef BddManager::cube(const std::vector<std::pair<unsigned, bool>>& literals) {
+  // Build bottom-up (reverse var order) so each make() call is O(1).
+  BddRef r = kBddTrue;
+  for (auto it = literals.rbegin(); it != literals.rend(); ++it) {
+    const auto [v, value] = *it;
+    if (v >= var_count_) throw std::out_of_range("BDD variable out of range");
+    r = value ? make(v, kBddFalse, r) : make(v, r, kBddFalse);
+  }
+  return r;
+}
+
+double BddManager::sat_count(BddRef a) {
+  // count(a) relative to the variables below a's level, then scale.
+  std::function<double(BddRef)> rec = [&](BddRef r) -> double {
+    if (r == kBddFalse) return 0.0;
+    if (r == kBddTrue) return 1.0;
+    if (auto it = count_cache_.find(r); it != count_cache_.end()) return it->second;
+    const Node& n = nodes_[r];
+    const unsigned lo_var = var_of(n.lo) == kTerminalVar ? var_count_ : var_of(n.lo);
+    const unsigned hi_var = var_of(n.hi) == kTerminalVar ? var_count_ : var_of(n.hi);
+    const double lo = rec(n.lo) * std::pow(2.0, lo_var - n.var - 1);
+    const double hi = rec(n.hi) * std::pow(2.0, hi_var - n.var - 1);
+    const double c = lo + hi;
+    count_cache_[r] = c;
+    return c;
+  };
+  const unsigned top = var_of(a) == kTerminalVar ? var_count_ : var_of(a);
+  return rec(a) * std::pow(2.0, top);
+}
+
+std::optional<std::vector<bool>> BddManager::pick_one(BddRef a) const {
+  if (a == kBddFalse) return std::nullopt;
+  std::vector<bool> out(var_count_, false);
+  BddRef r = a;
+  while (r != kBddTrue) {
+    const Node& n = nodes_[r];
+    if (n.lo != kBddFalse) {
+      out[n.var] = false;
+      r = n.lo;
+    } else {
+      out[n.var] = true;
+      r = n.hi;
+    }
+  }
+  return out;
+}
+
+}  // namespace rcfg::dpm

@@ -1,0 +1,89 @@
+#pragma once
+
+// A reduced, ordered binary decision diagram (ROBDD) package — the symbolic
+// set representation under the data plane model (the role bdd/javabdd plays
+// for APKeep). Hash-consed nodes, memoized apply, no GC (the verifier's
+// working sets are small and node ids must stay stable for the lifetime of
+// the model; `node_count()` exposes growth for the benches).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hash.h"
+
+namespace rcfg::dpm {
+
+/// A BDD node reference. 0 and 1 are the terminal false/true nodes.
+using BddRef = std::uint32_t;
+
+inline constexpr BddRef kBddFalse = 0;
+inline constexpr BddRef kBddTrue = 1;
+
+class BddManager {
+ public:
+  /// `var_count` fixes the variable order: variable 0 is tested first.
+  explicit BddManager(unsigned var_count);
+
+  unsigned var_count() const noexcept { return var_count_; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// The function "variable v is 1".
+  BddRef var(unsigned v);
+  /// The function "variable v is 0".
+  BddRef nvar(unsigned v);
+
+  BddRef bdd_and(BddRef a, BddRef b);
+  BddRef bdd_or(BddRef a, BddRef b);
+  BddRef bdd_not(BddRef a);
+  /// a ∧ ¬b
+  BddRef bdd_diff(BddRef a, BddRef b);
+  BddRef bdd_xor(BddRef a, BddRef b);
+
+  bool is_false(BddRef a) const noexcept { return a == kBddFalse; }
+  bool is_true(BddRef a) const noexcept { return a == kBddTrue; }
+
+  /// a ∧ b == false, computed without materializing the conjunction when a
+  /// short-circuit is possible.
+  bool disjoint(BddRef a, BddRef b) { return bdd_and(a, b) == kBddFalse; }
+
+  /// a ⊆ b (as sets): a ∧ ¬b == false.
+  bool implies(BddRef a, BddRef b) { return bdd_diff(a, b) == kBddFalse; }
+
+  /// Conjunction of literals: build a cube from (var, value) pairs given in
+  /// strictly increasing var order.
+  BddRef cube(const std::vector<std::pair<unsigned, bool>>& literals);
+
+  /// Number of satisfying assignments over all var_count() variables.
+  double sat_count(BddRef a);
+
+  /// One satisfying assignment (values indexed by variable), or nullopt for
+  /// the false BDD. Unconstrained variables come back as 0. Used to extract
+  /// a concrete witness packet from an EC.
+  std::optional<std::vector<bool>> pick_one(BddRef a) const;
+
+ private:
+  struct Node {
+    unsigned var;  ///< ~0u for terminals
+    BddRef lo;     ///< value when var = 0
+    BddRef hi;     ///< value when var = 1
+  };
+
+  BddRef make(unsigned var, BddRef lo, BddRef hi);
+
+  enum class Op : std::uint8_t { kAnd, kOr, kXor };
+  BddRef apply(Op op, BddRef a, BddRef b);
+
+  unsigned var_of(BddRef r) const noexcept { return nodes_[r].var; }
+
+  unsigned var_count_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, BddRef> unique_;  ///< (var, lo, hi) -> node
+  std::unordered_map<std::uint64_t, BddRef> apply_cache_;
+  std::unordered_map<BddRef, BddRef> not_cache_;
+  std::unordered_map<BddRef, double> count_cache_;
+};
+
+}  // namespace rcfg::dpm

@@ -1,0 +1,70 @@
+#include "dpm/ec.h"
+
+#include <stdexcept>
+
+namespace rcfg::dpm {
+
+EcManager::EcManager(PacketSpace& space) : space_(space) {
+  atoms_.push_back(kBddTrue);  // EC 0: the whole packet space
+}
+
+std::vector<EcManager::Split> EcManager::register_predicate(BddRef p) {
+  std::vector<Split> splits;
+  auto [it, fresh] = predicates_.try_emplace(p, 0);
+  ++it->second;
+  if (!fresh) return splits;  // partition already refined for p
+  if (p == kBddTrue || p == kBddFalse) return splits;
+
+  BddManager& bdd = space_.bdd();
+  const std::size_t n = atoms_.size();
+  for (EcId id = 0; id < n; ++id) {
+    const BddRef inside = bdd.bdd_and(atoms_[id], p);
+    if (inside == kBddFalse || inside == atoms_[id]) continue;  // no straddle
+    const BddRef outside = bdd.bdd_diff(atoms_[id], p);
+    // Parent keeps the outside part; the new child gets the inside part.
+    atoms_[id] = outside;
+    const EcId child = static_cast<EcId>(atoms_.size());
+    atoms_.push_back(inside);
+    const Split s{id, child};
+    for (const SplitListener& l : listeners_) l(s);
+    splits.push_back(s);
+  }
+  return splits;
+}
+
+void EcManager::unregister_predicate(BddRef p) {
+  auto it = predicates_.find(p);
+  if (it == predicates_.end()) return;
+  if (--it->second == 0) predicates_.erase(it);
+}
+
+void EcManager::compact() {
+  atoms_.clear();
+  atoms_.push_back(kBddTrue);
+  std::unordered_map<BddRef, std::uint32_t> keep = std::move(predicates_);
+  predicates_.clear();
+  for (const auto& [p, refs] : keep) {
+    register_predicate(p);
+    predicates_[p] = refs;  // restore the original refcount
+  }
+}
+
+std::vector<EcId> EcManager::ecs_in(BddRef p) const {
+  std::vector<EcId> out;
+  if (p == kBddFalse) return out;
+  BddManager& bdd = space_.bdd();
+  for (EcId id = 0; id < atoms_.size(); ++id) {
+    if (!bdd.disjoint(atoms_[id], p)) out.push_back(id);
+  }
+  return out;
+}
+
+EcId EcManager::ec_of(BddRef packet_cube) const {
+  BddManager& bdd = space_.bdd();
+  for (EcId id = 0; id < atoms_.size(); ++id) {
+    if (!bdd.disjoint(atoms_[id], packet_cube)) return id;
+  }
+  throw std::logic_error("packet outside every EC (partition invariant broken)");
+}
+
+}  // namespace rcfg::dpm

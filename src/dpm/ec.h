@@ -1,0 +1,74 @@
+#pragma once
+
+// Equivalence-class (EC) management, after APKeep: the packet space is
+// partitioned into *atoms* — the coarsest partition that is refined with
+// respect to every registered predicate. Each atom is an EC: all its
+// packets are treated identically by every rule in the network, so
+// verification reasons per-EC instead of per-packet.
+//
+// Registering a predicate splits every straddling atom in two; atoms only
+// ever get finer (this implementation does not merge on predicate
+// unregistration — a finer-than-minimal partition stays correct, see
+// DESIGN.md; compact() rebuilds minimality between benchmark phases).
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "dpm/packet_space.h"
+
+namespace rcfg::dpm {
+
+using EcId = std::uint32_t;
+
+class EcManager {
+ public:
+  explicit EcManager(PacketSpace& space);
+
+  /// A split event: `parent`'s packets inside the predicate moved to the
+  /// new atom `child`; the parent atom keeps the packets outside it. Every
+  /// structure indexing ECs must mirror child entries from the parent's.
+  struct Split {
+    EcId parent;
+    EcId child;
+  };
+
+  /// Structures that index ECs (the network model's port maps, the
+  /// checker's per-EC state) subscribe here and mirror each split as it
+  /// happens, regardless of which component triggered the registration.
+  using SplitListener = std::function<void(const Split&)>;
+  void subscribe(SplitListener listener) { listeners_.push_back(std::move(listener)); }
+
+  /// Refine the partition w.r.t. `p`. Idempotent per distinct BDD (a
+  /// reference count tracks repeated registrations). Listeners fire once
+  /// per split before this returns.
+  std::vector<Split> register_predicate(BddRef p);
+
+  /// Drop one reference to `p`. Atoms are not merged (documented above).
+  void unregister_predicate(BddRef p);
+
+  /// Rebuild the minimal partition for the currently referenced predicates.
+  /// Invalidates all EC ids; only call between verification phases.
+  void compact();
+
+  std::size_t ec_count() const noexcept { return atoms_.size(); }
+  BddRef ec_bdd(EcId id) const { return atoms_.at(id); }
+
+  /// All ECs contained in `p`. `p` must be a boolean combination of
+  /// registered predicates (then every atom is inside or disjoint).
+  std::vector<EcId> ecs_in(BddRef p) const;
+
+  /// The EC containing a fully specified packet (by its BDD cube).
+  EcId ec_of(BddRef packet_cube) const;
+
+  std::size_t predicate_count() const noexcept { return predicates_.size(); }
+
+ private:
+  PacketSpace& space_;
+  std::vector<BddRef> atoms_;                      ///< EcId -> atom BDD
+  std::unordered_map<BddRef, std::uint32_t> predicates_;  ///< refcounts
+  std::vector<SplitListener> listeners_;
+};
+
+}  // namespace rcfg::dpm

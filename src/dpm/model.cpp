@@ -1,0 +1,303 @@
+#include "dpm/model.h"
+
+#include <algorithm>
+
+namespace rcfg::dpm {
+
+namespace {
+
+std::uint64_t move_key(topo::NodeId device, EcId ec) {
+  return (std::uint64_t{device} << 32) | ec;
+}
+
+/// Deterministic application order within one phase of a batch.
+struct RuleOp {
+  routing::FibEntry entry;
+  bool insert = true;
+};
+
+bool op_before(const RuleOp& a, const RuleOp& b) {
+  if (a.entry.node != b.entry.node) return a.entry.node < b.entry.node;
+  if (a.entry.prefix != b.entry.prefix) return a.entry.prefix < b.entry.prefix;
+  if (a.insert != b.insert) return a.insert;  // insert before delete
+  return false;
+}
+
+}  // namespace
+
+std::string to_string(const PortKey& p) {
+  switch (p.action) {
+    case routing::FibAction::kDeliver:
+      return "deliver";
+    case routing::FibAction::kDrop:
+      return "drop";
+    case routing::FibAction::kForward: {
+      std::string out = "fwd[";
+      for (std::size_t i = 0; i < p.ifaces.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(p.ifaces[i]);
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+const char* to_string(UpdateOrder order) {
+  switch (order) {
+    case UpdateOrder::kInsertFirst:
+      return "insert-first";
+    case UpdateOrder::kDeleteFirst:
+      return "delete-first";
+    case UpdateOrder::kInterleaved:
+      return "interleaved";
+  }
+  return "?";
+}
+
+NetworkModel::NetworkModel(PacketSpace& space, EcManager& ecs, std::size_t node_count)
+    : space_(space), ecs_(ecs), devices_(node_count) {
+  ecs_.subscribe([this](const EcManager::Split& s) { mirror_split(s); });
+}
+
+const PortKey& NetworkModel::port_of(topo::NodeId device, EcId ec) const {
+  const Device& dev = devices_.at(device);
+  auto it = dev.port_of.find(ec);
+  return it == dev.port_of.end() ? drop_port_ : it->second;
+}
+
+bool NetworkModel::permits(topo::NodeId device, topo::IfaceId iface, bool inbound,
+                           EcId ec) const {
+  const Device& dev = devices_.at(device);
+  auto it = dev.acls.find({iface, inbound});
+  if (it == dev.acls.end()) return true;
+  return space_.bdd().implies(ecs_.ec_bdd(ec), it->second.permit);
+}
+
+std::optional<std::pair<net::Ipv4Prefix, PortKey>> NetworkModel::lookup(
+    topo::NodeId device, net::Ipv4Addr dst) const {
+  const auto hit = devices_.at(device).rules.lookup(dst);
+  if (!hit) return std::nullopt;
+  return std::make_pair(hit->first, *hit->second);
+}
+
+namespace {
+bool filter_rule_matches(const routing::FilterRule& r, const config::Flow& flow) {
+  const auto proto = static_cast<config::IpProto>(r.proto);
+  if (proto != config::IpProto::kAny && proto != flow.proto) return false;
+  if (!r.src.contains(flow.src) || !r.dst.contains(flow.dst)) return false;
+  if (flow.src_port < r.src_port_lo || flow.src_port > r.src_port_hi) return false;
+  if (flow.dst_port < r.dst_port_lo || flow.dst_port > r.dst_port_hi) return false;
+  return true;
+}
+}  // namespace
+
+NetworkModel::FilterVerdict NetworkModel::filter_verdict(topo::NodeId device,
+                                                         topo::IfaceId iface, bool inbound,
+                                                         const config::Flow& flow) const {
+  FilterVerdict v;
+  const Device& dev = devices_.at(device);
+  auto it = dev.acls.find({iface, inbound});
+  if (it == dev.acls.end()) return v;  // no ACL: permit
+  v.has_acl = true;
+  for (const routing::FilterRule& r : it->second.rules) {
+    if (filter_rule_matches(r, flow)) {
+      v.permit = r.permit;
+      v.rule = r;
+      return v;
+    }
+  }
+  v.permit = false;  // implicit deny
+  return v;
+}
+
+std::size_t NetworkModel::rule_count() const {
+  std::size_t n = 0;
+  for (const Device& d : devices_) n += d.rules.size();
+  return n;
+}
+
+BddRef NetworkModel::effective_match(const Device& dev, net::Ipv4Prefix prefix) {
+  BddRef eff = space_.dst_prefix(prefix);
+  dev.rules.visit_descendants(prefix, [&](net::Ipv4Prefix longer, const PortKey&) {
+    eff = space_.bdd().bdd_diff(eff, space_.dst_prefix(longer));
+  });
+  return eff;
+}
+
+void NetworkModel::mirror_split(const EcManager::Split& s) {
+  // Children inherit their parent's port on every device — the packets did
+  // not change behaviour by being renamed.
+  for (Device& dev : devices_) {
+    auto it = dev.port_of.find(s.parent);
+    if (it != dev.port_of.end()) dev.port_of.emplace(s.child, it->second);
+  }
+  // Mirror batch-scope bookkeeping too.
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    auto it = first_from_.find(move_key(static_cast<topo::NodeId>(d), s.parent));
+    if (it != first_from_.end()) {
+      first_from_.emplace(move_key(static_cast<topo::NodeId>(d), s.child), it->second);
+    }
+  }
+  if (current_batch_ != nullptr) {
+    ++current_batch_->stats.splits;
+    current_batch_->splits.push_back(s);
+  }
+}
+
+void NetworkModel::move_ecs(topo::NodeId device, BddRef packets, const PortKey& to,
+                            ModelDelta& out) {
+  Device& dev = devices_[device];
+  for (EcId ec : ecs_.ecs_in(packets)) {
+    const PortKey& from = port_of(device, ec);
+    if (from == to) continue;
+    first_from_.try_emplace(move_key(device, ec), from);
+    if (to == PortKey::drop()) {
+      dev.port_of.erase(ec);
+    } else {
+      dev.port_of[ec] = to;
+    }
+    ++out.stats.ec_moves;
+  }
+}
+
+void NetworkModel::insert_rule(topo::NodeId device, const routing::FibEntry& e,
+                               ModelDelta& out) {
+  Device& dev = devices_[device];
+  const PortKey port = PortKey::of(e);
+  const PortKey* existing = dev.rules.find(e.prefix);
+  if (existing != nullptr && *existing == port) {
+    ++out.stats.stale_ops;
+    return;
+  }
+  const BddRef eff = effective_match(dev, e.prefix);
+  ecs_.register_predicate(eff);
+  dev.rules.insert(e.prefix, port);
+  move_ecs(device, eff, port, out);
+  ++out.stats.rule_inserts;
+}
+
+void NetworkModel::remove_rule(topo::NodeId device, const routing::FibEntry& e,
+                               ModelDelta& out) {
+  Device& dev = devices_[device];
+  const PortKey port = PortKey::of(e);
+  const PortKey* existing = dev.rules.find(e.prefix);
+  if (existing == nullptr || *existing != port) {
+    // Stale delete: the rule was already overwritten by an earlier insert
+    // in this batch (the insertion-first win) or never existed.
+    ++out.stats.stale_ops;
+    return;
+  }
+  const BddRef eff = effective_match(dev, e.prefix);
+  ecs_.register_predicate(eff);
+  dev.rules.erase(e.prefix);
+
+  // Packets revert to the nearest covering rule, or drop.
+  PortKey owner = PortKey::drop();
+  dev.rules.visit_ancestors(e.prefix,
+                            [&](net::Ipv4Prefix, const PortKey& p) { owner = p; });
+  move_ecs(device, eff, owner, out);
+  ++out.stats.rule_deletes;
+}
+
+void NetworkModel::apply_filter_changes(const dd::ZSet<routing::FilterRule>& delta,
+                                        ModelDelta& out) {
+  if (delta.empty()) return;
+  // Group changed bindings.
+  std::map<std::tuple<topo::NodeId, topo::IfaceId, bool>, bool> touched;
+  for (const auto& [r, w] : delta) {
+    touched[{r.node, r.iface, r.inbound}] = true;
+    Device& dev = devices_.at(r.node);
+    AclBinding& binding = dev.acls[{r.iface, r.inbound}];
+    if (w > 0) {
+      binding.rules.push_back(r);
+    } else {
+      auto it = std::find(binding.rules.begin(), binding.rules.end(), r);
+      if (it != binding.rules.end()) binding.rules.erase(it);
+    }
+  }
+  for (const auto& [key, _] : touched) {
+    const auto [node, iface, inbound] = key;
+    Device& dev = devices_.at(node);
+    auto it = dev.acls.find({iface, inbound});
+    AclBinding& binding = it->second;
+    std::sort(binding.rules.begin(), binding.rules.end(),
+              [](const routing::FilterRule& a, const routing::FilterRule& b) {
+                return a.priority < b.priority;
+              });
+    const BddRef old_permit = binding.permit;
+    const bool unbound = binding.rules.empty();
+    // No rules bound means no ACL at all: permit everything.
+    const BddRef new_permit = unbound ? kBddTrue : space_.acl_permit_set(binding.rules);
+    if (new_permit != old_permit) {
+      ecs_.register_predicate(new_permit);
+      binding.permit = new_permit;
+      const BddRef changed = space_.bdd().bdd_xor(old_permit, new_permit);
+      for (EcId ec : ecs_.ecs_in(changed)) out.acl_affected.push_back(ec);
+    }
+    if (unbound) dev.acls.erase(it);
+  }
+}
+
+ModelDelta NetworkModel::apply_batch(const routing::DataPlaneDelta& delta, UpdateOrder order) {
+  ModelDelta out;
+  first_from_.clear();
+  current_batch_ = &out;
+
+  std::vector<RuleOp> inserts, deletes;
+  for (const auto& [e, w] : delta.fib) {
+    if (w > 0) {
+      inserts.push_back(RuleOp{e, true});
+    } else if (w < 0) {
+      deletes.push_back(RuleOp{e, false});
+    }
+  }
+  std::sort(inserts.begin(), inserts.end(), op_before);
+  std::sort(deletes.begin(), deletes.end(), op_before);
+
+  auto apply_op = [&](const RuleOp& op) {
+    if (op.insert) {
+      insert_rule(op.entry.node, op.entry, out);
+    } else {
+      remove_rule(op.entry.node, op.entry, out);
+    }
+  };
+
+  switch (order) {
+    case UpdateOrder::kInsertFirst:
+      for (const RuleOp& op : inserts) apply_op(op);
+      for (const RuleOp& op : deletes) apply_op(op);
+      break;
+    case UpdateOrder::kDeleteFirst:
+      for (const RuleOp& op : deletes) apply_op(op);
+      for (const RuleOp& op : inserts) apply_op(op);
+      break;
+    case UpdateOrder::kInterleaved: {
+      std::vector<RuleOp> all;
+      all.reserve(inserts.size() + deletes.size());
+      all.insert(all.end(), inserts.begin(), inserts.end());
+      all.insert(all.end(), deletes.begin(), deletes.end());
+      std::sort(all.begin(), all.end(), op_before);  // insert precedes delete per key
+      for (const RuleOp& op : all) apply_op(op);
+      break;
+    }
+  }
+
+  apply_filter_changes(delta.filters, out);
+
+  // Merge per-(device, EC) moves into net moves.
+  for (const auto& [key, from] : first_from_) {
+    const auto device = static_cast<topo::NodeId>(key >> 32);
+    const auto ec = static_cast<EcId>(key & 0xffffffffu);
+    const PortKey& now = port_of(device, ec);
+    if (!(from == now)) {
+      out.moves.push_back(ModelDelta::Move{device, ec, from, now});
+    }
+  }
+  out.stats.ecs_changed = out.moves.size();
+  first_from_.clear();
+  current_batch_ = nullptr;
+  return out;
+}
+
+}  // namespace rcfg::dpm

@@ -1,0 +1,159 @@
+#pragma once
+
+// The APKeep-style data plane model and RealConfig's batch-mode extension
+// (paper §4.2, middle pipeline stage).
+//
+// Each device owns logical *ports*; a port encodes one forwarding action
+// (deliver / drop / forward out an ECMP set of interfaces). The model maps
+// every EC to the port taking it, per device. A rule update computes the
+// rule's *effective* match (its prefix minus all longer prefixes present —
+// LPM shadowing, via a per-device prefix trie), refines the EC partition
+// with it, and moves the contained ECs between ports.
+//
+// Batch mode: given a whole batch of rule updates (the output of the
+// incremental data plane generator), an update *order* is chosen first.
+// Insertion-first turns a (delete old + insert new) modification into one
+// direct EC move (the stale delete no-ops); deletion-first detours every EC
+// via the covering rule's port — usually the drop port — and then back,
+// doubling the EC churn. This asymmetry is the paper's Table 3.
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "config/matchers.h"
+#include "dpm/ec.h"
+#include "dpm/packet_space.h"
+#include "net/prefix_trie.h"
+#include "routing/generator.h"
+#include "routing/types.h"
+
+namespace rcfg::dpm {
+
+/// A logical port: one forwarding action.
+struct PortKey {
+  routing::FibAction action = routing::FibAction::kDrop;
+  std::vector<topo::IfaceId> ifaces;  ///< sorted; nonempty iff kForward
+
+  friend bool operator==(const PortKey&, const PortKey&) = default;
+  friend auto operator<=>(const PortKey&, const PortKey&) = default;
+
+  static PortKey drop() { return PortKey{}; }
+  static PortKey of(const routing::FibEntry& e) {
+    return PortKey{e.action, e.out_ifaces};
+  }
+};
+
+std::string to_string(const PortKey& p);
+
+/// Which order to apply a batch's insertions and deletions in.
+enum class UpdateOrder {
+  kInsertFirst,  ///< all insertions, then all deletions (paper's "+,-")
+  kDeleteFirst,  ///< all deletions, then all insertions (paper's "-,+")
+  kInterleaved,  ///< per (device, prefix): insertion immediately before
+                 ///< deletion — our ablation extension
+};
+
+const char* to_string(UpdateOrder order);
+
+/// Everything the policy checker needs to know about one batch.
+struct ModelDelta {
+  /// EC splits performed while refining the partition (checker must mirror
+  /// parent state onto children *before* processing moves).
+  std::vector<EcManager::Split> splits;
+
+  /// Net port changes: first-from != last-to after merging the batch.
+  struct Move {
+    topo::NodeId device;
+    EcId ec;
+    PortKey from;
+    PortKey to;
+  };
+  std::vector<Move> moves;
+
+  /// ECs whose ACL filtering changed on some interface.
+  std::vector<EcId> acl_affected;
+
+  struct Stats {
+    std::size_t rule_inserts = 0;
+    std::size_t rule_deletes = 0;
+    std::size_t stale_ops = 0;    ///< no-op deletes/inserts (order artifacts)
+    std::size_t ec_moves = 0;     ///< raw per-step EC moves (paper's "#ECs")
+    std::size_t ecs_changed = 0;  ///< unique (device, EC) with a net change
+    std::size_t splits = 0;
+  };
+  Stats stats;
+
+  bool empty() const { return splits.empty() && moves.empty() && acl_affected.empty(); }
+};
+
+class NetworkModel {
+ public:
+  NetworkModel(PacketSpace& space, EcManager& ecs, std::size_t node_count);
+
+  /// Apply a batch of forwarding/filter rule changes in the given order.
+  ModelDelta apply_batch(const routing::DataPlaneDelta& delta, UpdateOrder order);
+
+  /// The port taking `ec` at `device` (drop when unmapped).
+  const PortKey& port_of(topo::NodeId device, EcId ec) const;
+
+  /// Does the ACL on (device, iface, direction) let `ec` through?
+  /// True when no ACL is bound there.
+  bool permits(topo::NodeId device, topo::IfaceId iface, bool inbound, EcId ec) const;
+
+  /// Longest-prefix-match lookup of a concrete destination in the device's
+  /// rule table: the matched prefix and its port, or nullopt when no rule
+  /// covers the address (implicit drop). Debugging/trace API.
+  std::optional<std::pair<net::Ipv4Prefix, PortKey>> lookup(topo::NodeId device,
+                                                            net::Ipv4Addr dst) const;
+
+  /// Rule-level ACL decision for a concrete flow (trace API): which filter
+  /// rule (if any ACL is bound) decides the flow, and the verdict.
+  struct FilterVerdict {
+    bool has_acl = false;
+    bool permit = true;  ///< implicit deny when an ACL is bound and nothing matches
+    std::optional<routing::FilterRule> rule;
+  };
+  FilterVerdict filter_verdict(topo::NodeId device, topo::IfaceId iface, bool inbound,
+                               const config::Flow& flow) const;
+
+  std::size_t device_count() const noexcept { return devices_.size(); }
+  std::size_t rule_count() const;
+
+ private:
+  struct AclBinding {
+    std::vector<routing::FilterRule> rules;  ///< sorted by priority
+    BddRef permit = kBddTrue;
+  };
+
+  struct Device {
+    net::PrefixTrie<PortKey> rules;
+    std::unordered_map<EcId, PortKey> port_of;  ///< absent => drop
+    /// Keyed by (iface, inbound).
+    std::map<std::pair<topo::IfaceId, bool>, AclBinding> acls;
+  };
+
+  /// The packets a rule at `prefix` actually sees on `device`.
+  BddRef effective_match(const Device& dev, net::Ipv4Prefix prefix);
+
+  void insert_rule(topo::NodeId device, const routing::FibEntry& e, ModelDelta& out);
+  void remove_rule(topo::NodeId device, const routing::FibEntry& e, ModelDelta& out);
+  void move_ecs(topo::NodeId device, BddRef packets, const PortKey& to, ModelDelta& out);
+  void apply_filter_changes(const dd::ZSet<routing::FilterRule>& delta, ModelDelta& out);
+  /// EcManager split listener: children inherit their parent's ports.
+  void mirror_split(const EcManager::Split& s);
+
+  PacketSpace& space_;
+  EcManager& ecs_;
+  std::vector<Device> devices_;
+  PortKey drop_port_;
+
+  /// Batch-scope scratch: (device, ec) -> port before its first move.
+  std::unordered_map<std::uint64_t, PortKey> first_from_;
+  /// Set while a batch runs so the split listener can record into it.
+  ModelDelta* current_batch_ = nullptr;
+};
+
+}  // namespace rcfg::dpm

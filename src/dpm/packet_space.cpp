@@ -1,0 +1,99 @@
+#include "dpm/packet_space.h"
+
+#include <algorithm>
+
+namespace rcfg::dpm {
+
+BddRef PacketSpace::ip_prefix(unsigned base, net::Ipv4Prefix p) {
+  std::vector<std::pair<unsigned, bool>> literals;
+  literals.reserve(p.length());
+  for (unsigned bit = 0; bit < p.length(); ++bit) {
+    const bool value = (p.address().bits() >> (31 - bit)) & 1u;
+    literals.emplace_back(base + bit, value);
+  }
+  return bdd_.cube(literals);
+}
+
+BddRef PacketSpace::dst_prefix(net::Ipv4Prefix p) { return ip_prefix(kDstIpBase, p); }
+BddRef PacketSpace::src_prefix(net::Ipv4Prefix p) { return ip_prefix(kSrcIpBase, p); }
+
+BddRef PacketSpace::proto(config::IpProto proto) {
+  switch (proto) {
+    case config::IpProto::kAny:
+      return kBddTrue;
+    case config::IpProto::kTcp:
+      return bdd_.cube({{kProtoBase, false}, {kProtoBase + 1, false}});  // 0
+    case config::IpProto::kUdp:
+      return bdd_.cube({{kProtoBase, false}, {kProtoBase + 1, true}});  // 1
+    case config::IpProto::kIcmp:
+      return bdd_.cube({{kProtoBase, true}, {kProtoBase + 1, false}});  // 2
+  }
+  return kBddFalse;
+}
+
+BddRef PacketSpace::uint_range(unsigned base, unsigned bits, std::uint32_t lo, std::uint32_t hi) {
+  // Recursive interval construction on the bit strings [lo, hi], MSB first.
+  // ge(lo) ∧ le(hi) built as two linear-size threshold BDDs.
+  auto threshold = [&](std::uint32_t bound, bool greater_equal) {
+    // greater_equal: { x | x >= bound }; else { x | x <= bound }.
+    BddRef r = kBddTrue;
+    for (unsigned i = 0; i < bits; ++i) {
+      // Process from LSB to MSB, building bottom-up.
+      const unsigned bit = bits - 1 - i;
+      const bool b = (bound >> i) & 1u;
+      const unsigned v = base + bit;
+      if (greater_equal) {
+        // bound bit 1: x_bit must be 1 and the suffix >= bound suffix;
+        // bound bit 0: x_bit = 1 wins outright, else decide on the suffix.
+        r = b ? bdd_.bdd_and(bdd_.var(v), r) : bdd_.bdd_or(bdd_.var(v), r);
+      } else {
+        r = b ? bdd_.bdd_or(bdd_.nvar(v), r) : bdd_.bdd_and(bdd_.nvar(v), r);
+      }
+    }
+    return r;
+  };
+  if (lo > hi) return kBddFalse;
+  BddRef ge = lo == 0 ? kBddTrue : threshold(lo, true);
+  const std::uint32_t max = bits >= 32 ? ~0u : ((1u << bits) - 1);
+  BddRef le = hi >= max ? kBddTrue : threshold(hi, false);
+  return bdd_.bdd_and(ge, le);
+}
+
+BddRef PacketSpace::src_port_range(std::uint16_t lo, std::uint16_t hi) {
+  return uint_range(kSrcPortBase, 16, lo, hi);
+}
+
+BddRef PacketSpace::dst_port_range(std::uint16_t lo, std::uint16_t hi) {
+  return uint_range(kDstPortBase, 16, lo, hi);
+}
+
+BddRef PacketSpace::filter_match(const routing::FilterRule& rule) {
+  BddRef m = dst_prefix(rule.dst);
+  m = bdd_.bdd_and(m, src_prefix(rule.src));
+  m = bdd_.bdd_and(m, proto(static_cast<config::IpProto>(rule.proto)));
+  m = bdd_.bdd_and(m, src_port_range(rule.src_port_lo, rule.src_port_hi));
+  m = bdd_.bdd_and(m, dst_port_range(rule.dst_port_lo, rule.dst_port_hi));
+  return m;
+}
+
+BddRef PacketSpace::acl_permit_set(const std::vector<routing::FilterRule>& rules) {
+  BddRef permit = kBddFalse;
+  BddRef remaining = kBddTrue;  // packets not matched by earlier rules
+  for (const routing::FilterRule& r : rules) {
+    const BddRef eff = bdd_.bdd_and(filter_match(r), remaining);
+    if (r.permit) permit = bdd_.bdd_or(permit, eff);
+    remaining = bdd_.bdd_diff(remaining, eff);
+    if (remaining == kBddFalse) break;
+  }
+  return permit;  // implicit deny for whatever remains
+}
+
+net::Ipv4Addr PacketSpace::dst_of(const std::vector<bool>& assignment) {
+  std::uint32_t bits = 0;
+  for (unsigned i = 0; i < 32; ++i) {
+    bits = (bits << 1) | (assignment[kDstIpBase + i] ? 1u : 0u);
+  }
+  return net::Ipv4Addr{bits};
+}
+
+}  // namespace rcfg::dpm

@@ -1,0 +1,65 @@
+#pragma once
+
+// The packet header space and its BDD encoding.
+//
+// Layout (variable 0 tested first — destination bits lead because FIB
+// prefixes are by far the most common predicates):
+//   [0, 32)    dst IPv4 address, MSB first
+//   [32, 64)   src IPv4 address, MSB first
+//   [64, 66)   protocol (2 bits: tcp=0, udp=1, icmp=2, other=3)
+//   [66, 82)   src port, MSB first
+//   [82, 98)   dst port, MSB first
+
+#include <cstdint>
+
+#include "config/types.h"
+#include "dpm/bdd.h"
+#include "net/ipv4.h"
+#include "routing/types.h"
+
+namespace rcfg::dpm {
+
+inline constexpr unsigned kDstIpBase = 0;
+inline constexpr unsigned kSrcIpBase = 32;
+inline constexpr unsigned kProtoBase = 64;
+inline constexpr unsigned kSrcPortBase = 66;
+inline constexpr unsigned kDstPortBase = 82;
+inline constexpr unsigned kPacketVars = 98;
+
+/// Wraps a BddManager with encoders for the packet fields.
+class PacketSpace {
+ public:
+  PacketSpace() : bdd_(kPacketVars) {}
+
+  BddManager& bdd() noexcept { return bdd_; }
+  const BddManager& bdd() const noexcept { return bdd_; }
+
+  /// Packets whose destination lies in `p`.
+  BddRef dst_prefix(net::Ipv4Prefix p);
+  /// Packets whose source lies in `p`.
+  BddRef src_prefix(net::Ipv4Prefix p);
+  /// Packets with the given protocol (kAny => all packets).
+  BddRef proto(config::IpProto proto);
+  /// Packets whose src/dst port lies in [lo, hi].
+  BddRef src_port_range(std::uint16_t lo, std::uint16_t hi);
+  BddRef dst_port_range(std::uint16_t lo, std::uint16_t hi);
+
+  /// The match set of one ACL filter rule (conjunction of all fields).
+  BddRef filter_match(const routing::FilterRule& rule);
+
+  /// First-match permit set of an ordered rule list (rules sorted by
+  /// priority ascending = evaluation order); unmatched packets are denied.
+  BddRef acl_permit_set(const std::vector<routing::FilterRule>& rules);
+
+  /// Destination address encoded by a satisfying assignment from
+  /// BddManager::pick_one.
+  static net::Ipv4Addr dst_of(const std::vector<bool>& assignment);
+
+ private:
+  BddRef ip_prefix(unsigned base, net::Ipv4Prefix p);
+  BddRef uint_range(unsigned base, unsigned bits, std::uint32_t lo, std::uint32_t hi);
+
+  BddManager bdd_;
+};
+
+}  // namespace rcfg::dpm

@@ -1,0 +1,50 @@
+#include "net/ipv4.h"
+
+#include "core/strings.h"
+
+namespace rcfg::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view s) noexcept {
+  std::uint32_t bits = 0;
+  int octets = 0;
+  std::size_t i = 0;
+  while (i <= s.size()) {
+    std::size_t start = i;
+    while (i < s.size() && s[i] != '.') ++i;
+    std::uint64_t octet = 0;
+    if (!core::parse_u64(s.substr(start, i - start), octet) || octet > 255) return std::nullopt;
+    bits = (bits << 8) | static_cast<std::uint32_t>(octet);
+    ++octets;
+    if (i == s.size()) break;
+    ++i;  // skip '.'
+    if (i == s.size()) return std::nullopt;  // trailing dot
+  }
+  if (octets != 4) return std::nullopt;
+  return Ipv4Addr{bits};
+}
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((bits_ >> shift) & 0xff);
+    if (shift > 0) out += '.';
+  }
+  return out;
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view s) noexcept {
+  const std::size_t slash = s.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Addr::parse(s.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::uint64_t len = 0;
+  if (!core::parse_u64(s.substr(slash + 1), len) || len > 32) return std::nullopt;
+  return Ipv4Prefix{*addr, static_cast<std::uint8_t>(len)};
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(len_);
+}
+
+}  // namespace rcfg::net

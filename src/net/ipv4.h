@@ -1,0 +1,106 @@
+#pragma once
+
+// IPv4 addresses and CIDR prefixes.
+//
+// Everything downstream (configs, RIBs, forwarding rules, the BDD packet
+// model) keys on these two value types; they are trivially copyable and
+// totally ordered so they can live in sorted and hashed containers alike.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rcfg::net {
+
+/// An IPv4 address as a host-order 32-bit integer value type.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() noexcept = default;
+  constexpr explicit Ipv4Addr(std::uint32_t bits) noexcept : bits_(bits) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) noexcept
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) | d) {}
+
+  constexpr std::uint32_t bits() const noexcept { return bits_; }
+
+  /// Parse dotted-quad "a.b.c.d"; nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view s) noexcept;
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) noexcept = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// A CIDR prefix: address plus mask length, canonicalized so that host bits
+/// below the mask are zero (enforced by the constructor).
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() noexcept = default;
+
+  /// Builds the canonical prefix: bits below `len` are masked off.
+  constexpr Ipv4Prefix(Ipv4Addr addr, std::uint8_t len) noexcept
+      : addr_(addr.bits() & mask_for(len)), len_(len) {}
+
+  constexpr Ipv4Addr address() const noexcept { return addr_; }
+  constexpr std::uint8_t length() const noexcept { return len_; }
+
+  /// Network mask for a given prefix length (0 => 0, 32 => all-ones).
+  static constexpr std::uint32_t mask_for(std::uint8_t len) noexcept {
+    return len == 0 ? 0u : ~std::uint32_t{0} << (32u - len);
+  }
+
+  constexpr std::uint32_t mask() const noexcept { return mask_for(len_); }
+
+  constexpr bool contains(Ipv4Addr a) const noexcept {
+    return (a.bits() & mask()) == addr_.bits();
+  }
+
+  /// True if this prefix contains `other` entirely (is equal or shorter).
+  constexpr bool contains(Ipv4Prefix other) const noexcept {
+    return len_ <= other.len_ && contains(other.addr_);
+  }
+
+  /// True if the two prefixes share any address.
+  constexpr bool overlaps(Ipv4Prefix other) const noexcept {
+    return contains(other) || other.contains(*this);
+  }
+
+  /// Lowest and highest addresses covered.
+  constexpr Ipv4Addr first() const noexcept { return addr_; }
+  constexpr Ipv4Addr last() const noexcept { return Ipv4Addr{addr_.bits() | ~mask()}; }
+
+  /// Parse "a.b.c.d/len"; nullopt on malformed input or len > 32.
+  static std::optional<Ipv4Prefix> parse(std::string_view s) noexcept;
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Prefix, Ipv4Prefix) noexcept = default;
+
+ private:
+  Ipv4Addr addr_{};
+  std::uint8_t len_ = 0;
+};
+
+/// The default route 0.0.0.0/0.
+inline constexpr Ipv4Prefix kDefaultRoute{Ipv4Addr{0}, 0};
+
+}  // namespace rcfg::net
+
+template <>
+struct std::hash<rcfg::net::Ipv4Addr> {
+  std::size_t operator()(rcfg::net::Ipv4Addr a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.bits());
+  }
+};
+
+template <>
+struct std::hash<rcfg::net::Ipv4Prefix> {
+  std::size_t operator()(rcfg::net::Ipv4Prefix p) const noexcept {
+    return std::hash<std::uint64_t>{}((std::uint64_t{p.address().bits()} << 8) | p.length());
+  }
+};

@@ -1,0 +1,166 @@
+#pragma once
+
+// Binary (Patricia-style, one bit per level) prefix trie keyed by
+// Ipv4Prefix, with longest-prefix-match lookup.
+//
+// Used in two hot paths:
+//  - resolving a FIB (set of prefix routes) for an address, and
+//  - computing the "effective match" of a forwarding rule in the data plane
+//    model: the packets a rule actually sees are its prefix minus the union
+//    of all strictly longer prefixes below it (LPM shadowing).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace rcfg::net {
+
+/// A map from Ipv4Prefix to V supporting exact insert/erase/find, LPM
+/// lookup, and traversal of descendants (strictly longer covered prefixes).
+template <class V>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Insert or overwrite the value at `p`. Returns true if newly inserted.
+  bool insert(Ipv4Prefix p, V value) {
+    Node* n = descend_create(p);
+    const bool fresh = !n->value.has_value();
+    n->value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Erase the value at exactly `p`. Returns true if a value was removed.
+  /// (Nodes are kept; the trie is small relative to its lifetime and
+  /// erase/re-insert cycles are frequent in incremental updates.)
+  bool erase(Ipv4Prefix p) {
+    Node* n = descend(p);
+    if (n == nullptr || !n->value.has_value()) return false;
+    n->value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Exact-match find; nullptr if absent.
+  const V* find(Ipv4Prefix p) const {
+    const Node* n = descend(p);
+    return (n != nullptr && n->value.has_value()) ? &*n->value : nullptr;
+  }
+
+  V* find(Ipv4Prefix p) {
+    Node* n = descend(p);
+    return (n != nullptr && n->value.has_value()) ? &*n->value : nullptr;
+  }
+
+  /// Longest-prefix-match for an address; nullopt if nothing matches.
+  std::optional<std::pair<Ipv4Prefix, const V*>> lookup(Ipv4Addr a) const {
+    const Node* n = root_.get();
+    const Node* best = n->value.has_value() ? n : nullptr;
+    std::uint8_t best_len = 0;
+    std::uint8_t len = 0;
+    while (len < 32) {
+      const unsigned bit = (a.bits() >> (31 - len)) & 1u;
+      const Node* child = n->children[bit].get();
+      if (child == nullptr) break;
+      n = child;
+      ++len;
+      if (n->value.has_value()) {
+        best = n;
+        best_len = len;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return std::make_pair(Ipv4Prefix{a, best_len}, &*best->value);
+  }
+
+  /// Visit every (prefix, value) strictly longer than and covered by `p`.
+  template <class Fn>
+  void visit_descendants(Ipv4Prefix p, Fn&& fn) const {
+    const Node* n = descend(p);
+    if (n == nullptr) return;
+    visit_subtree(n, p, /*include_self=*/false, fn);
+  }
+
+  /// Visit every (prefix, value) covering `p`, shortest first, including an
+  /// entry at `p` itself if present.
+  template <class Fn>
+  void visit_ancestors(Ipv4Prefix p, Fn&& fn) const {
+    const Node* n = root_.get();
+    if (n->value.has_value()) fn(Ipv4Prefix{Ipv4Addr{0}, 0}, *n->value);
+    for (std::uint8_t len = 1; len <= p.length(); ++len) {
+      const unsigned bit = (p.address().bits() >> (32 - len)) & 1u;
+      n = n->children[bit].get();
+      if (n == nullptr) return;
+      if (n->value.has_value()) fn(Ipv4Prefix{p.address(), len}, *n->value);
+    }
+  }
+
+  /// Visit every entry in the trie.
+  template <class Fn>
+  void visit_all(Fn&& fn) const {
+    visit_subtree(root_.get(), Ipv4Prefix{Ipv4Addr{0}, 0}, /*include_self=*/true, fn);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  void clear() {
+    root_ = std::make_unique<Node>();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<V> value;
+    std::unique_ptr<Node> children[2];
+  };
+
+  const Node* descend(Ipv4Prefix p) const {
+    const Node* n = root_.get();
+    for (std::uint8_t depth = 0; depth < p.length(); ++depth) {
+      const unsigned bit = (p.address().bits() >> (31 - depth)) & 1u;
+      n = n->children[bit].get();
+      if (n == nullptr) return nullptr;
+    }
+    return n;
+  }
+
+  Node* descend(Ipv4Prefix p) {
+    return const_cast<Node*>(static_cast<const PrefixTrie*>(this)->descend(p));
+  }
+
+  Node* descend_create(Ipv4Prefix p) {
+    Node* n = root_.get();
+    for (std::uint8_t depth = 0; depth < p.length(); ++depth) {
+      const unsigned bit = (p.address().bits() >> (31 - depth)) & 1u;
+      if (!n->children[bit]) n->children[bit] = std::make_unique<Node>();
+      n = n->children[bit].get();
+    }
+    return n;
+  }
+
+  template <class Fn>
+  static void visit_subtree(const Node* n, Ipv4Prefix at, bool include_self, Fn& fn) {
+    if (n->value.has_value() && include_self) fn(at, *n->value);
+    if (at.length() == 32) return;
+    for (unsigned bit = 0; bit < 2; ++bit) {
+      const Node* child = n->children[bit].get();
+      if (child == nullptr) continue;
+      const std::uint32_t child_bits =
+          at.address().bits() | (bit << (31 - at.length()));
+      const Ipv4Prefix child_prefix{Ipv4Addr{child_bits},
+                                    static_cast<std::uint8_t>(at.length() + 1)};
+      visit_subtree(child, child_prefix, /*include_self=*/true, fn);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rcfg::net

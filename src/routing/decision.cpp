@@ -1,0 +1,14 @@
+#include "routing/decision.h"
+
+namespace rcfg::routing {
+
+bool bgp_better(const BgpRoute& a, const BgpRoute& b) {
+  if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
+  if (a.as_path.size() != b.as_path.size()) return a.as_path.size() < b.as_path.size();
+  if (a.med != b.med) return a.med < b.med;
+  if (a.neighbor_as != b.neighbor_as) return a.neighbor_as < b.neighbor_as;
+  if (a.egress != b.egress) return a.egress < b.egress;
+  return a.as_path < b.as_path;
+}
+
+}  // namespace rcfg::routing

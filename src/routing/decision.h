@@ -1,0 +1,27 @@
+#pragma once
+
+// Route selection — the single definition shared by the incremental
+// dataflow program and the from-scratch baseline simulator, so the two can
+// never disagree about what "best" means.
+
+#include "routing/types.h"
+
+namespace rcfg::routing {
+
+/// BGP decision process (deterministic total order within one (node,
+/// prefix) group): higher local-pref, then shorter AS path, then lower MED,
+/// then lower neighbor AS (learned-locally = 0 wins), then lower egress
+/// interface id, then lexicographically smaller AS path.
+/// Returns true when `a` is strictly better than `b`.
+bool bgp_better(const BgpRoute& a, const BgpRoute& b);
+
+/// OSPF preference: lower cost wins; all minimum-cost routes are kept
+/// (ECMP). Returns true when `a` is strictly better (cheaper) than `b`.
+inline bool ospf_better(const OspfRoute& a, const OspfRoute& b) { return a.cost < b.cost; }
+
+/// Route tags distinguishing native routes from redistributed ones, used
+/// to suppress re-redistribution (see DESIGN.md §5).
+inline constexpr std::uint8_t kTagNative = 0;
+inline constexpr std::uint8_t kTagRedistributed = 1;
+
+}  // namespace rcfg::routing

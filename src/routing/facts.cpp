@@ -1,0 +1,332 @@
+#include "routing/facts.h"
+
+#include <stdexcept>
+
+namespace rcfg::routing {
+
+namespace {
+
+/// Default metric for routes redistributed into OSPF (IOS default).
+constexpr std::uint32_t kDefaultOspfRedistMetric = 20;
+
+struct DeviceCtx {
+  topo::NodeId node;
+  const config::DeviceConfig* cfg;
+};
+
+bool iface_up(const config::InterfaceConfig& i) { return !i.shutdown; }
+
+/// Interface config on `dev` for topology interface `iface`; nullptr if the
+/// config does not mention it.
+const config::InterfaceConfig* iface_cfg(const topo::Topology& topo,
+                                         const config::DeviceConfig& dev,
+                                         topo::IfaceId iface) {
+  return dev.find_interface(topo.iface(iface).name);
+}
+
+/// Apply an optional compile-time redistribution policy. Returns the
+/// effective metric, or nullopt when the policy rejects the prefix.
+std::optional<std::uint32_t> redist_metric(const config::DeviceConfig& dev,
+                                           const config::Redistribution& r,
+                                           net::Ipv4Prefix prefix,
+                                           std::uint32_t default_metric) {
+  const std::uint32_t base = r.metric != 0 ? r.metric : default_metric;
+  if (!r.route_map) return base;
+  config::RouteAttrs attrs;
+  attrs.metric = base;
+  const auto out = apply_policy(compile_policy(dev, *r.route_map), prefix, attrs);
+  if (!out) return std::nullopt;
+  return out->metric;
+}
+
+/// The prefixes a redistribution source contributes at this device
+/// (compile-time sources only: connected and static).
+std::vector<net::Ipv4Prefix> redist_source_prefixes(const config::DeviceConfig& dev,
+                                                    config::Redistribution::Source src) {
+  std::vector<net::Ipv4Prefix> out;
+  switch (src) {
+    case config::Redistribution::Source::kConnected:
+      for (const auto& i : dev.interfaces) {
+        if (iface_up(i) && i.address) out.push_back(*i.address);
+      }
+      break;
+    case config::Redistribution::Source::kStatic:
+      for (const auto& s : dev.static_routes) out.push_back(s.prefix);
+      break;
+    default:
+      break;  // dynamic sources handled as facts
+  }
+  return out;
+}
+
+/// Build a DynRedistFact for a dynamic redistribution statement; the
+/// defaulting of the target metric depends on the target protocol.
+DynRedistFact make_dyn_redist(const config::DeviceConfig& dev, topo::NodeId node, Proto from,
+                              Proto to, std::uint32_t as_number,
+                              const config::Redistribution& r, std::uint32_t default_metric) {
+  DynRedistFact f;
+  f.node = node;
+  f.from = from;
+  f.to = to;
+  f.as_number = as_number;
+  f.metric = r.metric != 0 ? r.metric : default_metric;
+  if (r.route_map) {
+    f.has_policy = true;
+    f.policy = compile_policy(dev, *r.route_map);
+  }
+  return f;
+}
+
+std::optional<Proto> dynamic_source(config::Redistribution::Source s) {
+  switch (s) {
+    case config::Redistribution::Source::kOspf:
+      return Proto::kOspf;
+    case config::Redistribution::Source::kBgp:
+      return Proto::kBgp;
+    case config::Redistribution::Source::kRip:
+      return Proto::kRip;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+const char* to_string(Proto p) {
+  switch (p) {
+    case Proto::kOspf:
+      return "ospf";
+    case Proto::kBgp:
+      return "bgp";
+    case Proto::kRip:
+      return "rip";
+  }
+  return "?";
+}
+
+FactSnapshot compile_facts(const topo::Topology& topo, const config::NetworkConfig& cfg) {
+  FactSnapshot out;
+
+  // Resolve devices once.
+  std::vector<DeviceCtx> devices;
+  devices.reserve(cfg.devices.size());
+  for (const auto& [name, dev] : cfg.devices) {
+    const topo::NodeId n = topo.find_node(name);
+    if (n == topo::kInvalidNode) {
+      throw std::invalid_argument("config for unknown topology node: " + name);
+    }
+    devices.push_back(DeviceCtx{n, &dev});
+  }
+
+  // Per-device facts.
+  for (const DeviceCtx& d : devices) {
+    const config::DeviceConfig& dev = *d.cfg;
+
+    for (const auto& i : dev.interfaces) {
+      if (!iface_up(i) || !i.address) continue;
+      out.connected.add(ConnectedFact{d.node, *i.address}, 1);
+      if (i.ospf_enabled()) {
+        out.ospf_origins.add(OspfOriginFact{d.node, *i.address, i.ospf_cost}, 1);
+      }
+      if (i.rip) {
+        out.rip_origins.add(RipOriginFact{d.node, *i.address, 1}, 1);
+      }
+    }
+
+    for (const auto& s : dev.static_routes) {
+      if (s.out_iface == config::kNullInterface) {
+        out.statics.add(StaticFact{d.node, s.prefix, true, topo::kInvalidIface, s.admin_distance},
+                        1);
+        continue;
+      }
+      const config::InterfaceConfig* ic = dev.find_interface(s.out_iface);
+      const topo::IfaceId tif = topo.find_interface(d.node, s.out_iface);
+      const bool wired = tif != topo::kInvalidIface && topo.iface(tif).link.has_value();
+      if (ic != nullptr && iface_up(*ic) && wired) {
+        out.statics.add(StaticFact{d.node, s.prefix, false, tif, s.admin_distance}, 1);
+      }
+      // Else: unresolved static route, stays out of the RIB.
+    }
+
+    if (dev.bgp) {
+      for (const net::Ipv4Prefix& p : dev.bgp->networks) {
+        out.bgp_origins.add(BgpOriginFact{d.node, dev.bgp->local_as, p, 0}, 1);
+      }
+      for (const config::BgpAggregate& a : dev.bgp->aggregates) {
+        out.bgp_aggregates.add(
+            BgpAggregateFact{d.node, dev.bgp->local_as, a.prefix, a.summary_only}, 1);
+      }
+      for (const config::Redistribution& r : dev.bgp->redistribute) {
+        if (const auto from = dynamic_source(r.source)) {
+          out.redist.add(make_dyn_redist(dev, d.node, *from, Proto::kBgp, dev.bgp->local_as,
+                                         r, /*default_metric=*/0),
+                         1);
+          continue;
+        }
+        for (net::Ipv4Prefix p : redist_source_prefixes(dev, r.source)) {
+          if (const auto med = redist_metric(dev, r, p, 0)) {
+            out.bgp_origins.add(BgpOriginFact{d.node, dev.bgp->local_as, p, *med}, 1);
+          }
+        }
+      }
+    }
+
+    if (dev.ospf) {
+      for (const config::Redistribution& r : dev.ospf->redistribute) {
+        if (const auto from = dynamic_source(r.source)) {
+          out.redist.add(make_dyn_redist(dev, d.node, *from, Proto::kOspf, 0, r,
+                                         kDefaultOspfRedistMetric),
+                         1);
+          continue;
+        }
+        for (net::Ipv4Prefix p : redist_source_prefixes(dev, r.source)) {
+          if (const auto m = redist_metric(dev, r, p, kDefaultOspfRedistMetric)) {
+            out.ospf_origins.add(OspfOriginFact{d.node, p, *m}, 1);
+          }
+        }
+      }
+    }
+
+    if (dev.rip) {
+      for (const config::Redistribution& r : dev.rip->redistribute) {
+        if (const auto from = dynamic_source(r.source)) {
+          out.redist.add(make_dyn_redist(dev, d.node, *from, Proto::kRip, 0, r,
+                                         /*default_metric=*/1),
+                         1);
+          continue;
+        }
+        for (net::Ipv4Prefix p : redist_source_prefixes(dev, r.source)) {
+          if (const auto m = redist_metric(dev, r, p, 1)) {
+            out.rip_origins.add(RipOriginFact{d.node, p, *m}, 1);
+          }
+        }
+      }
+    }
+  }
+
+  // Link-derived facts (OSPF adjacencies, BGP sessions). Both endpoint
+  // devices must be configured.
+  for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+    const topo::Link& lk = topo.link(l);
+    auto a_it = cfg.devices.find(topo.node(lk.a).name);
+    auto b_it = cfg.devices.find(topo.node(lk.b).name);
+    if (a_it == cfg.devices.end() || b_it == cfg.devices.end()) continue;
+    const config::DeviceConfig& da = a_it->second;
+    const config::DeviceConfig& db = b_it->second;
+    const config::InterfaceConfig* ia = iface_cfg(topo, da, lk.a_iface);
+    const config::InterfaceConfig* ib = iface_cfg(topo, db, lk.b_iface);
+    if (ia == nullptr || ib == nullptr || !iface_up(*ia) || !iface_up(*ib)) continue;
+
+    // OSPF adjacency: both sides OSPF, non-passive, same area.
+    if (ia->ospf_enabled() && ib->ospf_enabled() && !ia->ospf_passive && !ib->ospf_passive &&
+        ia->ospf_area == ib->ospf_area) {
+      if (ia->ospf_cost == 0 || ib->ospf_cost == 0) {
+        // IOS interface costs are 1..65535; cost 0 would also break the
+        // strictly-increasing-distance assumption of the simulators.
+        throw std::invalid_argument("OSPF interface cost must be >= 1 (link " +
+                                    topo.node(lk.a).name + " -- " + topo.node(lk.b).name + ")");
+      }
+      out.ospf_links.add(OspfLinkFact{lk.a, lk.b, lk.b_iface, ib->ospf_cost}, 1);
+      out.ospf_links.add(OspfLinkFact{lk.b, lk.a, lk.a_iface, ia->ospf_cost}, 1);
+    }
+
+    // RIP adjacency: both sides enabled.
+    if (ia->rip && ib->rip) {
+      out.rip_links.add(RipLinkFact{lk.a, lk.b, lk.b_iface}, 1);
+      out.rip_links.add(RipLinkFact{lk.b, lk.a, lk.a_iface}, 1);
+    }
+
+    // BGP session: mutual neighbor statements with matching remote AS.
+    if (da.bgp && db.bgp) {
+      const config::BgpNeighbor* na = nullptr;
+      const config::BgpNeighbor* nb = nullptr;
+      for (const auto& n : da.bgp->neighbors) {
+        if (n.iface == ia->name && n.remote_as == db.bgp->local_as) na = &n;
+      }
+      for (const auto& n : db.bgp->neighbors) {
+        if (n.iface == ib->name && n.remote_as == da.bgp->local_as) nb = &n;
+      }
+      if (na != nullptr && nb != nullptr) {
+        auto make_session = [&](topo::NodeId from, topo::NodeId to, const config::DeviceConfig& dfrom,
+                                const config::DeviceConfig& dto, const config::BgpNeighbor& nfrom,
+                                const config::BgpNeighbor& nto, topo::IfaceId to_iface) {
+          BgpSessionFact s;
+          s.from = from;
+          s.to = to;
+          s.from_as = dfrom.bgp->local_as;
+          s.to_as = dto.bgp->local_as;
+          s.via_iface = to_iface;
+          if (nfrom.export_route_map) {
+            s.has_export = true;
+            s.export_policy = compile_policy(dfrom, *nfrom.export_route_map);
+          }
+          if (nto.import_route_map) {
+            s.has_import = true;
+            s.import_policy = compile_policy(dto, *nto.import_route_map);
+          }
+          for (const config::BgpAggregate& a : dfrom.bgp->aggregates) {
+            if (a.summary_only) s.suppressed.push_back(a.prefix);
+          }
+          std::sort(s.suppressed.begin(), s.suppressed.end());
+          out.bgp_sessions.add(s, 1);
+        };
+        make_session(lk.a, lk.b, da, db, *na, *nb, lk.b_iface);
+        make_session(lk.b, lk.a, db, da, *nb, *na, lk.a_iface);
+      }
+    }
+  }
+
+  return out;
+}
+
+dd::ZSet<FilterRule> extract_filter_rules(const topo::Topology& topo,
+                                          const config::NetworkConfig& cfg) {
+  dd::ZSet<FilterRule> out;
+  for (const auto& [name, dev] : cfg.devices) {
+    const topo::NodeId node = topo.find_node(name);
+    if (node == topo::kInvalidNode) {
+      throw std::invalid_argument("config for unknown topology node: " + name);
+    }
+    for (const auto& i : dev.interfaces) {
+      const topo::IfaceId tif = topo.find_interface(node, i.name);
+      if (tif == topo::kInvalidIface) continue;  // stub interface: no transit traffic
+      auto emit_binding = [&](const std::optional<std::string>& acl_name, bool inbound) {
+        if (!acl_name) return;
+        auto it = dev.acls.find(*acl_name);
+        if (it == dev.acls.end()) {
+          // Dangling binding: fail closed with a deny-everything rule.
+          FilterRule deny;
+          deny.node = node;
+          deny.iface = tif;
+          deny.inbound = inbound;
+          deny.priority = 0;
+          deny.permit = false;
+          out.add(deny, 1);
+          return;
+        }
+        std::uint32_t position = 0;
+        for (const config::AclRule& r : it->second.rules) {
+          FilterRule fr;
+          fr.node = node;
+          fr.iface = tif;
+          fr.inbound = inbound;
+          fr.priority = position++;
+          fr.permit = r.action == config::Action::kPermit;
+          fr.proto = static_cast<std::uint8_t>(r.proto);
+          fr.src = r.src;
+          fr.dst = r.dst;
+          fr.src_port_lo = r.src_ports.lo;
+          fr.src_port_hi = r.src_ports.hi;
+          fr.dst_port_lo = r.dst_ports.lo;
+          fr.dst_port_hi = r.dst_ports.hi;
+          out.add(fr, 1);
+        }
+      };
+      emit_binding(i.acl_in, /*inbound=*/true);
+      emit_binding(i.acl_out, /*inbound=*/false);
+    }
+  }
+  return out;
+}
+
+}  // namespace rcfg::routing

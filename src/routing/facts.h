@@ -1,0 +1,264 @@
+#pragma once
+
+// Input fact relations: the bridge from configurations to the dataflow
+// program. compile_facts() lowers (Topology, NetworkConfig) into plain
+// relations; the incremental generator diffs consecutive snapshots with
+// Input::set_to, so a small config change becomes a small fact delta (the
+// analog of the paper feeding config changes into DDlog input relations).
+//
+// Conventions:
+//  - "up" interface = present in the device config, not shutdown.
+//  - Adjacency/session facts are *directed*: (from -> to) means routes flow
+//    from `from` to `to`; `via_iface` is to's interface toward from, i.e.
+//    the egress `to` uses when forwarding along the reverse direction.
+//  - Config interfaces with no counterpart in the topology (e.g. "lan0")
+//    are stub interfaces: they contribute connected prefixes but can never
+//    form adjacencies or sessions.
+
+#include <cstdint>
+
+#include "config/types.h"
+#include "core/hash.h"
+#include "dd/zset.h"
+#include "net/ipv4.h"
+#include "routing/policy.h"
+#include "routing/types.h"
+#include "topo/topology.h"
+
+namespace rcfg::routing {
+
+/// Directed OSPF adjacency: both endpoint interfaces up, OSPF-enabled,
+/// non-passive, and in the same area. `cost` is to's interface cost.
+struct OspfLinkFact {
+  topo::NodeId from = topo::kInvalidNode;
+  topo::NodeId to = topo::kInvalidNode;
+  topo::IfaceId via_iface = topo::kInvalidIface;
+  std::uint32_t cost = 1;
+
+  friend bool operator==(const OspfLinkFact&, const OspfLinkFact&) = default;
+};
+
+/// A prefix injected into OSPF at `node`: connected subnets of OSPF
+/// interfaces (metric = interface cost) and compile-time redistributions
+/// (static/connected, metric from the redistribute statement).
+struct OspfOriginFact {
+  topo::NodeId node = topo::kInvalidNode;
+  net::Ipv4Prefix prefix;
+  std::uint32_t metric = 0;
+
+  friend bool operator==(const OspfOriginFact&, const OspfOriginFact&) = default;
+};
+
+/// Directed BGP session (from -> to): both interfaces up and the neighbor
+/// statements mutually consistent (each side names the link interface with
+/// the peer's AS). Policies are resolved values so policy edits show up as
+/// fact deltas.
+struct BgpSessionFact {
+  topo::NodeId from = topo::kInvalidNode;
+  topo::NodeId to = topo::kInvalidNode;
+  std::uint32_t from_as = 0;
+  std::uint32_t to_as = 0;
+  topo::IfaceId via_iface = topo::kInvalidIface;
+  bool has_export = false;  ///< from's export route-map toward to
+  bool has_import = false;  ///< to's import route-map from from
+  CompiledPolicy export_policy;
+  CompiledPolicy import_policy;
+  /// summary-only aggregates configured on `from`: strictly more-specific
+  /// routes are suppressed on this session (sorted for stable equality).
+  std::vector<net::Ipv4Prefix> suppressed;
+
+  friend bool operator==(const BgpSessionFact&, const BgpSessionFact&) = default;
+};
+
+/// BGP route aggregation at `node`: the aggregate is originated while some
+/// strictly more-specific route sits in the node's BGP table.
+struct BgpAggregateFact {
+  topo::NodeId node = topo::kInvalidNode;
+  std::uint32_t as_number = 0;
+  net::Ipv4Prefix prefix;
+  bool summary_only = false;
+
+  friend bool operator==(const BgpAggregateFact&, const BgpAggregateFact&) = default;
+};
+
+/// A prefix originated into BGP at `node` (network statements and
+/// compile-time redistributions; `med` carries the redistribution metric).
+struct BgpOriginFact {
+  topo::NodeId node = topo::kInvalidNode;
+  std::uint32_t as_number = 0;
+  net::Ipv4Prefix prefix;
+  std::uint32_t med = 0;
+
+  friend bool operator==(const BgpOriginFact&, const BgpOriginFact&) = default;
+};
+
+/// Directed RIP adjacency (both endpoint interfaces up with `rip enable`);
+/// the hop metric is implicit (1 per hop).
+struct RipLinkFact {
+  topo::NodeId from = topo::kInvalidNode;
+  topo::NodeId to = topo::kInvalidNode;
+  topo::IfaceId via_iface = topo::kInvalidIface;
+
+  friend bool operator==(const RipLinkFact&, const RipLinkFact&) = default;
+};
+
+/// A prefix injected into RIP at `node` (connected RIP subnets, metric 1,
+/// and compile-time redistributions).
+struct RipOriginFact {
+  topo::NodeId node = topo::kInvalidNode;
+  net::Ipv4Prefix prefix;
+  std::uint32_t metric = 1;
+
+  friend bool operator==(const RipOriginFact&, const RipOriginFact&) = default;
+};
+
+/// Routing protocols that can exchange routes via redistribution.
+enum class Proto : std::uint8_t { kOspf, kBgp, kRip };
+
+const char* to_string(Proto p);
+
+/// Dynamic route redistribution at `node`: native best routes of `from`
+/// are injected into `to` (tagged, so they can never cross a second
+/// boundary — that keeps mutual redistribution well-founded, DESIGN.md §5).
+struct DynRedistFact {
+  topo::NodeId node = topo::kInvalidNode;
+  Proto from = Proto::kOspf;
+  Proto to = Proto::kBgp;
+  std::uint32_t as_number = 0;  ///< origin AS when to == kBgp
+  std::uint32_t metric = 0;     ///< target-protocol metric / MED
+  bool has_policy = false;
+  CompiledPolicy policy;
+
+  friend bool operator==(const DynRedistFact&, const DynRedistFact&) = default;
+};
+
+/// An *active* static route (egress interface up, or a null0 drop route).
+struct StaticFact {
+  topo::NodeId node = topo::kInvalidNode;
+  net::Ipv4Prefix prefix;
+  bool drop = false;
+  topo::IfaceId egress = topo::kInvalidIface;
+  std::uint32_t distance = 1;
+
+  friend bool operator==(const StaticFact&, const StaticFact&) = default;
+};
+
+/// A connected subnet (up, addressed interface) — delivered locally.
+struct ConnectedFact {
+  topo::NodeId node = topo::kInvalidNode;
+  net::Ipv4Prefix prefix;
+
+  friend bool operator==(const ConnectedFact&, const ConnectedFact&) = default;
+};
+
+/// All input relations of the control-plane program.
+struct FactSnapshot {
+  dd::ZSet<OspfLinkFact> ospf_links;
+  dd::ZSet<OspfOriginFact> ospf_origins;
+  dd::ZSet<BgpSessionFact> bgp_sessions;
+  dd::ZSet<BgpOriginFact> bgp_origins;
+  dd::ZSet<BgpAggregateFact> bgp_aggregates;
+  dd::ZSet<RipLinkFact> rip_links;
+  dd::ZSet<RipOriginFact> rip_origins;
+  dd::ZSet<DynRedistFact> redist;
+  dd::ZSet<StaticFact> statics;
+  dd::ZSet<ConnectedFact> connected;
+
+  std::size_t total_size() const {
+    return ospf_links.size() + ospf_origins.size() + bgp_sessions.size() + bgp_origins.size() +
+           bgp_aggregates.size() + rip_links.size() + rip_origins.size() + redist.size() +
+           statics.size() + connected.size();
+  }
+};
+
+/// Lower a configuration to fact relations. Devices whose hostname has no
+/// topology node are rejected (std::invalid_argument): a config for an
+/// unknown router is an input error, not a semantic condition.
+FactSnapshot compile_facts(const topo::Topology& topo, const config::NetworkConfig& cfg);
+
+/// Extract the data plane *filter* rules (bound ACLs) straight from the
+/// configuration — the paper's observation that filtering rules need no
+/// control-plane simulation. Dangling ACL bindings compile to a single
+/// deny-everything rule (fail closed).
+dd::ZSet<FilterRule> extract_filter_rules(const topo::Topology& topo,
+                                          const config::NetworkConfig& cfg);
+
+}  // namespace rcfg::routing
+
+template <>
+struct std::hash<rcfg::routing::OspfLinkFact> {
+  std::size_t operator()(const rcfg::routing::OspfLinkFact& f) const {
+    return rcfg::core::hash_all(f.from, f.to, f.via_iface, f.cost);
+  }
+};
+
+template <>
+struct std::hash<rcfg::routing::OspfOriginFact> {
+  std::size_t operator()(const rcfg::routing::OspfOriginFact& f) const {
+    return rcfg::core::hash_all(f.node, f.prefix, f.metric);
+  }
+};
+
+template <>
+struct std::hash<rcfg::routing::BgpSessionFact> {
+  std::size_t operator()(const rcfg::routing::BgpSessionFact& f) const {
+    std::size_t h = rcfg::core::hash_all(f.from, f.to, f.from_as, f.to_as, f.via_iface,
+                                         f.has_export, f.has_import);
+    rcfg::core::hash_combine(h, std::hash<rcfg::routing::CompiledPolicy>{}(f.export_policy));
+    rcfg::core::hash_combine(h, std::hash<rcfg::routing::CompiledPolicy>{}(f.import_policy));
+    rcfg::core::hash_combine(h, rcfg::core::TupleHash{}(f.suppressed));
+    return h;
+  }
+};
+
+template <>
+struct std::hash<rcfg::routing::BgpAggregateFact> {
+  std::size_t operator()(const rcfg::routing::BgpAggregateFact& f) const {
+    return rcfg::core::hash_all(f.node, f.as_number, f.prefix, f.summary_only);
+  }
+};
+
+template <>
+struct std::hash<rcfg::routing::BgpOriginFact> {
+  std::size_t operator()(const rcfg::routing::BgpOriginFact& f) const {
+    return rcfg::core::hash_all(f.node, f.as_number, f.prefix, f.med);
+  }
+};
+
+template <>
+struct std::hash<rcfg::routing::RipLinkFact> {
+  std::size_t operator()(const rcfg::routing::RipLinkFact& f) const {
+    return rcfg::core::hash_all(f.from, f.to, f.via_iface);
+  }
+};
+
+template <>
+struct std::hash<rcfg::routing::RipOriginFact> {
+  std::size_t operator()(const rcfg::routing::RipOriginFact& f) const {
+    return rcfg::core::hash_all(f.node, f.prefix, f.metric);
+  }
+};
+
+template <>
+struct std::hash<rcfg::routing::DynRedistFact> {
+  std::size_t operator()(const rcfg::routing::DynRedistFact& f) const {
+    return rcfg::core::hash_all(f.node, static_cast<unsigned>(f.from),
+                                static_cast<unsigned>(f.to), f.as_number, f.metric,
+                                f.has_policy,
+                                std::hash<rcfg::routing::CompiledPolicy>{}(f.policy));
+  }
+};
+
+template <>
+struct std::hash<rcfg::routing::StaticFact> {
+  std::size_t operator()(const rcfg::routing::StaticFact& f) const {
+    return rcfg::core::hash_all(f.node, f.prefix, f.drop, f.egress, f.distance);
+  }
+};
+
+template <>
+struct std::hash<rcfg::routing::ConnectedFact> {
+  std::size_t operator()(const rcfg::routing::ConnectedFact& f) const {
+    return rcfg::core::hash_all(f.node, f.prefix);
+  }
+};

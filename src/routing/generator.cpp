@@ -1,0 +1,401 @@
+#include "routing/generator.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "routing/semantics.h"
+
+namespace rcfg::routing {
+
+namespace {
+
+using namespace rcfg::dd;
+
+/// Reduce key: (node, prefix).
+using Key = std::pair<topo::NodeId, net::Ipv4Prefix>;
+
+/// FIB candidate packed as a hashable tuple: (ad, metric, action, egress).
+using Cand = std::tuple<std::uint32_t, std::uint32_t, std::uint8_t, topo::IfaceId>;
+
+Cand pack(const FibCandidate& c) {
+  return Cand{c.ad, c.metric, static_cast<std::uint8_t>(c.action), c.egress};
+}
+
+FibCandidate unpack(const Cand& c) {
+  return FibCandidate{std::get<0>(c), std::get<1>(c), static_cast<FibAction>(std::get<2>(c)),
+                      std::get<3>(c)};
+}
+
+/// Joins cannot return "no tuple", so rejected derivations surface as a
+/// sentinel (node == kInvalidNode) and are dropped by the next Filter.
+template <class R>
+bool is_rejected(const R& r) {
+  return r.node == topo::kInvalidNode;
+}
+
+std::uint32_t metric_of(const OspfRoute& r) { return r.cost; }
+std::uint32_t metric_of(const RipRoute& r) { return r.metric; }
+
+/// OSPF/RIP selection: every minimum-metric candidate (the ECMP set).
+template <class Route>
+void min_metric_select(const Key&, const ZSet<Route>& group, std::vector<Route>& out) {
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  for (const auto& [r, w] : group) best = std::min(best, metric_of(r));
+  for (const auto& [r, w] : group) {
+    if (metric_of(r) == best) out.push_back(r);
+  }
+}
+
+/// BGP decision process: single deterministic winner.
+void bgp_select(const Key&, const ZSet<BgpRoute>& group, std::vector<BgpRoute>& out) {
+  const BgpRoute* best = nullptr;
+  for (const auto& [r, w] : group) {
+    if (best == nullptr || bgp_better(r, *best)) best = &r;
+  }
+  if (best != nullptr) out.push_back(*best);
+}
+
+/// One protocol's round-stratified chain plus its plumbing handles.
+template <class Route>
+struct Chain {
+  Concat<Route>* origins = nullptr;          ///< extra origins can be wired in later
+  Stream<Route>* best = nullptr;             ///< best_R
+  Stream<Route>* conv_diff = nullptr;        ///< best_R - best_{R-1}
+};
+
+/// Builds: origins -> best_0 -> [extend ⋈ links -> candidates -> best_r]*R
+/// plus the convergence diff. `extend` maps (route, link-fact) to the
+/// propagated route or a sentinel; `select` is the protocol's decision.
+template <class Route, class LinkFact, class Select, class Extend>
+Chain<Route> build_chain(Graph& g, const std::string& proto, Stream<LinkFact>& links,
+                         unsigned rounds, Select select, Extend extend) {
+  Chain<Route> chain;
+  chain.origins = &g.make<Concat<Route>>(proto + ".origins");
+
+  auto key_route = [](const Route& r) { return std::pair<Key, Route>{{r.node, r.prefix}, r}; };
+  auto& origins_keyed = g.make<Map<Route, std::pair<Key, Route>>>(chain.origins->out, key_route,
+                                                                  proto + ".origins_keyed");
+  auto& links_by_from = g.make<Map<LinkFact, std::pair<topo::NodeId, LinkFact>>>(
+      links, [](const LinkFact& f) { return std::pair<topo::NodeId, LinkFact>{f.from, f}; },
+      proto + ".links_by_from");
+
+  Reduce<Key, Route, Route>* prev =
+      &g.make<Reduce<Key, Route, Route>>(origins_keyed.out, select, proto + ".best_r0");
+  Reduce<Key, Route, Route>* prev_prev = nullptr;
+  for (unsigned r = 1; r <= rounds; ++r) {
+    const std::string tag = proto + ".r" + std::to_string(r);
+    auto& by_node = g.make<Map<Route, std::pair<topo::NodeId, Route>>>(
+        prev->out,
+        [](const Route& rt) { return std::pair<topo::NodeId, Route>{rt.node, rt}; },
+        tag + ".by_node");
+    auto& ext = g.make<Join<topo::NodeId, Route, LinkFact, Route>>(
+        by_node.out, links_by_from.out,
+        [extend](const topo::NodeId&, const Route& rt, const LinkFact& l) {
+          return extend(rt, l);
+        },
+        tag + ".extend");
+    auto& ext_ok = g.make<Filter<Route>>(
+        ext.out, [](const Route& rt) { return !is_rejected(rt); }, tag + ".extend_ok");
+    auto& ext_keyed =
+        g.make<Map<Route, std::pair<Key, Route>>>(ext_ok.out, key_route, tag + ".extend_keyed");
+    auto& cand = g.make<Concat<std::pair<Key, Route>>>(tag + ".cand");
+    cand.add_input(origins_keyed.out);
+    cand.add_input(ext_keyed.out);
+    auto& best = g.make<Reduce<Key, Route, Route>>(cand.out, select, tag + ".best");
+    prev_prev = prev;
+    prev = &best;
+  }
+  chain.best = &prev->out;
+
+  auto& neg = g.make<Negate<Route>>(prev_prev->out, proto + ".conv_neg");
+  auto& diff = g.make<Concat<Route>>(proto + ".conv_diff");
+  diff.add_input(prev->out);
+  diff.add_input(neg.out);
+  chain.conv_diff = &diff.out;
+  return chain;
+}
+
+/// Wires dynamic redistribution: native best routes of `from_best` are
+/// converted (per matching facts at the same node) and added to the target
+/// protocol's origins. `convert(prefix, egress, fact)` returns the target
+/// route or nullopt.
+template <class FromRoute, class ToRoute, class Convert>
+void wire_redist(Graph& g, const std::string& name, Stream<FromRoute>& from_best,
+                 Stream<std::pair<topo::NodeId, DynRedistFact>>& redist_by_node, Proto from,
+                 Proto to, Concat<ToRoute>& to_origins, Convert convert) {
+  auto& native = g.make<Filter<FromRoute>>(
+      from_best, [](const FromRoute& r) { return r.tag == kTagNative; }, name + ".native");
+  auto& native_by_node = g.make<Map<FromRoute, std::pair<topo::NodeId, FromRoute>>>(
+      native.out,
+      [](const FromRoute& r) { return std::pair<topo::NodeId, FromRoute>{r.node, r}; },
+      name + ".by_node");
+  auto& direction = g.make<Filter<std::pair<topo::NodeId, DynRedistFact>>>(
+      redist_by_node,
+      [from, to](const std::pair<topo::NodeId, DynRedistFact>& kv) {
+        return kv.second.from == from && kv.second.to == to;
+      },
+      name + ".direction");
+  auto& join = g.make<Join<topo::NodeId, FromRoute, DynRedistFact, ToRoute>>(
+      native_by_node.out, direction.out,
+      [convert](const topo::NodeId&, const FromRoute& r, const DynRedistFact& f) {
+        return convert(r.prefix, r.egress, f).value_or(ToRoute{});
+      },
+      name + ".convert");
+  auto& ok = g.make<Filter<ToRoute>>(
+      join.out, [](const ToRoute& r) { return !is_rejected(r); }, name + ".ok");
+  to_origins.add_input(ok.out);
+}
+
+}  // namespace
+
+std::size_t DataPlaneDelta::insertions() const {
+  std::size_t n = 0;
+  for (const auto& [e, w] : fib) {
+    if (w > 0) ++n;
+  }
+  for (const auto& [e, w] : filters) {
+    if (w > 0) ++n;
+  }
+  return n;
+}
+
+std::size_t DataPlaneDelta::deletions() const {
+  std::size_t n = 0;
+  for (const auto& [e, w] : fib) {
+    if (w < 0) ++n;
+  }
+  for (const auto& [e, w] : filters) {
+    if (w < 0) ++n;
+  }
+  return n;
+}
+
+IncrementalGenerator::IncrementalGenerator(const topo::Topology& topo, GeneratorOptions options)
+    : topo_(topo), options_(options) {
+  if (options_.max_rounds < 2) options_.max_rounds = 2;
+  build_program();
+}
+
+void IncrementalGenerator::build_program() {
+  const unsigned rounds = options_.max_rounds;
+
+  // ---- input relations ----------------------------------------------------
+  in_ospf_links_ = &graph_.make<Input<OspfLinkFact>>("in.ospf_links");
+  in_ospf_origins_ = &graph_.make<Input<OspfOriginFact>>("in.ospf_origins");
+  in_bgp_sessions_ = &graph_.make<Input<BgpSessionFact>>("in.bgp_sessions");
+  in_bgp_origins_ = &graph_.make<Input<BgpOriginFact>>("in.bgp_origins");
+  in_bgp_aggregates_ = &graph_.make<Input<BgpAggregateFact>>("in.bgp_aggregates");
+  in_rip_links_ = &graph_.make<Input<RipLinkFact>>("in.rip_links");
+  in_rip_origins_ = &graph_.make<Input<RipOriginFact>>("in.rip_origins");
+  in_redist_ = &graph_.make<Input<DynRedistFact>>("in.redist");
+  in_statics_ = &graph_.make<Input<StaticFact>>("in.statics");
+  in_connected_ = &graph_.make<Input<ConnectedFact>>("in.connected");
+
+  // ---- protocol chains -----------------------------------------------------
+  Chain<OspfRoute> ospf = build_chain<OspfRoute, OspfLinkFact>(
+      graph_, "ospf", in_ospf_links_->out, rounds, min_metric_select<OspfRoute>,
+      [](const OspfRoute& rt, const OspfLinkFact& l) {
+        return extend_ospf(rt, l).value_or(OspfRoute{});
+      });
+  auto& ospf_fact_origins = graph_.make<Map<OspfOriginFact, OspfRoute>>(
+      in_ospf_origins_->out, [](const OspfOriginFact& f) { return make_ospf_origin(f); },
+      "ospf.fact_origins");
+  ospf.origins->add_input(ospf_fact_origins.out);
+
+  Chain<BgpRoute> bgp = build_chain<BgpRoute, BgpSessionFact>(
+      graph_, "bgp", in_bgp_sessions_->out, rounds, bgp_select,
+      [](const BgpRoute& rt, const BgpSessionFact& s) {
+        return extend_bgp(rt, s).value_or(BgpRoute{});
+      });
+  auto& bgp_fact_origins = graph_.make<Map<BgpOriginFact, BgpRoute>>(
+      in_bgp_origins_->out, [](const BgpOriginFact& f) { return make_bgp_origin(f); },
+      "bgp.fact_origins");
+  bgp.origins->add_input(bgp_fact_origins.out);
+
+  // RIP's horizon bounds convergence at 15 rounds regardless of topology.
+  const unsigned rip_rounds = std::min(rounds, config::kRipInfinity - 1);
+  Chain<RipRoute> rip = build_chain<RipRoute, RipLinkFact>(
+      graph_, "rip", in_rip_links_->out, rip_rounds, min_metric_select<RipRoute>,
+      [](const RipRoute& rt, const RipLinkFact& l) {
+        return extend_rip(rt, l).value_or(RipRoute{});
+      });
+  auto& rip_fact_origins = graph_.make<Map<RipOriginFact, RipRoute>>(
+      in_rip_origins_->out, [](const RipOriginFact& f) { return make_rip_origin(f); },
+      "rip.fact_origins");
+  rip.origins->add_input(rip_fact_origins.out);
+
+  ospf_best_out_ = &graph_.make<Output<OspfRoute>>(*ospf.best, "ospf.best_out");
+  bgp_best_out_ = &graph_.make<Output<BgpRoute>>(*bgp.best, "bgp.best_out");
+  rip_best_out_ = &graph_.make<Output<RipRoute>>(*rip.best, "rip.best_out");
+  ospf_conv_ = &graph_.make<Output<OspfRoute>>(*ospf.conv_diff, "ospf.conv");
+  bgp_conv_ = &graph_.make<Output<BgpRoute>>(*bgp.conv_diff, "bgp.conv");
+  rip_conv_ = &graph_.make<Output<RipRoute>>(*rip.conv_diff, "rip.conv");
+
+  // ---- BGP route aggregation --------------------------------------------------
+  // An aggregate is originated while any strictly more-specific route sits
+  // in the node's BGP table. Each contributor derives the same aggregate
+  // tuple, so Z-set weights count the contributors: the aggregate retracts
+  // exactly when the last contributor withdraws. Aggregates may contribute
+  // to wider aggregates; containment keeps such chains finite.
+  {
+    auto& agg_by_node = graph_.make<Map<BgpAggregateFact, std::pair<topo::NodeId, BgpAggregateFact>>>(
+        in_bgp_aggregates_->out,
+        [](const BgpAggregateFact& f) {
+          return std::pair<topo::NodeId, BgpAggregateFact>{f.node, f};
+        },
+        "agg.by_node");
+    auto& best_by_node = graph_.make<Map<BgpRoute, std::pair<topo::NodeId, BgpRoute>>>(
+        *bgp.best,
+        [](const BgpRoute& r) { return std::pair<topo::NodeId, BgpRoute>{r.node, r}; },
+        "agg.best_by_node");
+    auto& contrib = graph_.make<Join<topo::NodeId, BgpRoute, BgpAggregateFact, BgpRoute>>(
+        best_by_node.out, agg_by_node.out,
+        [](const topo::NodeId&, const BgpRoute& r, const BgpAggregateFact& f) {
+          return contributes_to_aggregate(r, f) ? make_bgp_aggregate(f) : BgpRoute{};
+        },
+        "agg.contrib");
+    auto& ok = graph_.make<Filter<BgpRoute>>(
+        contrib.out, [](const BgpRoute& r) { return !is_rejected(r); }, "agg.ok");
+    bgp.origins->add_input(ok.out);
+  }
+
+  // ---- dynamic redistribution: the full protocol triangle --------------------
+  auto& redist_by_node = graph_.make<Map<DynRedistFact, std::pair<topo::NodeId, DynRedistFact>>>(
+      in_redist_->out,
+      [](const DynRedistFact& f) { return std::pair<topo::NodeId, DynRedistFact>{f.node, f}; },
+      "redist.by_node");
+
+  wire_redist(graph_, "redist.ospf2bgp", *ospf.best, redist_by_node.out, Proto::kOspf,
+              Proto::kBgp, *bgp.origins, make_redist_bgp);
+  wire_redist(graph_, "redist.ospf2rip", *ospf.best, redist_by_node.out, Proto::kOspf,
+              Proto::kRip, *rip.origins, make_redist_rip);
+  wire_redist(graph_, "redist.bgp2ospf", *bgp.best, redist_by_node.out, Proto::kBgp,
+              Proto::kOspf, *ospf.origins, make_redist_ospf);
+  wire_redist(graph_, "redist.bgp2rip", *bgp.best, redist_by_node.out, Proto::kBgp, Proto::kRip,
+              *rip.origins, make_redist_rip);
+  wire_redist(graph_, "redist.rip2ospf", *rip.best, redist_by_node.out, Proto::kRip,
+              Proto::kOspf, *ospf.origins, make_redist_ospf);
+  wire_redist(graph_, "redist.rip2bgp", *rip.best, redist_by_node.out, Proto::kRip, Proto::kBgp,
+              *bgp.origins, make_redist_bgp);
+
+  // ---- FIB selection -----------------------------------------------------------
+  auto& candidates = graph_.make<Concat<std::pair<Key, Cand>>>("fib.candidates");
+
+  auto& cand_connected = graph_.make<Map<ConnectedFact, std::pair<Key, Cand>>>(
+      in_connected_->out,
+      [](const ConnectedFact& f) {
+        return std::pair<Key, Cand>{{f.node, f.prefix}, pack(candidate_of(f))};
+      },
+      "fib.cand_connected");
+  candidates.add_input(cand_connected.out);
+
+  auto& cand_static = graph_.make<Map<StaticFact, std::pair<Key, Cand>>>(
+      in_statics_->out,
+      [](const StaticFact& f) {
+        return std::pair<Key, Cand>{{f.node, f.prefix}, pack(candidate_of(f))};
+      },
+      "fib.cand_static");
+  candidates.add_input(cand_static.out);
+
+  auto& cand_ospf = graph_.make<Map<OspfRoute, std::pair<Key, Cand>>>(
+      *ospf.best,
+      [](const OspfRoute& r) {
+        return std::pair<Key, Cand>{{r.node, r.prefix}, pack(candidate_of(r))};
+      },
+      "fib.cand_ospf");
+  candidates.add_input(cand_ospf.out);
+
+  auto& cand_bgp = graph_.make<Map<BgpRoute, std::pair<Key, Cand>>>(
+      *bgp.best,
+      [](const BgpRoute& r) {
+        return std::pair<Key, Cand>{{r.node, r.prefix}, pack(candidate_of(r))};
+      },
+      "fib.cand_bgp");
+  candidates.add_input(cand_bgp.out);
+
+  auto& cand_rip = graph_.make<Map<RipRoute, std::pair<Key, Cand>>>(
+      *rip.best,
+      [](const RipRoute& r) {
+        return std::pair<Key, Cand>{{r.node, r.prefix}, pack(candidate_of(r))};
+      },
+      "fib.cand_rip");
+  candidates.add_input(cand_rip.out);
+
+  auto& fib = graph_.make<Reduce<Key, Cand, FibEntry>>(
+      candidates.out,
+      [](const Key& key, const ZSet<Cand>& group, std::vector<FibEntry>& out) {
+        std::vector<FibCandidate> cands;
+        cands.reserve(group.size());
+        for (const auto& [c, w] : group) cands.push_back(unpack(c));
+        out.push_back(select_fib(key.first, key.second, cands));
+      },
+      "fib.select");
+  fib_out_ = &graph_.make<Output<FibEntry>>(fib.out, "fib.out");
+}
+
+DataPlaneDelta IncrementalGenerator::apply(const config::NetworkConfig& cfg) {
+  const FactSnapshot facts = compile_facts(topo_, cfg);
+  in_ospf_links_->set_to(facts.ospf_links);
+  in_ospf_origins_->set_to(facts.ospf_origins);
+  in_bgp_sessions_->set_to(facts.bgp_sessions);
+  in_bgp_origins_->set_to(facts.bgp_origins);
+  in_bgp_aggregates_->set_to(facts.bgp_aggregates);
+  in_rip_links_->set_to(facts.rip_links);
+  in_rip_origins_->set_to(facts.rip_origins);
+  in_redist_->set_to(facts.redist);
+  in_statics_->set_to(facts.statics);
+  in_connected_->set_to(facts.connected);
+
+  graph_.commit();
+
+  // Keep the sinks' delta accumulators from growing unboundedly.
+  (void)ospf_best_out_->take_delta();
+  (void)bgp_best_out_->take_delta();
+  (void)rip_best_out_->take_delta();
+  (void)ospf_conv_->take_delta();
+  (void)bgp_conv_->take_delta();
+  (void)rip_conv_->take_delta();
+
+  if (!ospf_conv_->current().empty() || !bgp_conv_->current().empty() ||
+      !rip_conv_->current().empty()) {
+    throw dd::NonterminationError(
+        "route computation did not converge within " + std::to_string(options_.max_rounds) +
+        " rounds: either raise GeneratorOptions::max_rounds (long minimal paths) or the "
+        "control plane oscillates with no stable state (paper §6, e.g. a BGP dispute wheel)");
+  }
+
+  DataPlaneDelta delta;
+  delta.fib = fib_out_->take_delta();
+
+  // Filter rules: straight extraction + diff, no simulation involved.
+  dd::ZSet<FilterRule> new_filters = extract_filter_rules(topo_, cfg);
+  delta.filters = dd::ZSet<FilterRule>::difference(new_filters, filters_);
+  filters_ = std::move(new_filters);
+
+  return delta;
+}
+
+std::string to_string(const FibEntry& e) {
+  std::string out = "node=" + std::to_string(e.node) + " " + e.prefix.to_string() + " -> ";
+  switch (e.action) {
+    case FibAction::kDeliver:
+      out += "deliver";
+      break;
+    case FibAction::kDrop:
+      out += "drop";
+      break;
+    case FibAction::kForward: {
+      out += "ifaces[";
+      for (std::size_t i = 0; i < e.out_ifaces.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(e.out_ifaces[i]);
+      }
+      out += "]";
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace rcfg::routing

@@ -1,0 +1,54 @@
+#include "routing/policy.h"
+
+namespace rcfg::routing {
+
+CompiledPolicy compile_policy(const config::DeviceConfig& device,
+                              const std::string& route_map_name) {
+  CompiledPolicy out;
+  auto rm_it = device.route_maps.find(route_map_name);
+  if (rm_it == device.route_maps.end()) return out;  // reject-all
+  for (const config::RouteMapClause& c : rm_it->second.clauses) {
+    CompiledClause cc;
+    cc.action = c.action;
+    cc.set_local_pref = c.set_local_pref;
+    cc.set_med = c.set_med;
+    cc.set_metric = c.set_metric;
+    if (c.match_prefix_list) {
+      cc.has_match = true;
+      auto pl_it = device.prefix_lists.find(*c.match_prefix_list);
+      if (pl_it != device.prefix_lists.end()) {
+        cc.match_entries = pl_it->second.entries;
+      }
+      // Dangling prefix list: has_match with no entries never matches
+      // (implicit deny), same as the uncompiled evaluator.
+    }
+    out.clauses.push_back(std::move(cc));
+  }
+  return out;
+}
+
+std::optional<config::RouteAttrs> apply_policy(const CompiledPolicy& policy,
+                                               net::Ipv4Prefix route,
+                                               config::RouteAttrs attrs) {
+  for (const CompiledClause& c : policy.clauses) {
+    bool matches = true;
+    if (c.has_match) {
+      matches = false;
+      for (const config::PrefixListEntry& e : c.match_entries) {
+        if (config::entry_matches(e, route)) {
+          matches = e.action == config::Action::kPermit;
+          break;
+        }
+      }
+    }
+    if (!matches) continue;
+    if (c.action == config::Action::kDeny) return std::nullopt;
+    if (c.set_local_pref) attrs.local_pref = *c.set_local_pref;
+    if (c.set_med) attrs.med = *c.set_med;
+    if (c.set_metric) attrs.metric = *c.set_metric;
+    return attrs;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rcfg::routing

@@ -1,0 +1,80 @@
+#pragma once
+
+// Compiled routing policies.
+//
+// Route maps reference prefix lists by name inside a device's config. For
+// the dataflow program, policies must travel *inside facts* (so that a
+// policy edit changes the fact, which is what triggers incremental
+// recomputation of exactly the routes filtered by that policy). A
+// CompiledPolicy is therefore a self-contained value: clauses with their
+// prefix-list entries resolved inline, hashable and comparable.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "config/matchers.h"
+#include "config/types.h"
+#include "core/hash.h"
+#include "net/ipv4.h"
+
+namespace rcfg::routing {
+
+struct CompiledClause {
+  config::Action action = config::Action::kPermit;
+  bool has_match = false;                              ///< false => matches everything
+  std::vector<config::PrefixListEntry> match_entries;  ///< resolved prefix list
+  std::optional<std::uint32_t> set_local_pref;
+  std::optional<std::uint32_t> set_med;
+  std::optional<std::uint32_t> set_metric;
+
+  friend bool operator==(const CompiledClause&, const CompiledClause&) = default;
+};
+
+/// A resolved route map; empty `clauses` with engaged state means
+/// "reject everything" (Cisco's implicit deny), so "no policy at all" is
+/// represented by an *disengaged* std::optional<CompiledPolicy> upstream.
+struct CompiledPolicy {
+  std::vector<CompiledClause> clauses;
+
+  friend bool operator==(const CompiledPolicy&, const CompiledPolicy&) = default;
+};
+
+/// Resolve `route_map_name` against `device`. A dangling route-map name
+/// compiles to the empty (reject-all) policy — fail closed, mirroring
+/// config::apply_route_map's treatment of dangling prefix lists.
+CompiledPolicy compile_policy(const config::DeviceConfig& device,
+                              const std::string& route_map_name);
+
+/// Apply a compiled policy. Semantics must equal config::apply_route_map
+/// on the uncompiled form (tested).
+std::optional<config::RouteAttrs> apply_policy(const CompiledPolicy& policy,
+                                               net::Ipv4Prefix route,
+                                               config::RouteAttrs attrs);
+
+}  // namespace rcfg::routing
+
+template <>
+struct std::hash<rcfg::config::PrefixListEntry> {
+  std::size_t operator()(const rcfg::config::PrefixListEntry& e) const {
+    return rcfg::core::hash_all(e.seq, static_cast<unsigned>(e.action), e.prefix, e.ge, e.le);
+  }
+};
+
+template <>
+struct std::hash<rcfg::routing::CompiledClause> {
+  std::size_t operator()(const rcfg::routing::CompiledClause& c) const {
+    std::size_t h = rcfg::core::hash_all(
+        static_cast<unsigned>(c.action), c.has_match,
+        c.set_local_pref.value_or(~0u), c.set_med.value_or(~0u), c.set_metric.value_or(~0u));
+    rcfg::core::hash_combine(h, rcfg::core::TupleHash{}(c.match_entries));
+    return h;
+  }
+};
+
+template <>
+struct std::hash<rcfg::routing::CompiledPolicy> {
+  std::size_t operator()(const rcfg::routing::CompiledPolicy& p) const {
+    return rcfg::core::TupleHash{}(p.clauses);
+  }
+};

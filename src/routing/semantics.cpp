@@ -1,0 +1,241 @@
+#include "routing/semantics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rcfg::routing {
+
+namespace {
+constexpr std::uint32_t kDefaultLocalPref = 100;
+}  // namespace
+
+OspfRoute make_ospf_origin(const OspfOriginFact& f) {
+  OspfRoute r;
+  r.node = f.node;
+  r.prefix = f.prefix;
+  r.cost = f.metric;
+  r.tag = kTagNative;
+  return r;
+}
+
+BgpRoute make_bgp_origin(const BgpOriginFact& f) {
+  BgpRoute r;
+  r.node = f.node;
+  r.prefix = f.prefix;
+  r.local_pref = kDefaultLocalPref;
+  r.med = f.med;
+  r.as_path = {f.as_number};
+  r.tag = kTagNative;
+  return r;
+}
+
+std::optional<OspfRoute> extend_ospf(const OspfRoute& r, const OspfLinkFact& l) {
+  // No loop check needed: positive link costs mean a route that walks a
+  // cycle can never be minimum-cost, and the round-stratified evaluation
+  // bounds derivation depth regardless.
+  OspfRoute nr;
+  nr.node = l.to;
+  nr.prefix = r.prefix;
+  nr.cost = r.cost + l.cost;
+  nr.egress = l.via_iface;
+  nr.tag = r.tag;
+  return nr;
+}
+
+std::optional<BgpRoute> extend_bgp(const BgpRoute& r, const BgpSessionFact& s) {
+  if (std::find(r.as_path.begin(), r.as_path.end(), s.to_as) != r.as_path.end()) {
+    return std::nullopt;
+  }
+  // summary-only aggregation on the sender: strictly more-specific routes
+  // stay home; only the aggregate leaves.
+  for (const net::Ipv4Prefix& agg : s.suppressed) {
+    if (agg.contains(r.prefix) && agg != r.prefix) return std::nullopt;
+  }
+  // local-pref and MED are non-transitive across eBGP: the receiver starts
+  // from defaults; the sender's export policy may set MED, the receiver's
+  // import policy may set local-pref.
+  config::RouteAttrs attrs;
+  attrs.local_pref = kDefaultLocalPref;
+  attrs.med = 0;
+  if (s.has_export) {
+    const auto a = apply_policy(s.export_policy, r.prefix, attrs);
+    if (!a) return std::nullopt;
+    attrs = *a;
+  }
+  if (s.has_import) {
+    const auto a = apply_policy(s.import_policy, r.prefix, attrs);
+    if (!a) return std::nullopt;
+    attrs = *a;
+  }
+  BgpRoute nr;
+  nr.node = s.to;
+  nr.prefix = r.prefix;
+  nr.local_pref = attrs.local_pref;
+  nr.med = attrs.med;
+  nr.as_path = r.as_path;
+  nr.as_path.push_back(s.to_as);
+  nr.egress = s.via_iface;
+  nr.neighbor_as = s.from_as;
+  nr.tag = r.tag;
+  return nr;
+}
+
+BgpRoute make_bgp_aggregate(const BgpAggregateFact& f) {
+  BgpRoute r;
+  r.node = f.node;
+  r.prefix = f.prefix;
+  r.local_pref = kDefaultLocalPref;
+  r.as_path = {f.as_number};
+  r.tag = kTagNative;
+  r.aggregate = true;
+  return r;
+}
+
+bool contributes_to_aggregate(const BgpRoute& r, const BgpAggregateFact& f) {
+  return r.node == f.node && f.prefix.contains(r.prefix) && f.prefix != r.prefix;
+}
+
+RipRoute make_rip_origin(const RipOriginFact& f) {
+  RipRoute r;
+  r.node = f.node;
+  r.prefix = f.prefix;
+  r.metric = f.metric;
+  r.tag = kTagNative;
+  return r;
+}
+
+std::optional<RipRoute> extend_rip(const RipRoute& r, const RipLinkFact& l) {
+  if (r.metric + 1 >= config::kRipInfinity) return std::nullopt;  // 15-hop horizon
+  RipRoute nr;
+  nr.node = l.to;
+  nr.prefix = r.prefix;
+  nr.metric = r.metric + 1;
+  nr.egress = l.via_iface;
+  nr.tag = r.tag;
+  return nr;
+}
+
+namespace {
+/// Shared policy step for redistribution: returns the effective metric/MED,
+/// nullopt when the policy rejects the prefix.
+std::optional<std::uint32_t> redist_attrs(net::Ipv4Prefix prefix, const DynRedistFact& f,
+                                          bool use_med) {
+  config::RouteAttrs attrs;
+  (use_med ? attrs.med : attrs.metric) = f.metric;
+  if (f.has_policy) {
+    const auto a = apply_policy(f.policy, prefix, attrs);
+    if (!a) return std::nullopt;
+    attrs = *a;
+  }
+  return use_med ? attrs.med : attrs.metric;
+}
+}  // namespace
+
+std::optional<OspfRoute> make_redist_ospf(net::Ipv4Prefix prefix, topo::IfaceId egress,
+                                          const DynRedistFact& f) {
+  const auto metric = redist_attrs(prefix, f, /*use_med=*/false);
+  if (!metric) return std::nullopt;
+  OspfRoute nr;
+  nr.node = f.node;
+  nr.prefix = prefix;
+  nr.cost = *metric;
+  nr.egress = egress;
+  nr.tag = kTagRedistributed;
+  return nr;
+}
+
+std::optional<BgpRoute> make_redist_bgp(net::Ipv4Prefix prefix, topo::IfaceId egress,
+                                        const DynRedistFact& f) {
+  const auto med = redist_attrs(prefix, f, /*use_med=*/true);
+  if (!med) return std::nullopt;
+  BgpRoute nr;
+  nr.node = f.node;
+  nr.prefix = prefix;
+  nr.local_pref = kDefaultLocalPref;
+  nr.med = *med;
+  nr.as_path = {f.as_number};
+  nr.egress = egress;
+  nr.tag = kTagRedistributed;
+  return nr;
+}
+
+std::optional<RipRoute> make_redist_rip(net::Ipv4Prefix prefix, topo::IfaceId egress,
+                                        const DynRedistFact& f) {
+  const auto metric = redist_attrs(prefix, f, /*use_med=*/false);
+  if (!metric || *metric >= config::kRipInfinity) return std::nullopt;
+  RipRoute nr;
+  nr.node = f.node;
+  nr.prefix = prefix;
+  nr.metric = std::max<std::uint32_t>(1, *metric);
+  nr.egress = egress;
+  nr.tag = kTagRedistributed;
+  return nr;
+}
+
+FibEntry select_fib(topo::NodeId node, net::Ipv4Prefix prefix,
+                    const std::vector<FibCandidate>& candidates) {
+  std::uint32_t best_ad = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t best_metric = std::numeric_limits<std::uint32_t>::max();
+  for (const FibCandidate& c : candidates) {
+    if (c.ad < best_ad || (c.ad == best_ad && c.metric < best_metric)) {
+      best_ad = c.ad;
+      best_metric = c.metric;
+    }
+  }
+  bool any_forward = false;
+  bool any_deliver = false;
+  std::vector<topo::IfaceId> egresses;
+  for (const FibCandidate& c : candidates) {
+    if (c.ad != best_ad || c.metric != best_metric) continue;
+    if (c.action == FibAction::kForward) {
+      any_forward = true;
+      egresses.push_back(c.egress);
+    } else if (c.action == FibAction::kDeliver) {
+      any_deliver = true;
+    }
+  }
+  FibEntry e;
+  e.node = node;
+  e.prefix = prefix;
+  if (any_forward) {
+    e.action = FibAction::kForward;
+    std::sort(egresses.begin(), egresses.end());
+    egresses.erase(std::unique(egresses.begin(), egresses.end()), egresses.end());
+    e.out_ifaces = std::move(egresses);
+  } else if (any_deliver) {
+    e.action = FibAction::kDeliver;
+  } else {
+    e.action = FibAction::kDrop;
+  }
+  return e;
+}
+
+FibCandidate candidate_of(const ConnectedFact&) {
+  return FibCandidate{config::AdminDistance::kConnected, 0, FibAction::kDeliver,
+                      topo::kInvalidIface};
+}
+
+FibCandidate candidate_of(const StaticFact& f) {
+  return FibCandidate{f.distance, 0, f.drop ? FibAction::kDrop : FibAction::kForward, f.egress};
+}
+
+FibCandidate candidate_of(const OspfRoute& r) {
+  const auto action = r.egress == topo::kInvalidIface ? FibAction::kDeliver : FibAction::kForward;
+  return FibCandidate{config::AdminDistance::kOspf, r.cost, action, r.egress};
+}
+
+FibCandidate candidate_of(const BgpRoute& r) {
+  // An aggregate at its origin installs a discard route: packets matching
+  // the aggregate but no contributor are dropped, as on real routers.
+  const auto action = r.egress != topo::kInvalidIface ? FibAction::kForward
+                      : r.aggregate                   ? FibAction::kDrop
+                                                      : FibAction::kDeliver;
+  return FibCandidate{config::AdminDistance::kBgp, 0, action, r.egress};
+}
+
+FibCandidate candidate_of(const RipRoute& r) {
+  const auto action = r.egress == topo::kInvalidIface ? FibAction::kDeliver : FibAction::kForward;
+  return FibCandidate{config::AdminDistance::kRip, r.metric, action, r.egress};
+}
+
+}  // namespace rcfg::routing

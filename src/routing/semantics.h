@@ -1,0 +1,85 @@
+#pragma once
+
+// Protocol semantics as pure functions over route tuples and facts.
+//
+// Both implementations of the control plane — the incremental dataflow
+// program (routing/generator.cpp) and the from-scratch baseline simulator
+// (baseline/simulator.cpp) — call exactly these functions, so differential
+// tests between them exercise *propagation and incrementality*, never
+// semantic drift.
+
+#include <optional>
+#include <vector>
+
+#include "routing/decision.h"
+#include "routing/facts.h"
+#include "routing/types.h"
+
+namespace rcfg::routing {
+
+/// Route injected into OSPF by an origin fact.
+OspfRoute make_ospf_origin(const OspfOriginFact& f);
+
+/// Route injected into BGP by an origin fact.
+BgpRoute make_bgp_origin(const BgpOriginFact& f);
+
+/// Propagate an OSPF route over a directed adjacency; nullopt when the
+/// receiving node already sits on the route's path (loop check).
+std::optional<OspfRoute> extend_ospf(const OspfRoute& r, const OspfLinkFact& l);
+
+/// Propagate a BGP route over a directed session: AS-path loop prevention,
+/// sender export policy, receiver import policy, non-transitive attribute
+/// reset. nullopt when rejected.
+std::optional<BgpRoute> extend_bgp(const BgpRoute& r, const BgpSessionFact& s);
+
+/// The aggregate route originated by `f` (valid only while a strictly more
+/// specific route exists in the node's BGP table — the callers gate on
+/// that). The origin discards traffic without a more-specific match.
+BgpRoute make_bgp_aggregate(const BgpAggregateFact& f);
+
+/// Does `f`'s aggregate have `r` as a contributor (strictly more specific
+/// route at the same node)?
+bool contributes_to_aggregate(const BgpRoute& r, const BgpAggregateFact& f);
+
+/// Route injected into RIP by an origin fact.
+RipRoute make_rip_origin(const RipOriginFact& f);
+
+/// Propagate a RIP route one hop; nullopt once the metric reaches the
+/// protocol's infinity (16).
+std::optional<RipRoute> extend_rip(const RipRoute& r, const RipLinkFact& l);
+
+// --- dynamic redistribution (native source route -> target protocol) -----
+// The source route contributes only (prefix, egress); the fact carries the
+// target-protocol attributes and optional policy. nullopt when the policy
+// rejects the prefix. Results are tagged kTagRedistributed.
+std::optional<OspfRoute> make_redist_ospf(net::Ipv4Prefix prefix, topo::IfaceId egress,
+                                          const DynRedistFact& f);
+std::optional<BgpRoute> make_redist_bgp(net::Ipv4Prefix prefix, topo::IfaceId egress,
+                                        const DynRedistFact& f);
+std::optional<RipRoute> make_redist_rip(net::Ipv4Prefix prefix, topo::IfaceId egress,
+                                        const DynRedistFact& f);
+
+// ---------------------------------------------------------------------------
+// FIB selection
+// ---------------------------------------------------------------------------
+
+/// A RIB candidate competing for a (node, prefix) FIB slot.
+struct FibCandidate {
+  std::uint32_t ad = 0;      ///< admin distance
+  std::uint32_t metric = 0;  ///< protocol-internal metric (tie-break within ad)
+  FibAction action = FibAction::kDrop;
+  topo::IfaceId egress = topo::kInvalidIface;
+};
+
+/// Lowest (ad, metric) wins; among winners, kForward candidates merge into
+/// one ECMP entry (forward beats deliver beats drop on exact ties).
+FibEntry select_fib(topo::NodeId node, net::Ipv4Prefix prefix,
+                    const std::vector<FibCandidate>& candidates);
+
+FibCandidate candidate_of(const ConnectedFact& f);
+FibCandidate candidate_of(const StaticFact& f);
+FibCandidate candidate_of(const OspfRoute& r);
+FibCandidate candidate_of(const BgpRoute& r);
+FibCandidate candidate_of(const RipRoute& r);
+
+}  // namespace rcfg::routing

@@ -1,0 +1,154 @@
+#pragma once
+
+// Value types shared by the incremental control-plane program
+// (rcfg::routing::IncrementalGenerator) and the from-scratch baseline
+// simulator (rcfg::baseline). Everything here is a plain comparable,
+// hashable value so it can live in dd::ZSet relations.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hash.h"
+#include "net/ipv4.h"
+#include "topo/topology.h"
+
+namespace rcfg::routing {
+
+/// AS path from the origin AS to the current AS (BGP routes).
+using AsPath = std::vector<std::uint32_t>;
+
+// ---------------------------------------------------------------------------
+// Protocol route tuples
+// ---------------------------------------------------------------------------
+
+/// An OSPF route candidate held at `node`. `egress` is the interface this
+/// node would forward through (invalid for locally originated prefixes).
+/// No path vector is carried: the route computation is stratified by
+/// explicit synchronous rounds (see routing/generator.h), so derivations
+/// are bounded without per-route provenance.
+struct OspfRoute {
+  topo::NodeId node = topo::kInvalidNode;
+  net::Ipv4Prefix prefix;
+  std::uint32_t cost = 0;
+  topo::IfaceId egress = topo::kInvalidIface;
+  std::uint8_t tag = 0;  ///< kTagNative / kTagRedistributed (see decision.h)
+
+  friend bool operator==(const OspfRoute&, const OspfRoute&) = default;
+};
+
+/// A BGP route candidate held at `node`.
+struct BgpRoute {
+  topo::NodeId node = topo::kInvalidNode;
+  net::Ipv4Prefix prefix;
+  std::uint32_t local_pref = 100;
+  std::uint32_t med = 0;
+  AsPath as_path;  ///< as_path.front() = origin AS, back() = this node's AS
+  topo::IfaceId egress = topo::kInvalidIface;
+  std::uint32_t neighbor_as = 0;  ///< AS the route was learned from (0 = local)
+  std::uint8_t tag = 0;           ///< kTagNative / kTagRedistributed (see decision.h)
+  bool aggregate = false;         ///< originated by aggregate-address (origin discards)
+
+  friend bool operator==(const BgpRoute&, const BgpRoute&) = default;
+};
+
+/// A RIPv2 route candidate held at `node`. Hop-count metric; candidates at
+/// or beyond config::kRipInfinity (16) are unreachable and never derived.
+struct RipRoute {
+  topo::NodeId node = topo::kInvalidNode;
+  net::Ipv4Prefix prefix;
+  std::uint32_t metric = 1;
+  topo::IfaceId egress = topo::kInvalidIface;
+  std::uint8_t tag = 0;  ///< kTagNative / kTagRedistributed (see decision.h)
+
+  friend bool operator==(const RipRoute&, const RipRoute&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// FIB
+// ---------------------------------------------------------------------------
+
+enum class FibAction : std::uint8_t {
+  kForward,  ///< send out one of `out_ifaces` (ECMP when several)
+  kDeliver,  ///< destination is attached here
+  kDrop,     ///< discard (null route)
+};
+
+/// The converged forwarding behaviour of `node` for `prefix` — one row per
+/// (node, prefix); ECMP shows up as several entries in `out_ifaces`
+/// (sorted, so equal FIBs compare equal).
+struct FibEntry {
+  topo::NodeId node = topo::kInvalidNode;
+  net::Ipv4Prefix prefix;
+  FibAction action = FibAction::kDrop;
+  std::vector<topo::IfaceId> out_ifaces;  ///< sorted; empty unless kForward
+
+  friend bool operator==(const FibEntry&, const FibEntry&) = default;
+};
+
+std::string to_string(const FibEntry& e);
+
+// ---------------------------------------------------------------------------
+// Filter (ACL) rules — extracted directly from configs (paper §4.2)
+// ---------------------------------------------------------------------------
+
+/// One data plane filtering rule: the ACL rule `acl_seq` of the ACL bound
+/// to (node, iface) in the given direction.
+struct FilterRule {
+  topo::NodeId node = topo::kInvalidNode;
+  topo::IfaceId iface = topo::kInvalidIface;
+  bool inbound = true;
+  std::uint32_t priority = 0;  ///< position in the ACL (lower = first)
+  bool permit = true;
+  // Match fields (flattened from config::AclRule for hashability).
+  std::uint8_t proto = 0;  ///< 0 = any, else config::IpProto numeric value
+  net::Ipv4Prefix src;
+  net::Ipv4Prefix dst;
+  std::uint16_t src_port_lo = 0, src_port_hi = 65535;
+  std::uint16_t dst_port_lo = 0, dst_port_hi = 65535;
+
+  friend bool operator==(const FilterRule&, const FilterRule&) = default;
+};
+
+}  // namespace rcfg::routing
+
+// Hash specializations so the route tuples can key dd::ZSet relations.
+template <>
+struct std::hash<rcfg::routing::OspfRoute> {
+  std::size_t operator()(const rcfg::routing::OspfRoute& r) const {
+    return rcfg::core::hash_all(r.node, r.prefix, r.cost, r.egress, r.tag);
+  }
+};
+
+template <>
+struct std::hash<rcfg::routing::BgpRoute> {
+  std::size_t operator()(const rcfg::routing::BgpRoute& r) const {
+    return rcfg::core::hash_all(r.node, r.prefix, r.local_pref, r.med,
+                                rcfg::core::TupleHash{}(r.as_path), r.egress, r.neighbor_as,
+                                r.tag, r.aggregate);
+  }
+};
+
+template <>
+struct std::hash<rcfg::routing::RipRoute> {
+  std::size_t operator()(const rcfg::routing::RipRoute& r) const {
+    return rcfg::core::hash_all(r.node, r.prefix, r.metric, r.egress, r.tag);
+  }
+};
+
+template <>
+struct std::hash<rcfg::routing::FibEntry> {
+  std::size_t operator()(const rcfg::routing::FibEntry& e) const {
+    return rcfg::core::hash_all(e.node, e.prefix, static_cast<unsigned>(e.action),
+                                rcfg::core::TupleHash{}(e.out_ifaces));
+  }
+};
+
+template <>
+struct std::hash<rcfg::routing::FilterRule> {
+  std::size_t operator()(const rcfg::routing::FilterRule& r) const {
+    return rcfg::core::hash_all(r.node, r.iface, r.inbound, r.priority, r.permit, r.proto,
+                                r.src, r.dst, r.src_port_lo, r.src_port_hi, r.dst_port_lo,
+                                r.dst_port_hi);
+  }
+};

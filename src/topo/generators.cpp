@@ -1,0 +1,124 @@
+#include "topo/generators.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/hash.h"
+
+namespace rcfg::topo {
+
+Topology make_fat_tree(unsigned k) {
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("fat tree requires even k >= 2");
+  }
+  const unsigned half = k / 2;
+  Topology t;
+
+  std::vector<NodeId> core(half * half);
+  for (unsigned j = 0; j < core.size(); ++j) {
+    core[j] = t.add_node("core" + std::to_string(j));
+  }
+  std::vector<std::vector<NodeId>> agg(k), edge(k);
+  for (unsigned p = 0; p < k; ++p) {
+    agg[p].resize(half);
+    edge[p].resize(half);
+    for (unsigned i = 0; i < half; ++i) {
+      agg[p][i] = t.add_node("agg" + std::to_string(p) + "-" + std::to_string(i));
+    }
+    for (unsigned i = 0; i < half; ++i) {
+      edge[p][i] = t.add_node("edge" + std::to_string(p) + "-" + std::to_string(i));
+    }
+  }
+
+  for (unsigned p = 0; p < k; ++p) {
+    // Every edge switch peers with every aggregation switch in its pod.
+    for (unsigned e = 0; e < half; ++e) {
+      for (unsigned a = 0; a < half; ++a) {
+        t.connect(edge[p][e], agg[p][a]);
+      }
+    }
+    // Aggregation switch i uplinks to core group i (cores i*half..i*half+half-1).
+    for (unsigned a = 0; a < half; ++a) {
+      for (unsigned c = 0; c < half; ++c) {
+        t.connect(agg[p][a], core[a * half + c]);
+      }
+    }
+  }
+  return t;
+}
+
+Topology make_grid(unsigned w, unsigned h) {
+  if (w == 0 || h == 0) throw std::invalid_argument("grid dimensions must be positive");
+  Topology t;
+  std::vector<NodeId> ids(static_cast<std::size_t>(w) * h);
+  for (unsigned y = 0; y < h; ++y) {
+    for (unsigned x = 0; x < w; ++x) {
+      ids[static_cast<std::size_t>(y) * w + x] =
+          t.add_node("n" + std::to_string(x) + "-" + std::to_string(y));
+    }
+  }
+  for (unsigned y = 0; y < h; ++y) {
+    for (unsigned x = 0; x < w; ++x) {
+      const NodeId here = ids[static_cast<std::size_t>(y) * w + x];
+      if (x + 1 < w) t.connect(here, ids[static_cast<std::size_t>(y) * w + x + 1]);
+      if (y + 1 < h) t.connect(here, ids[(static_cast<std::size_t>(y) + 1) * w + x]);
+    }
+  }
+  return t;
+}
+
+Topology make_ring(unsigned n) {
+  if (n < 3) throw std::invalid_argument("ring requires n >= 3");
+  Topology t;
+  std::vector<NodeId> ids(n);
+  for (unsigned i = 0; i < n; ++i) ids[i] = t.add_node("r" + std::to_string(i));
+  for (unsigned i = 0; i < n; ++i) t.connect(ids[i], ids[(i + 1) % n]);
+  return t;
+}
+
+Topology make_full_mesh(unsigned n) {
+  if (n < 2) throw std::invalid_argument("mesh requires n >= 2");
+  Topology t;
+  std::vector<NodeId> ids(n);
+  for (unsigned i = 0; i < n; ++i) ids[i] = t.add_node("m" + std::to_string(i));
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = i + 1; j < n; ++j) t.connect(ids[i], ids[j]);
+  }
+  return t;
+}
+
+Topology make_random_connected(unsigned n, unsigned links, core::Rng& rng) {
+  if (n < 2) throw std::invalid_argument("random graph requires n >= 2");
+  if (links < n - 1) throw std::invalid_argument("need at least n-1 links");
+  Topology t;
+  std::vector<NodeId> ids(n);
+  for (unsigned i = 0; i < n; ++i) ids[i] = t.add_node("v" + std::to_string(i));
+
+  std::unordered_set<std::uint64_t> used;
+  auto key = [](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (std::uint64_t{a} << 32) | b;
+  };
+
+  // Random spanning tree: attach each node to a random earlier node.
+  for (unsigned i = 1; i < n; ++i) {
+    const NodeId parent = ids[rng.next_below(i)];
+    t.connect(parent, ids[i]);
+    used.insert(key(parent, ids[i]));
+  }
+  // Extra links. Parallel links allowed only if the simple graph saturates.
+  const std::uint64_t simple_cap = std::uint64_t{n} * (n - 1) / 2;
+  unsigned added = n - 1;
+  while (added < links) {
+    const NodeId a = ids[rng.next_below(n)];
+    const NodeId b = ids[rng.next_below(n)];
+    if (a == b) continue;
+    if (used.size() < simple_cap && used.contains(key(a, b))) continue;
+    used.insert(key(a, b));
+    t.connect(a, b);
+    ++added;
+  }
+  return t;
+}
+
+}  // namespace rcfg::topo

@@ -1,0 +1,44 @@
+#pragma once
+
+// Synthetic topology generators used by tests, examples, and the paper's
+// evaluation (fat tree). Node-name conventions are part of the contract:
+// config builders key on them to assign roles.
+
+#include <cstdint>
+
+#include "core/rng.h"
+#include "topo/topology.h"
+
+namespace rcfg::topo {
+
+/// Three-tier k-ary fat tree (k even): k pods, each with k/2 edge and k/2
+/// aggregation switches; (k/2)^2 core switches. Node names: "core<j>",
+/// "agg<p>-<i>", "edge<p>-<i>". k=12 yields the paper's 180 nodes and
+/// 864 links.
+Topology make_fat_tree(unsigned k);
+
+/// Structural facts about a fat tree, used by config builders.
+struct FatTreeShape {
+  unsigned k = 0;
+  unsigned pods() const { return k; }
+  unsigned edge_per_pod() const { return k / 2; }
+  unsigned agg_per_pod() const { return k / 2; }
+  unsigned cores() const { return (k / 2) * (k / 2); }
+  unsigned nodes() const { return 5 * k * k / 4; }
+  unsigned links() const { return k * k * k / 2; }
+};
+
+/// 2-D grid (w x h), names "n<x>-<y>", links to right and down neighbors.
+Topology make_grid(unsigned w, unsigned h);
+
+/// Ring of n nodes, names "r<i>".
+Topology make_ring(unsigned n);
+
+/// Full mesh over n nodes, names "m<i>".
+Topology make_full_mesh(unsigned n);
+
+/// Connected random graph: a random spanning tree plus extra random links
+/// until `links` total (links >= n-1). Names "v<i>".
+Topology make_random_connected(unsigned n, unsigned links, core::Rng& rng);
+
+}  // namespace rcfg::topo

@@ -1,0 +1,112 @@
+#include "topo/topology.h"
+
+#include <stdexcept>
+
+namespace rcfg::topo {
+
+NodeId Topology::add_node(std::string name) {
+  if (node_by_name_.contains(name)) {
+    throw std::invalid_argument("duplicate node name: " + name);
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  node_by_name_.emplace(name, id);
+  nodes_.push_back(Node{std::move(name), {}});
+  return id;
+}
+
+IfaceId Topology::add_interface(NodeId node, std::string name) {
+  Node& n = nodes_.at(node);
+  if (find_interface(node, name) != kInvalidIface) {
+    throw std::invalid_argument("duplicate interface " + name + " on " + n.name);
+  }
+  const IfaceId id = static_cast<IfaceId>(ifaces_.size());
+  ifaces_.push_back(Interface{std::move(name), node, std::nullopt});
+  n.ifaces.push_back(id);
+  return id;
+}
+
+LinkId Topology::add_link(IfaceId a, IfaceId b) {
+  Interface& ia = ifaces_.at(a);
+  Interface& ib = ifaces_.at(b);
+  if (a == b || ia.node == ib.node) {
+    throw std::invalid_argument("link endpoints must be on distinct nodes");
+  }
+  if (ia.link || ib.link) {
+    throw std::invalid_argument("interface already wired");
+  }
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{ia.node, ib.node, a, b});
+  ia.link = id;
+  ib.link = id;
+  return id;
+}
+
+LinkId Topology::connect(NodeId a, NodeId b) {
+  auto fresh_name = [this](NodeId on, NodeId toward) {
+    std::string base = "to-" + nodes_.at(toward).name;
+    std::string name = base;
+    for (int k = 1; find_interface(on, name) != kInvalidIface; ++k) {
+      name = base + "." + std::to_string(k);
+    }
+    return name;
+  };
+  const IfaceId ia = add_interface(a, fresh_name(a, b));
+  const IfaceId ib = add_interface(b, fresh_name(b, a));
+  return add_link(ia, ib);
+}
+
+NodeId Topology::find_node(std::string_view name) const {
+  auto it = node_by_name_.find(std::string{name});
+  return it == node_by_name_.end() ? kInvalidNode : it->second;
+}
+
+IfaceId Topology::find_interface(NodeId node, std::string_view name) const {
+  for (IfaceId i : nodes_.at(node).ifaces) {
+    if (ifaces_[i].name == name) return i;
+  }
+  return kInvalidIface;
+}
+
+NodeId Topology::peer(LinkId l, NodeId n) const {
+  const Link& lk = links_.at(l);
+  if (lk.a == n) return lk.b;
+  if (lk.b == n) return lk.a;
+  return kInvalidNode;
+}
+
+IfaceId Topology::peer_iface(LinkId l, NodeId n) const {
+  const Link& lk = links_.at(l);
+  if (lk.a == n) return lk.b_iface;
+  if (lk.b == n) return lk.a_iface;
+  return kInvalidIface;
+}
+
+IfaceId Topology::remote_iface(IfaceId i) const {
+  const Interface& ifc = ifaces_.at(i);
+  if (!ifc.link) return kInvalidIface;
+  return peer_iface(*ifc.link, ifc.node);
+}
+
+std::vector<Topology::Adjacency> Topology::adjacencies(NodeId n) const {
+  std::vector<Adjacency> out;
+  for (IfaceId i : nodes_.at(n).ifaces) {
+    const Interface& ifc = ifaces_[i];
+    if (!ifc.link) continue;
+    out.push_back(Adjacency{i, *ifc.link, peer(*ifc.link, n)});
+  }
+  return out;
+}
+
+std::string Topology::to_dot() const {
+  std::string out = "graph topology {\n";
+  for (const Node& n : nodes_) {
+    out += "  \"" + n.name + "\";\n";
+  }
+  for (const Link& l : links_) {
+    out += "  \"" + nodes_[l.a].name + "\" -- \"" + nodes_[l.b].name + "\";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rcfg::topo

@@ -1,0 +1,102 @@
+#pragma once
+
+// Physical topology: nodes (routers/switches), interfaces, point-to-point
+// links. Purely structural — protocol configuration lives in rcfg::config.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rcfg::topo {
+
+using NodeId = std::uint32_t;
+using IfaceId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+inline constexpr IfaceId kInvalidIface = ~IfaceId{0};
+inline constexpr LinkId kInvalidLink = ~LinkId{0};
+
+/// A router interface. `link` is set once the interface is wired.
+struct Interface {
+  std::string name;          ///< unique within its node, e.g. "eth3"
+  NodeId node = kInvalidNode;
+  std::optional<LinkId> link;
+};
+
+struct Node {
+  std::string name;  ///< unique within the topology
+  std::vector<IfaceId> ifaces;
+};
+
+/// An undirected point-to-point link between two interfaces.
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  IfaceId a_iface = kInvalidIface;
+  IfaceId b_iface = kInvalidIface;
+};
+
+class Topology {
+ public:
+  /// Add a node; name must be unique.
+  NodeId add_node(std::string name);
+
+  /// Add an interface to `node`; name must be unique within the node.
+  IfaceId add_interface(NodeId node, std::string name);
+
+  /// Wire two yet-unwired interfaces together.
+  LinkId add_link(IfaceId a, IfaceId b);
+
+  /// Convenience: create an interface on each node and wire them. The
+  /// interface names default to "to-<peer>" (with a numeric suffix when a
+  /// parallel link needs disambiguation).
+  LinkId connect(NodeId a, NodeId b);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t iface_count() const noexcept { return ifaces_.size(); }
+  std::size_t link_count() const noexcept { return links_.size(); }
+
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  const Interface& iface(IfaceId id) const { return ifaces_.at(id); }
+  const Link& link(LinkId id) const { return links_.at(id); }
+
+  /// Node lookup by name; kInvalidNode if absent.
+  NodeId find_node(std::string_view name) const;
+
+  /// Interface lookup by (node, name); kInvalidIface if absent.
+  IfaceId find_interface(NodeId node, std::string_view name) const;
+
+  /// The node on the other end of `l` from `n`; kInvalidNode if `n` is not
+  /// an endpoint of `l`.
+  NodeId peer(LinkId l, NodeId n) const;
+
+  /// The interface of the peer of `n` on link `l`.
+  IfaceId peer_iface(LinkId l, NodeId n) const;
+
+  /// The remote interface connected to local interface `i` (through its
+  /// link); kInvalidIface if `i` is unwired.
+  IfaceId remote_iface(IfaceId i) const;
+
+  /// All (iface, link, peer-node) triples of a node's wired interfaces.
+  struct Adjacency {
+    IfaceId iface;
+    LinkId link;
+    NodeId peer;
+  };
+  std::vector<Adjacency> adjacencies(NodeId n) const;
+
+  /// Graphviz DOT rendering (for docs/examples).
+  std::string to_dot() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Interface> ifaces_;
+  std::vector<Link> links_;
+  std::unordered_map<std::string, NodeId> node_by_name_;
+};
+
+}  // namespace rcfg::topo

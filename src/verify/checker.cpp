@@ -1,0 +1,410 @@
+#include <functional>
+#include "verify/checker.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace rcfg::verify {
+
+IncrementalChecker::IncrementalChecker(const topo::Topology& topo, dpm::PacketSpace& space,
+                                       dpm::EcManager& ecs, const dpm::NetworkModel& model)
+    : topo_(topo), space_(space), ecs_(ecs), model_(model) {
+  state_.resize(ecs_.ec_count());
+  ecs_.subscribe([this](const dpm::EcManager::Split& s) { on_split(s); });
+}
+
+void IncrementalChecker::on_split(const dpm::EcManager::Split& s) {
+  // A split renames packets without changing behaviour: the child starts
+  // with a copy of the parent's state, everywhere the parent is indexed.
+  if (state_.size() <= s.child) state_.resize(s.child + 1);
+  state_[s.child] = state_[s.parent];
+  for (const std::uint64_t p : state_[s.child].pairs) pair_index_[p].insert(s.child);
+  if (looping_.contains(s.parent)) looping_.insert(s.child);
+  if (blackholed_.contains(s.parent)) blackholed_.insert(s.child);
+  auto it = policies_by_ec_.find(s.parent);
+  if (it != policies_by_ec_.end()) {
+    policies_by_ec_[s.child] = it->second;
+    for (PolicyId id : it->second) policy_ecs_[id].push_back(s.child);
+  }
+}
+
+IncrementalChecker::Graph IncrementalChecker::build_graph(dpm::EcId ec) const {
+  const std::size_t n = topo_.node_count();
+  Graph g;
+  g.next.resize(n);
+  g.delivers.assign(n, false);
+  g.drops.assign(n, false);
+  for (topo::NodeId node = 0; node < n; ++node) {
+    const dpm::PortKey& port = model_.port_of(node, ec);
+    switch (port.action) {
+      case routing::FibAction::kDeliver:
+        g.delivers[node] = true;
+        break;
+      case routing::FibAction::kDrop:
+        g.drops[node] = true;
+        break;
+      case routing::FibAction::kForward:
+        for (topo::IfaceId iface : port.ifaces) {
+          const auto& ifc = topo_.iface(iface);
+          if (!ifc.link) continue;  // dangling egress: traffic dies
+          const topo::NodeId peer = topo_.peer(*ifc.link, node);
+          const topo::IfaceId peer_iface = topo_.peer_iface(*ifc.link, node);
+          // Egress ACL on this side, ingress ACL on the peer side.
+          if (!model_.permits(node, iface, /*inbound=*/false, ec)) continue;
+          if (!model_.permits(peer, peer_iface, /*inbound=*/true, ec)) continue;
+          g.next[node].push_back(peer);
+        }
+        break;
+    }
+  }
+  return g;
+}
+
+std::vector<bool> IncrementalChecker::upstream_of(const Graph& g,
+                                                  const std::vector<topo::NodeId>& roots) const {
+  const std::size_t n = topo_.node_count();
+  std::vector<std::vector<topo::NodeId>> prev(n);
+  for (topo::NodeId u = 0; u < n; ++u) {
+    for (topo::NodeId v : g.next[u]) prev[v].push_back(u);
+  }
+  std::vector<bool> seen(n, false);
+  std::deque<topo::NodeId> q;
+  for (topo::NodeId r : roots) {
+    if (!seen[r]) {
+      seen[r] = true;
+      q.push_back(r);
+    }
+  }
+  while (!q.empty()) {
+    const topo::NodeId v = q.front();
+    q.pop_front();
+    for (topo::NodeId u : prev[v]) {
+      if (!seen[u]) {
+        seen[u] = true;
+        q.push_back(u);
+      }
+    }
+  }
+  return seen;
+}
+
+IncrementalChecker::EcState IncrementalChecker::compute_state(const Graph& g) const {
+  const std::size_t n = topo_.node_count();
+  EcState st;
+
+  // Reverse adjacency for delivered-pair computation.
+  std::vector<std::vector<topo::NodeId>> prev(n);
+  for (topo::NodeId u = 0; u < n; ++u) {
+    for (topo::NodeId v : g.next[u]) prev[v].push_back(u);
+  }
+
+  // (s, d) delivered pairs: reverse BFS from every delivering node. This is
+  // "existential" reachability over ECMP branches; loop/blackhole flags
+  // account for the branches that do not make it.
+  std::vector<bool> seen(n);
+  for (topo::NodeId d = 0; d < n; ++d) {
+    if (!g.delivers[d]) continue;
+    std::fill(seen.begin(), seen.end(), false);
+    std::deque<topo::NodeId> q{d};
+    seen[d] = true;
+    while (!q.empty()) {
+      const topo::NodeId v = q.front();
+      q.pop_front();
+      if (v != d) st.pairs.insert(pair_key(v, d));
+      for (topo::NodeId u : prev[v]) {
+        if (!seen[u]) {
+          seen[u] = true;
+          q.push_back(u);
+        }
+      }
+    }
+  }
+
+  // Loop: any cycle in the forwarding graph (iterative DFS, three colors).
+  {
+    std::vector<std::uint8_t> color(n, 0);
+    for (topo::NodeId root = 0; root < n && !st.has_loop; ++root) {
+      if (color[root] != 0) continue;
+      std::vector<std::pair<topo::NodeId, std::size_t>> stack{{root, 0}};
+      color[root] = 1;
+      while (!stack.empty() && !st.has_loop) {
+        auto& [u, idx] = stack.back();
+        if (idx < g.next[u].size()) {
+          const topo::NodeId v = g.next[u][idx++];
+          if (color[v] == 1) {
+            st.has_loop = true;
+          } else if (color[v] == 0) {
+            color[v] = 1;
+            stack.push_back({v, 0});
+          }
+        } else {
+          color[u] = 2;
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  // Blackhole: some node forwards this EC into a node that drops it —
+  // traffic in flight dies. (Nodes that merely lack a route and never
+  // receive the EC's traffic do not count.)
+  for (topo::NodeId u = 0; u < n && !st.has_blackhole; ++u) {
+    for (topo::NodeId v : g.next[u]) {
+      if (g.drops[v]) {
+        st.has_blackhole = true;
+        break;
+      }
+    }
+  }
+
+  return st;
+}
+
+void IncrementalChecker::apply_state(dpm::EcId ec, EcState next,
+                                     const std::vector<bool>& near_moved, CheckResult& out,
+                                     std::unordered_set<PolicyId>& dirty_policies) {
+  EcState& cur = state_[ec];
+
+  auto unpack = [](std::uint64_t p) {
+    return std::pair<topo::NodeId, topo::NodeId>{static_cast<topo::NodeId>(p >> 32),
+                                                 static_cast<topo::NodeId>(p & 0xffffffffu)};
+  };
+
+  // Diff delivered pairs against the index.
+  for (const std::uint64_t p : cur.pairs) {
+    if (!next.pairs.contains(p)) {
+      auto it = pair_index_.find(p);
+      if (it != pair_index_.end()) {
+        it->second.erase(ec);
+        if (it->second.empty()) pair_index_.erase(it);
+      }
+      out.changed_pairs.push_back(unpack(p));
+      out.affected_pairs.push_back(unpack(p));
+    }
+  }
+  for (const std::uint64_t p : next.pairs) {
+    if (!cur.pairs.contains(p)) {
+      pair_index_[p].insert(ec);
+      out.changed_pairs.push_back(unpack(p));
+      out.affected_pairs.push_back(unpack(p));
+    } else if (!near_moved.empty() && near_moved[static_cast<topo::NodeId>(p >> 32)]) {
+      // Membership survived, but the source sits upstream of a device whose
+      // forwarding changed for this EC: its path was modified, so the pair
+      // counts as affected (paper §4.2's pair-update step).
+      out.affected_pairs.push_back(unpack(p));
+    }
+  }
+
+  if (next.has_loop != cur.has_loop) {
+    if (next.has_loop) {
+      looping_.insert(ec);
+      out.loops_begun.push_back(ec);
+    } else {
+      looping_.erase(ec);
+      out.loops_ended.push_back(ec);
+    }
+  }
+  if (next.has_blackhole != cur.has_blackhole) {
+    if (next.has_blackhole) {
+      blackholed_.insert(ec);
+      out.blackholes_begun.push_back(ec);
+    } else {
+      blackholed_.erase(ec);
+      out.blackholes_ended.push_back(ec);
+    }
+  }
+
+  cur = std::move(next);
+
+  // Only policies registered on this EC need a second look (paper §4.2).
+  auto it = policies_by_ec_.find(ec);
+  if (it != policies_by_ec_.end()) {
+    dirty_policies.insert(it->second.begin(), it->second.end());
+  }
+}
+
+CheckResult IncrementalChecker::process(const dpm::ModelDelta& delta) {
+  CheckResult out;
+  if (state_.size() < ecs_.ec_count()) state_.resize(ecs_.ec_count());
+
+  std::unordered_map<dpm::EcId, std::vector<topo::NodeId>> moved_devices;
+  for (const auto& mv : delta.moves) moved_devices[mv.ec].push_back(mv.device);
+  for (const dpm::EcId ec : delta.acl_affected) moved_devices.try_emplace(ec);
+
+  std::unordered_set<PolicyId> dirty_policies;
+  for (const auto& [ec, moved] : moved_devices) {
+    out.affected_ecs.push_back(ec);
+    const Graph g = build_graph(ec);
+    const std::vector<bool> near_moved =
+        moved.empty() ? std::vector<bool>{} : upstream_of(g, moved);
+    apply_state(ec, compute_state(g), near_moved, out, dirty_policies);
+  }
+
+  // Deduplicate pair lists (several ECs can touch the same pair).
+  for (auto* pairs : {&out.affected_pairs, &out.changed_pairs}) {
+    std::sort(pairs->begin(), pairs->end());
+    pairs->erase(std::unique(pairs->begin(), pairs->end()), pairs->end());
+  }
+
+  for (const PolicyId id : dirty_policies) {
+    const bool now = evaluate(policies_[id]);
+    if (now != satisfied_[id]) {
+      satisfied_[id] = now;
+      out.events.push_back(PolicyEvent{id, now});
+    }
+  }
+  std::sort(out.events.begin(), out.events.end(),
+            [](const PolicyEvent& a, const PolicyEvent& b) { return a.id < b.id; });
+  return out;
+}
+
+bool IncrementalChecker::evaluate(const Policy& p) const {
+  for (const dpm::EcId ec : policy_ecs_[p.id]) {
+    const bool delivered = state_[ec].pairs.contains(pair_key(p.src, p.dst));
+    switch (p.kind) {
+      case PolicyKind::kReachability:
+        if (!delivered) return false;
+        break;
+      case PolicyKind::kIsolation:
+        if (delivered) return false;
+        break;
+      case PolicyKind::kWaypoint:
+        if (delivered && !waypoint_ok(p, ec)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+bool IncrementalChecker::waypoint_ok(const Policy& p, dpm::EcId ec) const {
+  // Violated iff a delivering path s -> d exists that avoids `via`:
+  // reverse-reach d in the graph with `via` removed and test s.
+  if (p.src == p.via || p.dst == p.via) return true;
+  const Graph g = build_graph(ec);
+  const std::size_t n = topo_.node_count();
+  if (!g.delivers[p.dst]) return true;  // nothing delivered, nothing to check
+  std::vector<std::vector<topo::NodeId>> prev(n);
+  for (topo::NodeId u = 0; u < n; ++u) {
+    if (u == p.via) continue;
+    for (topo::NodeId v : g.next[u]) {
+      if (v != p.via) prev[v].push_back(u);
+    }
+  }
+  std::vector<bool> seen(n);
+  std::deque<topo::NodeId> q{p.dst};
+  seen[p.dst] = true;
+  while (!q.empty()) {
+    const topo::NodeId v = q.front();
+    q.pop_front();
+    if (v == p.src) return false;  // bypass found
+    for (topo::NodeId u : prev[v]) {
+      if (!seen[u]) {
+        seen[u] = true;
+        q.push_back(u);
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+/// Shared policy-registration plumbing.
+PolicyId register_policy(std::vector<Policy>& policies, std::vector<bool>& satisfied,
+                         std::vector<std::vector<dpm::EcId>>& policy_ecs, Policy p) {
+  p.id = static_cast<PolicyId>(policies.size());
+  policies.push_back(p);
+  satisfied.push_back(true);
+  policy_ecs.emplace_back();
+  return p.id;
+}
+}  // namespace
+
+PolicyId IncrementalChecker::add_reachability(topo::NodeId src, topo::NodeId dst,
+                                              dpm::BddRef packets, std::string name) {
+  Policy p;
+  p.kind = PolicyKind::kReachability;
+  p.src = src;
+  p.dst = dst;
+  p.packets = packets;
+  p.name = std::move(name);
+  const PolicyId id = register_policy(policies_, satisfied_, policy_ecs_, p);
+  ecs_.register_predicate(packets);  // splits fire on_split before returning
+  if (state_.size() < ecs_.ec_count()) state_.resize(ecs_.ec_count());
+  for (const dpm::EcId ec : ecs_.ecs_in(packets)) {
+    policies_by_ec_[ec].push_back(id);
+    policy_ecs_[id].push_back(ec);
+  }
+  satisfied_[id] = evaluate(policies_[id]);
+  return id;
+}
+
+PolicyId IncrementalChecker::add_isolation(topo::NodeId src, topo::NodeId dst,
+                                           dpm::BddRef packets, std::string name) {
+  const PolicyId id = add_reachability(src, dst, packets, std::move(name));
+  policies_[id].kind = PolicyKind::kIsolation;
+  satisfied_[id] = evaluate(policies_[id]);
+  return id;
+}
+
+PolicyId IncrementalChecker::add_waypoint(topo::NodeId src, topo::NodeId dst, topo::NodeId via,
+                                          dpm::BddRef packets, std::string name) {
+  const PolicyId id = add_reachability(src, dst, packets, std::move(name));
+  policies_[id].kind = PolicyKind::kWaypoint;
+  policies_[id].via = via;
+  satisfied_[id] = evaluate(policies_[id]);
+  return id;
+}
+
+bool IncrementalChecker::reachable(topo::NodeId src, topo::NodeId dst, dpm::EcId ec) const {
+  return ec < state_.size() && state_[ec].pairs.contains(pair_key(src, dst));
+}
+
+std::vector<std::pair<topo::NodeId, topo::NodeId>> IncrementalChecker::reachable_pairs() const {
+  std::vector<std::pair<topo::NodeId, topo::NodeId>> out;
+  out.reserve(pair_index_.size());
+  for (const auto& [p, ecs] : pair_index_) {
+    out.emplace_back(static_cast<topo::NodeId>(p >> 32),
+                     static_cast<topo::NodeId>(p & 0xffffffffu));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<dpm::EcId> IncrementalChecker::ecs_between(topo::NodeId src,
+                                                       topo::NodeId dst) const {
+  auto it = pair_index_.find(pair_key(src, dst));
+  if (it == pair_index_.end()) return {};
+  std::vector<dpm::EcId> out(it->second.begin(), it->second.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<topo::NodeId>> IncrementalChecker::trace(topo::NodeId src, dpm::EcId ec,
+                                                                 std::size_t limit) const {
+  const Graph g = build_graph(ec);
+  std::vector<std::vector<topo::NodeId>> paths;
+  std::vector<topo::NodeId> cur{src};
+  std::function<void(topo::NodeId)> dfs = [&](topo::NodeId u) {
+    if (paths.size() >= limit) return;
+    if (g.delivers[u] || g.drops[u] || g.next[u].empty()) {
+      paths.push_back(cur);
+      return;
+    }
+    for (topo::NodeId v : g.next[u]) {
+      if (std::find(cur.begin(), cur.end(), v) != cur.end()) {
+        // Loop: record the truncated path once.
+        auto looped = cur;
+        looped.push_back(v);
+        paths.push_back(std::move(looped));
+        continue;
+      }
+      cur.push_back(v);
+      dfs(v);
+      cur.pop_back();
+    }
+  };
+  dfs(src);
+  return paths;
+}
+
+}  // namespace rcfg::verify

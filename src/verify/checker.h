@@ -1,0 +1,156 @@
+#pragma once
+
+// The incremental network policy checker — RealConfig's third pipeline
+// stage (paper §4.2): data plane model changes in, changes in policy
+// satisfaction out.
+//
+// Per the paper, two maps make checking incremental:
+//   (1) per EC: its forwarding behaviour (here: the delivered (src, dst)
+//       pairs, plus loop/blackhole flags derived from its forwarding
+//       graph), and
+//   (2) per node pair (s, d): the set of ECs that s can send to d.
+// A model delta lists the affected ECs; only those ECs' state is
+// recomputed, only the pairs they touch are updated, and only the policies
+// *registered* on those ECs are re-evaluated.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dpm/ec.h"
+#include "dpm/model.h"
+#include "topo/topology.h"
+
+namespace rcfg::verify {
+
+using PolicyId = std::uint32_t;
+
+enum class PolicyKind : std::uint8_t {
+  kReachability,  ///< every packet of `packets` sent s -> d is delivered
+  kIsolation,     ///< no packet of `packets` sent s -> d is delivered
+  kWaypoint,      ///< every delivered s -> d path crosses `via`
+};
+
+struct Policy {
+  PolicyId id = 0;
+  PolicyKind kind = PolicyKind::kReachability;
+  topo::NodeId src = topo::kInvalidNode;
+  topo::NodeId dst = topo::kInvalidNode;
+  topo::NodeId via = topo::kInvalidNode;  ///< waypoint only
+  dpm::BddRef packets = dpm::kBddTrue;
+  std::string name;
+};
+
+struct PolicyEvent {
+  PolicyId id = 0;
+  bool satisfied = false;  ///< the policy's new state
+};
+
+struct CheckResult {
+  std::vector<dpm::EcId> affected_ecs;
+  /// Pairs affected by modified paths (the paper's "#Pairs"): for each
+  /// affected EC, the delivered pairs whose source can send traffic through
+  /// a device whose forwarding for that EC changed — i.e., the pairs that
+  /// had to be re-examined — plus every pair whose membership changed.
+  std::vector<std::pair<topo::NodeId, topo::NodeId>> affected_pairs;
+  /// The strict subset of affected_pairs whose delivering EC set actually
+  /// changed (reachability gained or lost).
+  std::vector<std::pair<topo::NodeId, topo::NodeId>> changed_pairs;
+  std::vector<PolicyEvent> events;  ///< policies that flipped state
+  std::vector<dpm::EcId> loops_begun, loops_ended;
+  std::vector<dpm::EcId> blackholes_begun, blackholes_ended;
+
+  bool empty() const {
+    return affected_ecs.empty() && affected_pairs.empty() && changed_pairs.empty() &&
+           events.empty() && loops_begun.empty() && loops_ended.empty() &&
+           blackholes_begun.empty() && blackholes_ended.empty();
+  }
+};
+
+class IncrementalChecker {
+ public:
+  IncrementalChecker(const topo::Topology& topo, dpm::PacketSpace& space, dpm::EcManager& ecs,
+                     const dpm::NetworkModel& model);
+
+  // --- policy registration (packets BDD registers as an EC predicate) ----
+  PolicyId add_reachability(topo::NodeId src, topo::NodeId dst, dpm::BddRef packets,
+                            std::string name = "");
+  PolicyId add_isolation(topo::NodeId src, topo::NodeId dst, dpm::BddRef packets,
+                         std::string name = "");
+  PolicyId add_waypoint(topo::NodeId src, topo::NodeId dst, topo::NodeId via,
+                        dpm::BddRef packets, std::string name = "");
+
+  bool policy_satisfied(PolicyId id) const { return satisfied_.at(id); }
+  const Policy& policy(PolicyId id) const { return policies_.at(id); }
+  std::size_t policy_count() const { return policies_.size(); }
+
+  /// Re-check everything the model delta touched. Incremental: cost scales
+  /// with the number of affected ECs, not network size.
+  CheckResult process(const dpm::ModelDelta& delta);
+
+  // --- queries -----------------------------------------------------------
+  bool reachable(topo::NodeId src, topo::NodeId dst, dpm::EcId ec) const;
+  std::vector<dpm::EcId> ecs_between(topo::NodeId src, topo::NodeId dst) const;
+  /// Pairs with at least one delivering EC (total for Table 3 percentages).
+  std::size_t pair_count() const { return pair_index_.size(); }
+  /// All such pairs, sorted (snapshot for failure-sweep intersection).
+  std::vector<std::pair<topo::NodeId, topo::NodeId>> reachable_pairs() const;
+  std::size_t loop_count() const { return looping_.size(); }
+  std::size_t blackhole_count() const { return blackholed_.size(); }
+
+  /// Enumerate (up to `limit`) forwarding paths of `ec` from `src` — the
+  /// paper's "dumping the full packet traces" debugging aid. A path ends
+  /// with the delivering/dropping node; looping branches are truncated at
+  /// the first repeated node.
+  std::vector<std::vector<topo::NodeId>> trace(topo::NodeId src, dpm::EcId ec,
+                                               std::size_t limit = 16) const;
+
+ private:
+  struct EcState {
+    std::unordered_set<std::uint64_t> pairs;  ///< delivered (s<<32)|d, s != d
+    bool has_loop = false;
+    bool has_blackhole = false;
+  };
+
+  /// The EC's forwarding graph, derived from the model (ports + ACLs).
+  struct Graph {
+    std::vector<std::vector<topo::NodeId>> next;  ///< forwarding successors
+    std::vector<bool> delivers;
+    std::vector<bool> drops;
+  };
+  Graph build_graph(dpm::EcId ec) const;
+
+  EcState compute_state(const Graph& g) const;
+  /// Sources that can push traffic into any of `roots` (reverse
+  /// reachability, roots included).
+  std::vector<bool> upstream_of(const Graph& g, const std::vector<topo::NodeId>& roots) const;
+  void apply_state(dpm::EcId ec, EcState next, const std::vector<bool>& near_moved,
+                   CheckResult& out, std::unordered_set<PolicyId>& dirty_policies);
+  bool evaluate(const Policy& p) const;
+  bool waypoint_ok(const Policy& p, dpm::EcId ec) const;
+  void on_split(const dpm::EcManager::Split& s);
+
+  static std::uint64_t pair_key(topo::NodeId s, topo::NodeId d) {
+    return (std::uint64_t{s} << 32) | d;
+  }
+
+  const topo::Topology& topo_;
+  dpm::PacketSpace& space_;
+  dpm::EcManager& ecs_;
+  const dpm::NetworkModel& model_;
+
+  std::vector<EcState> state_;  ///< indexed by EcId (grown on splits)
+  std::unordered_map<std::uint64_t, std::unordered_set<dpm::EcId>> pair_index_;
+  std::unordered_set<dpm::EcId> looping_;
+  std::unordered_set<dpm::EcId> blackholed_;
+
+  std::vector<Policy> policies_;
+  std::vector<bool> satisfied_;
+  std::unordered_map<dpm::EcId, std::vector<PolicyId>> policies_by_ec_;
+  std::vector<std::vector<dpm::EcId>> policy_ecs_;  ///< PolicyId -> its ECs
+};
+
+}  // namespace rcfg::verify

@@ -1,0 +1,59 @@
+#include "verify/failures.h"
+
+#include <algorithm>
+
+#include "config/builders.h"
+
+namespace rcfg::verify {
+
+FailureSweepResult sweep_single_link_failures(RealConfig& rc,
+                                              const config::NetworkConfig& healthy,
+                                              const std::vector<topo::LinkId>& links) {
+  const topo::Topology& topo = rc.topology();
+
+  std::vector<topo::LinkId> scenario_links = links;
+  if (scenario_links.empty()) {
+    for (topo::LinkId l = 0; l < topo.link_count(); ++l) scenario_links.push_back(l);
+  }
+
+  FailureSweepResult result;
+  result.healthy_pairs = rc.checker().reachable_pairs();
+  result.fault_tolerant_pairs = result.healthy_pairs;
+
+  const std::size_t healthy_loops = rc.checker().loop_count();
+  std::vector<bool> policy_healthy(rc.checker().policy_count());
+  for (PolicyId id = 0; id < policy_healthy.size(); ++id) {
+    policy_healthy[id] = rc.checker().policy_satisfied(id);
+  }
+
+  config::NetworkConfig scenario = healthy;
+  for (const topo::LinkId link : scenario_links) {
+    config::fail_link(scenario, topo, link);
+    rc.apply(scenario);
+    ++result.scenarios;
+
+    // Intersect the fault-tolerant spec with this scenario's pairs.
+    const auto pairs = rc.checker().reachable_pairs();
+    std::vector<std::pair<topo::NodeId, topo::NodeId>> kept;
+    kept.reserve(result.fault_tolerant_pairs.size());
+    std::set_intersection(result.fault_tolerant_pairs.begin(),
+                          result.fault_tolerant_pairs.end(), pairs.begin(), pairs.end(),
+                          std::back_inserter(kept));
+    const bool lost_pairs = pairs.size() < result.healthy_pairs.size();
+    result.fault_tolerant_pairs = std::move(kept);
+    if (lost_pairs) result.critical_links.push_back(link);
+
+    for (PolicyId id = 0; id < policy_healthy.size(); ++id) {
+      if (policy_healthy[id] && !rc.checker().policy_satisfied(id)) {
+        result.policy_violations[id].push_back(link);
+      }
+    }
+    if (rc.checker().loop_count() > healthy_loops) result.loop_scenarios.push_back(link);
+
+    config::restore_link(scenario, topo, link);
+    rc.apply(scenario);
+  }
+  return result;
+}
+
+}  // namespace rcfg::verify

@@ -1,0 +1,40 @@
+#pragma once
+
+// Failure-scenario analysis (paper §2 "Specification mining"): sweep link
+// failure scenarios with one long-lived, incrementally updated verifier
+// instead of a from-scratch verification per scenario.
+//
+// Two consumers: Config2Spec-style mining ("which reachability guarantees
+// survive every single-link failure?") and operational what-if analysis
+// ("which links are critical?", "which scenarios violate my policies?").
+
+#include <unordered_map>
+#include <vector>
+
+#include "verify/realconfig.h"
+
+namespace rcfg::verify {
+
+struct FailureSweepResult {
+  /// Ordered pairs (s, d) reachable on the healthy network.
+  std::vector<std::pair<topo::NodeId, topo::NodeId>> healthy_pairs;
+  /// The mined fault-tolerant spec: pairs reachable under EVERY scenario.
+  std::vector<std::pair<topo::NodeId, topo::NodeId>> fault_tolerant_pairs;
+  /// Links whose single failure disconnects at least one healthy pair.
+  std::vector<topo::LinkId> critical_links;
+  /// Registered policies -> scenarios (failed links) that violate them.
+  std::unordered_map<PolicyId, std::vector<topo::LinkId>> policy_violations;
+  /// Scenarios where some EC developed a forwarding loop.
+  std::vector<topo::LinkId> loop_scenarios;
+  std::size_t scenarios = 0;
+};
+
+/// Verify every single-link-failure scenario (or the `links` subset)
+/// incrementally: fail -> re-verify -> restore -> re-verify. The verifier
+/// is left back in the healthy state. `healthy` must be the configuration
+/// most recently applied to `rc`.
+FailureSweepResult sweep_single_link_failures(RealConfig& rc,
+                                              const config::NetworkConfig& healthy,
+                                              const std::vector<topo::LinkId>& links = {});
+
+}  // namespace rcfg::verify

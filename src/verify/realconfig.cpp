@@ -1,0 +1,64 @@
+#include "verify/realconfig.h"
+
+#include <stdexcept>
+
+namespace rcfg::verify {
+
+namespace {
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+}  // namespace
+
+RealConfig::RealConfig(const topo::Topology& topo, RealConfigOptions options)
+    : topo_(topo),
+      options_(options),
+      generator_(topo, options.generator),
+      ecs_(space_),
+      model_(space_, ecs_, topo.node_count()),
+      checker_(topo, space_, ecs_, model_) {}
+
+RealConfig::Report RealConfig::apply(const config::NetworkConfig& cfg) {
+  Report report;
+  const auto t0 = std::chrono::steady_clock::now();
+  report.dataplane = generator_.apply(cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  report.model = model_.apply_batch(report.dataplane, options_.update_order);
+  const auto t2 = std::chrono::steady_clock::now();
+  report.check = checker_.process(report.model);
+  const auto t3 = std::chrono::steady_clock::now();
+  report.generate_ms = ms_between(t0, t1);
+  report.model_ms = ms_between(t1, t2);
+  report.check_ms = ms_between(t2, t3);
+  return report;
+}
+
+topo::NodeId RealConfig::node_or_throw(const std::string& name) const {
+  const topo::NodeId n = topo_.find_node(name);
+  if (n == topo::kInvalidNode) throw std::invalid_argument("unknown node: " + name);
+  return n;
+}
+
+PolicyId RealConfig::require_reachable(const std::string& src, const std::string& dst,
+                                       net::Ipv4Prefix dst_prefix) {
+  return checker_.add_reachability(node_or_throw(src), node_or_throw(dst),
+                                   space_.dst_prefix(dst_prefix),
+                                   src + "->" + dst + " " + dst_prefix.to_string());
+}
+
+PolicyId RealConfig::require_isolated(const std::string& src, const std::string& dst,
+                                      net::Ipv4Prefix dst_prefix) {
+  return checker_.add_isolation(node_or_throw(src), node_or_throw(dst),
+                                space_.dst_prefix(dst_prefix),
+                                src + "-x->" + dst + " " + dst_prefix.to_string());
+}
+
+PolicyId RealConfig::require_waypoint(const std::string& src, const std::string& dst,
+                                      const std::string& via, net::Ipv4Prefix dst_prefix) {
+  return checker_.add_waypoint(node_or_throw(src), node_or_throw(dst), node_or_throw(via),
+                               space_.dst_prefix(dst_prefix),
+                               src + "->" + via + "->" + dst + " " + dst_prefix.to_string());
+}
+
+}  // namespace rcfg::verify

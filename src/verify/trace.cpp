@@ -1,0 +1,165 @@
+#include "verify/trace.h"
+
+#include <algorithm>
+
+namespace rcfg::verify {
+
+const char* to_string(Disposition d) {
+  switch (d) {
+    case Disposition::kDelivered:
+      return "delivered";
+    case Disposition::kDropped:
+      return "dropped (explicit)";
+    case Disposition::kNoRoute:
+      return "dropped (no route)";
+    case Disposition::kFilteredOut:
+      return "filtered (egress ACL)";
+    case Disposition::kFilteredIn:
+      return "filtered (ingress ACL)";
+    case Disposition::kDeadEnd:
+      return "dead end (unwired interface)";
+    case Disposition::kLoop:
+      return "LOOP";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Tracer {
+  const topo::Topology& topo;
+  const dpm::NetworkModel& model;
+  const config::Flow& flow;
+  std::size_t max_branches;
+  FlowTrace result;
+  std::vector<TraceHop> current;
+  std::vector<bool> on_path;
+
+  void finish(Disposition d) {
+    if (result.branches.size() >= max_branches) return;
+    result.branches.push_back(TraceBranch{current, d});
+  }
+
+  void visit(topo::NodeId node) {
+    if (result.branches.size() >= max_branches) return;
+    if (on_path[node]) {
+      TraceHop hop;
+      hop.node = node;
+      current.push_back(hop);
+      finish(Disposition::kLoop);
+      current.pop_back();
+      return;
+    }
+
+    TraceHop hop;
+    hop.node = node;
+    const auto match = model.lookup(node, flow.dst);
+    if (!match) {
+      current.push_back(hop);
+      finish(Disposition::kNoRoute);
+      current.pop_back();
+      return;
+    }
+    hop.matched_prefix = match->first;
+    hop.port = match->second;
+
+    switch (hop.port.action) {
+      case routing::FibAction::kDeliver:
+        current.push_back(hop);
+        finish(Disposition::kDelivered);
+        current.pop_back();
+        return;
+      case routing::FibAction::kDrop:
+        current.push_back(hop);
+        finish(Disposition::kDropped);
+        current.pop_back();
+        return;
+      case routing::FibAction::kForward:
+        break;
+    }
+
+    on_path[node] = true;
+    for (const topo::IfaceId egress : hop.port.ifaces) {
+      TraceHop branch_hop = hop;
+      branch_hop.egress = egress;
+
+      const auto& ifc = topo.iface(egress);
+      if (!ifc.link) {
+        current.push_back(branch_hop);
+        finish(Disposition::kDeadEnd);
+        current.pop_back();
+        continue;
+      }
+      const topo::NodeId peer = topo.peer(*ifc.link, node);
+      const topo::IfaceId peer_iface = topo.peer_iface(*ifc.link, node);
+
+      const auto out_verdict = model.filter_verdict(node, egress, /*inbound=*/false, flow);
+      if (out_verdict.has_acl) branch_hop.egress_acl_rule = out_verdict.rule;
+      if (!out_verdict.permit) {
+        current.push_back(branch_hop);
+        finish(Disposition::kFilteredOut);
+        current.pop_back();
+        continue;
+      }
+      const auto in_verdict = model.filter_verdict(peer, peer_iface, /*inbound=*/true, flow);
+      if (in_verdict.has_acl) branch_hop.ingress_acl_rule = in_verdict.rule;
+      if (!in_verdict.permit) {
+        current.push_back(branch_hop);
+        finish(Disposition::kFilteredIn);
+        current.pop_back();
+        continue;
+      }
+
+      current.push_back(branch_hop);
+      visit(peer);
+      current.pop_back();
+    }
+    on_path[node] = false;
+  }
+};
+
+std::string describe_rule(const routing::FilterRule& r) {
+  std::string out = r.permit ? "permit" : "deny";
+  out += " #" + std::to_string(r.priority);
+  return out;
+}
+
+}  // namespace
+
+FlowTrace trace_flow(const topo::Topology& topo, const dpm::NetworkModel& model,
+                     const config::Flow& flow, topo::NodeId ingress,
+                     std::size_t max_branches) {
+  Tracer tracer{topo, model, flow, max_branches, {}, {}, std::vector<bool>(topo.node_count())};
+  tracer.result.flow = flow;
+  tracer.result.ingress = ingress;
+  tracer.visit(ingress);
+  return tracer.result;
+}
+
+std::string to_string(const FlowTrace& trace, const topo::Topology& topo) {
+  std::string out = "flow " + net::Ipv4Addr(trace.flow.src).to_string() + " -> " +
+                    net::Ipv4Addr(trace.flow.dst).to_string() + " (ingress " +
+                    topo.node(trace.ingress).name + "): " +
+                    std::to_string(trace.branches.size()) + " branch(es)\n";
+  for (std::size_t b = 0; b < trace.branches.size(); ++b) {
+    const TraceBranch& branch = trace.branches[b];
+    out += "  branch " + std::to_string(b + 1) + " [" + to_string(branch.disposition) + "]\n";
+    for (const TraceHop& hop : branch.hops) {
+      out += "    " + topo.node(hop.node).name;
+      if (hop.matched_prefix) {
+        out += "  match " + hop.matched_prefix->to_string() + " -> " + dpm::to_string(hop.port);
+      } else {
+        out += "  (no matching rule)";
+      }
+      if (hop.egress != topo::kInvalidIface) {
+        out += "  via " + topo.iface(hop.egress).name;
+      }
+      if (hop.egress_acl_rule) out += "  [out-acl " + describe_rule(*hop.egress_acl_rule) + "]";
+      if (hop.ingress_acl_rule) out += "  [in-acl " + describe_rule(*hop.ingress_acl_rule) + "]";
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace rcfg::verify

@@ -1,0 +1,80 @@
+#pragma once
+
+// Concrete packet tracing — the debugging functionality the paper credits
+// to explicit data plane generation (§4): "dumping the full packet traces
+// (what rules they match, which path they take, etc.)".
+//
+// Given a concrete flow and an ingress node, trace_flow() walks the data
+// plane model hop by hop, recording at every device the longest-prefix
+// rule the packet matched, the ACLs consulted (with the deciding filter
+// rule), and the final disposition — fanning out over ECMP branches.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/matchers.h"
+#include "dpm/model.h"
+#include "topo/topology.h"
+
+namespace rcfg::verify {
+
+enum class Disposition : std::uint8_t {
+  kDelivered,    ///< reached a device that delivers the destination locally
+  kDropped,      ///< matched an explicit drop (null route / aggregate discard)
+  kNoRoute,      ///< no rule covered the destination (implicit drop)
+  kFilteredOut,  ///< denied by an egress ACL
+  kFilteredIn,   ///< denied by the next hop's ingress ACL
+  kDeadEnd,      ///< egress interface is not wired anywhere
+  kLoop,         ///< revisited a device: forwarding loop
+};
+
+const char* to_string(Disposition d);
+
+/// One device visit on one branch.
+struct TraceHop {
+  topo::NodeId node = topo::kInvalidNode;
+  std::optional<net::Ipv4Prefix> matched_prefix;  ///< nullopt = no route
+  dpm::PortKey port;                              ///< the action taken
+  topo::IfaceId egress = topo::kInvalidIface;     ///< iface chosen on this branch
+  /// ACL decisions made when leaving this hop (egress side, then the next
+  /// hop's ingress side); absent when no ACL was bound.
+  std::optional<routing::FilterRule> egress_acl_rule;
+  std::optional<routing::FilterRule> ingress_acl_rule;
+};
+
+/// One root-to-disposition forwarding branch.
+struct TraceBranch {
+  std::vector<TraceHop> hops;
+  Disposition disposition = Disposition::kNoRoute;
+};
+
+struct FlowTrace {
+  config::Flow flow;
+  topo::NodeId ingress = topo::kInvalidNode;
+  std::vector<TraceBranch> branches;
+
+  bool any_delivered() const {
+    for (const TraceBranch& b : branches) {
+      if (b.disposition == Disposition::kDelivered) return true;
+    }
+    return false;
+  }
+  bool all_delivered() const {
+    for (const TraceBranch& b : branches) {
+      if (b.disposition != Disposition::kDelivered) return false;
+    }
+    return !branches.empty();
+  }
+};
+
+/// Trace `flow` injected at `ingress` through the converged data plane
+/// model. Enumerates every ECMP branch up to `max_branches`.
+FlowTrace trace_flow(const topo::Topology& topo, const dpm::NetworkModel& model,
+                     const config::Flow& flow, topo::NodeId ingress,
+                     std::size_t max_branches = 64);
+
+/// Human-readable rendering, one line per hop.
+std::string to_string(const FlowTrace& trace, const topo::Topology& topo);
+
+}  // namespace rcfg::verify

@@ -1,0 +1,123 @@
+// Direct unit tests of the from-scratch baseline simulator (most of its
+// coverage is differential, via tests/routing/); these pin down behaviours
+// the differential tests would mask if both sides drifted together.
+
+#include "baseline/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "config/builders.h"
+#include "topo/generators.h"
+
+namespace rcfg::baseline {
+namespace {
+
+using routing::FibAction;
+using routing::FibEntry;
+
+const FibEntry* find_row(const topo::Topology& t, const dd::ZSet<FibEntry>& fib,
+                         const char* node, net::Ipv4Prefix prefix) {
+  const topo::NodeId n = t.find_node(node);
+  for (const auto& [e, w] : fib) {
+    if (e.node == n && e.prefix == prefix) return &e;
+  }
+  return nullptr;
+}
+
+TEST(Baseline, OspfCostsSteerAwayFromExpensiveArc) {
+  // Square ring, direct arc r0->r1 costs 10, detour r0->r3->r2->r1 costs 3.
+  const topo::Topology t = topo::make_ring(4);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  config::set_ospf_cost(cfg, "r0", "to-r1", 10);
+
+  const SimulationResult sim = simulate(t, cfg);
+  const FibEntry* row = find_row(t, sim.fib, "r0", config::host_prefix(t.find_node("r1")));
+  ASSERT_NE(row, nullptr);
+  ASSERT_EQ(row->out_ifaces.size(), 1u);
+  EXPECT_EQ(row->out_ifaces[0], t.find_interface(t.find_node("r0"), "to-r3"));
+}
+
+TEST(Baseline, OspfEcmpKeepsEveryMinimumCostEgress) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  const SimulationResult sim = simulate(t, config::build_ospf_network(t));
+  const FibEntry* row =
+      find_row(t, sim.fib, "edge0-0", config::host_prefix(t.find_node("edge1-0")));
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->out_ifaces.size(), 2u);
+}
+
+TEST(Baseline, BgpRoundsScaleWithDiameter) {
+  const topo::Topology ring = topo::make_ring(8);
+  const SimulationResult sim = simulate(ring, config::build_bgp_network(ring));
+  // Diameter 4: adverts need ~diameter+1 rounds to stabilize.
+  EXPECT_GE(sim.bgp_rounds, 4u);
+  EXPECT_LE(sim.bgp_rounds, 8u);
+}
+
+TEST(Baseline, RedistributionRoundsWithoutRedistributionIsOne) {
+  const topo::Topology t = topo::make_ring(4);
+  const SimulationResult sim = simulate(t, config::build_ospf_network(t));
+  EXPECT_EQ(sim.redistribution_rounds, 1u);
+}
+
+TEST(Baseline, AnycastPicksNearestOrigin) {
+  // The same prefix originated at both ends of a chain: each node routes to
+  // the closer origin (anycast), the middle node keeps both (ECMP tie).
+  const topo::Topology t = topo::make_grid(5, 1);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  const auto anycast = *net::Ipv4Prefix::parse("198.51.100.0/24");
+  for (const char* host : {"n0-0", "n4-0"}) {
+    auto& dev = cfg.devices.at(host);
+    config::InterfaceConfig stub;
+    stub.name = "anycast0";
+    stub.address = anycast;
+    stub.ospf_area = 0;
+    stub.ospf_passive = true;
+    dev.interfaces.push_back(stub);
+  }
+
+  const SimulationResult sim = simulate(t, cfg);
+  const FibEntry* near_left = find_row(t, sim.fib, "n1-0", anycast);
+  ASSERT_NE(near_left, nullptr);
+  EXPECT_EQ(near_left->out_ifaces[0], t.find_interface(t.find_node("n1-0"), "to-n0-0"));
+
+  const FibEntry* middle = find_row(t, sim.fib, "n2-0", anycast);
+  ASSERT_NE(middle, nullptr);
+  EXPECT_EQ(middle->out_ifaces.size(), 2u);  // equal distance both ways
+}
+
+TEST(Baseline, RipHorizonDropsFarRoutes) {
+  const topo::Topology t = topo::make_grid(20, 1);
+  const SimulationResult sim = simulate(t, config::build_rip_network(t));
+  const auto p0 = config::host_prefix(t.find_node("n0-0"));
+  EXPECT_NE(find_row(t, sim.fib, "n14-0", p0), nullptr);
+  EXPECT_EQ(find_row(t, sim.fib, "n15-0", p0), nullptr);
+}
+
+TEST(Baseline, StaticDistanceBreaksTies) {
+  // Two static routes for the same prefix with different admin distances:
+  // the lower distance wins the FIB.
+  const topo::Topology t = topo::make_ring(3);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  const auto p = *net::Ipv4Prefix::parse("203.0.113.0/24");
+  cfg.devices.at("r0").static_routes.push_back({p, "to-r1", 5});
+  cfg.devices.at("r0").static_routes.push_back({p, "to-r2", 3});
+
+  const SimulationResult sim = simulate(t, cfg);
+  const FibEntry* row = find_row(t, sim.fib, "r0", p);
+  ASSERT_NE(row, nullptr);
+  ASSERT_EQ(row->out_ifaces.size(), 1u);
+  EXPECT_EQ(row->out_ifaces[0], t.find_interface(t.find_node("r0"), "to-r2"));
+}
+
+TEST(Baseline, SimulateFactsMatchesSimulate) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  const config::NetworkConfig cfg = config::build_bgp_network(t);
+  const SimulationResult a = simulate(t, cfg);
+  const SimulationResult b = simulate_facts(t, routing::compile_facts(t, cfg));
+  EXPECT_TRUE(a.fib == b.fib);
+  EXPECT_TRUE(a.bgp_best == b.bgp_best);
+}
+
+}  // namespace
+}  // namespace rcfg::baseline

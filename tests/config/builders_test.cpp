@@ -1,0 +1,174 @@
+#include "config/builders.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "config/parse.h"
+#include "config/print.h"
+#include "topo/generators.h"
+
+namespace rcfg::config {
+namespace {
+
+TEST(AddressPlan, HostPrefixesAreDisjoint) {
+  std::set<net::Ipv4Prefix> seen;
+  for (topo::NodeId n = 0; n < 600; ++n) {
+    const auto p = host_prefix(n);
+    EXPECT_EQ(p.length(), 24);
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate host prefix for node " << n;
+  }
+}
+
+TEST(AddressPlan, LinkSubnetsAreDisjointSlash31s) {
+  std::set<net::Ipv4Prefix> seen;
+  for (topo::LinkId l = 0; l < 2000; ++l) {
+    const auto p = link_subnet(l);
+    EXPECT_EQ(p.length(), 31);
+    EXPECT_TRUE(seen.insert(p).second);
+  }
+}
+
+TEST(AddressPlan, HostAndLinkSpacesDisjoint) {
+  for (topo::NodeId n = 0; n < 100; ++n) {
+    for (topo::LinkId l = 0; l < 100; ++l) {
+      EXPECT_FALSE(host_prefix(n).overlaps(link_subnet(l)));
+    }
+  }
+}
+
+TEST(BuildOspf, EveryInterfaceRunsOspf) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  const NetworkConfig cfg = build_ospf_network(t);
+  ASSERT_EQ(cfg.devices.size(), t.node_count());
+  for (const auto& [name, dev] : cfg.devices) {
+    ASSERT_TRUE(dev.ospf.has_value()) << name;
+    EXPECT_FALSE(dev.bgp.has_value());
+    for (const auto& i : dev.interfaces) {
+      EXPECT_TRUE(i.ospf_enabled()) << name << "/" << i.name;
+      ASSERT_TRUE(i.address.has_value());
+      if (i.name == "lan0") {
+        EXPECT_TRUE(i.ospf_passive);
+        EXPECT_EQ(i.address->length(), 24);
+      } else {
+        EXPECT_EQ(i.address->length(), 31);
+      }
+    }
+  }
+}
+
+TEST(BuildOspf, LinkEndsShareSubnet) {
+  const topo::Topology t = topo::make_ring(3);
+  const NetworkConfig cfg = build_ospf_network(t);
+  for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+    const auto& lk = t.link(l);
+    const auto& da = cfg.devices.at(t.node(lk.a).name);
+    const auto& db = cfg.devices.at(t.node(lk.b).name);
+    const auto* ia = da.find_interface(t.iface(lk.a_iface).name);
+    const auto* ib = db.find_interface(t.iface(lk.b_iface).name);
+    ASSERT_NE(ia, nullptr);
+    ASSERT_NE(ib, nullptr);
+    EXPECT_EQ(*ia->address, *ib->address);
+  }
+}
+
+TEST(BuildBgp, OneAsPerNodeFullPeering) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  const NetworkConfig cfg = build_bgp_network(t);
+  std::set<std::uint32_t> as_numbers;
+  for (const auto& [name, dev] : cfg.devices) {
+    ASSERT_TRUE(dev.bgp.has_value()) << name;
+    EXPECT_TRUE(as_numbers.insert(dev.bgp->local_as).second) << "duplicate AS";
+    const topo::NodeId n = t.find_node(name);
+    EXPECT_EQ(dev.bgp->neighbors.size(), t.adjacencies(n).size());
+    ASSERT_EQ(dev.bgp->networks.size(), 1u);
+    EXPECT_EQ(dev.bgp->networks[0], host_prefix(n));
+  }
+}
+
+TEST(BuildBgp, NeighborAsMatchesPeer) {
+  const topo::Topology t = topo::make_ring(5);
+  const NetworkConfig cfg = build_bgp_network(t, 65000);
+  for (const auto& [name, dev] : cfg.devices) {
+    const topo::NodeId n = t.find_node(name);
+    for (const auto& adj : t.adjacencies(n)) {
+      const auto& iface_name = t.iface(adj.iface).name;
+      bool found = false;
+      for (const auto& nb : dev.bgp->neighbors) {
+        if (nb.iface == iface_name) {
+          EXPECT_EQ(nb.remote_as, 65000u + adj.peer);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << "no neighbor on " << iface_name;
+    }
+  }
+}
+
+TEST(BuiltConfigsSurviveRoundTrip, OspfAndBgp) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  for (const NetworkConfig& cfg : {build_ospf_network(t), build_bgp_network(t)}) {
+    EXPECT_EQ(parse_network(print_network(cfg)), cfg);
+  }
+}
+
+TEST(Mutators, FailAndRestoreLink) {
+  const topo::Topology t = topo::make_ring(3);
+  NetworkConfig cfg = build_ospf_network(t);
+  const NetworkConfig orig = cfg;
+  fail_link(cfg, t, 1);
+  EXPECT_NE(cfg, orig);
+  restore_link(cfg, t, 1);
+  EXPECT_EQ(cfg, orig);
+}
+
+TEST(Mutators, SetLocalPrefCreatesImportPolicy) {
+  const topo::Topology t = topo::make_ring(3);
+  NetworkConfig cfg = build_bgp_network(t);
+  set_local_pref(cfg, "r0", "to-r1", 150);
+
+  const DeviceConfig& dev = cfg.devices.at("r0");
+  ASSERT_TRUE(dev.prefix_lists.contains("PL-ANY"));
+  ASSERT_TRUE(dev.route_maps.contains("LP-to-r1"));
+  const RouteMap& rm = dev.route_maps.at("LP-to-r1");
+  ASSERT_EQ(rm.clauses.size(), 1u);
+  EXPECT_EQ(rm.clauses[0].set_local_pref, 150u);
+
+  bool attached = false;
+  for (const auto& nb : dev.bgp->neighbors) {
+    if (nb.iface == "to-r1") {
+      EXPECT_EQ(nb.import_route_map, "LP-to-r1");
+      attached = true;
+    }
+  }
+  EXPECT_TRUE(attached);
+}
+
+TEST(Mutators, SetLocalPrefOnOspfDeviceThrows) {
+  const topo::Topology t = topo::make_ring(3);
+  NetworkConfig cfg = build_ospf_network(t);
+  EXPECT_THROW(set_local_pref(cfg, "r0", "to-r1", 150), std::invalid_argument);
+}
+
+TEST(Mutators, UnknownDeviceOrIfaceThrows) {
+  const topo::Topology t = topo::make_ring(3);
+  NetworkConfig cfg = build_ospf_network(t);
+  EXPECT_THROW(set_ospf_cost(cfg, "nope", "to-r1", 5), std::invalid_argument);
+  EXPECT_THROW(set_ospf_cost(cfg, "r0", "nope", 5), std::invalid_argument);
+}
+
+TEST(Mutators, AttachRandomAclBindsAndParses) {
+  const topo::Topology t = topo::make_ring(3);
+  NetworkConfig cfg = build_ospf_network(t);
+  core::Rng rng{5};
+  attach_random_acl(cfg, t, "r0", "to-r1", /*inbound=*/true, 10, rng);
+  const DeviceConfig& dev = cfg.devices.at("r0");
+  ASSERT_EQ(dev.acls.size(), 1u);
+  EXPECT_EQ(dev.acls.begin()->second.rules.size(), 11u);  // 10 + catch-all
+  EXPECT_TRUE(dev.find_interface("to-r1")->acl_in.has_value());
+  // Round-trips through the DSL.
+  EXPECT_EQ(parse_network(print_network(cfg)), cfg);
+}
+
+}  // namespace
+}  // namespace rcfg::config

@@ -1,0 +1,96 @@
+#include "config/diff.h"
+
+#include <gtest/gtest.h>
+
+#include "config/builders.h"
+#include "config/parse.h"
+#include "topo/generators.h"
+
+namespace rcfg::config {
+namespace {
+
+TEST(DiffLines, IdenticalTextsNoEdits) {
+  EXPECT_TRUE(diff_lines("a\nb\nc\n", "a\nb\nc\n").empty());
+}
+
+TEST(DiffLines, PureInsert) {
+  const auto edits = diff_lines("a\nc\n", "a\nb\nc\n");
+  ASSERT_EQ(edits.size(), 1u);
+  EXPECT_EQ(edits[0].kind, LineEdit::Kind::kInsert);
+  EXPECT_EQ(edits[0].text, "b");
+  EXPECT_EQ(edits[0].line, 2u);
+}
+
+TEST(DiffLines, PureDelete) {
+  const auto edits = diff_lines("a\nb\nc\n", "a\nc\n");
+  ASSERT_EQ(edits.size(), 1u);
+  EXPECT_EQ(edits[0].kind, LineEdit::Kind::kDelete);
+  EXPECT_EQ(edits[0].text, "b");
+}
+
+TEST(DiffLines, ModificationIsDeletePlusInsert) {
+  const auto edits = diff_lines("x\ncost 1\ny\n", "x\ncost 100\ny\n");
+  ASSERT_EQ(edits.size(), 2u);
+  int inserts = 0, deletes = 0;
+  for (const auto& e : edits) {
+    (e.kind == LineEdit::Kind::kInsert ? inserts : deletes)++;
+  }
+  EXPECT_EQ(inserts, 1);
+  EXPECT_EQ(deletes, 1);
+}
+
+TEST(DiffLines, BlankLinesIgnored) {
+  EXPECT_TRUE(diff_lines("a\n\nb\n", "a\nb\n\n\n").empty());
+}
+
+TEST(DiffNetworks, DetectsOnlyChangedDevice) {
+  const topo::Topology t = topo::make_ring(4);
+  NetworkConfig before = build_ospf_network(t);
+  NetworkConfig after = before;
+  set_ospf_cost(after, "r1", "to-r2", 100);
+
+  const auto diffs = diff_networks(before, after);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_EQ(diffs[0].device, "r1");
+  // cost 1 -> 100 on one interface: the `ospf cost` line appears; the old
+  // default cost printed nothing, so this is a single insertion.
+  EXPECT_EQ(diffs[0].edits.size(), 1u);
+  EXPECT_EQ(diffs[0].edits[0].kind, LineEdit::Kind::kInsert);
+  EXPECT_NE(diffs[0].edits[0].text.find("ospf cost 100"), std::string::npos);
+}
+
+TEST(DiffNetworks, LinkFailureTouchesBothEnds) {
+  const topo::Topology t = topo::make_ring(4);
+  NetworkConfig before = build_ospf_network(t);
+  NetworkConfig after = before;
+  fail_link(after, t, 0);
+
+  const auto diffs = diff_networks(before, after);
+  EXPECT_EQ(diffs.size(), 2u);  // both endpoints gain a `shutdown` line
+  EXPECT_EQ(edit_count(diffs), 2u);
+  for (const auto& d : diffs) {
+    ASSERT_EQ(d.edits.size(), 1u);
+    EXPECT_EQ(d.edits[0].kind, LineEdit::Kind::kInsert);
+    EXPECT_NE(d.edits[0].text.find("shutdown"), std::string::npos);
+  }
+}
+
+TEST(DiffNetworks, AddedAndRemovedDevices) {
+  NetworkConfig a = parse_network("hostname r1\n!\nhostname r2\n");
+  NetworkConfig b = parse_network("hostname r2\n!\nhostname r3\n");
+  const auto diffs = diff_networks(a, b);
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_EQ(diffs[0].device, "r1");
+  EXPECT_EQ(diffs[0].edits[0].kind, LineEdit::Kind::kDelete);
+  EXPECT_EQ(diffs[1].device, "r3");
+  EXPECT_EQ(diffs[1].edits[0].kind, LineEdit::Kind::kInsert);
+}
+
+TEST(DiffNetworks, NoChangesNoDiffs) {
+  const topo::Topology t = topo::make_ring(3);
+  const NetworkConfig cfg = build_bgp_network(t);
+  EXPECT_TRUE(diff_networks(cfg, cfg).empty());
+}
+
+}  // namespace
+}  // namespace rcfg::config

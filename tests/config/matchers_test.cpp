@@ -1,0 +1,196 @@
+#include "config/matchers.h"
+
+#include <gtest/gtest.h>
+
+namespace rcfg::config {
+namespace {
+
+net::Ipv4Prefix pfx(const char* s) { return *net::Ipv4Prefix::parse(s); }
+net::Ipv4Addr addr(const char* s) { return *net::Ipv4Addr::parse(s); }
+
+TEST(PrefixListEntryMatch, ExactByDefault) {
+  PrefixListEntry e;
+  e.prefix = pfx("10.0.0.0/16");
+  EXPECT_TRUE(entry_matches(e, pfx("10.0.0.0/16")));
+  EXPECT_FALSE(entry_matches(e, pfx("10.0.1.0/24")));  // longer
+  EXPECT_FALSE(entry_matches(e, pfx("10.0.0.0/8")));   // shorter / not covered
+}
+
+TEST(PrefixListEntryMatch, GeLeWindow) {
+  PrefixListEntry e;
+  e.prefix = pfx("10.0.0.0/8");
+  e.ge = 16;
+  e.le = 24;
+  EXPECT_FALSE(entry_matches(e, pfx("10.0.0.0/8")));
+  EXPECT_TRUE(entry_matches(e, pfx("10.1.0.0/16")));
+  EXPECT_TRUE(entry_matches(e, pfx("10.1.2.0/24")));
+  EXPECT_FALSE(entry_matches(e, pfx("10.1.2.0/25")));
+  EXPECT_FALSE(entry_matches(e, pfx("11.0.0.0/16")));  // not covered
+}
+
+TEST(PrefixListEntryMatch, LeOnlyDefaultsGeToPrefixLen) {
+  PrefixListEntry e;
+  e.prefix = pfx("0.0.0.0/0");
+  e.le = 32;
+  EXPECT_TRUE(entry_matches(e, pfx("0.0.0.0/0")));
+  EXPECT_TRUE(entry_matches(e, pfx("10.1.2.3/32")));
+}
+
+TEST(PrefixList, FirstMatchWins) {
+  PrefixList pl;
+  pl.entries.push_back(PrefixListEntry{10, Action::kDeny, pfx("10.1.0.0/16"), 0, 32});
+  pl.entries.push_back(PrefixListEntry{20, Action::kPermit, pfx("10.0.0.0/8"), 0, 32});
+  EXPECT_EQ(evaluate_prefix_list(pl, pfx("10.1.5.0/24")), Action::kDeny);
+  EXPECT_EQ(evaluate_prefix_list(pl, pfx("10.2.5.0/24")), Action::kPermit);
+}
+
+TEST(PrefixList, ImplicitDeny) {
+  PrefixList pl;
+  pl.entries.push_back(PrefixListEntry{10, Action::kPermit, pfx("10.0.0.0/8"), 0, 32});
+  EXPECT_EQ(evaluate_prefix_list(pl, pfx("192.168.0.0/16")), Action::kDeny);
+}
+
+TEST(RouteMap, PermitWithSets) {
+  DeviceConfig dev;
+  PrefixList pl;
+  pl.name = "PL";
+  pl.entries.push_back(PrefixListEntry{10, Action::kPermit, pfx("10.0.0.0/8"), 0, 32});
+  dev.prefix_lists["PL"] = pl;
+
+  RouteMap rm;
+  RouteMapClause c;
+  c.seq = 10;
+  c.match_prefix_list = "PL";
+  c.set_local_pref = 200;
+  c.set_med = 33;
+  rm.clauses.push_back(c);
+
+  const auto out = apply_route_map(rm, dev, pfx("10.1.0.0/16"), RouteAttrs{});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->local_pref, 200u);
+  EXPECT_EQ(out->med, 33u);
+
+  // Non-matching route: implicit deny.
+  EXPECT_FALSE(apply_route_map(rm, dev, pfx("192.168.0.0/16"), RouteAttrs{}).has_value());
+}
+
+TEST(RouteMap, DenyClauseRejects) {
+  DeviceConfig dev;
+  PrefixList pl;
+  pl.entries.push_back(PrefixListEntry{10, Action::kPermit, pfx("10.0.0.0/8"), 0, 32});
+  dev.prefix_lists["PL"] = pl;
+
+  RouteMap rm;
+  RouteMapClause deny;
+  deny.seq = 10;
+  deny.action = Action::kDeny;
+  deny.match_prefix_list = "PL";
+  rm.clauses.push_back(deny);
+  RouteMapClause permit_all;
+  permit_all.seq = 20;
+  rm.clauses.push_back(permit_all);
+
+  EXPECT_FALSE(apply_route_map(rm, dev, pfx("10.1.0.0/16"), RouteAttrs{}).has_value());
+  EXPECT_TRUE(apply_route_map(rm, dev, pfx("192.168.0.0/16"), RouteAttrs{}).has_value());
+}
+
+TEST(RouteMap, MatchAllClauseWhenNoMatchCondition) {
+  DeviceConfig dev;
+  RouteMap rm;
+  RouteMapClause c;
+  c.seq = 10;
+  c.set_local_pref = 150;
+  rm.clauses.push_back(c);
+  const auto out = apply_route_map(rm, dev, pfx("1.2.3.0/24"), RouteAttrs{});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->local_pref, 150u);
+}
+
+TEST(RouteMap, MissingPrefixListFailsClosed) {
+  DeviceConfig dev;
+  RouteMap rm;
+  RouteMapClause c;
+  c.seq = 10;
+  c.match_prefix_list = "NOPE";
+  rm.clauses.push_back(c);
+  EXPECT_FALSE(apply_route_map(rm, dev, pfx("10.0.0.0/8"), RouteAttrs{}).has_value());
+}
+
+TEST(RouteMap, AttrsPassThroughWhenNoSet) {
+  DeviceConfig dev;
+  RouteMap rm;
+  rm.clauses.push_back(RouteMapClause{10, Action::kPermit, {}, {}, {}, {}});
+  RouteAttrs in;
+  in.local_pref = 77;
+  const auto out = apply_route_map(rm, dev, pfx("10.0.0.0/8"), in);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->local_pref, 77u);
+}
+
+TEST(AclRuleMatch, ProtocolSemantics) {
+  AclRule r;
+  r.proto = IpProto::kTcp;
+  Flow f;
+  f.proto = IpProto::kTcp;
+  EXPECT_TRUE(rule_matches(r, f));
+  f.proto = IpProto::kUdp;
+  EXPECT_FALSE(rule_matches(r, f));
+
+  r.proto = IpProto::kAny;
+  EXPECT_TRUE(rule_matches(r, f));
+}
+
+TEST(AclRuleMatch, PrefixAndPorts) {
+  AclRule r;
+  r.src = pfx("10.0.0.0/8");
+  r.dst = pfx("192.168.1.0/24");
+  r.dst_ports = PortRange{80, 80};
+
+  Flow f;
+  f.src = addr("10.1.1.1");
+  f.dst = addr("192.168.1.5");
+  f.dst_port = 80;
+  EXPECT_TRUE(rule_matches(r, f));
+  f.dst_port = 81;
+  EXPECT_FALSE(rule_matches(r, f));
+  f.dst_port = 80;
+  f.src = addr("11.1.1.1");
+  EXPECT_FALSE(rule_matches(r, f));
+}
+
+TEST(Acl, FirstMatchAndImplicitDeny) {
+  Acl acl;
+  AclRule permit_web;
+  permit_web.seq = 10;
+  permit_web.proto = IpProto::kTcp;
+  permit_web.dst_ports = PortRange{80, 80};
+  acl.rules.push_back(permit_web);
+  AclRule deny_tcp;
+  deny_tcp.seq = 20;
+  deny_tcp.action = Action::kDeny;
+  deny_tcp.proto = IpProto::kTcp;
+  acl.rules.push_back(deny_tcp);
+  AclRule permit_all;
+  permit_all.seq = 30;
+  acl.rules.push_back(permit_all);
+
+  Flow web;
+  web.proto = IpProto::kTcp;
+  web.dst_port = 80;
+  EXPECT_EQ(evaluate_acl(acl, web), Action::kPermit);
+
+  Flow ssh;
+  ssh.proto = IpProto::kTcp;
+  ssh.dst_port = 22;
+  EXPECT_EQ(evaluate_acl(acl, ssh), Action::kDeny);
+
+  Flow icmp;
+  icmp.proto = IpProto::kIcmp;
+  EXPECT_EQ(evaluate_acl(acl, icmp), Action::kPermit);
+
+  // Empty ACL: implicit deny.
+  EXPECT_EQ(evaluate_acl(Acl{}, web), Action::kDeny);
+}
+
+}  // namespace
+}  // namespace rcfg::config

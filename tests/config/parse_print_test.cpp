@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "config/parse.h"
+#include "config/print.h"
+
+namespace rcfg::config {
+namespace {
+
+constexpr const char* kFullConfig = R"(hostname r1
+!
+interface eth0
+  ip address 10.0.0.0/31
+  ospf area 0
+  ospf cost 10
+  ip access-group ACL1 in
+!
+interface eth1
+  ip address 10.0.0.2/31
+  shutdown
+!
+interface lan0
+  ip address 10.1.1.0/24
+  ospf area 0
+  ospf passive
+!
+ip route 192.168.0.0/16 eth0
+ip route 10.99.0.0/24 null0 distance 5
+!
+ip prefix-list PL1 seq 10 permit 10.0.0.0/8 ge 16 le 24
+ip prefix-list PL1 seq 20 deny 0.0.0.0/0 le 32
+!
+ip access-list ACL1
+  10 permit tcp 10.0.0.0/8 any eq 80
+  20 deny ip any any
+!
+route-map RM1 permit 10
+  match ip prefix-list PL1
+  set local-preference 150
+!
+route-map RM1 deny 20
+!
+router ospf
+  redistribute static metric 20
+!
+router bgp 65001
+  network 10.1.1.0/24
+  neighbor eth0 remote-as 65002
+  neighbor eth0 route-map RM1 in
+  redistribute connected
+!
+)";
+
+TEST(Parse, FullConfigStructure) {
+  const DeviceConfig dev = parse_device(kFullConfig);
+  EXPECT_EQ(dev.hostname, "r1");
+  ASSERT_EQ(dev.interfaces.size(), 3u);
+
+  const InterfaceConfig& eth0 = dev.interfaces[0];
+  EXPECT_EQ(eth0.name, "eth0");
+  EXPECT_EQ(eth0.address->to_string(), "10.0.0.0/31");
+  EXPECT_TRUE(eth0.ospf_enabled());
+  EXPECT_EQ(eth0.ospf_cost, 10u);
+  EXPECT_EQ(eth0.acl_in, "ACL1");
+  EXPECT_FALSE(eth0.shutdown);
+
+  const InterfaceConfig& eth1 = dev.interfaces[1];
+  EXPECT_TRUE(eth1.shutdown);
+  EXPECT_FALSE(eth1.ospf_enabled());
+
+  const InterfaceConfig& lan0 = dev.interfaces[2];
+  EXPECT_TRUE(lan0.ospf_passive);
+
+  ASSERT_EQ(dev.static_routes.size(), 2u);
+  EXPECT_EQ(dev.static_routes[0].prefix.to_string(), "192.168.0.0/16");
+  EXPECT_EQ(dev.static_routes[0].out_iface, "eth0");
+  EXPECT_EQ(dev.static_routes[1].out_iface, "null0");
+  EXPECT_EQ(dev.static_routes[1].admin_distance, 5u);
+
+  ASSERT_TRUE(dev.prefix_lists.contains("PL1"));
+  const PrefixList& pl = dev.prefix_lists.at("PL1");
+  ASSERT_EQ(pl.entries.size(), 2u);
+  EXPECT_EQ(pl.entries[0].ge, 16);
+  EXPECT_EQ(pl.entries[0].le, 24);
+  EXPECT_EQ(pl.entries[1].action, Action::kDeny);
+
+  ASSERT_TRUE(dev.acls.contains("ACL1"));
+  const Acl& acl = dev.acls.at("ACL1");
+  ASSERT_EQ(acl.rules.size(), 2u);
+  EXPECT_EQ(acl.rules[0].proto, IpProto::kTcp);
+  EXPECT_EQ(acl.rules[0].dst_ports.lo, 80);
+  EXPECT_EQ(acl.rules[0].dst_ports.hi, 80);
+
+  ASSERT_TRUE(dev.route_maps.contains("RM1"));
+  const RouteMap& rm = dev.route_maps.at("RM1");
+  ASSERT_EQ(rm.clauses.size(), 2u);
+  EXPECT_EQ(rm.clauses[0].set_local_pref, 150u);
+  EXPECT_EQ(rm.clauses[1].action, Action::kDeny);
+
+  ASSERT_TRUE(dev.ospf.has_value());
+  ASSERT_EQ(dev.ospf->redistribute.size(), 1u);
+  EXPECT_EQ(dev.ospf->redistribute[0].source, Redistribution::Source::kStatic);
+  EXPECT_EQ(dev.ospf->redistribute[0].metric, 20u);
+
+  ASSERT_TRUE(dev.bgp.has_value());
+  EXPECT_EQ(dev.bgp->local_as, 65001u);
+  ASSERT_EQ(dev.bgp->neighbors.size(), 1u);
+  EXPECT_EQ(dev.bgp->neighbors[0].remote_as, 65002u);
+  EXPECT_EQ(dev.bgp->neighbors[0].import_route_map, "RM1");
+  ASSERT_EQ(dev.bgp->redistribute.size(), 1u);
+  EXPECT_EQ(dev.bgp->redistribute[0].source, Redistribution::Source::kConnected);
+}
+
+TEST(Parse, PrintParseRoundTrip) {
+  const DeviceConfig dev = parse_device(kFullConfig);
+  const std::string printed = print_device(dev);
+  const DeviceConfig reparsed = parse_device(printed);
+  EXPECT_EQ(dev, reparsed);
+  // And printing again is a fixed point.
+  EXPECT_EQ(printed, print_device(reparsed));
+}
+
+TEST(Parse, MultiDeviceNetwork) {
+  const std::string text = std::string{kFullConfig} + "hostname r2\n!\ninterface eth0\n";
+  const NetworkConfig net = parse_network(text);
+  EXPECT_EQ(net.devices.size(), 2u);
+  EXPECT_TRUE(net.devices.contains("r1"));
+  EXPECT_TRUE(net.devices.contains("r2"));
+}
+
+TEST(Parse, NetworkRoundTrip) {
+  const std::string text = std::string{kFullConfig} + "hostname r2\n!\ninterface eth0\n";
+  const NetworkConfig net = parse_network(text);
+  EXPECT_EQ(parse_network(print_network(net)), net);
+}
+
+TEST(Parse, ErrorsCarryLineNumbers) {
+  try {
+    parse_device("hostname r1\nbogus statement here\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Parse, RejectsMissingHostname) {
+  EXPECT_THROW(parse_device("interface eth0\n"), ParseError);
+}
+
+TEST(Parse, RejectsDuplicateHostname) {
+  EXPECT_THROW(parse_device("hostname a\nhostname b\n"), ParseError);
+}
+
+TEST(Parse, RejectsDuplicateDevice) {
+  EXPECT_THROW(parse_network("hostname a\n!\nhostname a\n"), ParseError);
+}
+
+TEST(Parse, RejectsMalformedPrefix) {
+  EXPECT_THROW(parse_device("hostname r\nip route 10.0.0.0/40 eth0\n"), ParseError);
+  EXPECT_THROW(parse_device("hostname r\nip route banana eth0\n"), ParseError);
+}
+
+TEST(Parse, RejectsBodyLineOutsideBlock) {
+  EXPECT_THROW(parse_device("hostname r\n!\n  ip address 10.0.0.1/24\n"), ParseError);
+}
+
+TEST(Parse, RejectsRouteMapForUnknownNeighbor) {
+  EXPECT_THROW(parse_device("hostname r\nrouter bgp 1\n  neighbor eth9 route-map RM in\n"),
+               ParseError);
+}
+
+TEST(Parse, CommentsAndBlankLinesIgnored) {
+  const DeviceConfig dev = parse_device("# a comment\nhostname r1\n\n\n# another\n");
+  EXPECT_EQ(dev.hostname, "r1");
+}
+
+TEST(Parse, AclPortRange) {
+  const DeviceConfig dev = parse_device(
+      "hostname r\nip access-list A\n  10 permit udp any range 1000 2000 any\n");
+  const AclRule& r = dev.acls.at("A").rules[0];
+  EXPECT_EQ(r.src_ports.lo, 1000);
+  EXPECT_EQ(r.src_ports.hi, 2000);
+  EXPECT_TRUE(r.dst_ports.is_any());
+}
+
+TEST(Parse, PrefixListEntriesSortedBySeq) {
+  const DeviceConfig dev = parse_device(
+      "hostname r\n"
+      "ip prefix-list P seq 20 deny 0.0.0.0/0 le 32\n"
+      "ip prefix-list P seq 10 permit 10.0.0.0/8\n");
+  const PrefixList& pl = dev.prefix_lists.at("P");
+  ASSERT_EQ(pl.entries.size(), 2u);
+  EXPECT_EQ(pl.entries[0].seq, 10u);
+  EXPECT_EQ(pl.entries[1].seq, 20u);
+}
+
+}  // namespace
+}  // namespace rcfg::config

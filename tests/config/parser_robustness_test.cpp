@@ -1,0 +1,104 @@
+// Parser robustness: whatever mangled text arrives, parse_network either
+// succeeds or throws ParseError — never crashes, never accepts garbage
+// silently (verified by re-printing).
+
+#include <gtest/gtest.h>
+
+#include "config/builders.h"
+#include "config/parse.h"
+#include "config/print.h"
+#include "core/rng.h"
+#include "core/strings.h"
+#include "topo/generators.h"
+
+namespace rcfg::config {
+namespace {
+
+TEST(ParserRobustness, RandomLineMutationsNeverCrash) {
+  const topo::Topology t = topo::make_ring(3);
+  NetworkConfig base = build_ospf_network(t);
+  base.devices.at("r0").static_routes.push_back(
+      {*net::Ipv4Prefix::parse("1.2.3.0/24"), "to-r1", 1});
+  core::Rng rng{20260707};
+  attach_random_acl(base, t, "r1", "to-r2", true, 5, rng);
+  const std::string pristine = print_network(base);
+
+  const std::vector<std::string_view> lines = core::split(pristine, '\n');
+  unsigned parsed_ok = 0, rejected = 0;
+
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated;
+    const std::size_t victim = rng.next_below(lines.size());
+    const int mutation = static_cast<int>(rng.next_below(4));
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::string line{lines[i]};
+      if (i == victim) {
+        switch (mutation) {
+          case 0:
+            continue;  // drop the line
+          case 1:
+            line += " zzz_unexpected";
+            break;
+          case 2: {  // corrupt one character
+            if (!line.empty()) line[rng.next_below(line.size())] = '#';
+            break;
+          }
+          default: {  // duplicate the line
+            mutated += line;
+            mutated += '\n';
+            break;
+          }
+        }
+      }
+      mutated += line;
+      mutated += '\n';
+    }
+
+    try {
+      const NetworkConfig cfg = parse_network(mutated);
+      // Accepted: must survive a canonical round trip.
+      ASSERT_EQ(parse_network(print_network(cfg)), cfg) << "trial " << trial;
+      ++parsed_ok;
+    } catch (const ParseError&) {
+      ++rejected;  // fine: rejected with a diagnostic
+    }
+  }
+  // Both outcomes must actually occur (the mutations are not all fatal and
+  // not all benign) or the test is vacuous.
+  EXPECT_GT(parsed_ok, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(ParserRobustness, TruncatedInputs) {
+  const topo::Topology t = topo::make_ring(3);
+  const std::string pristine = print_network(build_bgp_network(t));
+  core::Rng rng{7};
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t cut = rng.next_below(pristine.size());
+    try {
+      (void)parse_network(pristine.substr(0, cut));
+    } catch (const ParseError&) {
+      // acceptable
+    }
+  }
+  SUCCEED();
+}
+
+TEST(ParserRobustness, GarbageBytes) {
+  core::Rng rng{8};
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string garbage;
+    for (int i = 0; i < 200; ++i) {
+      garbage += static_cast<char>(rng.next_in(1, 126));
+    }
+    try {
+      (void)parse_network(garbage);
+    } catch (const ParseError&) {
+      // acceptable
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rcfg::config

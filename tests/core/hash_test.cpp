@@ -1,0 +1,52 @@
+#include "core/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace rcfg::core {
+namespace {
+
+TEST(TupleHash, PairsAndTuples) {
+  TupleHash h;
+  const auto p1 = std::make_pair(1, 2);
+  const auto p2 = std::make_pair(2, 1);
+  EXPECT_NE(h(p1), h(p2));  // order matters
+  EXPECT_EQ(h(p1), h(std::make_pair(1, 2)));
+
+  const auto t1 = std::make_tuple(std::string{"a"}, 1, 2u);
+  EXPECT_EQ(h(t1), h(std::make_tuple(std::string{"a"}, 1, 2u)));
+}
+
+TEST(TupleHash, Vectors) {
+  TupleHash h;
+  const std::vector<int> a{1, 2, 3};
+  const std::vector<int> b{3, 2, 1};
+  const std::vector<int> c{1, 2, 3};
+  EXPECT_NE(h(a), h(b));
+  EXPECT_EQ(h(a), h(c));
+  EXPECT_NE(h(std::vector<int>{}), h(std::vector<int>{0}));
+}
+
+TEST(TupleHash, NestedStructures) {
+  TupleHash h;
+  const auto nested1 = std::make_pair(std::vector<int>{1, 2}, std::string{"x"});
+  const auto nested2 = std::make_pair(std::vector<int>{1, 2}, std::string{"y"});
+  EXPECT_NE(h(nested1), h(nested2));
+}
+
+TEST(HashAll, SensitiveToEveryField) {
+  EXPECT_NE(hash_all(1, 2, 3), hash_all(1, 2, 4));
+  EXPECT_NE(hash_all(1, 2, 3), hash_all(3, 2, 1));
+  EXPECT_EQ(hash_all(1, 2, 3), hash_all(1, 2, 3));
+}
+
+TEST(Mix64, SpreadsSmallInputs) {
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outs.insert(mix64(i));
+  EXPECT_EQ(outs.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace rcfg::core

@@ -1,0 +1,76 @@
+#include "core/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace rcfg::core {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Split, SingleFieldWhenNoDelimiter) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, EmptyInputGivesOneEmptyField) {
+  auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitWs, DropsEmptyTokens) {
+  auto parts = split_ws("  ip   route 10.0.0.0/8 \t eth0  ");
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "ip");
+  EXPECT_EQ(parts[1], "route");
+  EXPECT_EQ(parts[2], "10.0.0.0/8");
+  EXPECT_EQ(parts[3], "eth0");
+}
+
+TEST(SplitWs, EmptyAndBlankInputs) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws(" \t\n ").empty());
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("hostname r1", "hostname "));
+  EXPECT_FALSE(starts_with("host", "hostname"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(ParseU64, AcceptsDigitsOnly) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_FALSE(parse_u64("18446744073709551616", v));  // overflow
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("12a", v));
+  EXPECT_FALSE(parse_u64("-1", v));
+  EXPECT_FALSE(parse_u64(" 1", v));
+}
+
+}  // namespace
+}  // namespace rcfg::core

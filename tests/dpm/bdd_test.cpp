@@ -1,0 +1,147 @@
+#include "dpm/bdd.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace rcfg::dpm {
+namespace {
+
+TEST(Bdd, TerminalsAndVars) {
+  BddManager m(4);
+  EXPECT_TRUE(m.is_false(kBddFalse));
+  EXPECT_TRUE(m.is_true(kBddTrue));
+  const BddRef x0 = m.var(0);
+  EXPECT_EQ(x0, m.var(0));  // hash-consed
+  EXPECT_NE(x0, m.var(1));
+  EXPECT_EQ(m.bdd_not(x0), m.nvar(0));
+  EXPECT_THROW(m.var(4), std::out_of_range);
+}
+
+TEST(Bdd, BooleanAlgebraLaws) {
+  BddManager m(4);
+  const BddRef a = m.var(0);
+  const BddRef b = m.var(1);
+  EXPECT_EQ(m.bdd_and(a, b), m.bdd_and(b, a));
+  EXPECT_EQ(m.bdd_or(a, b), m.bdd_or(b, a));
+  EXPECT_EQ(m.bdd_and(a, kBddTrue), a);
+  EXPECT_EQ(m.bdd_and(a, kBddFalse), kBddFalse);
+  EXPECT_EQ(m.bdd_or(a, kBddFalse), a);
+  EXPECT_EQ(m.bdd_not(m.bdd_not(a)), a);
+  // De Morgan (canonicity makes this an identity on node ids).
+  EXPECT_EQ(m.bdd_not(m.bdd_and(a, b)), m.bdd_or(m.bdd_not(a), m.bdd_not(b)));
+  // a ⊕ b == (a ∧ ¬b) ∨ (¬a ∧ b)
+  EXPECT_EQ(m.bdd_xor(a, b), m.bdd_or(m.bdd_diff(a, b), m.bdd_diff(b, a)));
+  // Excluded middle / contradiction.
+  EXPECT_EQ(m.bdd_or(a, m.bdd_not(a)), kBddTrue);
+  EXPECT_EQ(m.bdd_and(a, m.bdd_not(a)), kBddFalse);
+}
+
+TEST(Bdd, ImpliesAndDisjoint) {
+  BddManager m(4);
+  const BddRef a = m.var(0);
+  const BddRef ab = m.bdd_and(a, m.var(1));
+  EXPECT_TRUE(m.implies(ab, a));
+  EXPECT_FALSE(m.implies(a, ab));
+  EXPECT_TRUE(m.disjoint(a, m.bdd_not(a)));
+  EXPECT_FALSE(m.disjoint(a, ab));
+}
+
+TEST(Bdd, CubeBuildsConjunction) {
+  BddManager m(8);
+  const BddRef c = m.cube({{1, true}, {3, false}, {5, true}});
+  EXPECT_EQ(c, m.bdd_and(m.var(1), m.bdd_and(m.nvar(3), m.var(5))));
+  EXPECT_EQ(m.cube({}), kBddTrue);
+}
+
+TEST(Bdd, SatCount) {
+  BddManager m(4);
+  EXPECT_DOUBLE_EQ(m.sat_count(kBddTrue), 16.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(kBddFalse), 0.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.var(0)), 8.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.bdd_and(m.var(0), m.var(3))), 4.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.bdd_or(m.var(0), m.var(1))), 12.0);
+}
+
+TEST(Bdd, PickOneSatisfies) {
+  BddManager m(6);
+  const BddRef f = m.bdd_and(m.var(1), m.bdd_and(m.nvar(3), m.var(4)));
+  const auto a = m.pick_one(f);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE((*a)[1]);
+  EXPECT_FALSE((*a)[3]);
+  EXPECT_TRUE((*a)[4]);
+  EXPECT_FALSE(m.pick_one(kBddFalse).has_value());
+}
+
+/// Property: BDD operations agree with brute-force truth-table evaluation
+/// on random formulas over 8 variables.
+TEST(BddProperty, MatchesTruthTables) {
+  constexpr unsigned kVars = 8;
+  BddManager m(kVars);
+  core::Rng rng{404};
+
+  using Table = std::vector<bool>;  // 256 entries
+  auto eval_var = [](unsigned v, unsigned assignment) {
+    return ((assignment >> v) & 1u) != 0;
+  };
+
+  // Build random (bdd, table) pairs bottom-up.
+  std::vector<std::pair<BddRef, Table>> pool;
+  for (unsigned v = 0; v < kVars; ++v) {
+    Table t(256);
+    for (unsigned a = 0; a < 256; ++a) t[a] = eval_var(v, a);
+    pool.push_back({m.var(v), t});
+  }
+  for (int step = 0; step < 200; ++step) {
+    const auto& [fa, ta] = pool[rng.next_below(pool.size())];
+    const auto& [fb, tb] = pool[rng.next_below(pool.size())];
+    const int op = static_cast<int>(rng.next_below(4));
+    BddRef f;
+    Table t(256);
+    for (unsigned a = 0; a < 256; ++a) {
+      switch (op) {
+        case 0:
+          t[a] = ta[a] && tb[a];
+          break;
+        case 1:
+          t[a] = ta[a] || tb[a];
+          break;
+        case 2:
+          t[a] = ta[a] != tb[a];
+          break;
+        default:
+          t[a] = !ta[a];
+          break;
+      }
+    }
+    switch (op) {
+      case 0:
+        f = m.bdd_and(fa, fb);
+        break;
+      case 1:
+        f = m.bdd_or(fa, fb);
+        break;
+      case 2:
+        f = m.bdd_xor(fa, fb);
+        break;
+      default:
+        f = m.bdd_not(fa);
+        break;
+    }
+    // Verify against the table via sat_count and spot checks.
+    unsigned ones = 0;
+    for (unsigned a = 0; a < 256; ++a) ones += t[a] ? 1 : 0;
+    ASSERT_DOUBLE_EQ(m.sat_count(f), static_cast<double>(ones)) << "step " << step;
+    // Canonicity: identical tables => identical node ids.
+    for (const auto& [g, tg] : pool) {
+      if (tg == t) {
+        ASSERT_EQ(g, f);
+      }
+    }
+    pool.push_back({f, std::move(t)});
+  }
+}
+
+}  // namespace
+}  // namespace rcfg::dpm

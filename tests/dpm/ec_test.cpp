@@ -1,0 +1,146 @@
+#include "dpm/ec.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace rcfg::dpm {
+namespace {
+
+net::Ipv4Prefix pfx(const char* s) { return *net::Ipv4Prefix::parse(s); }
+
+/// Partition invariants: atoms are pairwise disjoint, nonempty, and cover
+/// the full space.
+void check_partition(PacketSpace& s, const EcManager& ecs) {
+  BddManager& bdd = s.bdd();
+  BddRef cover = kBddFalse;
+  for (EcId i = 0; i < ecs.ec_count(); ++i) {
+    ASSERT_NE(ecs.ec_bdd(i), kBddFalse) << "empty atom " << i;
+    for (EcId j = i + 1; j < ecs.ec_count(); ++j) {
+      ASSERT_TRUE(bdd.disjoint(ecs.ec_bdd(i), ecs.ec_bdd(j)))
+          << "atoms " << i << " and " << j << " overlap";
+    }
+    cover = bdd.bdd_or(cover, ecs.ec_bdd(i));
+  }
+  ASSERT_EQ(cover, kBddTrue) << "atoms do not cover the space";
+}
+
+TEST(EcManager, StartsWithOneUniversalEc) {
+  PacketSpace s;
+  EcManager ecs(s);
+  EXPECT_EQ(ecs.ec_count(), 1u);
+  EXPECT_EQ(ecs.ec_bdd(0), kBddTrue);
+}
+
+TEST(EcManager, FirstPredicateSplitsInTwo) {
+  PacketSpace s;
+  EcManager ecs(s);
+  const BddRef p = s.dst_prefix(pfx("10.0.0.0/8"));
+  const auto splits = ecs.register_predicate(p);
+  ASSERT_EQ(splits.size(), 1u);
+  EXPECT_EQ(splits[0].parent, 0u);
+  EXPECT_EQ(splits[0].child, 1u);
+  EXPECT_EQ(ecs.ec_count(), 2u);
+  // Child holds the inside part.
+  EXPECT_EQ(ecs.ec_bdd(1), p);
+  check_partition(s, ecs);
+}
+
+TEST(EcManager, DuplicateRegistrationNoSplit) {
+  PacketSpace s;
+  EcManager ecs(s);
+  const BddRef p = s.dst_prefix(pfx("10.0.0.0/8"));
+  ecs.register_predicate(p);
+  EXPECT_TRUE(ecs.register_predicate(p).empty());
+  EXPECT_EQ(ecs.ec_count(), 2u);
+}
+
+TEST(EcManager, DisjointPrefixesGrowLinearly) {
+  // APKeep's headline property: n disjoint prefixes => n+1 atoms, not 2^n.
+  PacketSpace s;
+  EcManager ecs(s);
+  for (unsigned i = 0; i < 16; ++i) {
+    ecs.register_predicate(s.dst_prefix(net::Ipv4Prefix{net::Ipv4Addr{10, 0, (uint8_t)i, 0}, 24}));
+  }
+  EXPECT_EQ(ecs.ec_count(), 17u);
+  check_partition(s, ecs);
+}
+
+TEST(EcManager, NestedPrefixesSplitCorrectly) {
+  PacketSpace s;
+  EcManager ecs(s);
+  ecs.register_predicate(s.dst_prefix(pfx("10.0.0.0/8")));
+  ecs.register_predicate(s.dst_prefix(pfx("10.1.0.0/16")));
+  // Atoms: outside /8; /8 minus /16; /16. => 3
+  EXPECT_EQ(ecs.ec_count(), 3u);
+  check_partition(s, ecs);
+}
+
+TEST(EcManager, EcsInRequiresContainment) {
+  PacketSpace s;
+  EcManager ecs(s);
+  const BddRef p8 = s.dst_prefix(pfx("10.0.0.0/8"));
+  const BddRef p16 = s.dst_prefix(pfx("10.1.0.0/16"));
+  ecs.register_predicate(p8);
+  ecs.register_predicate(p16);
+
+  const auto in8 = ecs.ecs_in(p8);
+  EXPECT_EQ(in8.size(), 2u);  // (/8 minus /16) and /16
+  const auto in16 = ecs.ecs_in(p16);
+  EXPECT_EQ(in16.size(), 1u);
+  EXPECT_TRUE(ecs.ecs_in(kBddFalse).empty());
+  EXPECT_EQ(ecs.ecs_in(kBddTrue).size(), ecs.ec_count());
+}
+
+TEST(EcManager, EcOfFindsTheAtom) {
+  PacketSpace s;
+  EcManager ecs(s);
+  const BddRef p = s.dst_prefix(pfx("10.0.0.0/8"));
+  ecs.register_predicate(p);
+  const EcId inside = ecs.ec_of(s.dst_prefix(pfx("10.1.2.3/32")));
+  const EcId outside = ecs.ec_of(s.dst_prefix(pfx("192.168.0.1/32")));
+  EXPECT_NE(inside, outside);
+  EXPECT_EQ(ecs.ec_bdd(inside), p);
+}
+
+TEST(EcManager, CompactRebuildsMinimalPartition) {
+  PacketSpace s;
+  EcManager ecs(s);
+  const BddRef a = s.dst_prefix(pfx("10.0.0.0/8"));
+  const BddRef b = s.dst_prefix(pfx("20.0.0.0/8"));
+  ecs.register_predicate(a);
+  ecs.register_predicate(b);
+  EXPECT_EQ(ecs.ec_count(), 3u);
+  ecs.unregister_predicate(b);
+  ecs.compact();
+  EXPECT_EQ(ecs.ec_count(), 2u);  // only `a` still referenced
+  check_partition(s, ecs);
+}
+
+/// Property: after registering random (overlapping) predicates the atom set
+/// is always a partition, and each predicate is exactly a union of atoms.
+TEST(EcManagerProperty, RandomPredicatesKeepInvariants) {
+  core::Rng rng{5555};
+  PacketSpace s;
+  EcManager ecs(s);
+  std::vector<BddRef> preds;
+  for (int i = 0; i < 24; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.next_in(4, 16));
+    const net::Ipv4Prefix p{net::Ipv4Addr{static_cast<std::uint32_t>(rng.next())}, len};
+    const BddRef bp = s.dst_prefix(p);
+    preds.push_back(bp);
+    ecs.register_predicate(bp);
+  }
+  check_partition(s, ecs);
+  for (const BddRef p : preds) {
+    BddRef uni = kBddFalse;
+    for (EcId e : ecs.ecs_in(p)) {
+      ASSERT_TRUE(s.bdd().implies(ecs.ec_bdd(e), p));
+      uni = s.bdd().bdd_or(uni, ecs.ec_bdd(e));
+    }
+    ASSERT_EQ(uni, p) << "predicate is not a union of atoms";
+  }
+}
+
+}  // namespace
+}  // namespace rcfg::dpm

@@ -1,0 +1,276 @@
+#include "dpm/model.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/simulator.h"
+#include "config/builders.h"
+#include "core/rng.h"
+#include "routing/generator.h"
+#include "topo/generators.h"
+
+namespace rcfg::dpm {
+namespace {
+
+net::Ipv4Prefix pfx(const char* s) { return *net::Ipv4Prefix::parse(s); }
+
+routing::FibEntry fwd(topo::NodeId node, net::Ipv4Prefix p, std::vector<topo::IfaceId> ifaces) {
+  routing::FibEntry e;
+  e.node = node;
+  e.prefix = p;
+  e.action = routing::FibAction::kForward;
+  e.out_ifaces = std::move(ifaces);
+  return e;
+}
+
+routing::DataPlaneDelta delta_of(std::vector<std::pair<routing::FibEntry, dd::Weight>> entries) {
+  routing::DataPlaneDelta d;
+  for (auto& [e, w] : entries) d.fib.add(e, w);
+  return d;
+}
+
+/// Oracle: the model's per-EC action must equal direct LPM evaluation over
+/// the rule set for any probe address.
+void check_against_lpm(PacketSpace& space, EcManager& ecs, const NetworkModel& model,
+                       const dd::ZSet<routing::FibEntry>& fib, topo::NodeId nodes,
+                       core::Rng& rng) {
+  for (int probe = 0; probe < 64; ++probe) {
+    const net::Ipv4Addr dst{static_cast<std::uint32_t>(rng.next())};
+    const EcId ec = ecs.ec_of(space.dst_prefix(net::Ipv4Prefix{dst, 32}));
+    for (topo::NodeId n = 0; n < nodes; ++n) {
+      // LPM over the FIB rows of node n.
+      const routing::FibEntry* best = nullptr;
+      for (const auto& [e, w] : fib) {
+        if (e.node != n || !e.prefix.contains(dst)) continue;
+        if (best == nullptr || e.prefix.length() > best->prefix.length()) best = &e;
+      }
+      const PortKey expected = best != nullptr ? PortKey::of(*best) : PortKey::drop();
+      ASSERT_EQ(model.port_of(n, ec), expected)
+          << "node " << n << " dst " << dst.to_string();
+    }
+  }
+}
+
+TEST(Model, InsertMovesEcsFromDrop) {
+  PacketSpace space;
+  EcManager ecs(space);
+  NetworkModel model(space, ecs, 2);
+
+  const auto e = fwd(0, pfx("10.0.0.0/8"), {3});
+  const ModelDelta d = model.apply_batch(delta_of({{e, +1}}), UpdateOrder::kInsertFirst);
+
+  EXPECT_EQ(d.stats.rule_inserts, 1u);
+  EXPECT_EQ(d.stats.ec_moves, 1u);
+  ASSERT_EQ(d.moves.size(), 1u);
+  EXPECT_EQ(d.moves[0].from, PortKey::drop());
+  EXPECT_EQ(d.moves[0].to, PortKey::of(e));
+  EXPECT_EQ(d.moves[0].device, 0u);
+
+  // Device 1 untouched.
+  const EcId in = ecs.ec_of(space.dst_prefix(pfx("10.1.1.1/32")));
+  EXPECT_EQ(model.port_of(0, in), PortKey::of(e));
+  EXPECT_EQ(model.port_of(1, in), PortKey::drop());
+}
+
+TEST(Model, DeleteRevertsToCoveringRule) {
+  PacketSpace space;
+  EcManager ecs(space);
+  NetworkModel model(space, ecs, 1);
+
+  const auto parent = fwd(0, pfx("10.0.0.0/8"), {1});
+  const auto child = fwd(0, pfx("10.1.0.0/16"), {2});
+  model.apply_batch(delta_of({{parent, +1}, {child, +1}}), UpdateOrder::kInsertFirst);
+
+  const EcId in16 = ecs.ec_of(space.dst_prefix(pfx("10.1.9.9/32")));
+  EXPECT_EQ(model.port_of(0, in16).ifaces, std::vector<topo::IfaceId>{2});
+
+  const ModelDelta d = model.apply_batch(delta_of({{child, -1}}), UpdateOrder::kInsertFirst);
+  EXPECT_EQ(d.stats.rule_deletes, 1u);
+  EXPECT_EQ(model.port_of(0, in16).ifaces, std::vector<topo::IfaceId>{1});  // back to /8
+}
+
+TEST(Model, LpmShadowingLimitsEffectiveMatch) {
+  PacketSpace space;
+  EcManager ecs(space);
+  NetworkModel model(space, ecs, 1);
+
+  model.apply_batch(delta_of({{fwd(0, pfx("10.1.0.0/16"), {2}), +1}}),
+                    UpdateOrder::kInsertFirst);
+  // Inserting the /8 afterwards must NOT steal the /16's packets.
+  model.apply_batch(delta_of({{fwd(0, pfx("10.0.0.0/8"), {1}), +1}}),
+                    UpdateOrder::kInsertFirst);
+
+  const EcId in16 = ecs.ec_of(space.dst_prefix(pfx("10.1.0.1/32")));
+  const EcId in8 = ecs.ec_of(space.dst_prefix(pfx("10.2.0.1/32")));
+  EXPECT_EQ(model.port_of(0, in16).ifaces, std::vector<topo::IfaceId>{2});
+  EXPECT_EQ(model.port_of(0, in8).ifaces, std::vector<topo::IfaceId>{1});
+}
+
+TEST(Model, ModificationOrderAsymmetry) {
+  // The Table 3 effect: a modification (delete old + insert new) costs one
+  // EC move insertion-first and two deletion-first, with identical final
+  // state.
+  const auto old_rule = fwd(0, pfx("10.0.0.0/8"), {1});
+  const auto new_rule = fwd(0, pfx("10.0.0.0/8"), {2});
+  const auto batch = [&] {
+    return delta_of({{old_rule, -1}, {new_rule, +1}});
+  };
+
+  PacketSpace s1;
+  EcManager e1(s1);
+  NetworkModel m1(s1, e1, 1);
+  m1.apply_batch(delta_of({{old_rule, +1}}), UpdateOrder::kInsertFirst);
+  const ModelDelta d1 = m1.apply_batch(batch(), UpdateOrder::kInsertFirst);
+  EXPECT_EQ(d1.stats.ec_moves, 1u);
+  EXPECT_EQ(d1.stats.stale_ops, 1u);  // the delete no-ops
+
+  PacketSpace s2;
+  EcManager e2(s2);
+  NetworkModel m2(s2, e2, 1);
+  m2.apply_batch(delta_of({{old_rule, +1}}), UpdateOrder::kInsertFirst);
+  const ModelDelta d2 = m2.apply_batch(batch(), UpdateOrder::kDeleteFirst);
+  EXPECT_EQ(d2.stats.ec_moves, 2u);  // via the drop port and back
+
+  // Net result identical.
+  ASSERT_EQ(d1.moves.size(), 1u);
+  ASSERT_EQ(d2.moves.size(), 1u);
+  EXPECT_EQ(d1.moves[0].to, d2.moves[0].to);
+  const EcId ec = e1.ec_of(s1.dst_prefix(pfx("10.5.0.1/32")));
+  const EcId ec2 = e2.ec_of(s2.dst_prefix(pfx("10.5.0.1/32")));
+  EXPECT_EQ(m1.port_of(0, ec), m2.port_of(0, ec2));
+}
+
+TEST(Model, IdenticalDeleteInsertCancelsInDelta) {
+  // A delete and insert of the identical rule annihilate already in the
+  // Z-set delta (weights +1 and -1 sum to zero), so the model sees an empty
+  // batch — modifications only surface when old and new rules differ.
+  PacketSpace space;
+  EcManager ecs(space);
+  NetworkModel model(space, ecs, 1);
+  const auto rule = fwd(0, pfx("10.0.0.0/8"), {1});
+  model.apply_batch(delta_of({{rule, +1}}), UpdateOrder::kInsertFirst);
+
+  const ModelDelta d =
+      model.apply_batch(delta_of({{rule, -1}, {rule, +1}}), UpdateOrder::kDeleteFirst);
+  EXPECT_EQ(d.stats.ec_moves, 0u);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(Model, DeleteRevertingToEqualPortMovesNothing) {
+  // Deleting a /16 whose action equals the covering /8's action: the ECs
+  // "move" to the identical port, which must not count as churn.
+  PacketSpace space;
+  EcManager ecs(space);
+  NetworkModel model(space, ecs, 1);
+  model.apply_batch(delta_of({{fwd(0, pfx("10.0.0.0/8"), {1}), +1},
+                              {fwd(0, pfx("10.1.0.0/16"), {1}), +1}}),
+                    UpdateOrder::kInsertFirst);
+
+  const ModelDelta d = model.apply_batch(delta_of({{fwd(0, pfx("10.1.0.0/16"), {1}), -1}}),
+                                         UpdateOrder::kDeleteFirst);
+  EXPECT_EQ(d.stats.rule_deletes, 1u);
+  EXPECT_EQ(d.stats.ec_moves, 0u);
+  EXPECT_TRUE(d.moves.empty());
+}
+
+TEST(Model, SplitsInheritParentPorts) {
+  PacketSpace space;
+  EcManager ecs(space);
+  NetworkModel model(space, ecs, 2);
+
+  // Device 0 forwards the /8; then a /16 rule on device 1 splits the /8 EC.
+  model.apply_batch(delta_of({{fwd(0, pfx("10.0.0.0/8"), {1}), +1}}),
+                    UpdateOrder::kInsertFirst);
+  const ModelDelta d = model.apply_batch(delta_of({{fwd(1, pfx("10.1.0.0/16"), {2}), +1}}),
+                                         UpdateOrder::kInsertFirst);
+  ASSERT_EQ(d.splits.size(), 1u);
+
+  // Device 0 must forward both halves of the former /8 EC.
+  const EcId a = ecs.ec_of(space.dst_prefix(pfx("10.1.0.1/32")));
+  const EcId b = ecs.ec_of(space.dst_prefix(pfx("10.2.0.1/32")));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(model.port_of(0, a).ifaces, std::vector<topo::IfaceId>{1});
+  EXPECT_EQ(model.port_of(0, b).ifaces, std::vector<topo::IfaceId>{1});
+}
+
+TEST(Model, AclBindingAffectsPermits) {
+  PacketSpace space;
+  EcManager ecs(space);
+  NetworkModel model(space, ecs, 1);
+
+  routing::FilterRule deny;
+  deny.node = 0;
+  deny.iface = 7;
+  deny.inbound = true;
+  deny.priority = 0;
+  deny.permit = false;
+  deny.dst = pfx("10.0.0.0/8");
+  routing::FilterRule permit_rest;
+  permit_rest.node = 0;
+  permit_rest.iface = 7;
+  permit_rest.inbound = true;
+  permit_rest.priority = 1;
+  permit_rest.permit = true;
+
+  routing::DataPlaneDelta d;
+  d.filters.add(deny, +1);
+  d.filters.add(permit_rest, +1);
+  const ModelDelta md = model.apply_batch(d, UpdateOrder::kInsertFirst);
+  EXPECT_FALSE(md.acl_affected.empty());
+
+  const EcId denied = ecs.ec_of(space.dst_prefix(pfx("10.1.1.1/32")));
+  const EcId allowed = ecs.ec_of(space.dst_prefix(pfx("192.168.1.1/32")));
+  EXPECT_FALSE(model.permits(0, 7, true, denied));
+  EXPECT_TRUE(model.permits(0, 7, true, allowed));
+  EXPECT_TRUE(model.permits(0, 7, false, denied));  // other direction unbound
+  EXPECT_TRUE(model.permits(0, 8, true, denied));   // other iface unbound
+
+  // Removing the binding restores permit-all.
+  routing::DataPlaneDelta undo;
+  undo.filters.add(deny, -1);
+  undo.filters.add(permit_rest, -1);
+  const ModelDelta md2 = model.apply_batch(undo, UpdateOrder::kInsertFirst);
+  EXPECT_FALSE(md2.acl_affected.empty());
+  EXPECT_TRUE(model.permits(0, 7, true, denied));
+}
+
+TEST(Model, RealFibBatchesMatchLpmOracle) {
+  // Feed the model with real generator output across a change sequence and
+  // check it against direct LPM evaluation after every batch.
+  const topo::Topology t = topo::make_fat_tree(4);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  routing::IncrementalGenerator gen(t);
+
+  PacketSpace space;
+  EcManager ecs(space);
+  NetworkModel model(space, ecs, t.node_count());
+  core::Rng rng{99};
+
+  auto step = [&](UpdateOrder order) {
+    const routing::DataPlaneDelta d = gen.apply(cfg);
+    model.apply_batch(d, order);
+    check_against_lpm(space, ecs, model, gen.fib(), static_cast<topo::NodeId>(t.node_count()),
+                      rng);
+  };
+
+  step(UpdateOrder::kInsertFirst);  // initial full FIB
+  config::fail_link(cfg, t, 3);
+  step(UpdateOrder::kInsertFirst);
+  config::set_ospf_cost(cfg, "edge0-0", "to-agg0-1", 50);
+  step(UpdateOrder::kDeleteFirst);
+  config::restore_link(cfg, t, 3);
+  step(UpdateOrder::kInterleaved);
+}
+
+TEST(Model, RuleCountTracksFib) {
+  const topo::Topology t = topo::make_ring(4);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  routing::IncrementalGenerator gen(t);
+  PacketSpace space;
+  EcManager ecs(space);
+  NetworkModel model(space, ecs, t.node_count());
+  model.apply_batch(gen.apply(cfg), UpdateOrder::kInsertFirst);
+  EXPECT_EQ(model.rule_count(), gen.fib().size());
+}
+
+}  // namespace
+}  // namespace rcfg::dpm

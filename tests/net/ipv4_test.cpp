@@ -1,0 +1,100 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace rcfg::net {
+namespace {
+
+TEST(Ipv4Addr, ParseRoundTrip) {
+  const auto a = Ipv4Addr::parse("10.1.2.3");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "10.1.2.3");
+  EXPECT_EQ(a->bits(), 0x0A010203u);
+}
+
+TEST(Ipv4Addr, ParseEdges) {
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0")->bits(), 0u);
+  EXPECT_EQ(Ipv4Addr::parse("255.255.255.255")->bits(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Addr, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("256.0.0.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4."));
+  EXPECT_FALSE(Ipv4Addr::parse(".1.2.3.4"));
+}
+
+TEST(Ipv4Addr, ConstructorFromOctets) {
+  constexpr Ipv4Addr a{192, 168, 1, 1};
+  EXPECT_EQ(a.to_string(), "192.168.1.1");
+}
+
+TEST(Ipv4Prefix, ParseAndCanonicalize) {
+  const auto p = Ipv4Prefix::parse("10.1.2.3/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "10.1.2.0/24");  // host bits masked
+  EXPECT_EQ(p->length(), 24);
+}
+
+TEST(Ipv4Prefix, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/-1"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0/8"));
+  EXPECT_FALSE(Ipv4Prefix::parse("/8"));
+}
+
+TEST(Ipv4Prefix, ContainsAddress) {
+  const auto p = *Ipv4Prefix::parse("10.1.0.0/16");
+  EXPECT_TRUE(p.contains(*Ipv4Addr::parse("10.1.255.255")));
+  EXPECT_TRUE(p.contains(*Ipv4Addr::parse("10.1.0.0")));
+  EXPECT_FALSE(p.contains(*Ipv4Addr::parse("10.2.0.0")));
+}
+
+TEST(Ipv4Prefix, ContainsPrefix) {
+  const auto p16 = *Ipv4Prefix::parse("10.1.0.0/16");
+  const auto p24 = *Ipv4Prefix::parse("10.1.5.0/24");
+  EXPECT_TRUE(p16.contains(p24));
+  EXPECT_FALSE(p24.contains(p16));
+  EXPECT_TRUE(p16.contains(p16));
+  EXPECT_TRUE(kDefaultRoute.contains(p16));
+}
+
+TEST(Ipv4Prefix, Overlaps) {
+  const auto a = *Ipv4Prefix::parse("10.0.0.0/8");
+  const auto b = *Ipv4Prefix::parse("10.200.0.0/16");
+  const auto c = *Ipv4Prefix::parse("11.0.0.0/8");
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Ipv4Prefix, ZeroLengthMask) {
+  EXPECT_EQ(Ipv4Prefix::mask_for(0), 0u);
+  EXPECT_EQ(Ipv4Prefix::mask_for(32), 0xFFFFFFFFu);
+  EXPECT_EQ(Ipv4Prefix::mask_for(8), 0xFF000000u);
+  EXPECT_TRUE(kDefaultRoute.contains(*Ipv4Addr::parse("1.2.3.4")));
+}
+
+TEST(Ipv4Prefix, FirstLast) {
+  const auto p = *Ipv4Prefix::parse("10.1.2.0/24");
+  EXPECT_EQ(p.first().to_string(), "10.1.2.0");
+  EXPECT_EQ(p.last().to_string(), "10.1.2.255");
+  const auto slash31 = *Ipv4Prefix::parse("172.16.0.2/31");
+  EXPECT_EQ(slash31.first().to_string(), "172.16.0.2");
+  EXPECT_EQ(slash31.last().to_string(), "172.16.0.3");
+}
+
+TEST(Ipv4Prefix, OrderingIsTotal) {
+  const auto a = *Ipv4Prefix::parse("10.0.0.0/8");
+  const auto b = *Ipv4Prefix::parse("10.0.0.0/16");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b || b < a);
+}
+
+}  // namespace
+}  // namespace rcfg::net

@@ -1,0 +1,151 @@
+#include "net/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace rcfg::net {
+namespace {
+
+Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
+Ipv4Addr addr(const char* s) { return *Ipv4Addr::parse(s); }
+
+TEST(PrefixTrie, InsertFindErase) {
+  PrefixTrie<int> t;
+  EXPECT_TRUE(t.insert(pfx("10.0.0.0/8"), 1));
+  EXPECT_FALSE(t.insert(pfx("10.0.0.0/8"), 2));  // overwrite, not new
+  ASSERT_NE(t.find(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*t.find(pfx("10.0.0.0/8")), 2);
+  EXPECT_EQ(t.find(pfx("10.0.0.0/16")), nullptr);
+  EXPECT_TRUE(t.erase(pfx("10.0.0.0/8")));
+  EXPECT_FALSE(t.erase(pfx("10.0.0.0/8")));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(PrefixTrie, LongestPrefixMatch) {
+  PrefixTrie<int> t;
+  t.insert(pfx("0.0.0.0/0"), 0);
+  t.insert(pfx("10.0.0.0/8"), 8);
+  t.insert(pfx("10.1.0.0/16"), 16);
+  t.insert(pfx("10.1.2.0/24"), 24);
+
+  auto r = t.lookup(addr("10.1.2.3"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r->second, 24);
+  EXPECT_EQ(r->first, pfx("10.1.2.0/24"));
+
+  r = t.lookup(addr("10.1.9.9"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r->second, 16);
+
+  r = t.lookup(addr("10.99.0.1"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r->second, 8);
+
+  r = t.lookup(addr("192.168.0.1"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r->second, 0);
+}
+
+TEST(PrefixTrie, LookupWithNoDefaultRoute) {
+  PrefixTrie<int> t;
+  t.insert(pfx("10.0.0.0/8"), 1);
+  EXPECT_FALSE(t.lookup(addr("11.0.0.1")).has_value());
+}
+
+TEST(PrefixTrie, HostRoutes) {
+  PrefixTrie<int> t;
+  t.insert(pfx("10.0.0.1/32"), 1);
+  t.insert(pfx("10.0.0.0/24"), 2);
+  EXPECT_EQ(*t.lookup(addr("10.0.0.1"))->second, 1);
+  EXPECT_EQ(*t.lookup(addr("10.0.0.2"))->second, 2);
+}
+
+TEST(PrefixTrie, VisitDescendants) {
+  PrefixTrie<int> t;
+  t.insert(pfx("10.0.0.0/8"), 8);
+  t.insert(pfx("10.1.0.0/16"), 16);
+  t.insert(pfx("10.1.2.0/24"), 24);
+  t.insert(pfx("11.0.0.0/8"), 0);
+
+  std::vector<int> seen;
+  t.visit_descendants(pfx("10.0.0.0/8"),
+                      [&](Ipv4Prefix, const int& v) { seen.push_back(v); });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<int>{16, 24}));
+}
+
+TEST(PrefixTrie, VisitAncestorsShortestFirst) {
+  PrefixTrie<int> t;
+  t.insert(pfx("0.0.0.0/0"), 0);
+  t.insert(pfx("10.0.0.0/8"), 8);
+  t.insert(pfx("10.1.2.0/24"), 24);
+
+  std::vector<int> seen;
+  t.visit_ancestors(pfx("10.1.2.0/24"),
+                    [&](Ipv4Prefix, const int& v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 8, 24}));
+}
+
+TEST(PrefixTrie, VisitAllCountsEverything) {
+  PrefixTrie<int> t;
+  t.insert(pfx("0.0.0.0/0"), 1);
+  t.insert(pfx("10.0.0.0/8"), 2);
+  t.insert(pfx("172.16.0.0/12"), 3);
+  int count = 0;
+  t.visit_all([&](Ipv4Prefix, const int&) { ++count; });
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+/// Property test: trie LPM agrees with a brute-force linear scan over
+/// random prefix tables and random probe addresses.
+TEST(PrefixTrieProperty, MatchesLinearScan) {
+  core::Rng rng{123};
+  for (int trial = 0; trial < 20; ++trial) {
+    PrefixTrie<int> t;
+    std::map<Ipv4Prefix, int> table;
+    for (int i = 0; i < 200; ++i) {
+      const auto len = static_cast<std::uint8_t>(rng.next_in(0, 32));
+      const Ipv4Prefix p{Ipv4Addr{static_cast<std::uint32_t>(rng.next())}, len};
+      table[p] = i;
+      t.insert(p, i);
+    }
+    // Randomly erase some.
+    for (auto it = table.begin(); it != table.end();) {
+      if (rng.next_bool(0.3)) {
+        t.erase(it->first);
+        it = table.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    EXPECT_EQ(t.size(), table.size());
+
+    for (int probe = 0; probe < 200; ++probe) {
+      const Ipv4Addr a{static_cast<std::uint32_t>(rng.next())};
+      // Brute force: longest prefix containing a.
+      const std::pair<const Ipv4Prefix, int>* best = nullptr;
+      for (const auto& e : table) {
+        if (e.first.contains(a) && (best == nullptr || e.first.length() > best->first.length())) {
+          best = &e;
+        }
+      }
+      const auto got = t.lookup(a);
+      if (best == nullptr) {
+        EXPECT_FALSE(got.has_value());
+      } else {
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got->first, best->first);
+        EXPECT_EQ(*got->second, best->second);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rcfg::net

@@ -1,0 +1,169 @@
+// BGP route aggregation (aggregate-address [summary-only]) — one of the
+// "complex semantics" the paper's §3.1 calls out for configurations.
+
+#include <gtest/gtest.h>
+
+#include "baseline/simulator.h"
+#include "config/builders.h"
+#include "config/parse.h"
+#include "config/print.h"
+#include "core/rng.h"
+#include "routing/generator.h"
+#include "topo/generators.h"
+
+namespace rcfg::routing {
+namespace {
+
+net::Ipv4Prefix pfx(const char* s) { return *net::Ipv4Prefix::parse(s); }
+
+const FibEntry* find_row(const topo::Topology& t, const dd::ZSet<FibEntry>& fib,
+                         const char* node, net::Ipv4Prefix prefix) {
+  const topo::NodeId n = t.find_node(node);
+  for (const auto& [e, w] : fib) {
+    if (e.node == n && e.prefix == prefix) return &e;
+  }
+  return nullptr;
+}
+
+/// Chain n0 -- n1 -- n2, all BGP. n1 aggregates n0's and its own host
+/// prefixes (10.0.0.0/24 and 10.0.1.0/24, exactly covering 10.0.0.0/23);
+/// n2's prefix (10.0.2.0/24) is deliberately outside the aggregate.
+struct AggSetup {
+  topo::Topology t = topo::make_grid(3, 1);
+  config::NetworkConfig cfg;
+  net::Ipv4Prefix agg = pfx("10.0.0.0/23");
+
+  explicit AggSetup(bool summary_only) {
+    cfg = config::build_bgp_network(t);
+    cfg.devices.at("n1-0").bgp->aggregates.push_back({agg, summary_only});
+  }
+};
+
+TEST(Aggregation, ParsePrintRoundTrip) {
+  AggSetup s(true);
+  EXPECT_EQ(config::parse_network(config::print_network(s.cfg)), s.cfg);
+  const std::string text = config::print_device(s.cfg.devices.at("n1-0"));
+  EXPECT_NE(text.find("aggregate-address 10.0.0.0/23 summary-only"), std::string::npos);
+}
+
+TEST(Aggregation, AggregateOriginatedAndPropagated) {
+  AggSetup s(false);
+  IncrementalGenerator gen(s.t);
+  gen.apply(s.cfg);
+
+  // n2 learns the aggregate (and, without summary-only, the specifics too).
+  const FibEntry* agg_row = find_row(s.t, gen.fib(), "n2-0", s.agg);
+  ASSERT_NE(agg_row, nullptr);
+  EXPECT_EQ(agg_row->action, FibAction::kForward);
+  EXPECT_NE(find_row(s.t, gen.fib(), "n2-0", config::host_prefix(0)), nullptr);
+
+  // The origin (n1) installs the discard route.
+  const FibEntry* origin_row = find_row(s.t, gen.fib(), "n1-0", s.agg);
+  ASSERT_NE(origin_row, nullptr);
+  EXPECT_EQ(origin_row->action, FibAction::kDrop);
+}
+
+TEST(Aggregation, SummaryOnlySuppressesSpecifics) {
+  AggSetup s(true);
+  IncrementalGenerator gen(s.t);
+  gen.apply(s.cfg);
+
+  // n2 sees the aggregate but NOT n0's host prefix...
+  EXPECT_NE(find_row(s.t, gen.fib(), "n2-0", s.agg), nullptr);
+  EXPECT_EQ(find_row(s.t, gen.fib(), "n2-0", config::host_prefix(0)), nullptr);
+  // ...while n2's own prefix (outside the aggregate's origin direction)
+  // still reaches n0 normally.
+  EXPECT_NE(find_row(s.t, gen.fib(), "n0-0", config::host_prefix(2)), nullptr);
+}
+
+TEST(Aggregation, WithdrawnWithLastContributor) {
+  AggSetup s(false);
+  IncrementalGenerator gen(s.t);
+  gen.apply(s.cfg);
+  ASSERT_NE(find_row(s.t, gen.fib(), "n2-0", s.agg), nullptr);
+
+  // Remove every contributor: n1 stops originating its own prefix and the
+  // n0 session dies. The aggregate must be withdrawn everywhere.
+  s.cfg.devices.at("n1-0").bgp->networks.clear();
+  config::fail_link(s.cfg, s.t, 0);  // n0 -- n1
+  const DataPlaneDelta d = gen.apply(s.cfg);
+  EXPECT_FALSE(d.fib.empty());
+  EXPECT_EQ(find_row(s.t, gen.fib(), "n2-0", s.agg), nullptr);
+  EXPECT_EQ(find_row(s.t, gen.fib(), "n1-0", s.agg), nullptr);
+
+  // Restoring one contributor re-originates it.
+  config::restore_link(s.cfg, s.t, 0);
+  gen.apply(s.cfg);
+  EXPECT_NE(find_row(s.t, gen.fib(), "n2-0", s.agg), nullptr);
+}
+
+TEST(Aggregation, UncoveredTrafficDroppedAtOrigin) {
+  // Packets inside the aggregate with no more-specific route die at the
+  // aggregating router's discard route instead of wandering.
+  AggSetup s(true);
+  // Widen the aggregate so it contains space nobody owns.
+  s.cfg.devices.at("n1-0").bgp->aggregates[0].prefix = pfx("10.0.0.0/16");
+  IncrementalGenerator gen(s.t);
+  gen.apply(s.cfg);
+
+  const FibEntry* row = find_row(s.t, gen.fib(), "n1-0", pfx("10.0.0.0/16"));
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->action, FibAction::kDrop);
+}
+
+class AggregationDifferential : public ::testing::TestWithParam<bool> {};
+
+TEST_P(AggregationDifferential, EngineMatchesBaseline) {
+  AggSetup s(GetParam());
+  IncrementalGenerator gen(s.t);
+  gen.apply(s.cfg);
+  const baseline::SimulationResult sim = baseline::simulate(s.t, s.cfg);
+  EXPECT_TRUE(gen.fib() == sim.fib) << "summary_only=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, AggregationDifferential, ::testing::Bool());
+
+TEST(Aggregation, NestedAggregates) {
+  // n1 aggregates /14; n2 aggregates a wider /12 whose only contributor is
+  // n1's /14 — aggregates must be able to feed wider aggregates.
+  AggSetup s(true);
+  s.cfg.devices.at("n2-0").bgp->aggregates.push_back({pfx("10.0.0.0/12"), false});
+  IncrementalGenerator gen(s.t);
+  gen.apply(s.cfg);
+
+  const FibEntry* wider = find_row(s.t, gen.fib(), "n2-0", pfx("10.0.0.0/12"));
+  ASSERT_NE(wider, nullptr);
+  EXPECT_EQ(wider->action, FibAction::kDrop);  // discard at its origin
+  // And it propagates back toward n1/n0.
+  EXPECT_NE(find_row(s.t, gen.fib(), "n0-0", pfx("10.0.0.0/12")), nullptr);
+
+  const baseline::SimulationResult sim = baseline::simulate(s.t, s.cfg);
+  EXPECT_TRUE(gen.fib() == sim.fib);
+}
+
+TEST(Aggregation, IncrementalMatchesScratchAcrossChanges) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  config::NetworkConfig cfg = config::build_bgp_network(t);
+  // Every pod-0 edge aggregates the pod's host space toward the fabric.
+  cfg.devices.at("edge0-0").bgp->aggregates.push_back({pfx("10.0.0.0/18"), false});
+
+  IncrementalGenerator incremental(t);
+  incremental.apply(cfg);
+
+  core::Rng rng{55};
+  for (int step = 0; step < 6; ++step) {
+    const auto l = static_cast<topo::LinkId>(rng.next_below(t.link_count()));
+    if (rng.next_bool(0.5)) {
+      config::fail_link(cfg, t, l);
+    } else {
+      config::restore_link(cfg, t, l);
+    }
+    incremental.apply(cfg);
+    IncrementalGenerator scratch(t);
+    scratch.apply(cfg);
+    ASSERT_TRUE(incremental.fib() == scratch.fib()) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace rcfg::routing

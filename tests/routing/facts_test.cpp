@@ -1,0 +1,214 @@
+#include "routing/facts.h"
+
+#include <gtest/gtest.h>
+
+#include "config/builders.h"
+#include "topo/generators.h"
+
+namespace rcfg::routing {
+namespace {
+
+TEST(CompileFacts, OspfRingHasAllAdjacencies) {
+  const topo::Topology t = topo::make_ring(4);
+  const config::NetworkConfig cfg = config::build_ospf_network(t);
+  const FactSnapshot f = compile_facts(t, cfg);
+  // 4 links, two directed facts each.
+  EXPECT_EQ(f.ospf_links.size(), 8u);
+  // Each node: lan0 /24 plus two /31 link subnets, all OSPF origins.
+  EXPECT_EQ(f.ospf_origins.size(), 4u * 3u);
+  EXPECT_EQ(f.connected.size(), 4u * 3u);
+  EXPECT_TRUE(f.bgp_sessions.empty());
+  EXPECT_TRUE(f.bgp_origins.empty());
+}
+
+TEST(CompileFacts, ShutdownKillsAdjacencyAndConnected) {
+  const topo::Topology t = topo::make_ring(4);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  config::fail_link(cfg, t, 0);
+  const FactSnapshot f = compile_facts(t, cfg);
+  EXPECT_EQ(f.ospf_links.size(), 6u);           // one link (2 directed facts) gone
+  EXPECT_EQ(f.connected.size(), 4u * 3u - 2u);  // both /31 ends down
+  EXPECT_EQ(f.ospf_origins.size(), 4u * 3u - 2u);
+}
+
+TEST(CompileFacts, LinkCostLandsOnReceiverSide) {
+  const topo::Topology t = topo::make_ring(3);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  config::set_ospf_cost(cfg, "r0", "to-r1", 42);
+  const FactSnapshot f = compile_facts(t, cfg);
+
+  const topo::NodeId r0 = t.find_node("r0");
+  const topo::NodeId r1 = t.find_node("r1");
+  const topo::IfaceId r0_if = t.find_interface(r0, "to-r1");
+  bool found = false;
+  for (const auto& [l, w] : f.ospf_links) {
+    if (l.from == r1 && l.to == r0) {
+      // r0 pays its own egress cost toward r1.
+      EXPECT_EQ(l.cost, 42u);
+      EXPECT_EQ(l.via_iface, r0_if);
+      found = true;
+    }
+    if (l.from == r0 && l.to == r1) {
+      EXPECT_EQ(l.cost, 1u);  // r1's side unchanged
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CompileFacts, ZeroOspfCostRejected) {
+  const topo::Topology t = topo::make_ring(3);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  config::set_ospf_cost(cfg, "r0", "to-r1", 0);
+  EXPECT_THROW(compile_facts(t, cfg), std::invalid_argument);
+}
+
+TEST(CompileFacts, BgpSessionsRequireMutualConfig) {
+  const topo::Topology t = topo::make_ring(3);
+  config::NetworkConfig cfg = config::build_bgp_network(t);
+  {
+    const FactSnapshot f = compile_facts(t, cfg);
+    EXPECT_EQ(f.bgp_sessions.size(), 6u);  // 3 links * 2 directions
+    EXPECT_EQ(f.bgp_origins.size(), 3u);
+  }
+  // Break one side's remote-as: both directions of that session vanish.
+  cfg.devices.at("r0").bgp->neighbors[0].remote_as = 64999;
+  {
+    const FactSnapshot f = compile_facts(t, cfg);
+    EXPECT_EQ(f.bgp_sessions.size(), 4u);
+  }
+}
+
+TEST(CompileFacts, SessionPoliciesAreResolvedValues) {
+  const topo::Topology t = topo::make_ring(3);
+  config::NetworkConfig cfg = config::build_bgp_network(t);
+  config::set_local_pref(cfg, "r0", "to-r1", 150);
+  const FactSnapshot f = compile_facts(t, cfg);
+
+  const topo::NodeId r0 = t.find_node("r0");
+  const topo::NodeId r1 = t.find_node("r1");
+  bool found = false;
+  for (const auto& [s, w] : f.bgp_sessions) {
+    if (s.from == r1 && s.to == r0) {
+      EXPECT_TRUE(s.has_import);
+      ASSERT_EQ(s.import_policy.clauses.size(), 1u);
+      EXPECT_EQ(s.import_policy.clauses[0].set_local_pref, 150u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CompileFacts, StaticRouteResolution) {
+  const topo::Topology t = topo::make_ring(3);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  auto& dev = cfg.devices.at("r0");
+  dev.static_routes.push_back({*net::Ipv4Prefix::parse("1.0.0.0/8"), "to-r1", 1});
+  dev.static_routes.push_back({*net::Ipv4Prefix::parse("2.0.0.0/8"), "null0", 5});
+  dev.static_routes.push_back({*net::Ipv4Prefix::parse("3.0.0.0/8"), "ghost0", 1});  // unresolvable
+  dev.static_routes.push_back({*net::Ipv4Prefix::parse("4.0.0.0/8"), "lan0", 1});    // stub iface
+
+  const FactSnapshot f = compile_facts(t, cfg);
+  ASSERT_EQ(f.statics.size(), 2u);
+  bool saw_fwd = false, saw_drop = false;
+  for (const auto& [s, w] : f.statics) {
+    if (s.prefix == *net::Ipv4Prefix::parse("1.0.0.0/8")) {
+      EXPECT_FALSE(s.drop);
+      EXPECT_NE(s.egress, topo::kInvalidIface);
+      saw_fwd = true;
+    }
+    if (s.prefix == *net::Ipv4Prefix::parse("2.0.0.0/8")) {
+      EXPECT_TRUE(s.drop);
+      EXPECT_EQ(s.distance, 5u);
+      saw_drop = true;
+    }
+  }
+  EXPECT_TRUE(saw_fwd);
+  EXPECT_TRUE(saw_drop);
+}
+
+TEST(CompileFacts, RedistributionFacts) {
+  const topo::Topology t = topo::make_ring(3);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  auto& dev = cfg.devices.at("r0");
+  // Give r0 a BGP process redistributing OSPF, and OSPF redistributing BGP.
+  config::BgpConfig bgp;
+  bgp.local_as = 65000;
+  bgp.redistribute.push_back({config::Redistribution::Source::kOspf, 7, std::nullopt});
+  dev.bgp = bgp;
+  dev.ospf->redistribute.push_back({config::Redistribution::Source::kBgp, 0, std::nullopt});
+  dev.static_routes.push_back({*net::Ipv4Prefix::parse("9.9.0.0/16"), "null0", 1});
+  dev.ospf->redistribute.push_back({config::Redistribution::Source::kStatic, 33, std::nullopt});
+
+  const FactSnapshot f = compile_facts(t, cfg);
+  ASSERT_EQ(f.redist.size(), 2u);
+  bool saw_o2b = false, saw_b2o = false;
+  for (const auto& [fact, w] : f.redist) {
+    if (fact.from == Proto::kOspf && fact.to == Proto::kBgp) {
+      EXPECT_EQ(fact.metric, 7u);
+      EXPECT_EQ(fact.as_number, 65000u);
+      saw_o2b = true;
+    }
+    if (fact.from == Proto::kBgp && fact.to == Proto::kOspf) {
+      EXPECT_EQ(fact.metric, 20u);  // default applied
+      saw_b2o = true;
+    }
+  }
+  EXPECT_TRUE(saw_o2b);
+  EXPECT_TRUE(saw_b2o);
+
+  // The static prefix shows up as an OSPF origin with the configured metric.
+  bool saw = false;
+  for (const auto& [o, w] : f.ospf_origins) {
+    if (o.prefix == *net::Ipv4Prefix::parse("9.9.0.0/16")) {
+      EXPECT_EQ(o.metric, 33u);
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(CompileFacts, UnknownDeviceThrows) {
+  const topo::Topology t = topo::make_ring(3);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  config::DeviceConfig ghost;
+  ghost.hostname = "ghost";
+  cfg.devices["ghost"] = ghost;
+  EXPECT_THROW(compile_facts(t, cfg), std::invalid_argument);
+}
+
+TEST(ExtractFilters, BoundAclsBecomeRules) {
+  const topo::Topology t = topo::make_ring(3);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  core::Rng rng{7};
+  config::attach_random_acl(cfg, t, "r0", "to-r1", /*inbound=*/true, 5, rng);
+
+  const auto rules = extract_filter_rules(t, cfg);
+  EXPECT_EQ(rules.size(), 6u);  // 5 + catch-all
+  for (const auto& [r, w] : rules) {
+    EXPECT_TRUE(r.inbound);
+    EXPECT_EQ(r.node, t.find_node("r0"));
+  }
+}
+
+TEST(ExtractFilters, DanglingBindingFailsClosed) {
+  const topo::Topology t = topo::make_ring(3);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  cfg.devices.at("r0").find_interface("to-r1")->acl_out = "NO-SUCH-ACL";
+  const auto rules = extract_filter_rules(t, cfg);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_FALSE(rules.begin()->first.permit);
+  EXPECT_FALSE(rules.begin()->first.inbound);
+}
+
+TEST(ExtractFilters, UnboundAclsIgnored) {
+  const topo::Topology t = topo::make_ring(3);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  config::Acl acl;
+  acl.name = "UNUSED";
+  acl.rules.push_back({});
+  cfg.devices.at("r0").acls["UNUSED"] = acl;
+  EXPECT_TRUE(extract_filter_rules(t, cfg).empty());
+}
+
+}  // namespace
+}  // namespace rcfg::routing

@@ -1,0 +1,232 @@
+// RIPv2 — the third protocol, added to demonstrate the paper's §4.2 claim
+// that "other routing protocols can also be easily integrated due to the
+// generality of our modeling method".
+
+#include <gtest/gtest.h>
+
+#include "baseline/simulator.h"
+#include "config/builders.h"
+#include "config/parse.h"
+#include "config/print.h"
+#include "core/rng.h"
+#include "routing/generator.h"
+#include "topo/generators.h"
+
+namespace rcfg::routing {
+namespace {
+
+FibEntry fib_row(const topo::Topology& t, const dd::ZSet<FibEntry>& fib, const char* node,
+                 net::Ipv4Prefix prefix) {
+  const topo::NodeId n = t.find_node(node);
+  for (const auto& [e, w] : fib) {
+    if (e.node == n && e.prefix == prefix) return e;
+  }
+  ADD_FAILURE() << "no FIB row for " << node << " " << prefix.to_string();
+  return FibEntry{};
+}
+
+bool has_row(const topo::Topology& t, const dd::ZSet<FibEntry>& fib, const char* node,
+             net::Ipv4Prefix prefix) {
+  const topo::NodeId n = t.find_node(node);
+  for (const auto& [e, w] : fib) {
+    if (e.node == n && e.prefix == prefix) return true;
+  }
+  return false;
+}
+
+TEST(RipConfig, ParsePrintRoundTrip) {
+  const topo::Topology t = topo::make_ring(3);
+  const config::NetworkConfig cfg = config::build_rip_network(t);
+  EXPECT_EQ(config::parse_network(config::print_network(cfg)), cfg);
+  const std::string text = config::print_device(cfg.devices.at("r0"));
+  EXPECT_NE(text.find("rip enable"), std::string::npos);
+  EXPECT_NE(text.find("router rip"), std::string::npos);
+}
+
+TEST(RipFacts, AdjacenciesAndOrigins) {
+  const topo::Topology t = topo::make_ring(4);
+  config::NetworkConfig cfg = config::build_rip_network(t);
+  const FactSnapshot f = compile_facts(t, cfg);
+  EXPECT_EQ(f.rip_links.size(), 8u);       // 4 links, both directions
+  EXPECT_EQ(f.rip_origins.size(), 4u * 3u);  // lan0 + two /31s per node
+  EXPECT_TRUE(f.ospf_links.empty());
+
+  config::fail_link(cfg, t, 0);
+  const FactSnapshot f2 = compile_facts(t, cfg);
+  EXPECT_EQ(f2.rip_links.size(), 6u);
+}
+
+TEST(RipGenerator, HopCountShortestPath) {
+  const topo::Topology t = topo::make_ring(5);
+  const config::NetworkConfig cfg = config::build_rip_network(t);
+  IncrementalGenerator gen(t);
+  gen.apply(cfg);
+
+  const auto p2 = config::host_prefix(t.find_node("r2"));
+  const FibEntry e = fib_row(t, gen.fib(), "r0", p2);
+  EXPECT_EQ(e.action, FibAction::kForward);
+  ASSERT_EQ(e.out_ifaces.size(), 1u);
+  EXPECT_EQ(e.out_ifaces[0], t.find_interface(t.find_node("r0"), "to-r1"));
+}
+
+TEST(RipGenerator, EcmpLikeOspf) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  const config::NetworkConfig cfg = config::build_rip_network(t);
+  IncrementalGenerator gen(t);
+  gen.apply(cfg);
+  const auto dst = config::host_prefix(t.find_node("edge1-0"));
+  EXPECT_EQ(fib_row(t, gen.fib(), "edge0-0", dst).out_ifaces.size(), 2u);
+}
+
+TEST(RipGenerator, FifteenHopHorizon) {
+  // A 40-node chain: nodes further than 15 hops from the origin must have
+  // no route to its prefix (RIP metric 16 = infinity). The connected /31s
+  // of distant links are likewise out of range.
+  const topo::Topology t = topo::make_grid(40, 1);
+  const config::NetworkConfig cfg = config::build_rip_network(t);
+  routing::GeneratorOptions opts;
+  opts.max_rounds = 40;  // cap is the protocol's, not the engine's
+  IncrementalGenerator gen(t, opts);
+  gen.apply(cfg);
+
+  const auto p0 = config::host_prefix(t.find_node("n0-0"));
+  // n14-0 is 14 hops from n0-0: its metric is 15 (origin metric 1 + 14).
+  EXPECT_TRUE(has_row(t, gen.fib(), "n14-0", p0));
+  // n15-0 would need metric 16 = infinity.
+  EXPECT_FALSE(has_row(t, gen.fib(), "n15-0", p0));
+  EXPECT_FALSE(has_row(t, gen.fib(), "n39-0", p0));
+}
+
+TEST(RipGenerator, LinkFailureReroutes) {
+  const topo::Topology t = topo::make_ring(4);
+  config::NetworkConfig cfg = config::build_rip_network(t);
+  IncrementalGenerator gen(t);
+  gen.apply(cfg);
+
+  const auto p1 = config::host_prefix(t.find_node("r1"));
+  config::fail_link(cfg, t, 0);  // r0 -- r1
+  const DataPlaneDelta d = gen.apply(cfg);
+  EXPECT_FALSE(d.fib.empty());
+  EXPECT_EQ(fib_row(t, gen.fib(), "r0", p1).out_ifaces[0],
+            t.find_interface(t.find_node("r0"), "to-r3"));
+}
+
+TEST(RipDifferential, EngineMatchesBaseline) {
+  for (const auto& [name, t] : {
+           std::pair<const char*, topo::Topology>{"ring5", topo::make_ring(5)},
+           {"grid3x3", topo::make_grid(3, 3)},
+           {"fattree4", topo::make_fat_tree(4)},
+       }) {
+    const config::NetworkConfig cfg = config::build_rip_network(t);
+    IncrementalGenerator gen(t);
+    gen.apply(cfg);
+    const baseline::SimulationResult sim = baseline::simulate(t, cfg);
+    EXPECT_TRUE(gen.fib() == sim.fib) << "rip/" << name;
+  }
+}
+
+TEST(RipDifferential, HorizonMatchesBaseline) {
+  const topo::Topology t = topo::make_grid(20, 1);
+  const config::NetworkConfig cfg = config::build_rip_network(t);
+  routing::GeneratorOptions opts;
+  opts.max_rounds = 24;
+  IncrementalGenerator gen(t, opts);
+  gen.apply(cfg);
+  const baseline::SimulationResult sim = baseline::simulate(t, cfg);
+  EXPECT_TRUE(gen.fib() == sim.fib);
+}
+
+TEST(RipRedistribution, RipIntoBgpAcrossBorder) {
+  // n0 -- n1 speak RIP; n1 -- n2 speak BGP; n1 redistributes rip into bgp.
+  const topo::Topology t = topo::make_grid(3, 1);
+  config::NetworkConfig rip = config::build_rip_network(t);
+  config::NetworkConfig bgp = config::build_bgp_network(t);
+
+  config::NetworkConfig cfg;
+  cfg.devices["n0-0"] = rip.devices.at("n0-0");
+  config::DeviceConfig n1 = rip.devices.at("n1-0");
+  n1.find_interface("to-n2-0")->rip = false;
+  config::BgpConfig b;
+  b.local_as = 65101;
+  config::BgpNeighbor nb;
+  nb.iface = "to-n2-0";
+  nb.remote_as = 65102;
+  b.neighbors.push_back(nb);
+  b.redistribute.push_back({config::Redistribution::Source::kRip, 0, std::nullopt});
+  n1.bgp = b;
+  cfg.devices["n1-0"] = n1;
+  config::DeviceConfig n2 = bgp.devices.at("n2-0");
+  n2.bgp->local_as = 65102;
+  n2.bgp->neighbors.clear();
+  config::BgpNeighbor nb2;
+  nb2.iface = "to-n1-0";
+  nb2.remote_as = 65101;
+  n2.bgp->neighbors.push_back(nb2);
+  cfg.devices["n2-0"] = n2;
+
+  IncrementalGenerator gen(t);
+  gen.apply(cfg);
+  const auto p0 = config::host_prefix(t.find_node("n0-0"));
+  const FibEntry e = fib_row(t, gen.fib(), "n2-0", p0);
+  EXPECT_EQ(e.action, FibAction::kForward);
+
+  // And the baseline agrees on the whole FIB.
+  const baseline::SimulationResult sim = baseline::simulate(t, cfg);
+  EXPECT_TRUE(gen.fib() == sim.fib);
+}
+
+TEST(RipRedistribution, OspfIntoRipRespectsHorizon) {
+  // An OSPF route redistributed into RIP with metric 14 can travel one more
+  // hop, then hits infinity.
+  const topo::Topology t = topo::make_grid(4, 1);
+  config::NetworkConfig cfg = config::build_rip_network(t);
+  // n0's interfaces leave RIP; n0--n1 runs OSPF instead.
+  auto& n0 = cfg.devices.at("n0-0");
+  for (auto& i : n0.interfaces) {
+    i.rip = false;
+    i.ospf_area = 0;
+  }
+  n0.rip.reset();
+  n0.ospf.emplace();
+  auto& n1 = cfg.devices.at("n1-0");
+  n1.find_interface("to-n0-0")->rip = false;
+  n1.find_interface("to-n0-0")->ospf_area = 0;
+  n1.ospf.emplace();
+  n1.rip->redistribute.push_back({config::Redistribution::Source::kOspf, 14, std::nullopt});
+
+  IncrementalGenerator gen(t);
+  gen.apply(cfg);
+  const auto p0 = config::host_prefix(t.find_node("n0-0"));
+  // n2 hears the redistributed route at metric 15: reachable.
+  EXPECT_TRUE(has_row(t, gen.fib(), "n2-0", p0));
+  // n3 would need metric 16: unreachable.
+  EXPECT_FALSE(has_row(t, gen.fib(), "n3-0", p0));
+
+  const baseline::SimulationResult sim = baseline::simulate(t, cfg);
+  EXPECT_TRUE(gen.fib() == sim.fib);
+}
+
+TEST(RipChangeSequence, IncrementalMatchesScratch) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  config::NetworkConfig cfg = config::build_rip_network(t);
+  IncrementalGenerator incremental(t);
+  incremental.apply(cfg);
+
+  core::Rng rng{33};
+  for (int step = 0; step < 8; ++step) {
+    const auto l = static_cast<topo::LinkId>(rng.next_below(t.link_count()));
+    if (rng.next_bool(0.6)) {
+      config::fail_link(cfg, t, l);
+    } else {
+      config::restore_link(cfg, t, l);
+    }
+    incremental.apply(cfg);
+
+    IncrementalGenerator scratch(t);
+    scratch.apply(cfg);
+    ASSERT_TRUE(incremental.fib() == scratch.fib()) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace rcfg::routing

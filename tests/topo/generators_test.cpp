@@ -1,0 +1,122 @@
+#include "topo/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace rcfg::topo {
+namespace {
+
+/// BFS connectivity check.
+bool is_connected(const Topology& t) {
+  if (t.node_count() == 0) return true;
+  std::vector<bool> seen(t.node_count(), false);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!q.empty()) {
+    const NodeId n = q.front();
+    q.pop();
+    for (const auto& adj : t.adjacencies(n)) {
+      if (!seen[adj.peer]) {
+        seen[adj.peer] = true;
+        ++count;
+        q.push(adj.peer);
+      }
+    }
+  }
+  return count == t.node_count();
+}
+
+class FatTreeTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FatTreeTest, ShapeMatchesFormula) {
+  const unsigned k = GetParam();
+  const Topology t = make_fat_tree(k);
+  const FatTreeShape shape{k};
+  EXPECT_EQ(t.node_count(), shape.nodes());
+  EXPECT_EQ(t.link_count(), shape.links());
+  EXPECT_TRUE(is_connected(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FatTreeTest, ::testing::Values(2u, 4u, 6u, 8u, 12u));
+
+TEST(FatTree, PaperScaleIs180Nodes864Links) {
+  // The paper's evaluation topology (§5): fat tree with 180 nodes, 864 links.
+  const Topology t = make_fat_tree(12);
+  EXPECT_EQ(t.node_count(), 180u);
+  EXPECT_EQ(t.link_count(), 864u);
+}
+
+TEST(FatTree, DegreesAreUniform) {
+  const unsigned k = 6;
+  const Topology t = make_fat_tree(k);
+  for (NodeId n = 0; n < t.node_count(); ++n) {
+    const auto& name = t.node(n).name;
+    const std::size_t degree = t.adjacencies(n).size();
+    if (name.starts_with("core")) {
+      EXPECT_EQ(degree, k) << name;
+    } else if (name.starts_with("agg")) {
+      EXPECT_EQ(degree, k) << name;
+    } else {
+      EXPECT_EQ(degree, k / 2) << name;  // edge switches (no hosts modeled)
+    }
+  }
+}
+
+TEST(FatTree, OddKRejected) {
+  EXPECT_THROW(make_fat_tree(3), std::invalid_argument);
+  EXPECT_THROW(make_fat_tree(0), std::invalid_argument);
+}
+
+TEST(Grid, ShapeAndConnectivity) {
+  const Topology t = make_grid(4, 3);
+  EXPECT_EQ(t.node_count(), 12u);
+  // links: horizontal 3*3 + vertical 4*2 = 17
+  EXPECT_EQ(t.link_count(), 17u);
+  EXPECT_TRUE(is_connected(t));
+}
+
+TEST(Grid, SingleCell) {
+  const Topology t = make_grid(1, 1);
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_EQ(t.link_count(), 0u);
+}
+
+TEST(Ring, ShapeAndConnectivity) {
+  const Topology t = make_ring(5);
+  EXPECT_EQ(t.node_count(), 5u);
+  EXPECT_EQ(t.link_count(), 5u);
+  EXPECT_TRUE(is_connected(t));
+  for (NodeId n = 0; n < 5; ++n) EXPECT_EQ(t.adjacencies(n).size(), 2u);
+}
+
+TEST(FullMesh, Shape) {
+  const Topology t = make_full_mesh(5);
+  EXPECT_EQ(t.node_count(), 5u);
+  EXPECT_EQ(t.link_count(), 10u);
+  EXPECT_TRUE(is_connected(t));
+}
+
+TEST(RandomConnected, AlwaysConnectedWithExactLinkCount) {
+  core::Rng rng{99};
+  for (int trial = 0; trial < 10; ++trial) {
+    const unsigned n = 20;
+    const unsigned links = 35;
+    const Topology t = make_random_connected(n, links, rng);
+    EXPECT_EQ(t.node_count(), n);
+    EXPECT_EQ(t.link_count(), links);
+    EXPECT_TRUE(is_connected(t));
+  }
+}
+
+TEST(RandomConnected, RejectsTooFewLinks) {
+  core::Rng rng{1};
+  EXPECT_THROW(make_random_connected(10, 8, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rcfg::topo

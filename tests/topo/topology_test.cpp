@@ -1,0 +1,106 @@
+#include "topo/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace rcfg::topo {
+namespace {
+
+TEST(Topology, AddNodesAndLinks) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  const LinkId l = t.connect(a, b);
+
+  EXPECT_EQ(t.node_count(), 2u);
+  EXPECT_EQ(t.link_count(), 1u);
+  EXPECT_EQ(t.iface_count(), 2u);
+  EXPECT_EQ(t.peer(l, a), b);
+  EXPECT_EQ(t.peer(l, b), a);
+  EXPECT_EQ(t.find_node("a"), a);
+  EXPECT_EQ(t.find_node("missing"), kInvalidNode);
+}
+
+TEST(Topology, DuplicateNodeNameThrows) {
+  Topology t;
+  t.add_node("a");
+  EXPECT_THROW(t.add_node("a"), std::invalid_argument);
+}
+
+TEST(Topology, InterfaceNaming) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  t.connect(a, b);
+  EXPECT_NE(t.find_interface(a, "to-b"), kInvalidIface);
+  EXPECT_NE(t.find_interface(b, "to-a"), kInvalidIface);
+
+  // A parallel link gets a suffixed name.
+  t.connect(a, b);
+  EXPECT_NE(t.find_interface(a, "to-b.1"), kInvalidIface);
+}
+
+TEST(Topology, SelfLoopRejected) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const IfaceId i1 = t.add_interface(a, "x");
+  const IfaceId i2 = t.add_interface(a, "y");
+  EXPECT_THROW(t.add_link(i1, i2), std::invalid_argument);
+}
+
+TEST(Topology, DoubleWiringRejected) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  const NodeId c = t.add_node("c");
+  const IfaceId ia = t.add_interface(a, "x");
+  const IfaceId ib = t.add_interface(b, "x");
+  const IfaceId ic = t.add_interface(c, "x");
+  t.add_link(ia, ib);
+  EXPECT_THROW(t.add_link(ia, ic), std::invalid_argument);
+}
+
+TEST(Topology, Adjacencies) {
+  Topology t;
+  const NodeId hub = t.add_node("hub");
+  const NodeId s1 = t.add_node("s1");
+  const NodeId s2 = t.add_node("s2");
+  const NodeId s3 = t.add_node("s3");
+  t.connect(hub, s1);
+  t.connect(hub, s2);
+  t.connect(hub, s3);
+
+  const auto adj = t.adjacencies(hub);
+  ASSERT_EQ(adj.size(), 3u);
+  EXPECT_EQ(t.adjacencies(s1).size(), 1u);
+  EXPECT_EQ(adj[0].peer, s1);
+  EXPECT_EQ(adj[1].peer, s2);
+  EXPECT_EQ(adj[2].peer, s3);
+}
+
+TEST(Topology, RemoteIface) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  t.connect(a, b);
+  const IfaceId ia = t.find_interface(a, "to-b");
+  const IfaceId ib = t.find_interface(b, "to-a");
+  EXPECT_EQ(t.remote_iface(ia), ib);
+  EXPECT_EQ(t.remote_iface(ib), ia);
+
+  const IfaceId lone = t.add_interface(a, "unwired");
+  EXPECT_EQ(t.remote_iface(lone), kInvalidIface);
+}
+
+TEST(Topology, DotExportMentionsAllNodes) {
+  Topology t;
+  const NodeId a = t.add_node("alpha");
+  const NodeId b = t.add_node("beta");
+  t.connect(a, b);
+  const std::string dot = t.to_dot();
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("beta"), std::string::npos);
+  EXPECT_NE(dot.find("--"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rcfg::topo

@@ -1,0 +1,94 @@
+#include "verify/failures.h"
+
+#include <gtest/gtest.h>
+
+#include "config/builders.h"
+#include "topo/generators.h"
+
+namespace rcfg::verify {
+namespace {
+
+TEST(FailureSweep, FatTreeSurvivesEverySingleFailure) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  RealConfig rc(t);
+  rc.apply(cfg);
+
+  const FailureSweepResult r = sweep_single_link_failures(rc, cfg);
+  EXPECT_EQ(r.scenarios, t.link_count());
+  // Host-prefix reachability is fully fault tolerant in a fat tree; only
+  // the failed link's own /31 pairs disappear, so some pairs drop out of
+  // the spec but no host pair does.
+  EXPECT_FALSE(r.fault_tolerant_pairs.empty());
+  EXPECT_LE(r.fault_tolerant_pairs.size(), r.healthy_pairs.size());
+  EXPECT_TRUE(r.loop_scenarios.empty());
+
+  // Host-to-host pairs all survive.
+  std::size_t host_pairs = 0;
+  for (const auto& [s, d] : r.fault_tolerant_pairs) {
+    (void)s;
+    (void)d;
+    ++host_pairs;
+  }
+  EXPECT_GE(host_pairs, t.node_count() * (t.node_count() - 1) / 2);
+
+  // The sweep leaves the verifier healthy.
+  EXPECT_EQ(rc.checker().reachable_pairs(), r.healthy_pairs);
+}
+
+TEST(FailureSweep, ChainHasOnlyCriticalLinks) {
+  const topo::Topology t = topo::make_grid(4, 1);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  RealConfig rc(t);
+  rc.apply(cfg);
+
+  const FailureSweepResult r = sweep_single_link_failures(rc, cfg);
+  // Every link in a chain is a cut edge.
+  EXPECT_EQ(r.critical_links.size(), t.link_count());
+  // No pair survives every failure (each pair is cut by some link).
+  EXPECT_TRUE(r.fault_tolerant_pairs.empty());
+}
+
+TEST(FailureSweep, RingToleratesAnySingleFailure) {
+  const topo::Topology t = topo::make_ring(5);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  RealConfig rc(t);
+  rc.apply(cfg);
+
+  const FailureSweepResult r = sweep_single_link_failures(rc, cfg);
+  // Host pairs survive (ring reroutes); only the dead link's /31 pairs drop,
+  // which marks every link critical-for-its-own-subnet.
+  std::size_t host_pair_count = 0;
+  for (const auto& [s, d] : r.fault_tolerant_pairs) {
+    if (config::host_prefix(d).address().bits() >> 24 == 10) ++host_pair_count;
+  }
+  EXPECT_EQ(host_pair_count, 5u * 4u);
+}
+
+TEST(FailureSweep, PolicyViolationsNameTheScenario) {
+  const topo::Topology t = topo::make_grid(3, 1);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  RealConfig rc(t);
+  rc.apply(cfg);
+  const PolicyId pid =
+      rc.require_reachable("n0-0", "n2-0", config::host_prefix(t.find_node("n2-0")));
+
+  const FailureSweepResult r = sweep_single_link_failures(rc, cfg);
+  ASSERT_TRUE(r.policy_violations.contains(pid));
+  // Both chain links break the policy.
+  EXPECT_EQ(r.policy_violations.at(pid).size(), 2u);
+  // And the verifier is healthy again afterwards.
+  EXPECT_TRUE(rc.checker().policy_satisfied(pid));
+}
+
+TEST(FailureSweep, SubsetOfLinks) {
+  const topo::Topology t = topo::make_ring(4);
+  config::NetworkConfig cfg = config::build_bgp_network(t);
+  RealConfig rc(t);
+  rc.apply(cfg);
+  const FailureSweepResult r = sweep_single_link_failures(rc, cfg, {0, 2});
+  EXPECT_EQ(r.scenarios, 2u);
+}
+
+}  // namespace
+}  // namespace rcfg::verify

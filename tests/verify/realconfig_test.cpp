@@ -1,0 +1,192 @@
+#include "verify/realconfig.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/simulator.h"
+#include "config/builders.h"
+#include "core/rng.h"
+#include "dd/graph.h"
+#include "topo/generators.h"
+
+namespace rcfg::verify {
+namespace {
+
+/// Oracle: walk the FIB hop by hop for a concrete destination address and
+/// decide whether s's traffic can reach d (following every ECMP branch).
+bool fib_walk_reaches(const topo::Topology& t, const dd::ZSet<routing::FibEntry>& fib,
+                      topo::NodeId s, topo::NodeId d, net::Ipv4Addr dst) {
+  std::vector<bool> visited(t.node_count(), false);
+  std::vector<topo::NodeId> stack{s};
+  while (!stack.empty()) {
+    const topo::NodeId n = stack.back();
+    stack.pop_back();
+    if (visited[n]) continue;
+    visited[n] = true;
+    // LPM over n's rows.
+    const routing::FibEntry* best = nullptr;
+    for (const auto& [e, w] : fib) {
+      if (e.node != n || !e.prefix.contains(dst)) continue;
+      if (best == nullptr || e.prefix.length() > best->prefix.length()) best = &e;
+    }
+    if (best == nullptr) continue;
+    if (best->action == routing::FibAction::kDeliver) {
+      if (n == d) return true;
+      continue;
+    }
+    if (best->action == routing::FibAction::kDrop) continue;
+    for (const topo::IfaceId i : best->out_ifaces) {
+      const auto& ifc = t.iface(i);
+      if (ifc.link) stack.push_back(t.peer(*ifc.link, n));
+    }
+  }
+  return false;
+}
+
+TEST(RealConfig, EndToEndPipelineTimesAndDeltas) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  RealConfig rc(t);
+
+  const auto full = rc.apply(cfg);
+  EXPECT_FALSE(full.dataplane.fib.empty());
+  EXPECT_FALSE(full.model.moves.empty());
+  EXPECT_FALSE(full.check.affected_pairs.empty());
+  EXPECT_GT(full.generate_ms, 0.0);
+
+  // No change: every stage reports an empty delta.
+  const auto idle = rc.apply(cfg);
+  EXPECT_TRUE(idle.dataplane.fib.empty());
+  EXPECT_TRUE(idle.model.empty());
+  EXPECT_TRUE(idle.check.empty());
+
+  // A small change produces small deltas.
+  config::set_ospf_cost(cfg, "edge0-0", "to-agg0-0", 100);
+  const auto incr = rc.apply(cfg);
+  EXPECT_FALSE(incr.dataplane.fib.empty());
+  EXPECT_LT(incr.dataplane.fib.size(), full.dataplane.fib.size());
+  EXPECT_LT(incr.model.stats.ec_moves, full.model.stats.ec_moves);
+}
+
+TEST(RealConfig, ReachabilityMatchesFibWalkOracle) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  config::NetworkConfig cfg = config::build_bgp_network(t);
+  RealConfig rc(t);
+  rc.apply(cfg);
+
+  core::Rng rng{42};
+  auto check_probes = [&](const char* context) {
+    for (int probe = 0; probe < 40; ++probe) {
+      const auto s = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+      const auto d = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+      if (s == d) continue;
+      const net::Ipv4Prefix host = config::host_prefix(d);
+      const dpm::EcId ec = rc.ecs().ec_of(rc.packet_space().dst_prefix(host));
+      const bool got = rc.checker().reachable(s, d, ec);
+      const bool want =
+          fib_walk_reaches(t, rc.generator().fib(), s, d, host.first());
+      ASSERT_EQ(got, want) << context << ": " << t.node(s).name << " -> " << t.node(d).name;
+    }
+  };
+
+  check_probes("initial");
+  config::fail_link(cfg, t, 7);
+  rc.apply(cfg);
+  check_probes("after failure");
+  config::set_local_pref(cfg, "edge0-0", "to-agg0-1", 150);
+  rc.apply(cfg);
+  check_probes("after LP change");
+  config::restore_link(cfg, t, 7);
+  rc.apply(cfg);
+  check_probes("after restore");
+}
+
+TEST(RealConfig, IncrementalCheckerMatchesFreshInstance) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+
+  RealConfig incremental(t);
+  incremental.apply(cfg);
+
+  core::Rng rng{7};
+  for (int step = 0; step < 6; ++step) {
+    const auto l = static_cast<topo::LinkId>(rng.next_below(t.link_count()));
+    if (rng.next_bool(0.5)) {
+      config::fail_link(cfg, t, l);
+    } else {
+      const auto& lk = t.link(l);
+      config::set_ospf_cost(cfg, t.node(lk.a).name, t.iface(lk.a_iface).name,
+                            static_cast<std::uint32_t>(rng.next_in(1, 40)));
+    }
+    incremental.apply(cfg);
+
+    RealConfig fresh(t);
+    fresh.apply(cfg);
+
+    // Pair counts and anomaly counts must agree (EC ids may differ).
+    ASSERT_EQ(incremental.checker().pair_count(), fresh.checker().pair_count())
+        << "step " << step;
+    ASSERT_EQ(incremental.checker().loop_count(), fresh.checker().loop_count());
+    ASSERT_EQ(incremental.checker().blackhole_count(), fresh.checker().blackhole_count());
+  }
+}
+
+TEST(RealConfig, PolicyHelpersByName) {
+  const topo::Topology t = topo::make_grid(3, 1);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  RealConfig rc(t);
+  rc.apply(cfg);
+
+  const auto p2 = config::host_prefix(t.find_node("n2-0"));
+  const PolicyId reach = rc.require_reachable("n0-0", "n2-0", p2);
+  const PolicyId way = rc.require_waypoint("n0-0", "n2-0", "n1-0", p2);
+  EXPECT_TRUE(rc.checker().policy_satisfied(reach));
+  EXPECT_TRUE(rc.checker().policy_satisfied(way));
+  EXPECT_THROW(rc.require_reachable("ghost", "n2-0", p2), std::invalid_argument);
+
+  config::fail_link(cfg, t, 1);
+  const auto rep = rc.apply(cfg);
+  EXPECT_FALSE(rc.checker().policy_satisfied(reach));
+  ASSERT_FALSE(rep.check.events.empty());
+}
+
+TEST(RealConfig, UpdateOrderDoesNotChangeFinalState) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  config::NetworkConfig cfg = config::build_bgp_network(t);
+
+  RealConfigOptions ins;
+  ins.update_order = dpm::UpdateOrder::kInsertFirst;
+  RealConfigOptions del;
+  del.update_order = dpm::UpdateOrder::kDeleteFirst;
+  RealConfig a(t, ins), b(t, del);
+  a.apply(cfg);
+  b.apply(cfg);
+
+  config::fail_link(cfg, t, 5);
+  const auto ra = a.apply(cfg);
+  const auto rb = b.apply(cfg);
+
+  // Deletion-first moves ECs at least as often (via the drop port).
+  EXPECT_GE(rb.model.stats.ec_moves, ra.model.stats.ec_moves);
+  // Final semantics agree.
+  EXPECT_EQ(a.checker().pair_count(), b.checker().pair_count());
+  EXPECT_EQ(a.checker().loop_count(), b.checker().loop_count());
+}
+
+TEST(RealConfig, NonconvergentConfigThrows) {
+  const topo::Topology t = topo::make_full_mesh(4);
+  config::NetworkConfig cfg = config::build_bgp_network(t);
+  for (unsigned i = 1; i <= 3; ++i) {
+    cfg.devices.at("m" + std::to_string(i)).bgp->networks.clear();
+  }
+  config::set_local_pref(cfg, "m1", "to-m2", 200);
+  config::set_local_pref(cfg, "m2", "to-m3", 200);
+  config::set_local_pref(cfg, "m3", "to-m1", 200);
+
+  RealConfig rc(t);
+  rc.generator().set_flush_budget(2'000'000);
+  rc.generator().set_recurrence_threshold(500);
+  EXPECT_THROW(rc.apply(cfg), dd::NonterminationError);
+}
+
+}  // namespace
+}  // namespace rcfg::verify

@@ -1,0 +1,165 @@
+#include "verify/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "config/builders.h"
+#include "core/rng.h"
+#include "topo/generators.h"
+#include "verify/realconfig.h"
+
+namespace rcfg::verify {
+namespace {
+
+config::Flow flow_to(topo::NodeId dst_node, config::IpProto proto = config::IpProto::kUdp,
+                     std::uint16_t dport = 0) {
+  config::Flow f;
+  f.src = *net::Ipv4Addr::parse("192.0.2.1");
+  f.dst = config::host_prefix(dst_node).first();
+  f.proto = proto;
+  f.dst_port = dport;
+  return f;
+}
+
+TEST(Trace, DeliveredWithMatchedRules) {
+  const topo::Topology t = topo::make_grid(3, 1);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  RealConfig rc(t);
+  rc.apply(cfg);
+
+  const topo::NodeId n2 = t.find_node("n2-0");
+  const FlowTrace trace = trace_flow(t, rc.model(), flow_to(n2), t.find_node("n0-0"));
+  ASSERT_EQ(trace.branches.size(), 1u);
+  EXPECT_EQ(trace.branches[0].disposition, Disposition::kDelivered);
+  ASSERT_EQ(trace.branches[0].hops.size(), 3u);
+  // Every transit hop matched the destination /24.
+  for (const TraceHop& hop : trace.branches[0].hops) {
+    ASSERT_TRUE(hop.matched_prefix.has_value());
+    EXPECT_EQ(*hop.matched_prefix, config::host_prefix(n2));
+  }
+  EXPECT_TRUE(trace.all_delivered());
+
+  const std::string text = to_string(trace, t);
+  EXPECT_NE(text.find("delivered"), std::string::npos);
+  EXPECT_NE(text.find("n1-0"), std::string::npos);
+}
+
+TEST(Trace, EcmpFansOut) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  RealConfig rc(t);
+  rc.apply(cfg);
+
+  const FlowTrace trace =
+      trace_flow(t, rc.model(), flow_to(t.find_node("edge1-0")), t.find_node("edge0-0"));
+  EXPECT_GE(trace.branches.size(), 2u);  // two aggregation choices at least
+  EXPECT_TRUE(trace.all_delivered());
+}
+
+TEST(Trace, NoRouteReported) {
+  const topo::Topology t = topo::make_ring(3);
+  config::NetworkConfig cfg = config::build_bgp_network(t);
+  RealConfig rc(t);
+  rc.apply(cfg);
+
+  config::Flow f;
+  f.dst = *net::Ipv4Addr::parse("198.18.0.1");  // nobody owns this
+  const FlowTrace trace = trace_flow(t, rc.model(), f, 0);
+  ASSERT_EQ(trace.branches.size(), 1u);
+  EXPECT_EQ(trace.branches[0].disposition, Disposition::kNoRoute);
+  EXPECT_FALSE(trace.branches[0].hops[0].matched_prefix.has_value());
+}
+
+TEST(Trace, ExplicitDropReported) {
+  const topo::Topology t = topo::make_ring(3);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  const auto victim = *net::Ipv4Prefix::parse("203.0.113.0/24");
+  cfg.devices.at("r1").static_routes.push_back({victim, "null0", 1});
+  cfg.devices.at("r0").static_routes.push_back({victim, "to-r1", 1});
+  RealConfig rc(t);
+  rc.apply(cfg);
+
+  config::Flow f;
+  f.dst = victim.first();
+  const FlowTrace trace = trace_flow(t, rc.model(), f, t.find_node("r0"));
+  ASSERT_EQ(trace.branches.size(), 1u);
+  EXPECT_EQ(trace.branches[0].disposition, Disposition::kDropped);
+  EXPECT_EQ(trace.branches[0].hops.back().node, t.find_node("r1"));
+}
+
+TEST(Trace, LoopReported) {
+  const topo::Topology t = topo::make_ring(3);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  const auto victim = *net::Ipv4Prefix::parse("203.0.113.0/24");
+  cfg.devices.at("r0").static_routes.push_back({victim, "to-r1", 1});
+  cfg.devices.at("r1").static_routes.push_back({victim, "to-r0", 1});
+  RealConfig rc(t);
+  rc.apply(cfg);
+
+  config::Flow f;
+  f.dst = victim.first();
+  const FlowTrace trace = trace_flow(t, rc.model(), f, t.find_node("r0"));
+  ASSERT_EQ(trace.branches.size(), 1u);
+  EXPECT_EQ(trace.branches[0].disposition, Disposition::kLoop);
+}
+
+TEST(Trace, AclDecisionsRecorded) {
+  const topo::Topology t = topo::make_grid(2, 1);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  // n1 blocks telnet inbound on its n0-facing interface.
+  auto& dev = cfg.devices.at("n1-0");
+  config::Acl acl;
+  acl.name = "A";
+  config::AclRule deny;
+  deny.seq = 10;
+  deny.action = config::Action::kDeny;
+  deny.proto = config::IpProto::kTcp;
+  deny.dst_ports = {23, 23};
+  acl.rules.push_back(deny);
+  config::AclRule permit;
+  permit.seq = 20;
+  acl.rules.push_back(permit);
+  dev.acls["A"] = acl;
+  dev.find_interface("to-n0-0")->acl_in = "A";
+
+  RealConfig rc(t);
+  rc.apply(cfg);
+
+  const topo::NodeId n1 = t.find_node("n1-0");
+  const topo::NodeId n0 = t.find_node("n0-0");
+
+  // Telnet is filtered at n1's ingress; the deciding rule is the deny.
+  const FlowTrace telnet =
+      trace_flow(t, rc.model(), flow_to(n1, config::IpProto::kTcp, 23), n0);
+  ASSERT_EQ(telnet.branches.size(), 1u);
+  EXPECT_EQ(telnet.branches[0].disposition, Disposition::kFilteredIn);
+  ASSERT_TRUE(telnet.branches[0].hops.back().ingress_acl_rule.has_value());
+  EXPECT_FALSE(telnet.branches[0].hops.back().ingress_acl_rule->permit);
+
+  // HTTP sails through, with the permit rule recorded.
+  const FlowTrace http = trace_flow(t, rc.model(), flow_to(n1, config::IpProto::kTcp, 80), n0);
+  EXPECT_TRUE(http.all_delivered());
+  ASSERT_TRUE(http.branches[0].hops.front().ingress_acl_rule.has_value());
+  EXPECT_TRUE(http.branches[0].hops.front().ingress_acl_rule->permit);
+}
+
+TEST(Trace, AgreesWithCheckerReachability) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  config::NetworkConfig cfg = config::build_bgp_network(t);
+  RealConfig rc(t);
+  rc.apply(cfg);
+
+  core::Rng rng{123};
+  for (int probe = 0; probe < 30; ++probe) {
+    const auto s = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+    const auto d = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+    if (s == d) continue;
+    const FlowTrace trace = trace_flow(t, rc.model(), flow_to(d), s);
+    const dpm::EcId ec =
+        rc.ecs().ec_of(rc.packet_space().dst_prefix(config::host_prefix(d)));
+    EXPECT_EQ(trace.any_delivered(), rc.checker().reachable(s, d, ec))
+        << t.node(s).name << " -> " << t.node(d).name;
+  }
+}
+
+}  // namespace
+}  // namespace rcfg::verify
