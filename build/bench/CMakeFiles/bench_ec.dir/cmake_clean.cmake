@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ec.dir/bench_ec.cpp.o"
+  "CMakeFiles/bench_ec.dir/bench_ec.cpp.o.d"
+  "bench_ec"
+  "bench_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

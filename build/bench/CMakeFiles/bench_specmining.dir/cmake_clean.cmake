@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_specmining.dir/bench_specmining.cpp.o"
+  "CMakeFiles/bench_specmining.dir/bench_specmining.cpp.o.d"
+  "bench_specmining"
+  "bench_specmining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_specmining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

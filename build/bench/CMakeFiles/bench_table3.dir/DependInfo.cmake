@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3.cpp" "bench/CMakeFiles/bench_table3.dir/bench_table3.cpp.o" "gcc" "bench/CMakeFiles/bench_table3.dir/bench_table3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verify/CMakeFiles/rcfg_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rcfg_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpm/CMakeFiles/rcfg_dpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/rcfg_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/rcfg_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/rcfg_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rcfg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dd/CMakeFiles/rcfg_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rcfg_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

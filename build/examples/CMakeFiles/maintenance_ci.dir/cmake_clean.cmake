@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_ci.dir/maintenance_ci.cpp.o"
+  "CMakeFiles/maintenance_ci.dir/maintenance_ci.cpp.o.d"
+  "maintenance_ci"
+  "maintenance_ci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcfg_baseline.dir/simulator.cpp.o"
+  "CMakeFiles/rcfg_baseline.dir/simulator.cpp.o.d"
+  "librcfg_baseline.a"
+  "librcfg_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcfg_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/builders.cpp" "src/config/CMakeFiles/rcfg_config.dir/builders.cpp.o" "gcc" "src/config/CMakeFiles/rcfg_config.dir/builders.cpp.o.d"
+  "/root/repo/src/config/diff.cpp" "src/config/CMakeFiles/rcfg_config.dir/diff.cpp.o" "gcc" "src/config/CMakeFiles/rcfg_config.dir/diff.cpp.o.d"
+  "/root/repo/src/config/matchers.cpp" "src/config/CMakeFiles/rcfg_config.dir/matchers.cpp.o" "gcc" "src/config/CMakeFiles/rcfg_config.dir/matchers.cpp.o.d"
+  "/root/repo/src/config/parse.cpp" "src/config/CMakeFiles/rcfg_config.dir/parse.cpp.o" "gcc" "src/config/CMakeFiles/rcfg_config.dir/parse.cpp.o.d"
+  "/root/repo/src/config/print.cpp" "src/config/CMakeFiles/rcfg_config.dir/print.cpp.o" "gcc" "src/config/CMakeFiles/rcfg_config.dir/print.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rcfg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rcfg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/rcfg_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

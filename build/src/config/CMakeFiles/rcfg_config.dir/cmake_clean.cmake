@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcfg_config.dir/builders.cpp.o"
+  "CMakeFiles/rcfg_config.dir/builders.cpp.o.d"
+  "CMakeFiles/rcfg_config.dir/diff.cpp.o"
+  "CMakeFiles/rcfg_config.dir/diff.cpp.o.d"
+  "CMakeFiles/rcfg_config.dir/matchers.cpp.o"
+  "CMakeFiles/rcfg_config.dir/matchers.cpp.o.d"
+  "CMakeFiles/rcfg_config.dir/parse.cpp.o"
+  "CMakeFiles/rcfg_config.dir/parse.cpp.o.d"
+  "CMakeFiles/rcfg_config.dir/print.cpp.o"
+  "CMakeFiles/rcfg_config.dir/print.cpp.o.d"
+  "librcfg_config.a"
+  "librcfg_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcfg_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcfg_core.dir/rng.cpp.o"
+  "CMakeFiles/rcfg_core.dir/rng.cpp.o.d"
+  "CMakeFiles/rcfg_core.dir/strings.cpp.o"
+  "CMakeFiles/rcfg_core.dir/strings.cpp.o.d"
+  "librcfg_core.a"
+  "librcfg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcfg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcfg_dd.dir/graph.cpp.o"
+  "CMakeFiles/rcfg_dd.dir/graph.cpp.o.d"
+  "librcfg_dd.a"
+  "librcfg_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcfg_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcfg_dpm.dir/bdd.cpp.o"
+  "CMakeFiles/rcfg_dpm.dir/bdd.cpp.o.d"
+  "CMakeFiles/rcfg_dpm.dir/ec.cpp.o"
+  "CMakeFiles/rcfg_dpm.dir/ec.cpp.o.d"
+  "CMakeFiles/rcfg_dpm.dir/model.cpp.o"
+  "CMakeFiles/rcfg_dpm.dir/model.cpp.o.d"
+  "CMakeFiles/rcfg_dpm.dir/packet_space.cpp.o"
+  "CMakeFiles/rcfg_dpm.dir/packet_space.cpp.o.d"
+  "librcfg_dpm.a"
+  "librcfg_dpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcfg_dpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcfg_net.dir/ipv4.cpp.o"
+  "CMakeFiles/rcfg_net.dir/ipv4.cpp.o.d"
+  "librcfg_net.a"
+  "librcfg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcfg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

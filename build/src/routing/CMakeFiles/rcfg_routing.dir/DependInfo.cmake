@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/decision.cpp" "src/routing/CMakeFiles/rcfg_routing.dir/decision.cpp.o" "gcc" "src/routing/CMakeFiles/rcfg_routing.dir/decision.cpp.o.d"
+  "/root/repo/src/routing/facts.cpp" "src/routing/CMakeFiles/rcfg_routing.dir/facts.cpp.o" "gcc" "src/routing/CMakeFiles/rcfg_routing.dir/facts.cpp.o.d"
+  "/root/repo/src/routing/generator.cpp" "src/routing/CMakeFiles/rcfg_routing.dir/generator.cpp.o" "gcc" "src/routing/CMakeFiles/rcfg_routing.dir/generator.cpp.o.d"
+  "/root/repo/src/routing/policy.cpp" "src/routing/CMakeFiles/rcfg_routing.dir/policy.cpp.o" "gcc" "src/routing/CMakeFiles/rcfg_routing.dir/policy.cpp.o.d"
+  "/root/repo/src/routing/semantics.cpp" "src/routing/CMakeFiles/rcfg_routing.dir/semantics.cpp.o" "gcc" "src/routing/CMakeFiles/rcfg_routing.dir/semantics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rcfg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rcfg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/rcfg_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/rcfg_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/dd/CMakeFiles/rcfg_dd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcfg_routing.dir/decision.cpp.o"
+  "CMakeFiles/rcfg_routing.dir/decision.cpp.o.d"
+  "CMakeFiles/rcfg_routing.dir/facts.cpp.o"
+  "CMakeFiles/rcfg_routing.dir/facts.cpp.o.d"
+  "CMakeFiles/rcfg_routing.dir/generator.cpp.o"
+  "CMakeFiles/rcfg_routing.dir/generator.cpp.o.d"
+  "CMakeFiles/rcfg_routing.dir/policy.cpp.o"
+  "CMakeFiles/rcfg_routing.dir/policy.cpp.o.d"
+  "CMakeFiles/rcfg_routing.dir/semantics.cpp.o"
+  "CMakeFiles/rcfg_routing.dir/semantics.cpp.o.d"
+  "librcfg_routing.a"
+  "librcfg_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcfg_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcfg_topo.dir/generators.cpp.o"
+  "CMakeFiles/rcfg_topo.dir/generators.cpp.o.d"
+  "CMakeFiles/rcfg_topo.dir/topology.cpp.o"
+  "CMakeFiles/rcfg_topo.dir/topology.cpp.o.d"
+  "librcfg_topo.a"
+  "librcfg_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcfg_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcfg_verify.dir/checker.cpp.o"
+  "CMakeFiles/rcfg_verify.dir/checker.cpp.o.d"
+  "CMakeFiles/rcfg_verify.dir/failures.cpp.o"
+  "CMakeFiles/rcfg_verify.dir/failures.cpp.o.d"
+  "CMakeFiles/rcfg_verify.dir/realconfig.cpp.o"
+  "CMakeFiles/rcfg_verify.dir/realconfig.cpp.o.d"
+  "CMakeFiles/rcfg_verify.dir/trace.cpp.o"
+  "CMakeFiles/rcfg_verify.dir/trace.cpp.o.d"
+  "librcfg_verify.a"
+  "librcfg_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcfg_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_tests.dir/builders_test.cpp.o"
+  "CMakeFiles/config_tests.dir/builders_test.cpp.o.d"
+  "CMakeFiles/config_tests.dir/diff_test.cpp.o"
+  "CMakeFiles/config_tests.dir/diff_test.cpp.o.d"
+  "CMakeFiles/config_tests.dir/matchers_test.cpp.o"
+  "CMakeFiles/config_tests.dir/matchers_test.cpp.o.d"
+  "CMakeFiles/config_tests.dir/parse_print_test.cpp.o"
+  "CMakeFiles/config_tests.dir/parse_print_test.cpp.o.d"
+  "CMakeFiles/config_tests.dir/parser_robustness_test.cpp.o"
+  "CMakeFiles/config_tests.dir/parser_robustness_test.cpp.o.d"
+  "config_tests"
+  "config_tests.pdb"
+  "config_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

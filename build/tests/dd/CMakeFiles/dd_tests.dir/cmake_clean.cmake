@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_tests.dir/operators_test.cpp.o"
+  "CMakeFiles/dd_tests.dir/operators_test.cpp.o.d"
+  "CMakeFiles/dd_tests.dir/recursion_test.cpp.o"
+  "CMakeFiles/dd_tests.dir/recursion_test.cpp.o.d"
+  "CMakeFiles/dd_tests.dir/zset_test.cpp.o"
+  "CMakeFiles/dd_tests.dir/zset_test.cpp.o.d"
+  "dd_tests"
+  "dd_tests.pdb"
+  "dd_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpm_tests.dir/bdd_test.cpp.o"
+  "CMakeFiles/dpm_tests.dir/bdd_test.cpp.o.d"
+  "CMakeFiles/dpm_tests.dir/ec_test.cpp.o"
+  "CMakeFiles/dpm_tests.dir/ec_test.cpp.o.d"
+  "CMakeFiles/dpm_tests.dir/model_test.cpp.o"
+  "CMakeFiles/dpm_tests.dir/model_test.cpp.o.d"
+  "CMakeFiles/dpm_tests.dir/packet_space_test.cpp.o"
+  "CMakeFiles/dpm_tests.dir/packet_space_test.cpp.o.d"
+  "dpm_tests"
+  "dpm_tests.pdb"
+  "dpm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

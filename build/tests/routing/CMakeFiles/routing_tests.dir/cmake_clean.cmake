@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_tests.dir/aggregation_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/aggregation_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/differential_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/differential_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/facts_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/facts_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/generator_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/generator_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/policy_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/policy_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/rip_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/rip_test.cpp.o.d"
+  "routing_tests"
+  "routing_tests.pdb"
+  "routing_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/topo/generators_test.cpp" "tests/topo/CMakeFiles/topo_tests.dir/generators_test.cpp.o" "gcc" "tests/topo/CMakeFiles/topo_tests.dir/generators_test.cpp.o.d"
+  "/root/repo/tests/topo/topology_test.cpp" "tests/topo/CMakeFiles/topo_tests.dir/topology_test.cpp.o" "gcc" "tests/topo/CMakeFiles/topo_tests.dir/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rcfg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rcfg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/rcfg_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/rcfg_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/dd/CMakeFiles/rcfg_dd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

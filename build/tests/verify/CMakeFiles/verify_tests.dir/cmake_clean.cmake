@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_tests.dir/checker_test.cpp.o"
+  "CMakeFiles/verify_tests.dir/checker_test.cpp.o.d"
+  "CMakeFiles/verify_tests.dir/failures_test.cpp.o"
+  "CMakeFiles/verify_tests.dir/failures_test.cpp.o.d"
+  "CMakeFiles/verify_tests.dir/realconfig_test.cpp.o"
+  "CMakeFiles/verify_tests.dir/realconfig_test.cpp.o.d"
+  "CMakeFiles/verify_tests.dir/trace_test.cpp.o"
+  "CMakeFiles/verify_tests.dir/trace_test.cpp.o.d"
+  "verify_tests"
+  "verify_tests.pdb"
+  "verify_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
