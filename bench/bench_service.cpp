@@ -1,0 +1,191 @@
+// Service-layer throughput: requests/sec through the rcfgd Engine as the
+// worker count grows, plus the drained-batch size distribution that the
+// coalescing optimisation feeds on. Each session is an independent ring
+// network, so distinct sessions verify concurrently and the scaling curve
+// isolates the engine's dispatch overhead from verification cost.
+//
+// Knobs (environment variables):
+//   RCFG_SERVICE_SESSIONS   concurrent sessions / client threads (default 4)
+//   RCFG_SERVICE_PROPOSES   proposes per session (default 32)
+//   RCFG_SERVICE_RING       ring size per session network (default 6)
+//
+// Emits BENCH_service.json next to the binary's working directory.
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "config/builders.h"
+#include "config/print.h"
+#include "service/engine.h"
+#include "topo/generators.h"
+
+using namespace rcfg;
+
+namespace {
+
+struct Row {
+  unsigned workers = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  double wall_ms = 0;
+  double req_per_s = 0;
+  std::uint64_t batches = 0;
+  double batch_mean = 0;
+  double batch_max = 0;
+  std::uint64_t coalesced = 0;
+};
+
+Row run(unsigned workers, unsigned sessions, unsigned proposes, const topo::Topology& topo,
+        const std::string& base_text, const std::vector<std::string>& variant_texts) {
+  service::EngineOptions opts;
+  opts.workers = workers;
+  opts.queue_capacity = 64;
+  service::Engine engine(opts);
+
+  // Session setup is excluded from the timed window.
+  for (unsigned s = 0; s < sessions; ++s) {
+    service::Request open;
+    open.id = s + 1;
+    open.verb = service::Verb::kOpen;
+    open.session = "net" + std::to_string(s);
+    open.topology.kind = "ring";
+    open.topology.k = static_cast<unsigned>(topo.node_count());
+    open.config_text = base_text;
+    const service::Response r = engine.call(std::move(open));
+    if (!r.ok) {
+      std::fprintf(stderr, "open failed: %s\n", r.error.c_str());
+      std::exit(1);
+    }
+  }
+
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<std::uint64_t> errors{0};
+  const auto count = [&answered, &errors](service::Response r) {
+    answered.fetch_add(1, std::memory_order_relaxed);
+    if (!r.ok) errors.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::uint64_t submitted = 0;
+  const bench::Timer timer;
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(sessions);
+    std::atomic<std::uint64_t> total{0};
+    for (unsigned s = 0; s < sessions; ++s) {
+      clients.emplace_back([&, s] {
+        const std::string name = "net" + std::to_string(s);
+        std::uint64_t sent = 0;
+        std::uint64_t id = 1000 * (s + 1);
+        for (unsigned i = 0; i < proposes; ++i) {
+          service::Request req;
+          req.id = ++id;
+          req.verb = service::Verb::kPropose;
+          req.session = name;
+          req.config_text = variant_texts[i % variant_texts.size()];
+          engine.submit(std::move(req), count);
+          ++sent;
+          if ((i + 1) % 8 == 0) {
+            service::Request commit;
+            commit.id = ++id;
+            commit.verb = service::Verb::kCommit;
+            commit.session = name;
+            engine.submit(std::move(commit), count);
+            ++sent;
+          }
+        }
+        total.fetch_add(sent, std::memory_order_relaxed);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    engine.drain();
+    submitted = total.load();
+  }
+
+  Row row;
+  row.workers = workers;
+  row.requests = submitted;
+  row.errors = errors.load();
+  row.wall_ms = timer.ms();
+  row.req_per_s = row.wall_ms > 0 ? 1000.0 * static_cast<double>(submitted) / row.wall_ms : 0;
+  const service::ServiceMetrics& m = engine.metrics();
+  row.batches = m.batches_total.value();
+  row.batch_mean = m.batch_size.count() > 0
+                       ? m.batch_size.sum() / static_cast<double>(m.batch_size.count())
+                       : 0;
+  row.batch_max = m.batch_size.max();
+  row.coalesced = m.coalesced_proposes.value();
+  if (answered.load() != submitted) {
+    std::fprintf(stderr, "lost responses: %llu of %llu\n",
+                 static_cast<unsigned long long>(answered.load()),
+                 static_cast<unsigned long long>(submitted));
+    std::exit(1);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned sessions = bench::env_unsigned("RCFG_SERVICE_SESSIONS", 4);
+  const unsigned proposes = bench::env_unsigned("RCFG_SERVICE_PROPOSES", 32);
+  const unsigned ring = bench::env_unsigned("RCFG_SERVICE_RING", 6);
+
+  const topo::Topology topo = topo::make_ring(ring);
+  const config::NetworkConfig base = config::build_ospf_network(topo);
+  const std::string base_text = config::print_network(base);
+  std::vector<std::string> variants;
+  variants.reserve(topo.link_count());
+  for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+    config::NetworkConfig cfg = base;
+    config::fail_link(cfg, topo, l);
+    variants.push_back(config::print_network(cfg));
+  }
+
+  std::printf("rcfgd service throughput: %u sessions x %u proposes (+ commits), ring n=%u\n\n",
+              sessions, proposes, ring);
+  std::printf("| Workers | Requests |  Wall ms |   Req/s | Batches | Mean batch | Max batch | Coalesced |\n");
+  std::printf("|---------|----------|----------|---------|---------|------------|-----------|-----------|\n");
+
+  std::vector<Row> rows;
+  for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+    const Row row = run(workers, sessions, proposes, topo, base_text, variants);
+    std::printf("| %7u | %8llu | %8.1f | %7.0f | %7llu | %10.2f | %9.0f | %9llu |\n",
+                row.workers, static_cast<unsigned long long>(row.requests), row.wall_ms,
+                row.req_per_s, static_cast<unsigned long long>(row.batches), row.batch_mean,
+                row.batch_max, static_cast<unsigned long long>(row.coalesced));
+    if (row.errors != 0) {
+      std::fprintf(stderr, "%llu error responses at %u workers\n",
+                   static_cast<unsigned long long>(row.errors), row.workers);
+      return 1;
+    }
+    rows.push_back(row);
+  }
+
+  service::json::Value doc;
+  doc["bench"] = service::json::Value("service");
+  doc["sessions"] = service::json::Value(sessions);
+  doc["proposes_per_session"] = service::json::Value(proposes);
+  doc["ring"] = service::json::Value(ring);
+  service::json::Value out_rows;
+  for (const Row& row : rows) {
+    service::json::Value r;
+    r["workers"] = service::json::Value(row.workers);
+    r["requests"] = service::json::Value(row.requests);
+    r["wall_ms"] = service::json::Value(row.wall_ms);
+    r["req_per_s"] = service::json::Value(row.req_per_s);
+    r["batches"] = service::json::Value(row.batches);
+    r["batch_mean"] = service::json::Value(row.batch_mean);
+    r["batch_max"] = service::json::Value(row.batch_max);
+    r["coalesced_proposes"] = service::json::Value(row.coalesced);
+    out_rows.push_back(std::move(r));
+  }
+  doc["rows"] = std::move(out_rows);
+  std::ofstream("BENCH_service.json") << doc.dump() << "\n";
+  std::printf("\nwrote BENCH_service.json\n");
+  return 0;
+}

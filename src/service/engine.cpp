@@ -1,0 +1,428 @@
+#include "service/engine.h"
+
+#include <future>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "config/parse.h"
+#include "dd/graph.h"
+
+namespace rcfg::service {
+
+Engine::Engine(EngineOptions options) : options_(options) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  workers_.reserve(options_.workers);
+  for (unsigned i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop_(); });
+  }
+}
+
+Engine::~Engine() {
+  resume();
+  drain();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void Engine::pause() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void Engine::resume() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void Engine::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    if (active_workers_ != 0) return false;
+    for (const auto& [name, slot] : slots_) {
+      if (!slot.queue.empty() || slot.busy) return false;
+    }
+    return true;
+  });
+}
+
+std::size_t Engine::session_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, slot] : slots_) {
+    if (slot.session != nullptr) ++n;
+  }
+  return n;
+}
+
+void Engine::submit(Request req, Callback callback) {
+  metrics_.requests_total.inc();
+
+  if (req.verb == Verb::kStats) {
+    metrics_.stats_calls.inc();
+    drain();  // report a quiescent engine: everything submitted before us is done
+    Response r;
+    r.id = req.id;
+    r.body = stats_json();
+    callback(std::move(r));
+    return;
+  }
+
+  switch (req.verb) {
+    case Verb::kOpen: metrics_.opens.inc(); break;
+    case Verb::kPropose: metrics_.proposes.inc(); break;
+    case Verb::kCommit: metrics_.commits.inc(); break;
+    case Verb::kAbort: metrics_.aborts.inc(); break;
+    case Verb::kAddPolicy: metrics_.add_policies.inc(); break;
+    case Verb::kQuery: metrics_.queries.inc(); break;
+    case Verb::kStats: break;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = slots_.find(req.session);
+  if (req.verb == Verb::kOpen) {
+    if (it != slots_.end()) {
+      lock.unlock();
+      metrics_.errors_total.inc();
+      callback(error_response(req.id, "session already open: '" + req.session + "'"));
+      return;
+    }
+    it = slots_.try_emplace(req.session).first;
+  } else if (it == slots_.end()) {
+    lock.unlock();
+    metrics_.errors_total.inc();
+    callback(error_response(req.id, "unknown session: '" + req.session + "'"));
+    return;
+  }
+
+  // Backpressure: a full queue blocks the submitter. The slot cannot be
+  // erased while its queue is non-empty, so the reference stays valid.
+  Slot& slot = it->second;
+  space_cv_.wait(lock, [&] { return slot.queue.size() < options_.queue_capacity; });
+
+  slot.queue.push_back(Pending{std::move(req), std::move(callback)});
+  metrics_.queue_depth.add(1);
+  if (!slot.busy && !slot.ready) {
+    slot.ready = true;
+    ready_.push_back(it->first);
+    work_cv_.notify_one();
+  }
+}
+
+Response Engine::call(Request req) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  submit(std::move(req), [&promise](Response r) { promise.set_value(std::move(r)); });
+  return future.get();
+}
+
+void Engine::worker_loop_() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || (!paused_ && !ready_.empty()); });
+    if (stop_ && (paused_ || ready_.empty())) return;
+
+    const std::string name = std::move(ready_.front());
+    ready_.pop_front();
+    Slot& slot = slots_.at(name);
+    slot.ready = false;
+    slot.busy = true;
+    std::vector<Pending> batch;
+    batch.reserve(slot.queue.size());
+    for (Pending& p : slot.queue) batch.push_back(std::move(p));
+    slot.queue.clear();
+    // Inside the lock, so the gauge never transiently exceeds the sum of
+    // the per-session capacities.
+    metrics_.queue_depth.add(-static_cast<std::int64_t>(batch.size()));
+    ++active_workers_;
+    lock.unlock();
+
+    space_cv_.notify_all();
+    process_batch_(slot, std::move(batch));
+
+    lock.lock();
+    slot.busy = false;
+    --active_workers_;
+    if (!slot.queue.empty()) {
+      if (!slot.ready) {
+        slot.ready = true;
+        ready_.push_back(name);
+      }
+      work_cv_.notify_one();
+    } else if (slot.session == nullptr) {
+      // `open` failed (or was never the first request): drop the slot so
+      // the session name can be reused.
+      slots_.erase(name);
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void Engine::process_batch_(Slot& slot, std::vector<Pending> batch) {
+  metrics_.batches_total.inc();
+  metrics_.batch_size.record(static_cast<double>(batch.size()));
+
+  // Coalesce runs of consecutive proposes: within [i..j] all proposes, only
+  // batch[j] is verified; the earlier ones are answered "coalesced". The
+  // final policy state is identical to applying them one by one, because
+  // every apply() takes the whole intended configuration (the last write
+  // wins) — the superseded deltas simply fold into one batched delta.
+  std::vector<std::uint64_t> superseded_by(batch.size(), 0);
+  if (options_.coalesce) {
+    std::size_t coalesced = 0;
+    for (std::size_t i = 0; i + 1 < batch.size(); ++i) {
+      if (batch[i].req.verb == Verb::kPropose && batch[i + 1].req.verb == Verb::kPropose) {
+        // The run's last propose is the survivor; point every earlier member
+        // of the run at it.
+        std::size_t j = i + 1;
+        while (j + 1 < batch.size() && batch[j + 1].req.verb == Verb::kPropose) ++j;
+        for (std::size_t k = i; k < j; ++k) {
+          superseded_by[k] = batch[j].req.id;
+          ++coalesced;
+        }
+        i = j;
+      }
+    }
+    if (coalesced > 0) {
+      metrics_.coalesced_batches.inc();
+      metrics_.coalesced_proposes.inc(coalesced);
+    }
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = batch[i];
+    Response r;
+    if (superseded_by[i] != 0) {
+      r.id = p.req.id;
+      r.body["session"] = json::Value(p.req.session);
+      r.body["status"] = json::Value("coalesced");
+      r.body["superseded_by"] = json::Value(superseded_by[i]);
+    } else {
+      r = handle_(slot, p.req);
+    }
+    if (!r.ok) metrics_.errors_total.inc();
+    p.callback(std::move(r));
+  }
+}
+
+void Engine::record_report_(const verify::RealConfig::Report& report) {
+  metrics_.generate_ms.record(report.generate_ms);
+  metrics_.model_ms.record(report.model_ms);
+  metrics_.check_ms.record(report.check_ms);
+  metrics_.total_ms.record(report.total_ms());
+}
+
+namespace {
+
+/// The verb-independent summary of one verification round.
+json::Value report_body(const Session& session, const verify::RealConfig::Report& report) {
+  json::Value body;
+  body["fib_changes"] = json::Value(report.dataplane.fib.size());
+  body["filter_changes"] = json::Value(report.dataplane.filters.size());
+  body["affected_ecs"] = json::Value(report.check.affected_ecs.size());
+  body["affected_pairs"] = json::Value(report.check.affected_pairs.size());
+  body["changed_pairs"] = json::Value(report.check.changed_pairs.size());
+  body["generate_ms"] = json::Value(report.generate_ms);
+  body["model_ms"] = json::Value(report.model_ms);
+  body["check_ms"] = json::Value(report.check_ms);
+  body["total_ms"] = json::Value(report.total_ms());
+  json::Value::Array events;
+  for (const verify::PolicyEvent& e : report.check.events) {
+    json::Value ev;
+    const std::string name = session.policy_name(e.id);
+    ev["policy"] = name.empty() ? json::Value(static_cast<std::uint64_t>(e.id))
+                                : json::Value(name);
+    ev["satisfied"] = json::Value(e.satisfied);
+    events.push_back(std::move(ev));
+  }
+  body["events"] = json::Value(std::move(events));
+  return body;
+}
+
+// parse_network silently yields an empty config for text with no "hostname"
+// stanza; over the wire that is almost certainly a malformed request, not an
+// intentional zero-device network.
+config::NetworkConfig parse_config_text(const std::string& text) {
+  config::NetworkConfig cfg = config::parse_network(text);
+  if (cfg.devices.empty()) throw ProtocolError("config defines no devices");
+  return cfg;
+}
+
+}  // namespace
+
+Response Engine::handle_open_(Slot& slot, const Request& req) {
+  if (slot.session != nullptr) {
+    return error_response(req.id, "session already open: '" + req.session + "'");
+  }
+  topo::Topology topology = build_topology(req.topology);
+  config::NetworkConfig initial = parse_config_text(req.config_text);
+  // May throw NonterminationError: with no committed baseline there is
+  // nothing to recover to, so a nonconvergent *initial* config fails open.
+  slot.session = std::make_unique<Session>(req.session, std::move(topology),
+                                           std::move(initial), req.options);
+  metrics_.sessions_open.add(1);
+  const verify::RealConfig::Report& report = slot.session->baseline_report();
+  record_report_(report);
+
+  Response r;
+  r.id = req.id;
+  r.body = report_body(*slot.session, report);
+  r.body["session"] = json::Value(req.session);
+  r.body["status"] = json::Value("open");
+  r.body["nodes"] = json::Value(slot.session->topology().node_count());
+  r.body["links"] = json::Value(slot.session->topology().link_count());
+  r.body["rules"] = json::Value(slot.session->verifier().generator().fib().size());
+  r.body["ecs"] = json::Value(slot.session->verifier().ecs().ec_count());
+  r.body["pairs"] = json::Value(slot.session->verifier().checker().pair_count());
+  return r;
+}
+
+Response Engine::handle_(Slot& slot, const Request& req) {
+  try {
+    if (req.verb == Verb::kOpen) return handle_open_(slot, req);
+    if (slot.session == nullptr) {
+      return error_response(req.id, "session '" + req.session + "' failed to open");
+    }
+    Session& session = *slot.session;
+    Response r;
+    r.id = req.id;
+    r.body["session"] = json::Value(req.session);
+
+    switch (req.verb) {
+      case Verb::kPropose: {
+        const config::NetworkConfig cfg = parse_config_text(req.config_text);
+        const ProposeOutcome outcome = session.propose(cfg);
+        if (outcome.converged) {
+          record_report_(outcome.report);
+          json::Value body = report_body(session, outcome.report);
+          body["session"] = json::Value(req.session);
+          body["status"] = json::Value("staged");
+          r.body = std::move(body);
+        } else {
+          metrics_.recoveries.inc();
+          r.body["status"] = json::Value("nonconvergent");
+          r.body["recovered"] = json::Value(true);
+          r.body["rebuilds"] = json::Value(session.rebuilds());
+          r.body["detail"] = json::Value(outcome.error);
+        }
+        break;
+      }
+      case Verb::kCommit:
+        session.commit();
+        r.body["status"] = json::Value("committed");
+        break;
+      case Verb::kAbort: {
+        const verify::RealConfig::Report report = session.abort();
+        record_report_(report);
+        r.body["status"] = json::Value("aborted");
+        r.body["rollback_ms"] = json::Value(report.total_ms());
+        break;
+      }
+      case Verb::kAddPolicy: {
+        const bool satisfied = session.add_policy(req.policy);
+        r.body["status"] = json::Value("policy_added");
+        r.body["policy"] = json::Value(req.policy.name);
+        r.body["satisfied"] = json::Value(satisfied);
+        break;
+      }
+      case Verb::kQuery: {
+        if (!req.query_policy.empty()) {
+          r.body["policy"] = json::Value(req.query_policy);
+          r.body["satisfied"] = json::Value(session.policy_satisfied(req.query_policy));
+          break;
+        }
+        verify::RealConfig& rc = session.verifier();
+        r.body["pairs"] = json::Value(rc.checker().pair_count());
+        r.body["loops"] = json::Value(rc.checker().loop_count());
+        r.body["blackholes"] = json::Value(rc.checker().blackhole_count());
+        r.body["ecs"] = json::Value(rc.ecs().ec_count());
+        r.body["staged"] = json::Value(session.has_staged());
+        r.body["rebuilds"] = json::Value(session.rebuilds());
+        r.body["generation"] = json::Value(session.generation());
+        json::Value::Array policies;
+        for (const PolicySpec& spec : session.policies()) {
+          json::Value p;
+          p["name"] = json::Value(spec.name);
+          p["satisfied"] = json::Value(session.policy_satisfied(spec.name));
+          policies.push_back(std::move(p));
+        }
+        r.body["policies"] = json::Value(std::move(policies));
+        break;
+      }
+      case Verb::kOpen:
+      case Verb::kStats:
+        return error_response(req.id, "unreachable verb");
+    }
+    return r;
+  } catch (const std::exception& e) {
+    return error_response(req.id, std::string(verb_name(req.verb)) + ": " + e.what());
+  }
+}
+
+json::Value Engine::stats_json() const {
+  json::Value out;
+  out["metrics"] = metrics_.to_json();
+  json::Value::Array sessions;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, slot] : slots_) {
+      if (slot.session == nullptr) continue;
+      json::Value s;
+      s["name"] = json::Value(name);
+      s["policies"] = json::Value(slot.session->policies().size());
+      s["staged"] = json::Value(slot.session->has_staged());
+      s["rebuilds"] = json::Value(slot.session->rebuilds());
+      s["generation"] = json::Value(slot.session->generation());
+      sessions.push_back(std::move(s));
+    }
+  }
+  out["sessions"] = json::Value(std::move(sessions));
+  return out;
+}
+
+void run_jsonl(std::istream& in, std::ostream& out, const EngineOptions& options) {
+  Engine engine(options);
+  std::mutex out_mu;
+  const auto emit = [&out, &out_mu](const Response& r) {
+    const std::string line = serialize_response(r);
+    const std::lock_guard<std::mutex> lock(out_mu);
+    out << line << std::endl;  // flush per line: consumers may be pipes
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view view(line);
+    while (!view.empty() && (view.front() == ' ' || view.front() == '\t')) view.remove_prefix(1);
+    while (!view.empty() && (view.back() == '\r' || view.back() == ' ')) view.remove_suffix(1);
+    if (view.empty() || view.front() == '#') {
+      // Two comment directives make replayed transcripts deterministic:
+      // "#pause" queues everything until "#resume", forcing the requests in
+      // between into one batch regardless of machine speed.
+      if (view == "#pause") engine.pause();
+      if (view == "#resume") engine.resume();
+      continue;
+    }
+
+    Request req;
+    try {
+      req = parse_request(view);
+    } catch (const ProtocolError& e) {
+      engine.metrics().errors_total.inc();
+      emit(error_response(0, e.what()));
+      continue;
+    }
+    engine.submit(std::move(req), emit);
+  }
+  engine.drain();
+}
+
+}  // namespace rcfg::service

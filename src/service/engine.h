@@ -1,0 +1,130 @@
+#pragma once
+
+// The concurrent verification engine: N worker threads serving many
+// Sessions, each session fed by a bounded FIFO request queue.
+//
+//   * Isolation / concurrency — a session is processed by at most one
+//     worker at a time (Sessions are single-threaded by contract), while
+//     distinct sessions verify fully in parallel.
+//   * Batching — a worker claims a session's *entire* pending queue at
+//     once. Within that batch, a run of consecutive `propose` requests is
+//     coalesced: only the last configuration is verified (earlier ones are
+//     answered "coalesced"), so a burst of changes becomes one incremental
+//     apply() whose input delta is the whole burst — the service layer is
+//     what turns an update stream into the paper's §4 batch mode.
+//   * Backpressure — submit() blocks while the target session's queue is at
+//     queue_capacity, bounding memory under overload.
+//   * Recovery — nonterminating proposals are absorbed by Session (the
+//     verifier rebuilds from the last committed config); the engine just
+//     reports the structured outcome and counts the recovery.
+//
+// Callbacks run on whichever thread produced the response: a worker thread
+// for queued requests, the submitting thread for immediate errors and
+// `stats`. `stats` first waits for all previously submitted requests to
+// finish, so its numbers describe a quiescent engine.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/metrics.h"
+#include "service/protocol.h"
+#include "service/session.h"
+
+namespace rcfg::service {
+
+struct EngineOptions {
+  unsigned workers = 2;
+  std::size_t queue_capacity = 64;  ///< per-session; submit() blocks beyond
+  bool coalesce = true;             ///< batch consecutive proposes
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  /// Finishes every queued request, then stops the workers.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  using Callback = std::function<void(Response)>;
+
+  /// Enqueue a request; the callback receives exactly one Response. Blocks
+  /// while the session's queue is full (backpressure). Requests that cannot
+  /// be routed (unknown session, duplicate open) are answered with an error
+  /// on the calling thread.
+  void submit(Request req, Callback callback);
+
+  /// Synchronous convenience: submit + wait for the response.
+  Response call(Request req);
+
+  /// Block until every request submitted so far has been processed.
+  void drain();
+
+  /// Gate worker dispatch: while paused, workers finish their current batch
+  /// but claim no new one, so submitted requests pile up in the session
+  /// queues (deterministic batches in tests; quiesce in operations).
+  void pause();
+  void resume();
+
+  ServiceMetrics& metrics() { return metrics_; }
+  std::size_t session_count() const;
+
+  /// {"metrics": ..., "sessions": [...]} — the body of a `stats` response.
+  json::Value stats_json() const;
+
+ private:
+  struct Pending {
+    Request req;
+    Callback callback;
+  };
+  struct Slot {
+    std::unique_ptr<Session> session;  ///< null until `open` has been processed
+    std::deque<Pending> queue;
+    bool busy = false;   ///< a worker is processing this session
+    bool ready = false;  ///< queued in ready_
+  };
+
+  void worker_loop_();
+  void process_batch_(Slot& slot, std::vector<Pending> batch);
+  Response handle_(Slot& slot, const Request& req);
+  Response handle_open_(Slot& slot, const Request& req);
+  void record_report_(const verify::RealConfig::Report& report);
+
+  EngineOptions options_;
+  ServiceMetrics metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers: ready_ / stop / resume
+  std::condition_variable space_cv_;  ///< submitters: queue has room again
+  std::condition_variable idle_cv_;   ///< drain(): engine went quiescent
+  std::map<std::string, Slot> slots_;
+  std::deque<std::string> ready_;     ///< sessions with pending, unclaimed work
+  unsigned active_workers_ = 0;
+  bool paused_ = false;
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+/// Drive an Engine from a JSON-lines stream: one request per line (blank
+/// lines and lines starting with '#' are skipped), one response per line on
+/// `out` in completion order (per-session FIFO). Returns after EOF once all
+/// requests have been answered. This is rcfgd's whole main loop — tests and
+/// examples call it directly on string streams.
+///
+/// The comment directives "#pause" / "#resume" gate worker dispatch (see
+/// Engine::pause), so a transcript can deterministically force a run of
+/// requests into one coalesced batch.
+void run_jsonl(std::istream& in, std::ostream& out, const EngineOptions& options = {});
+
+}  // namespace rcfg::service

@@ -1,0 +1,406 @@
+#include "service/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rcfg::service::json {
+
+// ---------------------------------------------------------------------------
+// Accessors
+// ---------------------------------------------------------------------------
+
+namespace {
+[[noreturn]] void wrong_kind(const char* wanted) {
+  throw TypeError(std::string("json value is not ") + wanted);
+}
+}  // namespace
+
+bool Value::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&v_)) return *b;
+  wrong_kind("a bool");
+}
+
+std::int64_t Value::as_int() const {
+  if (const std::int64_t* n = std::get_if<std::int64_t>(&v_)) return *n;
+  if (const double* d = std::get_if<double>(&v_)) {
+    if (*d == std::floor(*d) && std::abs(*d) < 9.0e18) return static_cast<std::int64_t>(*d);
+  }
+  wrong_kind("an integer");
+}
+
+double Value::as_double() const {
+  if (const double* d = std::get_if<double>(&v_)) return *d;
+  if (const std::int64_t* n = std::get_if<std::int64_t>(&v_)) return static_cast<double>(*n);
+  wrong_kind("a number");
+}
+
+const std::string& Value::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&v_)) return *s;
+  wrong_kind("a string");
+}
+
+const Value::Array& Value::as_array() const {
+  if (const Array* a = std::get_if<Array>(&v_)) return *a;
+  wrong_kind("an array");
+}
+
+Value::Array& Value::as_array() {
+  if (Array* a = std::get_if<Array>(&v_)) return *a;
+  wrong_kind("an array");
+}
+
+const Value::Object& Value::as_object() const {
+  if (const Object* o = std::get_if<Object>(&v_)) return *o;
+  wrong_kind("an object");
+}
+
+Value::Object& Value::as_object() {
+  if (Object* o = std::get_if<Object>(&v_)) return *o;
+  wrong_kind("an object");
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (is_null()) v_ = Object{};
+  return as_object()[key];
+}
+
+const Value* Value::find(std::string_view key) const {
+  const Object* o = std::get_if<Object>(&v_);
+  if (o == nullptr) return nullptr;
+  const auto it = o->find(std::string(key));
+  return it == o->end() ? nullptr : &it->second;
+}
+
+std::string Value::get_string(std::string_view key, std::string fallback) const {
+  const Value* v = find(key);
+  return v == nullptr || v->is_null() ? std::move(fallback) : v->as_string();
+}
+
+std::int64_t Value::get_int(std::string_view key, std::int64_t fallback) const {
+  const Value* v = find(key);
+  return v == nullptr || v->is_null() ? fallback : v->as_int();
+}
+
+bool Value::get_bool(std::string_view key, bool fallback) const {
+  const Value* v = find(key);
+  return v == nullptr || v->is_null() ? fallback : v->as_bool();
+}
+
+void Value::push_back(Value v) {
+  if (is_null()) v_ = Array{};
+  as_array().push_back(std::move(v));
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+std::string quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void dump_to(const Value& v, std::string& out);
+
+void dump_number(double d, std::string& out) {
+  if (std::isnan(d) || std::isinf(d)) {
+    out += "null";  // JSON has no NaN/Inf; null is the least-surprising stand-in
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.15g", d);
+  if (std::strtod(buf, nullptr) != d) std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+  // An integer-valued double printed by "%g" has no '.' or exponent and would
+  // parse back as an int; keep the kind stable across a dump/parse round-trip.
+  if (std::strcspn(buf, ".eE") == std::strlen(buf)) out += ".0";
+}
+
+void dump_to(const Value& v, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_int()) {
+    out += std::to_string(v.as_int());
+  } else if (v.is_double()) {
+    dump_number(v.as_double(), out);
+  } else if (v.is_string()) {
+    out += quote(v.as_string());
+  } else if (v.is_array()) {
+    out += '[';
+    bool first = true;
+    for (const Value& e : v.as_array()) {
+      if (!first) out += ',';
+      first = false;
+      dump_to(e, out);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const auto& [k, e] : v.as_object()) {
+      if (!first) out += ',';
+      first = false;
+      out += quote(k);
+      out += ':';
+      dump_to(e, out);
+    }
+    out += '}';
+  }
+}
+
+}  // namespace
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(*this, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) { throw ParseError(pos_, message); }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value::Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      const char sep = next();
+      if (sep == '}') return Value(std::move(obj));
+      if (sep != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value::Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char sep = next();
+      if (sep == ']') return Value(std::move(arr));
+      if (sep != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_utf8(parse_hex4(), out); break;
+        default: --pos_; fail("invalid escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        --pos_;
+        fail("invalid \\u escape");
+      }
+    }
+    return v;
+  }
+
+  static void append_utf8(unsigned cp, std::string& out) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) fail("invalid number");
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    if (!is_double) {
+      char* end = nullptr;
+      const long long n = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() + token.size() && errno == 0) {
+        return Value(static_cast<std::int64_t>(n));
+      }
+      // fall through to double on int64 overflow
+    }
+    char* end = nullptr;
+    errno = 0;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("invalid number");
+    }
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace rcfg::service::json

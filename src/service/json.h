@@ -1,0 +1,105 @@
+#pragma once
+
+// A minimal JSON value type, parser, and serializer for the service layer's
+// JSON-lines protocol (protocol.h) and metrics dumps (metrics.h).
+//
+// Deliberately small: no external dependency, objects keep sorted keys (so
+// serialization is deterministic and transcripts diff cleanly), numbers are
+// either int64 or double, and \uXXXX escapes cover the basic multilingual
+// plane (encoded as UTF-8 on output of control characters only).
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace rcfg::service::json {
+
+/// Thrown on malformed JSON text; carries the byte offset of the error.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t offset, const std::string& message)
+      : std::runtime_error("json offset " + std::to_string(offset) + ": " + message),
+        offset_(offset) {}
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Thrown on accessing a Value as the wrong kind.
+class TypeError : public std::runtime_error {
+ public:
+  explicit TypeError(const std::string& message) : std::runtime_error(message) {}
+};
+
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;  ///< sorted => deterministic dump
+
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}
+  Value(bool b) : v_(b) {}
+  Value(std::int64_t n) : v_(n) {}
+  Value(int n) : v_(static_cast<std::int64_t>(n)) {}
+  Value(unsigned n) : v_(static_cast<std::int64_t>(n)) {}
+  Value(std::uint64_t n) : v_(static_cast<std::int64_t>(n)) {}
+  Value(double d) : v_(d) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(std::string_view s) : v_(std::string(s)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool as_bool() const;
+  std::int64_t as_int() const;  ///< ints, or doubles with an exact integer value
+  double as_double() const;     ///< any number
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Object access. operator[] turns a null Value into an object (builder
+  /// style); find() returns nullptr when absent or not an object.
+  Value& operator[](const std::string& key);
+  const Value* find(std::string_view key) const;
+
+  /// Typed object lookups with defaults (missing key => fallback; present
+  /// key of the wrong kind => TypeError).
+  std::string get_string(std::string_view key, std::string fallback = "") const;
+  std::int64_t get_int(std::string_view key, std::int64_t fallback = 0) const;
+  bool get_bool(std::string_view key, bool fallback = false) const;
+
+  /// Array append (turns a null Value into an array).
+  void push_back(Value v);
+
+  std::string dump() const;
+
+  /// Parse a complete JSON document (trailing whitespace allowed, trailing
+  /// garbage is an error). Throws ParseError.
+  static Value parse(std::string_view text);
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array, Object> v_;
+};
+
+/// Escape + quote a string for direct JSON embedding.
+std::string quote(std::string_view s);
+
+}  // namespace rcfg::service::json

@@ -1,0 +1,119 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+
+namespace rcfg::service {
+
+void Gauge::add(std::int64_t delta) {
+  const std::int64_t now = v_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  std::int64_t seen = max_.load(std::memory_order_relaxed);
+  while (now > seen && !max_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
+
+Histogram Histogram::latency_ms() {
+  return Histogram({0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+                    1000, 2500, 5000, 10000});
+}
+
+Histogram Histogram::batch_sizes() { return Histogram({1, 2, 4, 8, 16, 32, 64, 128, 256}); }
+
+void Histogram::record(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[bucket];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+std::uint64_t Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0 : min_;
+}
+
+double Histogram::max() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+json::Value Histogram::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  json::Value out;
+  out["count"] = json::Value(count_);
+  out["sum"] = json::Value(sum_);
+  out["min"] = json::Value(count_ == 0 ? 0.0 : min_);
+  out["max"] = json::Value(max_);
+  out["mean"] = json::Value(count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_));
+  json::Value::Array buckets;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    json::Value b;
+    b["le"] = json::Value(bounds_[i]);
+    b["count"] = json::Value(counts_[i]);
+    buckets.push_back(std::move(b));
+  }
+  json::Value overflow;
+  overflow["le"] = json::Value("inf");
+  overflow["count"] = json::Value(counts_.back());
+  buckets.push_back(std::move(overflow));
+  out["buckets"] = json::Value(std::move(buckets));
+  return out;
+}
+
+json::Value ServiceMetrics::to_json() const {
+  json::Value out;
+
+  json::Value requests;
+  requests["total"] = json::Value(requests_total.value());
+  requests["errors"] = json::Value(errors_total.value());
+  requests["open"] = json::Value(opens.value());
+  requests["propose"] = json::Value(proposes.value());
+  requests["commit"] = json::Value(commits.value());
+  requests["abort"] = json::Value(aborts.value());
+  requests["add_policy"] = json::Value(add_policies.value());
+  requests["query"] = json::Value(queries.value());
+  requests["stats"] = json::Value(stats_calls.value());
+  out["requests"] = std::move(requests);
+
+  json::Value batching;
+  batching["batches"] = json::Value(batches_total.value());
+  batching["coalesced_batches"] = json::Value(coalesced_batches.value());
+  batching["coalesced_proposes"] = json::Value(coalesced_proposes.value());
+  batching["batch_size"] = batch_size.to_json();
+  out["batching"] = std::move(batching);
+
+  out["recoveries"] = json::Value(recoveries.value());
+
+  json::Value latency;
+  latency["generate_ms"] = generate_ms.to_json();
+  latency["model_ms"] = model_ms.to_json();
+  latency["check_ms"] = check_ms.to_json();
+  latency["total_ms"] = total_ms.to_json();
+  out["latency"] = std::move(latency);
+
+  json::Value load;
+  load["queue_depth"] = json::Value(queue_depth.value());
+  load["queue_depth_max"] = json::Value(queue_depth.max());
+  load["sessions_open"] = json::Value(sessions_open.value());
+  load["sessions_open_max"] = json::Value(sessions_open.max());
+  out["load"] = std::move(load);
+
+  return out;
+}
+
+}  // namespace rcfg::service

@@ -1,0 +1,193 @@
+#include "service/protocol.h"
+
+#include "topo/generators.h"
+
+namespace rcfg::service {
+
+const char* verb_name(Verb v) {
+  switch (v) {
+    case Verb::kOpen: return "open";
+    case Verb::kPropose: return "propose";
+    case Verb::kCommit: return "commit";
+    case Verb::kAbort: return "abort";
+    case Verb::kAddPolicy: return "add_policy";
+    case Verb::kQuery: return "query";
+    case Verb::kStats: return "stats";
+  }
+  return "?";
+}
+
+namespace {
+
+Verb parse_verb(const std::string& op) {
+  if (op == "open") return Verb::kOpen;
+  if (op == "propose") return Verb::kPropose;
+  if (op == "commit") return Verb::kCommit;
+  if (op == "abort") return Verb::kAbort;
+  if (op == "add_policy") return Verb::kAddPolicy;
+  if (op == "query") return Verb::kQuery;
+  if (op == "stats") return Verb::kStats;
+  throw ProtocolError("unknown op: '" + op + "'");
+}
+
+unsigned get_unsigned(const json::Value& obj, std::string_view key, unsigned fallback = 0) {
+  const std::int64_t v = obj.get_int(key, fallback);
+  if (v < 0) throw ProtocolError("'" + std::string(key) + "' must be >= 0");
+  return static_cast<unsigned>(v);
+}
+
+TopologySpec parse_topology(const json::Value& v) {
+  TopologySpec spec;
+  spec.kind = v.get_string("kind");
+  if (spec.kind.empty()) throw ProtocolError("topology needs a 'kind'");
+  spec.k = get_unsigned(v, "k", get_unsigned(v, "n"));
+  spec.w = get_unsigned(v, "w");
+  spec.h = get_unsigned(v, "h");
+  return spec;
+}
+
+net::Ipv4Prefix parse_prefix(const std::string& text) {
+  const auto p = net::Ipv4Prefix::parse(text);
+  if (!p.has_value()) throw ProtocolError("invalid prefix: '" + text + "'");
+  return *p;
+}
+
+PolicySpec parse_policy(const json::Value& v) {
+  PolicySpec spec;
+  const std::string kind = v.get_string("kind", "reachable");
+  if (kind == "reachable") {
+    spec.kind = PolicySpec::Kind::kReachable;
+  } else if (kind == "isolated") {
+    spec.kind = PolicySpec::Kind::kIsolated;
+  } else if (kind == "waypoint") {
+    spec.kind = PolicySpec::Kind::kWaypoint;
+  } else {
+    throw ProtocolError("unknown policy kind: '" + kind + "'");
+  }
+  spec.name = v.get_string("name");
+  spec.src = v.get_string("src");
+  spec.dst = v.get_string("dst");
+  spec.via = v.get_string("via");
+  if (spec.name.empty() || spec.src.empty() || spec.dst.empty()) {
+    throw ProtocolError("policy needs 'name', 'src' and 'dst'");
+  }
+  if (spec.kind == PolicySpec::Kind::kWaypoint && spec.via.empty()) {
+    throw ProtocolError("waypoint policy needs 'via'");
+  }
+  spec.prefix = parse_prefix(v.get_string("prefix", "0.0.0.0/0"));
+  return spec;
+}
+
+SessionOptions parse_options(const json::Value& doc) {
+  SessionOptions opts;
+  const unsigned rounds = get_unsigned(doc, "max_rounds");
+  if (rounds != 0) opts.verifier.generator.max_rounds = rounds;
+  opts.flush_budget = static_cast<std::uint64_t>(doc.get_int("flush_budget", 0));
+  opts.recurrence_threshold =
+      static_cast<std::uint64_t>(doc.get_int("recurrence_threshold", 0));
+  const std::string order = doc.get_string("update_order");
+  if (order == "insert_first" || order.empty()) {
+    opts.verifier.update_order = dpm::UpdateOrder::kInsertFirst;
+  } else if (order == "delete_first") {
+    opts.verifier.update_order = dpm::UpdateOrder::kDeleteFirst;
+  } else if (order == "interleaved") {
+    opts.verifier.update_order = dpm::UpdateOrder::kInterleaved;
+  } else {
+    throw ProtocolError("unknown update_order: '" + order + "'");
+  }
+  return opts;
+}
+
+}  // namespace
+
+topo::Topology build_topology(const TopologySpec& spec) {
+  if (spec.kind == "fat_tree") {
+    if (spec.k < 2 || spec.k % 2 != 0) throw ProtocolError("fat_tree needs even k >= 2");
+    return topo::make_fat_tree(spec.k);
+  }
+  if (spec.kind == "ring") {
+    if (spec.k < 3) throw ProtocolError("ring needs n >= 3");
+    return topo::make_ring(spec.k);
+  }
+  if (spec.kind == "full_mesh") {
+    if (spec.k < 2) throw ProtocolError("full_mesh needs n >= 2");
+    return topo::make_full_mesh(spec.k);
+  }
+  if (spec.kind == "grid") {
+    if (spec.w < 1 || spec.h < 1) throw ProtocolError("grid needs w >= 1 and h >= 1");
+    return topo::make_grid(spec.w, spec.h);
+  }
+  throw ProtocolError("unknown topology kind: '" + spec.kind +
+                      "' (want fat_tree | ring | full_mesh | grid)");
+}
+
+Request parse_request(std::string_view line) {
+  json::Value doc;
+  try {
+    doc = json::Value::parse(line);
+  } catch (const json::ParseError& e) {
+    throw ProtocolError(std::string("invalid JSON: ") + e.what());
+  }
+  return parse_request_doc(doc);
+}
+
+Request parse_request_doc(const json::Value& doc) {
+  if (!doc.is_object()) throw ProtocolError("request must be a JSON object");
+  Request req;
+  const std::int64_t id = doc.get_int("id", 0);
+  req.id = id < 0 ? 0 : static_cast<std::uint64_t>(id);
+  req.verb = parse_verb(doc.get_string("op"));
+  req.session = doc.get_string("session");
+
+  if (req.verb != Verb::kStats && req.session.empty()) {
+    throw ProtocolError(std::string(verb_name(req.verb)) + " needs a 'session'");
+  }
+
+  switch (req.verb) {
+    case Verb::kOpen: {
+      const json::Value* topo = doc.find("topology");
+      if (topo == nullptr) throw ProtocolError("open needs a 'topology'");
+      req.topology = parse_topology(*topo);
+      req.config_text = doc.get_string("config");
+      if (req.config_text.empty()) throw ProtocolError("open needs a 'config'");
+      req.options = parse_options(doc);
+      break;
+    }
+    case Verb::kPropose:
+      req.config_text = doc.get_string("config");
+      if (req.config_text.empty()) throw ProtocolError("propose needs a 'config'");
+      break;
+    case Verb::kAddPolicy: {
+      const json::Value* policy = doc.find("policy");
+      if (policy == nullptr) throw ProtocolError("add_policy needs a 'policy'");
+      req.policy = parse_policy(*policy);
+      break;
+    }
+    case Verb::kQuery:
+      req.query_policy = doc.get_string("policy");
+      break;
+    case Verb::kCommit:
+    case Verb::kAbort:
+    case Verb::kStats:
+      break;
+  }
+  return req;
+}
+
+Response error_response(std::uint64_t id, std::string message) {
+  Response r;
+  r.id = id;
+  r.ok = false;
+  r.error = std::move(message);
+  return r;
+}
+
+std::string serialize_response(const Response& r) {
+  json::Value out = r.body.is_object() ? r.body : json::Value();
+  out["id"] = json::Value(r.id);
+  out["ok"] = json::Value(r.ok);
+  if (!r.ok) out["error"] = json::Value(r.error);
+  return out.dump();
+}
+
+}  // namespace rcfg::service

@@ -1,0 +1,91 @@
+#pragma once
+
+// The rcfgd wire protocol: JSON lines, one request or response per line, so
+// the engine is drivable from files, pipes, or a socket shim.
+//
+// Requests ({"id":N,"op":VERB,...}):
+//   open        {"session", "topology":{"kind","k"|"n"|"w","h"}, "config",
+//                ["max_rounds","update_order","flush_budget",
+//                 "recurrence_threshold"]}
+//   propose     {"session", "config"}          config = the DSL text of the
+//                                              *whole* intended network
+//   commit      {"session"}
+//   abort       {"session"}
+//   add_policy  {"session", "policy":{"kind":"reachable"|"isolated"|
+//                "waypoint", "name","src","dst",["via"],"prefix"}}
+//   query       {"session", ["policy":NAME]}   no "policy" => summary
+//   stats       {}                             waits for in-flight requests
+//
+// Responses echo the id: {"id":N,"ok":true,...} or
+// {"id":N,"ok":false,"error":"..."}. A propose superseded by coalescing
+// answers {"ok":true,"status":"coalesced","superseded_by":M}.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "service/json.h"
+#include "service/session.h"
+#include "topo/topology.h"
+
+namespace rcfg::service {
+
+/// Thrown on a malformed or semantically invalid request line.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& message) : std::runtime_error(message) {}
+};
+
+enum class Verb : std::uint8_t {
+  kOpen,
+  kPropose,
+  kCommit,
+  kAbort,
+  kAddPolicy,
+  kQuery,
+  kStats,
+};
+
+const char* verb_name(Verb v);
+
+/// How to construct a session's topology. Kinds: "fat_tree" (param k),
+/// "ring" / "full_mesh" (param n), "grid" (params w, h).
+struct TopologySpec {
+  std::string kind;
+  unsigned k = 0;  ///< fat_tree k / ring n / full_mesh n
+  unsigned w = 0, h = 0;  ///< grid
+};
+
+topo::Topology build_topology(const TopologySpec& spec);  // throws ProtocolError
+
+struct Request {
+  std::uint64_t id = 0;
+  Verb verb = Verb::kStats;
+  std::string session;      ///< empty for stats
+  TopologySpec topology;    ///< open
+  std::string config_text;  ///< open, propose (config DSL, see config/parse.h)
+  PolicySpec policy;        ///< add_policy
+  std::string query_policy; ///< query; empty => summary
+  SessionOptions options;   ///< open
+};
+
+/// Parse one request line / document. Throws ProtocolError (including for
+/// invalid JSON, wrapped with the parse position).
+Request parse_request(std::string_view line);
+Request parse_request_doc(const json::Value& doc);
+
+struct Response {
+  std::uint64_t id = 0;
+  bool ok = true;
+  std::string error;  ///< set iff !ok
+  json::Value body;   ///< verb-specific fields, merged into the response object
+};
+
+Response error_response(std::uint64_t id, std::string message);
+
+/// One line, no trailing newline: {"id":..,"ok":..,<body fields>} with
+/// "error" added when !ok.
+std::string serialize_response(const Response& r);
+
+}  // namespace rcfg::service

@@ -1,0 +1,91 @@
+// rcfgd — the RealConfig verification daemon.
+//
+// Speaks the JSON-lines protocol (see protocol.h) on stdin/stdout, or on
+// files when given as positional arguments — so it can be driven
+// interactively, from a pipe, or replayed from a transcript:
+//
+//   $ rcfgd                               # stdin -> stdout
+//   $ rcfgd requests.jsonl                # file  -> stdout
+//   $ rcfgd requests.jsonl replies.jsonl  # file  -> file
+//
+// Flags:
+//   --workers N   worker threads (default 2)
+//   --queue N     per-session queue capacity before backpressure (default 64)
+//   --no-coalesce process every propose individually (debugging aid)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "service/engine.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workers N] [--queue N] [--no-coalesce] [in.jsonl [out.jsonl]]\n",
+               argv0);
+  std::exit(2);
+}
+
+unsigned parse_count(const char* argv0, const char* flag, const char* value) {
+  if (value == nullptr) usage(argv0);
+  const long n = std::strtol(value, nullptr, 10);
+  if (n <= 0) {
+    std::fprintf(stderr, "%s: %s wants a positive integer, got '%s'\n", argv0, flag, value);
+    std::exit(2);
+  }
+  return static_cast<unsigned>(n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rcfg::service::EngineOptions options;
+  const char* in_path = nullptr;
+  const char* out_path = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--workers") == 0) {
+      options.workers = parse_count(argv[0], arg, i + 1 < argc ? argv[++i] : nullptr);
+    } else if (std::strcmp(arg, "--queue") == 0) {
+      options.queue_capacity = parse_count(argv[0], arg, i + 1 < argc ? argv[++i] : nullptr);
+    } else if (std::strcmp(arg, "--no-coalesce") == 0) {
+      options.coalesce = false;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(argv[0]);
+    } else if (arg[0] == '-') {
+      usage(argv[0]);
+    } else if (in_path == nullptr) {
+      in_path = arg;
+    } else if (out_path == nullptr) {
+      out_path = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  std::ifstream in_file;
+  if (in_path != nullptr) {
+    in_file.open(in_path);
+    if (!in_file) {
+      std::fprintf(stderr, "%s: cannot open '%s'\n", argv[0], in_path);
+      return 1;
+    }
+  }
+  std::ofstream out_file;
+  if (out_path != nullptr) {
+    out_file.open(out_path);
+    if (!out_file) {
+      std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv[0], out_path);
+      return 1;
+    }
+  }
+
+  rcfg::service::run_jsonl(in_path != nullptr ? in_file : std::cin,
+                           out_path != nullptr ? out_file : std::cout, options);
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "service/session.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "dd/graph.h"
+
+namespace rcfg::service {
+
+Session::Session(std::string name, topo::Topology topology, config::NetworkConfig initial,
+                 SessionOptions options)
+    : name_(std::move(name)),
+      topo_(std::move(topology)),
+      options_(options),
+      rc_(make_verifier_()),
+      committed_(std::move(initial)) {
+  baseline_report_ = rc_->apply(committed_);
+}
+
+std::unique_ptr<verify::RealConfig> Session::make_verifier_() const {
+  auto rc = std::make_unique<verify::RealConfig>(topo_, options_.verifier);
+  if (options_.flush_budget != 0) rc->generator().set_flush_budget(options_.flush_budget);
+  if (options_.recurrence_threshold != 0) {
+    rc->generator().set_recurrence_threshold(options_.recurrence_threshold);
+  }
+  return rc;
+}
+
+verify::PolicyId Session::register_on_verifier_(const PolicySpec& spec) {
+  switch (spec.kind) {
+    case PolicySpec::Kind::kReachable:
+      return rc_->require_reachable(spec.src, spec.dst, spec.prefix);
+    case PolicySpec::Kind::kIsolated:
+      return rc_->require_isolated(spec.src, spec.dst, spec.prefix);
+    case PolicySpec::Kind::kWaypoint:
+      return rc_->require_waypoint(spec.src, spec.dst, spec.via, spec.prefix);
+  }
+  throw std::logic_error("unreachable: bad PolicySpec::Kind");
+}
+
+void Session::rebuild_() {
+  rc_ = make_verifier_();
+  ++generation_;
+  ++rebuilds_;
+  // The committed baseline converged when it was committed; deterministic
+  // re-verification converges again. (If it somehow does not, the throw
+  // propagates — the caller sees a hard error, not silent corruption.)
+  baseline_report_ = rc_->apply(committed_);
+  ids_.clear();
+  names_by_id_.clear();
+  for (const PolicySpec& spec : specs_) {
+    const verify::PolicyId id = register_on_verifier_(spec);
+    ids_.emplace(spec.name, id);
+    names_by_id_.emplace(id, spec.name);
+  }
+}
+
+ProposeOutcome Session::propose(const config::NetworkConfig& cfg) {
+  ProposeOutcome outcome;
+  try {
+    outcome.report = rc_->apply(cfg);
+    staged_ = cfg;
+    return outcome;
+  } catch (const dd::NonterminationError& e) {
+    outcome.converged = false;
+    outcome.error = e.what();
+  }
+  // Graceful recovery (paper §6 says "discard and restart"; we do it for
+  // the caller): drop the poisoned verifier and any staged proposal, and
+  // re-establish the last committed state.
+  staged_.reset();
+  rebuild_();
+  return outcome;
+}
+
+void Session::commit() {
+  if (!staged_.has_value()) {
+    throw std::logic_error("session '" + name_ + "': commit with no staged proposal");
+  }
+  committed_ = std::move(*staged_);
+  staged_.reset();
+}
+
+verify::RealConfig::Report Session::abort() {
+  if (!staged_.has_value()) {
+    throw std::logic_error("session '" + name_ + "': abort with no staged proposal");
+  }
+  staged_.reset();
+  // Roll back incrementally: re-applying the committed config re-verifies
+  // only what the aborted proposal(s) had touched.
+  return rc_->apply(committed_);
+}
+
+bool Session::add_policy(const PolicySpec& spec) {
+  if (spec.name.empty()) throw std::invalid_argument("policy name must be non-empty");
+  if (ids_.count(spec.name) != 0) {
+    throw std::invalid_argument("duplicate policy name: " + spec.name);
+  }
+  const verify::PolicyId id = register_on_verifier_(spec);  // throws on bad node
+  specs_.push_back(spec);
+  ids_.emplace(spec.name, id);
+  names_by_id_.emplace(id, spec.name);
+  return rc_->checker().policy_satisfied(id);
+}
+
+bool Session::policy_satisfied(const std::string& name) const {
+  const auto it = ids_.find(name);
+  if (it == ids_.end()) throw std::invalid_argument("unknown policy: " + name);
+  return rc_->checker().policy_satisfied(it->second);
+}
+
+std::string Session::policy_name(verify::PolicyId id) const {
+  const auto it = names_by_id_.find(id);
+  return it == names_by_id_.end() ? std::string() : it->second;
+}
+
+}  // namespace rcfg::service

@@ -1,0 +1,140 @@
+#pragma once
+
+// One long-lived verification session: a RealConfig instance wrapped with
+//
+//   * change transactions — propose(cfg) runs a what-if verification on the
+//     live incremental state and stages the configuration; commit() makes
+//     it the new baseline; abort() rolls the live state back to the last
+//     committed configuration *incrementally* (re-applying it, which only
+//     touches what the aborted proposal changed);
+//   * a named-policy registry — policies survive verifier rebuilds, because
+//     the session remembers their specs, not just their PolicyIds;
+//   * automatic nontermination recovery — when a proposal's control plane
+//     does not converge (dd::NonterminationError, paper §6), the poisoned
+//     RealConfig is discarded and rebuilt from the last committed
+//     configuration, policies re-registered, and the caller gets a
+//     structured "nonconvergent" outcome instead of a dead verifier. This
+//     turns the paper's discard-and-restart caveat into a service-level
+//     guarantee: a session is never left unusable by a bad proposal.
+//
+// A Session is NOT thread-safe; the Engine serializes access per session.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "config/types.h"
+#include "net/ipv4.h"
+#include "topo/topology.h"
+#include "verify/realconfig.h"
+
+namespace rcfg::service {
+
+/// A policy by name + node names: everything needed to (re)register it on a
+/// fresh verifier.
+struct PolicySpec {
+  enum class Kind : std::uint8_t { kReachable, kIsolated, kWaypoint };
+  Kind kind = Kind::kReachable;
+  std::string name;
+  std::string src;
+  std::string dst;
+  std::string via;  ///< waypoint only
+  net::Ipv4Prefix prefix;
+};
+
+struct SessionOptions {
+  verify::RealConfigOptions verifier;
+  /// dd::Graph divergence-detector passthroughs; 0 keeps the engine default.
+  std::uint64_t flush_budget = 0;
+  std::uint64_t recurrence_threshold = 0;
+};
+
+/// Result of propose(): either a verification report (converged) or the
+/// recovery record (nonconvergent; the session was rebuilt and is usable).
+struct ProposeOutcome {
+  bool converged = true;
+  verify::RealConfig::Report report;  ///< valid iff converged
+  std::string error;                  ///< nontermination message otherwise
+};
+
+class Session {
+ public:
+  /// Builds the verifier and runs the from-scratch verification of
+  /// `initial`, which becomes the committed baseline. Throws
+  /// dd::NonterminationError if even the initial configuration does not
+  /// converge (there is no earlier state to recover to).
+  Session(std::string name, topo::Topology topology, config::NetworkConfig initial,
+          SessionOptions options = {});
+
+  const std::string& name() const { return name_; }
+  const topo::Topology& topology() const { return topo_; }
+  const config::NetworkConfig& committed() const { return committed_; }
+  const verify::RealConfig::Report& baseline_report() const { return baseline_report_; }
+
+  // --- change transaction --------------------------------------------------
+  /// Verify `cfg` against the live state and stage it. Proposing on top of
+  /// an uncommitted proposal is allowed (the staged config is replaced; the
+  /// verification is incremental from the previous proposal — this is what
+  /// the engine's coalescing leans on). On nontermination the session
+  /// rebuilds itself from the committed baseline and reports converged=false.
+  ProposeOutcome propose(const config::NetworkConfig& cfg);
+
+  bool has_staged() const { return staged_.has_value(); }
+
+  /// Promote the staged configuration to committed. Metadata-only: the live
+  /// verifier already reflects it. Throws std::logic_error with no staged
+  /// proposal.
+  void commit();
+
+  /// Discard the staged proposal and roll the live verifier back to the
+  /// committed configuration (an incremental re-apply). Returns the
+  /// rollback's report. Throws std::logic_error with no staged proposal.
+  verify::RealConfig::Report abort();
+
+  // --- named policies ------------------------------------------------------
+  /// Registers the policy on the live verifier and records the spec for
+  /// re-registration after a rebuild. Returns its current satisfaction.
+  /// Throws std::invalid_argument on duplicate name or unknown node.
+  bool add_policy(const PolicySpec& spec);
+
+  bool has_policy(const std::string& name) const { return ids_.count(name) != 0; }
+  /// Throws std::invalid_argument on unknown name.
+  bool policy_satisfied(const std::string& name) const;
+  const std::vector<PolicySpec>& policies() const { return specs_; }
+  /// Display name for a checker PolicyId ("" if unknown — e.g. registered
+  /// directly on the checker, bypassing the session).
+  std::string policy_name(verify::PolicyId id) const;
+
+  // --- introspection -------------------------------------------------------
+  std::size_t rebuilds() const { return rebuilds_; }
+  std::size_t generation() const { return generation_; }  ///< verifier instance #
+  verify::RealConfig& verifier() { return *rc_; }
+  const verify::RealConfig& verifier() const { return *rc_; }
+
+ private:
+  std::unique_ptr<verify::RealConfig> make_verifier_() const;
+  verify::PolicyId register_on_verifier_(const PolicySpec& spec);
+  /// Discard the (poisoned) verifier, rebuild from `committed_`, re-register
+  /// all policies.
+  void rebuild_();
+
+  std::string name_;
+  topo::Topology topo_;  ///< owned; rc_ holds a reference into it
+  SessionOptions options_;
+  std::unique_ptr<verify::RealConfig> rc_;
+  verify::RealConfig::Report baseline_report_;
+
+  config::NetworkConfig committed_;
+  std::optional<config::NetworkConfig> staged_;
+
+  std::vector<PolicySpec> specs_;
+  std::unordered_map<std::string, verify::PolicyId> ids_;
+  std::unordered_map<verify::PolicyId, std::string> names_by_id_;
+
+  std::size_t rebuilds_ = 0;
+  std::size_t generation_ = 1;
+};
+
+}  // namespace rcfg::service

@@ -20,9 +20,20 @@ RealConfig::RealConfig(const topo::Topology& topo, RealConfigOptions options)
       checker_(topo, space_, ecs_, model_) {}
 
 RealConfig::Report RealConfig::apply(const config::NetworkConfig& cfg) {
+  if (poisoned_) {
+    throw std::logic_error(
+        "RealConfig::apply called on a poisoned instance: a previous apply() threw "
+        "NonterminationError, leaving the pipeline state inconsistent; build a fresh "
+        "RealConfig from the last known-good configuration instead");
+  }
   Report report;
   const auto t0 = std::chrono::steady_clock::now();
-  report.dataplane = generator_.apply(cfg);
+  try {
+    report.dataplane = generator_.apply(cfg);
+  } catch (const dd::NonterminationError&) {
+    poisoned_ = true;
+    throw;
+  }
   const auto t1 = std::chrono::steady_clock::now();
   report.model = model_.apply_batch(report.dataplane, options_.update_order);
   const auto t2 = std::chrono::steady_clock::now();

@@ -42,7 +42,10 @@ class RealConfig {
 
   /// One verification round. Throws dd::NonterminationError (possibly the
   /// RecurringStateError subclass) when the control plane cannot converge
-  /// (paper §6); the instance must be discarded afterwards.
+  /// (paper §6); the instance is then *poisoned* — its internal state is
+  /// partially updated and unusable — and must be discarded (or wrapped in
+  /// service::Session, which rebuilds automatically). Calling apply() again
+  /// on a poisoned instance throws std::logic_error.
   struct Report {
     routing::DataPlaneDelta dataplane;
     dpm::ModelDelta model;
@@ -53,6 +56,11 @@ class RealConfig {
     double total_ms() const { return generate_ms + model_ms + check_ms; }
   };
   Report apply(const config::NetworkConfig& cfg);
+
+  /// True once an apply() ended in NonterminationError: the pipeline state
+  /// is inconsistent (the generator converged partially, the model and
+  /// checker never saw the delta) and no further apply() is allowed.
+  bool poisoned() const { return poisoned_; }
 
   // --- policy helpers (by device name; packets default to "everything") --
   PolicyId require_reachable(const std::string& src, const std::string& dst,
@@ -80,6 +88,7 @@ class RealConfig {
   dpm::EcManager ecs_;
   dpm::NetworkModel model_;
   IncrementalChecker checker_;
+  bool poisoned_ = false;
 };
 
 }  // namespace rcfg::verify

@@ -1,0 +1,327 @@
+#include "service/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "config/builders.h"
+#include "config/print.h"
+#include "service_test_util.h"
+#include "topo/generators.h"
+
+namespace rcfg::service {
+namespace {
+
+Request open_request(std::uint64_t id, const std::string& session, const std::string& kind,
+                     unsigned k, const config::NetworkConfig& cfg) {
+  Request req;
+  req.id = id;
+  req.verb = Verb::kOpen;
+  req.session = session;
+  req.topology.kind = kind;
+  req.topology.k = k;
+  req.config_text = config::print_network(cfg);
+  return req;
+}
+
+Request propose_request(std::uint64_t id, const std::string& session,
+                        const config::NetworkConfig& cfg) {
+  Request req;
+  req.id = id;
+  req.verb = Verb::kPropose;
+  req.session = session;
+  req.config_text = config::print_network(cfg);
+  return req;
+}
+
+Request verb_request(std::uint64_t id, const std::string& session, Verb verb) {
+  Request req;
+  req.id = id;
+  req.verb = verb;
+  req.session = session;
+  return req;
+}
+
+TEST(Engine, CoalescedBatchMatchesSequentialApplies) {
+  const topo::Topology t = topo::make_ring(6);
+  const config::NetworkConfig cfg = config::build_ospf_network(t);
+
+  // Three successive change proposals: c1, c2, c3 (cumulative link failures).
+  config::NetworkConfig c1 = cfg;
+  config::fail_link(c1, t, 0);
+  config::NetworkConfig c2 = c1;
+  config::fail_link(c2, t, 2);
+  config::NetworkConfig c3 = c2;
+  config::restore_link(c3, t, 0);
+
+  EngineOptions opts;
+  opts.workers = 2;
+  Engine engine(opts);
+
+  // pause() keeps everything in one queue => one batch, deterministically.
+  engine.pause();
+  std::vector<Response> responses(5);
+  std::atomic<int> done{0};
+  const auto record = [&responses, &done](std::size_t i) {
+    return [&responses, &done, i](Response r) {
+      responses[i] = std::move(r);
+      ++done;
+    };
+  };
+  engine.submit(open_request(1, "net", "ring", 6, cfg), record(0));
+  engine.submit(propose_request(2, "net", c1), record(1));
+  engine.submit(propose_request(3, "net", c2), record(2));
+  engine.submit(propose_request(4, "net", c3), record(3));
+  engine.submit(verb_request(5, "net", Verb::kCommit), record(4));
+  engine.resume();
+  engine.drain();
+  ASSERT_EQ(done.load(), 5);
+
+  // The run c1,c2 was coalesced into c3; every request got an answer.
+  EXPECT_TRUE(responses[0].ok);
+  EXPECT_EQ(responses[1].body.get_string("status"), "coalesced");
+  EXPECT_EQ(responses[1].body.get_int("superseded_by"), 4);
+  EXPECT_EQ(responses[2].body.get_string("status"), "coalesced");
+  EXPECT_EQ(responses[3].body.get_string("status"), "staged");
+  EXPECT_EQ(responses[4].body.get_string("status"), "committed");
+  EXPECT_EQ(engine.metrics().coalesced_proposes.value(), 2u);
+  EXPECT_EQ(engine.metrics().coalesced_batches.value(), 1u);
+  EXPECT_GE(engine.metrics().batch_size.max(), 5.0);
+
+  // Batching correctness: the coalesced final state equals applying the
+  // whole change sequence one by one on a plain RealConfig.
+  verify::RealConfig oracle(t);
+  oracle.apply(cfg);
+  oracle.apply(c1);
+  oracle.apply(c2);
+  oracle.apply(c3);
+
+  const Response q = engine.call(verb_request(9, "net", Verb::kQuery));
+  ASSERT_TRUE(q.ok);
+  EXPECT_EQ(q.body.get_int("pairs"),
+            static_cast<std::int64_t>(oracle.checker().pair_count()));
+  EXPECT_EQ(q.body.get_int("loops"),
+            static_cast<std::int64_t>(oracle.checker().loop_count()));
+  EXPECT_EQ(q.body.get_int("blackholes"),
+            static_cast<std::int64_t>(oracle.checker().blackhole_count()));
+}
+
+TEST(Engine, NoCoalesceProcessesEveryPropose) {
+  const topo::Topology t = topo::make_ring(4);
+  const config::NetworkConfig cfg = config::build_ospf_network(t);
+  config::NetworkConfig c1 = cfg;
+  config::fail_link(c1, t, 0);
+  config::NetworkConfig c2 = cfg;
+  config::fail_link(c2, t, 1);
+
+  EngineOptions opts;
+  opts.coalesce = false;
+  Engine engine(opts);
+  engine.pause();
+  std::vector<Response> responses(3);
+  engine.submit(open_request(1, "net", "ring", 4, cfg), [&](Response r) { responses[0] = r; });
+  engine.submit(propose_request(2, "net", c1), [&](Response r) { responses[1] = r; });
+  engine.submit(propose_request(3, "net", c2), [&](Response r) { responses[2] = r; });
+  engine.resume();
+  engine.drain();
+
+  EXPECT_EQ(responses[1].body.get_string("status"), "staged");
+  EXPECT_EQ(responses[2].body.get_string("status"), "staged");
+  EXPECT_EQ(engine.metrics().coalesced_proposes.value(), 0u);
+}
+
+TEST(Engine, RoutingErrors) {
+  Engine engine;
+  const topo::Topology t = topo::make_ring(4);
+  const config::NetworkConfig cfg = config::build_ospf_network(t);
+
+  // Unknown session.
+  Response r = engine.call(verb_request(1, "ghost", Verb::kCommit));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown session"), std::string::npos);
+
+  // Duplicate open.
+  ASSERT_TRUE(engine.call(open_request(2, "net", "ring", 4, cfg)).ok);
+  r = engine.call(open_request(3, "net", "ring", 4, cfg));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("already open"), std::string::npos);
+
+  // Commit with nothing staged: the session's logic_error becomes an error
+  // response, not a dead worker.
+  r = engine.call(verb_request(4, "net", Verb::kCommit));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("no staged proposal"), std::string::npos);
+
+  // Malformed config DSL.
+  Request bad;
+  bad.id = 5;
+  bad.verb = Verb::kPropose;
+  bad.session = "net";
+  bad.config_text = "hostname r0\nthis is not a stanza\n";
+  r = engine.call(std::move(bad));
+  EXPECT_FALSE(r.ok);
+
+  // A failed open leaves no session behind: the name is reusable.
+  Request bad_open = open_request(6, "net2", "ring", 4, cfg);
+  bad_open.config_text = "not a config";
+  EXPECT_FALSE(engine.call(std::move(bad_open)).ok);
+  EXPECT_EQ(engine.session_count(), 1u);
+  EXPECT_TRUE(engine.call(open_request(7, "net2", "ring", 4, cfg)).ok);
+  EXPECT_EQ(engine.session_count(), 2u);
+
+  EXPECT_GE(engine.metrics().errors_total.value(), 4u);
+}
+
+TEST(Engine, NonterminatingProposeRecoversViaSession) {
+  const topo::Topology t = topo::make_full_mesh(4);
+  const config::NetworkConfig good = config::build_bgp_network(t);
+
+  Engine engine;
+  Request open = open_request(1, "net", "full_mesh", 4, good);
+  open.options = testutil::fast_divergence_options();
+  ASSERT_TRUE(engine.call(std::move(open)).ok);
+
+  const Response r =
+      engine.call(propose_request(2, "net", testutil::bad_gadget(t)));
+  ASSERT_TRUE(r.ok);  // handled: the verdict is "does not converge"
+  EXPECT_EQ(r.body.get_string("status"), "nonconvergent");
+  EXPECT_TRUE(r.body.get_bool("recovered"));
+  EXPECT_EQ(r.body.get_int("rebuilds"), 1);
+  EXPECT_EQ(engine.metrics().recoveries.value(), 1u);
+
+  // The session still works.
+  config::NetworkConfig after = good;
+  config::fail_link(after, t, 1);
+  EXPECT_EQ(engine.call(propose_request(3, "net", after)).body.get_string("status"),
+            "staged");
+  EXPECT_TRUE(engine.call(verb_request(4, "net", Verb::kAbort)).ok);
+}
+
+TEST(Engine, BackpressureBoundsQueueDepth) {
+  const topo::Topology t = topo::make_ring(4);
+  const config::NetworkConfig cfg = config::build_ospf_network(t);
+  config::NetworkConfig changed = cfg;
+  config::fail_link(changed, t, 0);
+
+  EngineOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 2;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.call(open_request(1, "net", "ring", 4, cfg)).ok);
+
+  std::atomic<int> done{0};
+  const auto count = [&done](Response r) {
+    EXPECT_TRUE(r.ok);
+    ++done;
+  };
+  // Two submitter threads hammer one session; submit() must block rather
+  // than grow the queue beyond capacity.
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 2; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int i = 0; i < 10; ++i) {
+        const bool fail = (i % 2 == 0) != (s == 0);
+        engine.submit(propose_request(100 + 10 * s + i, "net", fail ? changed : cfg), count);
+      }
+    });
+  }
+  for (std::thread& th : submitters) th.join();
+  engine.drain();
+  EXPECT_EQ(done.load(), 20);
+  EXPECT_LE(engine.metrics().queue_depth.max(),
+            static_cast<std::int64_t>(opts.queue_capacity));
+  EXPECT_EQ(engine.metrics().queue_depth.value(), 0);
+}
+
+TEST(Engine, ConcurrentSessionsVerifyIndependently) {
+  constexpr int kSessions = 4;
+  constexpr int kChangesPerSession = 6;
+
+  const topo::Topology t = topo::make_ring(5);
+  const config::NetworkConfig base = config::build_ospf_network(t);
+
+  // Per-session change sequences over distinct links.
+  std::vector<std::vector<config::NetworkConfig>> sequences(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    config::NetworkConfig current = base;
+    for (int i = 0; i < kChangesPerSession; ++i) {
+      const topo::LinkId link = static_cast<topo::LinkId>((s + i) % t.link_count());
+      if (i % 2 == 0) {
+        config::fail_link(current, t, link);
+      } else {
+        config::restore_link(current, t, link);
+      }
+      sequences[s].push_back(current);
+    }
+  }
+
+  EngineOptions opts;
+  opts.workers = 4;
+  Engine engine(opts);
+  std::atomic<int> done{0};
+  std::atomic<int> failed{0};
+  const auto count = [&done, &failed](Response r) {
+    if (!r.ok) ++failed;
+    ++done;
+  };
+
+  for (int s = 0; s < kSessions; ++s) {
+    engine.submit(open_request(1000 + s, "net" + std::to_string(s), "ring", 5, base), count);
+  }
+  // Interleave proposes (and periodic commits) across sessions from
+  // multiple threads, so distinct sessions are in flight concurrently.
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSessions; ++s) {
+    submitters.emplace_back([&, s] {
+      const std::string name = "net" + std::to_string(s);
+      for (int i = 0; i < kChangesPerSession; ++i) {
+        engine.submit(propose_request(10 * s + i, name, sequences[s][i]), count);
+        if (i % 3 == 2) engine.submit(verb_request(500 + 10 * s + i, name, Verb::kCommit), count);
+      }
+    });
+  }
+  for (std::thread& th : submitters) th.join();
+  engine.drain();
+
+  EXPECT_EQ(failed.load(), 0);
+  EXPECT_EQ(engine.session_count(), static_cast<std::size_t>(kSessions));
+
+  // Every session's live state must equal a sequential oracle that applied
+  // its full change sequence (coalescing only skips intermediate states).
+  for (int s = 0; s < kSessions; ++s) {
+    verify::RealConfig oracle(t);
+    oracle.apply(base);
+    for (const auto& cfg : sequences[s]) oracle.apply(cfg);
+    const Response q = engine.call(verb_request(9000 + s, "net" + std::to_string(s), Verb::kQuery));
+    ASSERT_TRUE(q.ok);
+    EXPECT_EQ(q.body.get_int("pairs"),
+              static_cast<std::int64_t>(oracle.checker().pair_count()))
+        << "session " << s;
+  }
+}
+
+TEST(Engine, StatsWaitsForInFlightWork) {
+  const topo::Topology t = topo::make_ring(4);
+  const config::NetworkConfig cfg = config::build_ospf_network(t);
+  Engine engine;
+  std::atomic<int> done{0};
+  engine.submit(open_request(1, "a", "ring", 4, cfg), [&](Response) { ++done; });
+  engine.submit(open_request(2, "b", "ring", 4, cfg), [&](Response) { ++done; });
+
+  Request stats;
+  stats.id = 3;
+  stats.verb = Verb::kStats;
+  const Response r = engine.call(std::move(stats));
+  ASSERT_TRUE(r.ok);
+  // By the time stats answers, both opens have been fully processed.
+  EXPECT_EQ(done.load(), 2);
+  EXPECT_EQ(r.body.find("sessions")->as_array().size(), 2u);
+  EXPECT_EQ(r.body.find("metrics")->find("requests")->get_int("open"), 2);
+  EXPECT_EQ(r.body.find("metrics")->find("load")->get_int("sessions_open"), 2);
+}
+
+}  // namespace
+}  // namespace rcfg::service

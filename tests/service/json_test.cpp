@@ -1,0 +1,102 @@
+#include "service/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace rcfg::service::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Value::parse("null").is_null());
+  EXPECT_EQ(Value::parse("true").as_bool(), true);
+  EXPECT_EQ(Value::parse("false").as_bool(), false);
+  EXPECT_EQ(Value::parse("42").as_int(), 42);
+  EXPECT_EQ(Value::parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(Value::parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Value::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, IntVsDoubleKinds) {
+  EXPECT_TRUE(Value::parse("3").is_int());
+  EXPECT_TRUE(Value::parse("3.0").is_double());
+  // as_int accepts integral doubles, as_double accepts ints.
+  EXPECT_EQ(Value::parse("3.0").as_int(), 3);
+  EXPECT_DOUBLE_EQ(Value::parse("3").as_double(), 3.0);
+  EXPECT_THROW(Value::parse("3.5").as_int(), TypeError);
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const Value v = Value::parse(R"({"a":[1,2,{"b":true}],"c":{"d":null},"e":"x"})");
+  ASSERT_TRUE(v.is_object());
+  const Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_EQ(a->as_array()[1].as_int(), 2);
+  EXPECT_TRUE(a->as_array()[2].find("b")->as_bool());
+  EXPECT_TRUE(v.find("c")->find("d")->is_null());
+  EXPECT_EQ(v.get_string("e"), "x");
+  EXPECT_EQ(v.get_string("missing", "fallback"), "fallback");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  const Value v = Value::parse(R"("a\"b\\c\nd\teAé")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\teA\xC3\xA9");
+  // Round trip through dump().
+  const std::string dumped = Value(std::string("x\"y\nz\t\x01")).dump();
+  EXPECT_EQ(Value::parse(dumped).as_string(), "x\"y\nz\t\x01");
+}
+
+TEST(Json, DumpIsDeterministicAndSorted) {
+  Value v;
+  v["zebra"] = Value(1);
+  v["alpha"] = Value(true);
+  v["mid"] = Value("s");
+  EXPECT_EQ(v.dump(), R"({"alpha":true,"mid":"s","zebra":1})");
+}
+
+TEST(Json, RoundTripsArbitraryDocument) {
+  const std::string doc =
+      R"({"arr":[1,2.5,"three",null,true],"num":-12,"obj":{"inner":[{"k":"v"}]},"s":"line1\nline2"})";
+  const Value v = Value::parse(doc);
+  EXPECT_EQ(Value::parse(v.dump()), v);
+  EXPECT_EQ(v.dump(), doc);
+}
+
+TEST(Json, BuilderInterface) {
+  Value v;
+  v["name"] = Value("rcfgd");
+  v["counts"].push_back(Value(1));
+  v["counts"].push_back(Value(2));
+  EXPECT_EQ(v.dump(), R"({"counts":[1,2],"name":"rcfgd"})");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Value::parse(""), ParseError);
+  EXPECT_THROW(Value::parse("{"), ParseError);
+  EXPECT_THROW(Value::parse("[1,]"), ParseError);
+  EXPECT_THROW(Value::parse("{\"a\" 1}"), ParseError);
+  EXPECT_THROW(Value::parse("tru"), ParseError);
+  EXPECT_THROW(Value::parse("\"unterminated"), ParseError);
+  EXPECT_THROW(Value::parse("1 2"), ParseError);  // trailing garbage
+  EXPECT_THROW(Value::parse("{\"a\":1,}"), ParseError);
+  EXPECT_THROW(Value::parse("\"bad \\q escape\""), ParseError);
+}
+
+TEST(Json, TypeErrors) {
+  const Value v = Value::parse("[1]");
+  EXPECT_THROW(v.as_object(), TypeError);
+  EXPECT_THROW(v.as_string(), TypeError);
+  EXPECT_THROW(v.as_bool(), TypeError);
+  EXPECT_THROW(Value::parse("{\"a\":\"s\"}").get_int("a"), TypeError);
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(Value(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+}  // namespace
+}  // namespace rcfg::service::json

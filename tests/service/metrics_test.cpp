@@ -1,0 +1,86 @@
+#include "service/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rcfg::service {
+namespace {
+
+TEST(Metrics, CounterCountsAcrossThreads) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 1000; ++i) c.inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), 4000u);
+}
+
+TEST(Metrics, GaugeTracksLevelAndHighWater) {
+  Gauge g;
+  g.add(3);
+  g.add(4);
+  g.add(-5);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max(), 7);
+  g.add(10);
+  EXPECT_EQ(g.max(), 12);
+}
+
+TEST(Metrics, HistogramBucketsAndSummary) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.record(0.5);    // bucket le=1
+  h.record(1.0);    // le=1 (inclusive upper bound)
+  h.record(7.0);    // le=10
+  h.record(1000);   // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1008.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+
+  const json::Value j = h.to_json();
+  EXPECT_EQ(j.get_int("count"), 4);
+  const auto& buckets = j.find("buckets")->as_array();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + inf
+  EXPECT_EQ(buckets[0].get_int("count"), 2);
+  EXPECT_EQ(buckets[1].get_int("count"), 1);
+  EXPECT_EQ(buckets[2].get_int("count"), 0);
+  EXPECT_EQ(buckets[3].get_string("le"), "inf");
+  EXPECT_EQ(buckets[3].get_int("count"), 1);
+}
+
+TEST(Metrics, EmptyHistogramIsWellFormed) {
+  const Histogram h = Histogram::latency_ms();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  const json::Value j = h.to_json();
+  EXPECT_EQ(j.get_int("count"), 0);
+  EXPECT_DOUBLE_EQ(j.find("mean")->as_double(), 0.0);
+}
+
+TEST(Metrics, ServiceMetricsJsonShape) {
+  ServiceMetrics m;
+  m.requests_total.inc(5);
+  m.proposes.inc(3);
+  m.coalesced_batches.inc();
+  m.generate_ms.record(1.5);
+  m.queue_depth.add(2);
+  m.queue_depth.add(-2);
+
+  const json::Value j = m.to_json();
+  EXPECT_EQ(j.find("requests")->get_int("total"), 5);
+  EXPECT_EQ(j.find("requests")->get_int("propose"), 3);
+  EXPECT_EQ(j.find("batching")->get_int("coalesced_batches"), 1);
+  EXPECT_EQ(j.find("latency")->find("generate_ms")->get_int("count"), 1);
+  EXPECT_EQ(j.find("load")->get_int("queue_depth"), 0);
+  EXPECT_EQ(j.find("load")->get_int("queue_depth_max"), 2);
+  // The dump parses back (the stats verb ships exactly this).
+  EXPECT_EQ(json::Value::parse(j.dump()), j);
+}
+
+}  // namespace
+}  // namespace rcfg::service

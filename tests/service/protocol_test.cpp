@@ -1,0 +1,252 @@
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config/builders.h"
+#include "config/print.h"
+#include "service/engine.h"
+#include "service_test_util.h"
+#include "topo/generators.h"
+
+namespace rcfg::service {
+namespace {
+
+TEST(Protocol, ParsesEveryVerb) {
+  Request r = parse_request(
+      R"({"id":1,"op":"open","session":"s","topology":{"kind":"fat_tree","k":4},)"
+      R"("config":"hostname r0","max_rounds":9,"update_order":"delete_first"})");
+  EXPECT_EQ(r.id, 1u);
+  EXPECT_EQ(r.verb, Verb::kOpen);
+  EXPECT_EQ(r.session, "s");
+  EXPECT_EQ(r.topology.kind, "fat_tree");
+  EXPECT_EQ(r.topology.k, 4u);
+  EXPECT_EQ(r.config_text, "hostname r0");
+  EXPECT_EQ(r.options.verifier.generator.max_rounds, 9u);
+  EXPECT_EQ(r.options.verifier.update_order, dpm::UpdateOrder::kDeleteFirst);
+
+  r = parse_request(R"({"id":2,"op":"propose","session":"s","config":"hostname r0"})");
+  EXPECT_EQ(r.verb, Verb::kPropose);
+
+  r = parse_request(R"({"id":3,"op":"commit","session":"s"})");
+  EXPECT_EQ(r.verb, Verb::kCommit);
+  r = parse_request(R"({"id":4,"op":"abort","session":"s"})");
+  EXPECT_EQ(r.verb, Verb::kAbort);
+
+  r = parse_request(
+      R"({"id":5,"op":"add_policy","session":"s","policy":{"kind":"waypoint",)"
+      R"("name":"w","src":"a","dst":"b","via":"c","prefix":"10.0.0.0/24"}})");
+  EXPECT_EQ(r.verb, Verb::kAddPolicy);
+  EXPECT_EQ(r.policy.kind, PolicySpec::Kind::kWaypoint);
+  EXPECT_EQ(r.policy.via, "c");
+  EXPECT_EQ(r.policy.prefix.to_string(), "10.0.0.0/24");
+
+  r = parse_request(R"({"id":6,"op":"query","session":"s","policy":"w"})");
+  EXPECT_EQ(r.verb, Verb::kQuery);
+  EXPECT_EQ(r.query_policy, "w");
+
+  r = parse_request(R"({"id":7,"op":"stats"})");
+  EXPECT_EQ(r.verb, Verb::kStats);
+  EXPECT_TRUE(r.session.empty());
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  EXPECT_THROW(parse_request("not json"), ProtocolError);
+  EXPECT_THROW(parse_request("[1,2]"), ProtocolError);
+  EXPECT_THROW(parse_request(R"({"op":"frobnicate","session":"s"})"), ProtocolError);
+  EXPECT_THROW(parse_request(R"({"op":"propose"})"), ProtocolError);  // no session
+  EXPECT_THROW(parse_request(R"({"op":"propose","session":"s"})"), ProtocolError);  // no config
+  EXPECT_THROW(parse_request(R"({"op":"open","session":"s","config":"x"})"), ProtocolError);
+  EXPECT_THROW(parse_request(R"({"op":"add_policy","session":"s"})"), ProtocolError);
+  EXPECT_THROW(
+      parse_request(
+          R"({"op":"add_policy","session":"s","policy":{"kind":"waypoint","name":"w","src":"a","dst":"b"}})"),
+      ProtocolError);  // waypoint without via
+  EXPECT_THROW(
+      parse_request(
+          R"({"op":"add_policy","session":"s","policy":{"name":"p","src":"a","dst":"b","prefix":"299.0.0.0/8"}})"),
+      ProtocolError);  // bad prefix
+}
+
+TEST(Protocol, BuildTopologyKinds) {
+  TopologySpec spec;
+  spec.kind = "ring";
+  spec.k = 5;
+  EXPECT_EQ(build_topology(spec).node_count(), 5u);
+  spec.kind = "full_mesh";
+  spec.k = 4;
+  EXPECT_EQ(build_topology(spec).node_count(), 4u);
+  spec.kind = "fat_tree";
+  spec.k = 4;
+  EXPECT_EQ(build_topology(spec).node_count(), 20u);
+  spec.kind = "grid";
+  spec.w = 3;
+  spec.h = 2;
+  EXPECT_EQ(build_topology(spec).node_count(), 6u);
+  spec.kind = "mobius";
+  EXPECT_THROW(build_topology(spec), ProtocolError);
+  spec.kind = "fat_tree";
+  spec.k = 3;  // odd
+  EXPECT_THROW(build_topology(spec), ProtocolError);
+}
+
+TEST(Protocol, SerializeResponse) {
+  Response r;
+  r.id = 12;
+  r.body["status"] = json::Value("staged");
+  EXPECT_EQ(serialize_response(r), R"({"id":12,"ok":true,"status":"staged"})");
+  EXPECT_EQ(serialize_response(error_response(3, "boom")),
+            R"({"error":"boom","id":3,"ok":false})");
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance transcript: open -> add_policy -> propose -> (coalesced)
+// propose -> commit -> propose(nonterminating) -> automatic recovery ->
+// query -> stats, driven through the same JSON-lines loop rcfgd runs.
+// ---------------------------------------------------------------------------
+
+std::string request_line(json::Value::Object fields) {
+  return json::Value(std::move(fields)).dump();
+}
+
+TEST(Protocol, RcfgdTranscriptEndToEnd) {
+  const topo::Topology t = topo::make_full_mesh(4);
+  const config::NetworkConfig good = config::build_bgp_network(t);
+  config::NetworkConfig c1 = good;
+  config::fail_link(c1, t, 0);
+  config::NetworkConfig c2 = c1;
+  config::fail_link(c2, t, 3);
+
+  json::Value topology;
+  topology["kind"] = json::Value("full_mesh");
+  topology["n"] = json::Value(4);
+  json::Value policy;
+  policy["kind"] = json::Value("reachable");
+  policy["name"] = json::Value("m0-m1");
+  policy["src"] = json::Value("m0");
+  policy["dst"] = json::Value("m1");
+  policy["prefix"] = json::Value(config::host_prefix(t.find_node("m1")).to_string());
+
+  std::ostringstream script;
+  script << "# rcfgd acceptance transcript\n";
+  script << "#pause\n";  // force one deterministic batch
+  script << request_line({{"id", json::Value(1)},
+                          {"op", json::Value("open")},
+                          {"session", json::Value("net1")},
+                          {"topology", topology},
+                          {"config", json::Value(config::print_network(good))},
+                          {"flush_budget", json::Value(2'000'000)},
+                          {"recurrence_threshold", json::Value(500)}})
+         << "\n";
+  script << request_line({{"id", json::Value(2)},
+                          {"op", json::Value("add_policy")},
+                          {"session", json::Value("net1")},
+                          {"policy", policy}})
+         << "\n";
+  script << request_line({{"id", json::Value(3)},
+                          {"op", json::Value("propose")},
+                          {"session", json::Value("net1")},
+                          {"config", json::Value(config::print_network(c1))}})
+         << "\n";
+  script << request_line({{"id", json::Value(4)},
+                          {"op", json::Value("propose")},
+                          {"session", json::Value("net1")},
+                          {"config", json::Value(config::print_network(c2))}})
+         << "\n";
+  script << request_line({{"id", json::Value(5)},
+                          {"op", json::Value("commit")},
+                          {"session", json::Value("net1")}})
+         << "\n";
+  script << request_line(
+                {{"id", json::Value(6)},
+                 {"op", json::Value("propose")},
+                 {"session", json::Value("net1")},
+                 {"config", json::Value(config::print_network(testutil::bad_gadget(t)))}})
+         << "\n";
+  script << request_line({{"id", json::Value(7)},
+                          {"op", json::Value("query")},
+                          {"session", json::Value("net1")}})
+         << "\n";
+  script << "#resume\n";
+  script << request_line({{"id", json::Value(8)}, {"op", json::Value("stats")}}) << "\n";
+
+  std::istringstream in(script.str());
+  std::ostringstream out;
+  EngineOptions opts;
+  opts.workers = 2;
+  run_jsonl(in, out, opts);
+
+  // One response line per request, keyed by id.
+  std::map<std::int64_t, json::Value> by_id;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    const json::Value v = json::Value::parse(line);
+    by_id[v.get_int("id")] = v;
+  }
+  ASSERT_EQ(by_id.size(), 8u) << out.str();
+  for (const auto& [id, v] : by_id) {
+    EXPECT_TRUE(v.get_bool("ok")) << "id " << id << ": " << v.dump();
+  }
+
+  EXPECT_EQ(by_id[1].get_string("status"), "open");
+  EXPECT_EQ(by_id[1].get_int("nodes"), 4);
+  EXPECT_GT(by_id[1].get_int("rules"), 0);
+
+  EXPECT_EQ(by_id[2].get_string("status"), "policy_added");
+  EXPECT_TRUE(by_id[2].get_bool("satisfied"));
+
+  // propose #3 was coalesced into #4 inside the paused batch.
+  EXPECT_EQ(by_id[3].get_string("status"), "coalesced");
+  EXPECT_EQ(by_id[3].get_int("superseded_by"), 4);
+  EXPECT_EQ(by_id[4].get_string("status"), "staged");
+  EXPECT_GT(by_id[4].get_int("fib_changes"), 0);
+  EXPECT_EQ(by_id[5].get_string("status"), "committed");
+
+  // The nonterminating proposal triggered automatic recovery.
+  EXPECT_EQ(by_id[6].get_string("status"), "nonconvergent");
+  EXPECT_TRUE(by_id[6].get_bool("recovered"));
+  EXPECT_EQ(by_id[6].get_int("rebuilds"), 1);
+
+  // The query observes the recovered, committed state (policy intact).
+  EXPECT_EQ(by_id[7].get_int("rebuilds"), 1);
+  EXPECT_EQ(by_id[7].get_int("generation"), 2);
+  EXPECT_FALSE(by_id[7].get_bool("staged"));
+  const auto& policies = by_id[7].find("policies")->as_array();
+  ASSERT_EQ(policies.size(), 1u);
+  EXPECT_EQ(policies[0].get_string("name"), "m0-m1");
+  EXPECT_TRUE(policies[0].get_bool("satisfied"));
+
+  // Stats: >= 1 coalesced batch, per-stage latency histograms populated,
+  // and the recovery counted.
+  const json::Value& stats = by_id[8];
+  const json::Value* metrics = stats.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_GE(metrics->find("batching")->get_int("coalesced_batches"), 1);
+  EXPECT_GE(metrics->find("batching")->get_int("coalesced_proposes"), 1);
+  EXPECT_EQ(metrics->find("recoveries")->as_int(), 1);
+  for (const char* stage : {"generate_ms", "model_ms", "check_ms", "total_ms"}) {
+    const json::Value* h = metrics->find("latency")->find(stage);
+    ASSERT_NE(h, nullptr) << stage;
+    EXPECT_GE(h->get_int("count"), 2) << stage;  // open + surviving propose
+    EXPECT_FALSE(h->find("buckets")->as_array().empty()) << stage;
+  }
+  ASSERT_EQ(stats.find("sessions")->as_array().size(), 1u);
+  EXPECT_EQ(stats.find("sessions")->as_array()[0].get_string("name"), "net1");
+
+  // Batched-vs-sequential equivalence on the surviving state: the session
+  // saw (good, then c2-with-c1-coalesced, then recovery back to c2).
+  verify::RealConfig oracle(t);
+  oracle.apply(good);
+  oracle.apply(c1);
+  oracle.apply(c2);
+  EXPECT_EQ(by_id[7].get_int("pairs"),
+            static_cast<std::int64_t>(oracle.checker().pair_count()));
+}
+
+}  // namespace
+}  // namespace rcfg::service

@@ -1,0 +1,170 @@
+#include "service/session.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "config/builders.h"
+#include "dd/graph.h"
+#include "service_test_util.h"
+#include "topo/generators.h"
+
+namespace rcfg::service {
+namespace {
+
+PolicySpec reach(const std::string& name, const std::string& src, const std::string& dst,
+                 net::Ipv4Prefix prefix) {
+  PolicySpec spec;
+  spec.kind = PolicySpec::Kind::kReachable;
+  spec.name = name;
+  spec.src = src;
+  spec.dst = dst;
+  spec.prefix = prefix;
+  return spec;
+}
+
+TEST(Session, CommitRoundTrip) {
+  const topo::Topology t = topo::make_ring(4);
+  const config::NetworkConfig cfg = config::build_ospf_network(t);
+  Session s("net", t, cfg);
+  EXPECT_EQ(s.name(), "net");
+  EXPECT_FALSE(s.has_staged());
+  EXPECT_GT(s.baseline_report().dataplane.fib.size(), 0u);
+
+  const auto p2 = config::host_prefix(t.find_node("r2"));
+  EXPECT_TRUE(s.add_policy(reach("r0-r2", "r0", "r2", p2)));
+  EXPECT_TRUE(s.policy_satisfied("r0-r2"));
+
+  config::NetworkConfig changed = cfg;
+  config::fail_link(changed, t, 1);  // ring reroutes the long way
+  const ProposeOutcome outcome = s.propose(changed);
+  ASSERT_TRUE(outcome.converged);
+  EXPECT_FALSE(outcome.report.dataplane.empty());
+  EXPECT_TRUE(s.has_staged());
+  EXPECT_TRUE(s.policy_satisfied("r0-r2"));
+
+  s.commit();
+  EXPECT_FALSE(s.has_staged());
+  EXPECT_EQ(s.committed(), changed);
+}
+
+TEST(Session, AbortRollsBackIncrementally) {
+  const topo::Topology t = topo::make_ring(4);
+  const config::NetworkConfig cfg = config::build_ospf_network(t);
+  Session s("net", t, cfg);
+  const auto p2 = config::host_prefix(t.find_node("r2"));
+  s.add_policy(reach("r0-r2", "r0", "r2", p2));
+  const std::size_t baseline_pairs = s.verifier().checker().pair_count();
+
+  // Cut r2 off entirely: the policy flips to violated.
+  config::NetworkConfig broken = cfg;
+  config::fail_link(broken, t, 1);
+  config::fail_link(broken, t, 2);
+  ASSERT_TRUE(s.propose(broken).converged);
+  EXPECT_FALSE(s.policy_satisfied("r0-r2"));
+
+  // Abort: live state returns to the committed config, incrementally.
+  const auto rollback = s.abort();
+  EXPECT_FALSE(s.has_staged());
+  EXPECT_FALSE(rollback.dataplane.empty());
+  EXPECT_TRUE(s.policy_satisfied("r0-r2"));
+  EXPECT_EQ(s.verifier().checker().pair_count(), baseline_pairs);
+  EXPECT_EQ(s.committed(), cfg);
+}
+
+TEST(Session, ReProposeReplacesStagedConfig) {
+  const topo::Topology t = topo::make_ring(5);
+  const config::NetworkConfig cfg = config::build_ospf_network(t);
+  Session s("net", t, cfg);
+
+  config::NetworkConfig c1 = cfg;
+  config::fail_link(c1, t, 0);
+  config::NetworkConfig c2 = cfg;
+  config::fail_link(c2, t, 3);
+
+  ASSERT_TRUE(s.propose(c1).converged);
+  ASSERT_TRUE(s.propose(c2).converged);  // allowed: replaces the staged c1
+  s.commit();
+  EXPECT_EQ(s.committed(), c2);
+
+  // Final state is as if only c2 had ever been applied.
+  verify::RealConfig oracle(t);
+  oracle.apply(cfg);
+  oracle.apply(c2);
+  EXPECT_EQ(s.verifier().checker().pair_count(), oracle.checker().pair_count());
+}
+
+TEST(Session, TransactionMisuseThrows) {
+  const topo::Topology t = topo::make_ring(4);
+  Session s("net", t, config::build_ospf_network(t));
+  EXPECT_THROW(s.commit(), std::logic_error);
+  EXPECT_THROW(s.abort(), std::logic_error);
+}
+
+TEST(Session, PolicyRegistryValidation) {
+  const topo::Topology t = topo::make_ring(4);
+  Session s("net", t, config::build_ospf_network(t));
+  const auto p2 = config::host_prefix(t.find_node("r2"));
+  s.add_policy(reach("p", "r0", "r2", p2));
+  EXPECT_THROW(s.add_policy(reach("p", "r1", "r2", p2)), std::invalid_argument);
+  EXPECT_THROW(s.add_policy(reach("q", "nosuch", "r2", p2)), std::invalid_argument);
+  EXPECT_THROW(s.add_policy(reach("", "r0", "r2", p2)), std::invalid_argument);
+  EXPECT_THROW(s.policy_satisfied("unknown"), std::invalid_argument);
+  EXPECT_TRUE(s.has_policy("p"));
+  EXPECT_FALSE(s.has_policy("q"));  // failed registration leaves no trace
+}
+
+TEST(Session, RecoversFromNonterminatingProposal) {
+  const topo::Topology t = topo::make_full_mesh(4);
+  const config::NetworkConfig good = config::build_bgp_network(t);
+  Session s("net", t, good, testutil::fast_divergence_options());
+
+  const auto p1 = config::host_prefix(t.find_node("m1"));
+  s.add_policy(reach("m0-m1", "m0", "m1", p1));
+  EXPECT_TRUE(s.policy_satisfied("m0-m1"));
+  EXPECT_EQ(s.generation(), 1u);
+
+  // Stage something first: recovery must also discard the staged proposal.
+  config::NetworkConfig staged = good;
+  config::fail_link(staged, t, 0);
+  ASSERT_TRUE(s.propose(staged).converged);
+  EXPECT_TRUE(s.has_staged());
+
+  const ProposeOutcome bad = s.propose(testutil::bad_gadget(t));
+  EXPECT_FALSE(bad.converged);
+  EXPECT_FALSE(bad.error.empty());
+
+  // The session transparently rebuilt from the last committed config.
+  EXPECT_EQ(s.rebuilds(), 1u);
+  EXPECT_EQ(s.generation(), 2u);
+  EXPECT_FALSE(s.has_staged());
+  EXPECT_FALSE(s.verifier().poisoned());
+  EXPECT_TRUE(s.policy_satisfied("m0-m1"));  // policies survived the rebuild
+  EXPECT_EQ(s.committed(), good);
+
+  // And it keeps verifying incrementally afterwards.
+  config::NetworkConfig after = good;
+  config::fail_link(after, t, 2);
+  const ProposeOutcome ok = s.propose(after);
+  ASSERT_TRUE(ok.converged);
+  EXPECT_FALSE(ok.report.dataplane.empty());
+  s.commit();
+  EXPECT_EQ(s.committed(), after);
+
+  // Recovered state matches a fresh verifier over the same history.
+  verify::RealConfig oracle(t);
+  oracle.apply(good);
+  oracle.apply(after);
+  EXPECT_EQ(s.verifier().checker().pair_count(), oracle.checker().pair_count());
+}
+
+TEST(Session, NonterminatingInitialConfigThrows) {
+  const topo::Topology t = topo::make_full_mesh(4);
+  // No committed baseline to fall back to: construction must fail loudly.
+  EXPECT_THROW(
+      Session("net", t, testutil::bad_gadget(t), testutil::fast_divergence_options()),
+      dd::NonterminationError);
+}
+
+}  // namespace
+}  // namespace rcfg::service

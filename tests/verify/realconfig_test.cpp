@@ -185,7 +185,15 @@ TEST(RealConfig, NonconvergentConfigThrows) {
   RealConfig rc(t);
   rc.generator().set_flush_budget(2'000'000);
   rc.generator().set_recurrence_threshold(500);
+  EXPECT_FALSE(rc.poisoned());
   EXPECT_THROW(rc.apply(cfg), dd::NonterminationError);
+
+  // The instance is now poisoned: further applies fail fast with a clear
+  // error instead of computing on inconsistent pipeline state — even with a
+  // configuration that would converge fine on a fresh instance.
+  EXPECT_TRUE(rc.poisoned());
+  EXPECT_THROW(rc.apply(cfg), std::logic_error);
+  EXPECT_THROW(rc.apply(config::build_bgp_network(t)), std::logic_error);
 }
 
 }  // namespace
