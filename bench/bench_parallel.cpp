@@ -1,0 +1,209 @@
+// Parallel-checker scaling: stage-3 latency as the checker's worker pool
+// widens over a fixed workload. One RealConfig lane per thread count, all
+// fed byte-identical inputs: a fat-tree OSPF network with a spread of
+// registered policies, then a single batched change failing ~10% of the
+// links (a maintenance-window event that touches many ECs at once — the
+// shape the EC sharding is built for).
+//
+// The semantic fields of every lane's report are asserted equal to the
+// single-threaded lane's, so this bench doubles as a determinism check.
+// Speedup is only visible with real cores: on a 1-CPU container every lane
+// runs at the same speed and the table shows overhead, not scaling.
+//
+// Knobs (environment variables):
+//   RCFG_FATTREE_K          fat-tree k (default 8)
+//   RCFG_PARALLEL_POLICIES  registered reachability policies (default 64)
+//   RCFG_SAMPLES            timed change/restore rounds per lane (default 5)
+//
+// Emits BENCH_parallel.json in the working directory.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "config/builders.h"
+#include "core/rng.h"
+#include "service/json.h"
+#include "topo/generators.h"
+#include "verify/realconfig.h"
+
+using namespace rcfg;
+
+namespace {
+
+struct Row {
+  unsigned threads = 0;
+  unsigned shards = 0;
+  double check_mean_ms = 0;
+  double check_min_ms = 0;
+  double imbalance = 0;  ///< slowest shard / mean shard, last sample
+  double speedup = 0;    ///< threads=1 mean / this mean
+};
+
+/// The semantic content of a report, flattened for equality comparison.
+struct Semantics {
+  std::vector<dpm::EcId> ecs;
+  std::vector<std::pair<topo::NodeId, topo::NodeId>> affected, changed;
+  std::vector<std::pair<verify::PolicyId, bool>> events;
+  std::vector<dpm::EcId> lb, le, bb, be;
+
+  static Semantics of(const verify::CheckResult& c) {
+    Semantics s;
+    s.ecs = c.affected_ecs;
+    s.affected = c.affected_pairs;
+    s.changed = c.changed_pairs;
+    for (const verify::PolicyEvent& e : c.events) s.events.emplace_back(e.id, e.satisfied);
+    s.lb = c.loops_begun;
+    s.le = c.loops_ended;
+    s.bb = c.blackholes_begun;
+    s.be = c.blackholes_ended;
+    return s;
+  }
+  bool operator==(const Semantics&) const = default;
+};
+
+struct Lane {
+  std::vector<Semantics> reports;  ///< one per apply, in order
+  double check_sum_ms = 0;
+  double check_min_ms = 1e300;
+  unsigned applies = 0;
+  unsigned shards = 0;
+  double imbalance = 0;
+};
+
+Lane run(unsigned threads, const topo::Topology& topo,
+         const std::vector<config::NetworkConfig>& sequence,
+         const std::vector<std::pair<std::string, std::string>>& policy_pairs) {
+  verify::RealConfigOptions opts;
+  opts.threads = threads;
+  verify::RealConfig rc(topo, opts);
+  for (const auto& [src, dst] : policy_pairs) {
+    // Pair list is name-based so every lane registers identical policies.
+    const topo::NodeId d = topo.find_node(dst);
+    rc.require_reachable(src, dst, config::host_prefix(d));
+  }
+
+  Lane lane;
+  bool first = true;
+  for (const config::NetworkConfig& cfg : sequence) {
+    const verify::RealConfig::Report report = rc.apply(cfg);
+    lane.reports.push_back(Semantics::of(report.check));
+    if (first) {
+      first = false;  // from-scratch run excluded from the timing stats
+      continue;
+    }
+    lane.check_sum_ms += report.check_ms;
+    lane.check_min_ms = std::min(lane.check_min_ms, report.check_ms);
+    ++lane.applies;
+    lane.shards = report.check.parallel.shards;
+    const std::vector<double>& ms = report.check.parallel.shard_ms;
+    if (ms.size() > 1) {
+      double sum = 0, slow = 0;
+      for (const double m : ms) {
+        sum += m;
+        slow = std::max(slow, m);
+      }
+      const double mean = sum / static_cast<double>(ms.size());
+      if (mean > 0) lane.imbalance = slow / mean;
+    }
+  }
+  return lane;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned k = bench::fat_tree_k();
+  const unsigned n_policies = bench::env_unsigned("RCFG_PARALLEL_POLICIES", 64);
+  const unsigned samples = bench::samples();
+
+  const topo::Topology topo = topo::make_fat_tree(k);
+  const config::NetworkConfig base = config::build_ospf_network(topo);
+
+  // ~10% of links fail in one batch, then the repair lands in one batch;
+  // `samples` rounds of that after the from-scratch apply.
+  core::Rng rng(0x9e3779b97f4a7c15ULL);
+  std::vector<topo::LinkId> links(topo.link_count());
+  for (topo::LinkId l = 0; l < topo.link_count(); ++l) links[l] = l;
+  rng.shuffle(links);
+  const std::size_t n_fail = std::max<std::size_t>(1, topo.link_count() / 10);
+
+  std::vector<config::NetworkConfig> sequence;
+  sequence.push_back(base);
+  for (unsigned s = 0; s < samples; ++s) {
+    config::NetworkConfig failed = base;
+    for (std::size_t i = 0; i < n_fail; ++i) {
+      config::fail_link(failed, topo, links[(s + i) % links.size()]);
+    }
+    sequence.push_back(failed);
+    sequence.push_back(base);  // restore everything
+  }
+
+  std::vector<std::pair<std::string, std::string>> policy_pairs;
+  for (unsigned p = 0; p < n_policies; ++p) {
+    const topo::NodeId a = static_cast<topo::NodeId>(rng.next_below(topo.node_count()));
+    topo::NodeId b = static_cast<topo::NodeId>(rng.next_below(topo.node_count()));
+    if (b == a) b = (b + 1) % static_cast<topo::NodeId>(topo.node_count());
+    policy_pairs.emplace_back(topo.node(a).name, topo.node(b).name);
+  }
+
+  std::printf("parallel checker: fat-tree k=%u (%zu nodes, %zu links), %zu links/batch, "
+              "%u policies, %u rounds\n\n",
+              k, topo.node_count(), topo.link_count(), n_fail, n_policies, samples);
+  std::printf("| Threads | Shards | Check mean ms | Check min ms | Imbalance | Speedup |\n");
+  std::printf("|---------|--------|---------------|--------------|-----------|---------|\n");
+
+  std::vector<Row> rows;
+  const Lane* reference = nullptr;
+  Lane lane1;
+  double base_mean = 0;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    const Lane lane = run(threads, topo, sequence, policy_pairs);
+    if (reference == nullptr) {
+      lane1 = lane;
+      reference = &lane1;
+      base_mean = lane.applies > 0 ? lane.check_sum_ms / lane.applies : 0;
+    } else if (lane.reports != reference->reports) {
+      std::fprintf(stderr, "FAIL: reports at threads=%u differ from threads=1\n", threads);
+      return 1;
+    }
+    Row row;
+    row.threads = threads;
+    row.shards = lane.shards;
+    row.check_mean_ms = lane.applies > 0 ? lane.check_sum_ms / lane.applies : 0;
+    row.check_min_ms = lane.applies > 0 ? lane.check_min_ms : 0;
+    row.imbalance = lane.imbalance;
+    row.speedup = row.check_mean_ms > 0 ? base_mean / row.check_mean_ms : 0;
+    std::printf("| %7u | %6u | %13.2f | %12.2f | %9.2f | %6.2fx |\n", row.threads, row.shards,
+                row.check_mean_ms, row.check_min_ms, row.imbalance, row.speedup);
+    rows.push_back(row);
+  }
+  std::printf("\nreports identical across all thread counts\n");
+
+  service::json::Value doc;
+  doc["bench"] = service::json::Value("parallel");
+  doc["fat_tree_k"] = service::json::Value(k);
+  doc["nodes"] = service::json::Value(static_cast<std::uint64_t>(topo.node_count()));
+  doc["links"] = service::json::Value(static_cast<std::uint64_t>(topo.link_count()));
+  doc["links_failed_per_batch"] = service::json::Value(static_cast<std::uint64_t>(n_fail));
+  doc["policies"] = service::json::Value(n_policies);
+  doc["rounds"] = service::json::Value(samples);
+  service::json::Value out_rows;
+  for (const Row& row : rows) {
+    service::json::Value r;
+    r["threads"] = service::json::Value(row.threads);
+    r["shards"] = service::json::Value(row.shards);
+    r["check_mean_ms"] = service::json::Value(row.check_mean_ms);
+    r["check_min_ms"] = service::json::Value(row.check_min_ms);
+    r["shard_imbalance"] = service::json::Value(row.imbalance);
+    r["speedup"] = service::json::Value(row.speedup);
+    out_rows.push_back(std::move(r));
+  }
+  doc["rows"] = std::move(out_rows);
+  std::ofstream("BENCH_parallel.json") << doc.dump() << "\n";
+  std::printf("wrote BENCH_parallel.json\n");
+  return 0;
+}

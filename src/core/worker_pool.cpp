@@ -1,0 +1,73 @@
+#include "core/worker_pool.h"
+
+namespace rcfg::core {
+
+WorkerPool::WorkerPool(unsigned threads) {
+  const unsigned helpers = threads <= 1 ? 0 : threads - 1;
+  workers_.reserve(helpers);
+  for (unsigned i = 0; i < helpers; ++i) {
+    workers_.emplace_back([this] { worker_loop_(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::run(std::size_t shards, const std::function<void(std::size_t)>& job) {
+  if (shards == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t s = 0; s < shards; ++s) job(s);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &job;
+  shards_ = shards;
+  next_shard_ = 0;
+  in_flight_ = 0;
+  ++epoch_;
+  work_cv_.notify_all();
+
+  // The caller is a worker too: claim shards until none are left.
+  while (next_shard_ < shards_) {
+    const std::size_t s = next_shard_++;
+    ++in_flight_;
+    lock.unlock();
+    job(s);
+    lock.lock();
+    --in_flight_;
+  }
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  job_ = nullptr;
+  shards_ = 0;
+}
+
+void WorkerPool::worker_loop_() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (epoch_ != seen_epoch && next_shard_ < shards_);
+    });
+    if (stop_) return;
+    seen_epoch = epoch_;
+    const std::function<void(std::size_t)>* job = job_;
+    while (next_shard_ < shards_) {
+      const std::size_t s = next_shard_++;
+      ++in_flight_;
+      lock.unlock();
+      (*job)(s);
+      lock.lock();
+      --in_flight_;
+      if (next_shard_ >= shards_ && in_flight_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace rcfg::core

@@ -1,0 +1,62 @@
+#pragma once
+
+// A fixed-size worker pool for intra-verification parallelism: N threads
+// created once and reused across calls (thread spawn cost must not land on
+// the incremental hot path, whose whole budget is milliseconds).
+//
+// The unit of dispatch is a *shard index*: run(shards, job) invokes
+// job(shard) exactly once for every shard in [0, shards), distributed over
+// the pool plus the calling thread, and returns when all shards finished.
+// Determinism is the caller's problem by construction: jobs write to
+// disjoint, pre-sized slots keyed by shard index, so the schedule cannot
+// leak into the results.
+//
+// A pool of size <= 1 spawns no threads at all and run() degenerates to a
+// plain loop on the caller — the single-threaded configuration is exactly
+// the old code path, not a one-thread pool pretending to be one.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rcfg::core {
+
+class WorkerPool {
+ public:
+  /// `threads` is the total parallelism including the calling thread:
+  /// threads - 1 workers are spawned. 0 is treated as 1.
+  explicit WorkerPool(unsigned threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total parallelism (spawned workers + the caller).
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Run job(shard) for every shard in [0, shards); blocks until all done.
+  /// The job must not throw (shard work in the checker is noexcept by
+  /// design; violations terminate). Not reentrant: one run() at a time.
+  void run(std::size_t shards, const std::function<void(std::size_t)>& job);
+
+ private:
+  void worker_loop_();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: a new run() arrived / stop
+  std::condition_variable done_cv_;  ///< run(): all shards of this epoch done
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t shards_ = 0;
+  std::size_t next_shard_ = 0;   ///< next unclaimed shard of the current epoch
+  std::size_t in_flight_ = 0;    ///< shards claimed but not yet finished
+  std::uint64_t epoch_ = 0;      ///< bumped per run() so workers never re-enter
+  bool stop_ = false;
+};
+
+}  // namespace rcfg::core

@@ -43,6 +43,20 @@ std::string to_string(const PortKey& p) {
   return "?";
 }
 
+std::vector<ModelDelta::EcRecord> ModelDelta::per_ec() const {
+  std::map<EcId, std::vector<topo::NodeId>> grouped;
+  for (const Move& mv : moves) grouped[mv.ec].push_back(mv.device);
+  for (const EcId ec : acl_affected) grouped.try_emplace(ec);
+  std::vector<EcRecord> out;
+  out.reserve(grouped.size());
+  for (auto& [ec, devices] : grouped) {
+    std::sort(devices.begin(), devices.end());
+    devices.erase(std::unique(devices.begin(), devices.end()), devices.end());
+    out.push_back(EcRecord{ec, std::move(devices)});
+  }
+  return out;
+}
+
 const char* to_string(UpdateOrder order) {
   switch (order) {
     case UpdateOrder::kInsertFirst:
@@ -71,7 +85,20 @@ bool NetworkModel::permits(topo::NodeId device, topo::IfaceId iface, bool inboun
   const Device& dev = devices_.at(device);
   auto it = dev.acls.find({iface, inbound});
   if (it == dev.acls.end()) return true;
-  return space_.bdd().implies(ecs_.ec_bdd(ec), it->second.permit);
+  const AclBinding& binding = it->second;
+  if (ec < binding.permit_by_ec.size()) return binding.permit_by_ec[ec] != 0;
+  // ECs created after the cache was last refreshed are covered by the split
+  // listener, so this is only reachable single-threaded (stale callers).
+  return space_.bdd().implies(ecs_.ec_bdd(ec), binding.permit);
+}
+
+void NetworkModel::refresh_acl_cache(AclBinding& binding) {
+  const std::size_t n = ecs_.ec_count();
+  binding.permit_by_ec.resize(n);
+  for (EcId ec = 0; ec < n; ++ec) {
+    binding.permit_by_ec[ec] =
+        space_.bdd().implies(ecs_.ec_bdd(ec), binding.permit) ? 1 : 0;
+  }
 }
 
 std::optional<std::pair<net::Ipv4Prefix, PortKey>> NetworkModel::lookup(
@@ -131,6 +158,17 @@ void NetworkModel::mirror_split(const EcManager::Split& s) {
   for (Device& dev : devices_) {
     auto it = dev.port_of.find(s.parent);
     if (it != dev.port_of.end()) dev.port_of.emplace(s.child, it->second);
+    // ACL permit bitmaps: a binding's permit set is a registered predicate,
+    // so the parent atom was homogeneous w.r.t. it and the child keeps the
+    // parent's verdict.
+    for (auto& [key, binding] : dev.acls) {
+      if (s.parent < binding.permit_by_ec.size()) {
+        if (binding.permit_by_ec.size() <= s.child) {
+          binding.permit_by_ec.resize(s.child + 1);
+        }
+        binding.permit_by_ec[s.child] = binding.permit_by_ec[s.parent];
+      }
+    }
   }
   // Mirror batch-scope bookkeeping too.
   for (std::size_t d = 0; d < devices_.size(); ++d) {
@@ -235,7 +273,11 @@ void NetworkModel::apply_filter_changes(const dd::ZSet<routing::FilterRule>& del
       const BddRef changed = space_.bdd().bdd_xor(old_permit, new_permit);
       for (EcId ec : ecs_.ecs_in(changed)) out.acl_affected.push_back(ec);
     }
-    if (unbound) dev.acls.erase(it);
+    if (unbound) {
+      dev.acls.erase(it);
+    } else {
+      refresh_acl_cache(binding);
+    }
   }
 }
 

@@ -86,6 +86,20 @@ struct ModelDelta {
   };
   Stats stats;
 
+  /// One independent work unit of this batch: an affected EC plus the
+  /// devices whose forwarding for it changed (empty when only its ACL
+  /// filtering changed). ECs are independent of each other — recomputing
+  /// one never reads another's state — which is what lets the checker
+  /// shard them across threads.
+  struct EcRecord {
+    EcId ec = 0;
+    std::vector<topo::NodeId> moved_devices;  ///< sorted, unique
+  };
+
+  /// The batch regrouped per EC (moves + acl_affected merged), sorted by
+  /// EC id so consumers get a canonical, schedule-independent order.
+  std::vector<EcRecord> per_ec() const;
+
   bool empty() const { return splits.empty() && moves.empty() && acl_affected.empty(); }
 };
 
@@ -100,7 +114,10 @@ class NetworkModel {
   const PortKey& port_of(topo::NodeId device, EcId ec) const;
 
   /// Does the ACL on (device, iface, direction) let `ec` through?
-  /// True when no ACL is bound there.
+  /// True when no ACL is bound there. Thread-safe for concurrent readers:
+  /// the verdict comes from a per-binding bitmap maintained eagerly (on
+  /// filter changes and EC splits), not from a BDD query on the hot path —
+  /// the checker's parallel shards call this from worker threads.
   bool permits(topo::NodeId device, topo::IfaceId iface, bool inbound, EcId ec) const;
 
   /// Longest-prefix-match lookup of a concrete destination in the device's
@@ -126,6 +143,9 @@ class NetworkModel {
   struct AclBinding {
     std::vector<routing::FilterRule> rules;  ///< sorted by priority
     BddRef permit = kBddTrue;
+    /// permit membership per EC, kept complete (split listeners extend it),
+    /// so permits() never touches the (non-thread-safe) BDD manager.
+    std::vector<std::uint8_t> permit_by_ec;
   };
 
   struct Device {
@@ -138,6 +158,8 @@ class NetworkModel {
   /// The packets a rule at `prefix` actually sees on `device`.
   BddRef effective_match(const Device& dev, net::Ipv4Prefix prefix);
 
+  /// Recompute `binding.permit_by_ec` for every current EC.
+  void refresh_acl_cache(AclBinding& binding);
   void insert_rule(topo::NodeId device, const routing::FibEntry& e, ModelDelta& out);
   void remove_rule(topo::NodeId device, const routing::FibEntry& e, ModelDelta& out);
   void move_ecs(topo::NodeId device, BddRef packets, const PortKey& to, ModelDelta& out);

@@ -1,5 +1,6 @@
 #include "service/engine.h"
 
+#include <algorithm>
 #include <future>
 #include <istream>
 #include <ostream>
@@ -219,6 +220,18 @@ void Engine::record_report_(const verify::RealConfig::Report& report) {
   metrics_.model_ms.record(report.model_ms);
   metrics_.check_ms.record(report.check_ms);
   metrics_.total_ms.record(report.total_ms());
+
+  const verify::CheckResult::Parallelism& par = report.check.parallel;
+  metrics_.check_parallelism.set(par.shards);
+  if (par.shard_ms.size() > 1) {
+    double sum = 0, slowest = 0;
+    for (const double ms : par.shard_ms) {
+      sum += ms;
+      slowest = std::max(slowest, ms);
+    }
+    const double mean = sum / static_cast<double>(par.shard_ms.size());
+    if (mean > 0) metrics_.shard_imbalance.record(slowest / mean);
+  }
 }
 
 namespace {

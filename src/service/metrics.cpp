@@ -11,6 +11,13 @@ void Gauge::add(std::int64_t delta) {
   }
 }
 
+void Gauge::set(std::int64_t value) {
+  v_.store(value, std::memory_order_relaxed);
+  std::int64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen && !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
 
@@ -20,6 +27,10 @@ Histogram Histogram::latency_ms() {
 }
 
 Histogram Histogram::batch_sizes() { return Histogram({1, 2, 4, 8, 16, 32, 64, 128, 256}); }
+
+Histogram Histogram::imbalance_ratios() {
+  return Histogram({1.05, 1.1, 1.25, 1.5, 2, 3, 5, 10});
+}
 
 void Histogram::record(double v) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
@@ -98,6 +109,12 @@ json::Value ServiceMetrics::to_json() const {
   out["batching"] = std::move(batching);
 
   out["recoveries"] = json::Value(recoveries.value());
+
+  json::Value parallelism;
+  parallelism["check_shards"] = json::Value(check_parallelism.value());
+  parallelism["check_shards_max"] = json::Value(check_parallelism.max());
+  parallelism["shard_imbalance"] = shard_imbalance.to_json();
+  out["parallelism"] = std::move(parallelism);
 
   json::Value latency;
   latency["generate_ms"] = generate_ms.to_json();

@@ -82,6 +82,8 @@ SessionOptions parse_options(const json::Value& doc) {
   SessionOptions opts;
   const unsigned rounds = get_unsigned(doc, "max_rounds");
   if (rounds != 0) opts.verifier.generator.max_rounds = rounds;
+  const unsigned threads = get_unsigned(doc, "threads");
+  if (threads != 0) opts.verifier.threads = threads;
   opts.flush_budget = static_cast<std::uint64_t>(doc.get_int("flush_budget", 0));
   opts.recurrence_threshold =
       static_cast<std::uint64_t>(doc.get_int("recurrence_threshold", 0));

@@ -6,7 +6,9 @@
 // Requests ({"id":N,"op":VERB,...}):
 //   open        {"session", "topology":{"kind","k"|"n"|"w","h"}, "config",
 //                ["max_rounds","update_order","flush_budget",
-//                 "recurrence_threshold"]}
+//                 "recurrence_threshold","threads"]}
+//               "threads" widens the checker's worker pool (default 1);
+//               reports are identical for any value — only latency changes.
 //   propose     {"session", "config"}          config = the DSL text of the
 //                                              *whole* intended network
 //   commit      {"session"}

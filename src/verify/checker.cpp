@@ -2,13 +2,15 @@
 #include "verify/checker.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 
 namespace rcfg::verify {
 
 IncrementalChecker::IncrementalChecker(const topo::Topology& topo, dpm::PacketSpace& space,
-                                       dpm::EcManager& ecs, const dpm::NetworkModel& model)
-    : topo_(topo), space_(space), ecs_(ecs), model_(model) {
+                                       dpm::EcManager& ecs, const dpm::NetworkModel& model,
+                                       CheckerOptions options)
+    : topo_(topo), space_(space), ecs_(ecs), model_(model), pool_(options.threads) {
   state_.resize(ecs_.ec_count());
   ecs_.subscribe([this](const dpm::EcManager::Split& s) { on_split(s); });
 }
@@ -227,17 +229,44 @@ CheckResult IncrementalChecker::process(const dpm::ModelDelta& delta) {
   CheckResult out;
   if (state_.size() < ecs_.ec_count()) state_.resize(ecs_.ec_count());
 
-  std::unordered_map<dpm::EcId, std::vector<topo::NodeId>> moved_devices;
-  for (const auto& mv : delta.moves) moved_devices[mv.ec].push_back(mv.device);
-  for (const dpm::EcId ec : delta.acl_affected) moved_devices.try_emplace(ec);
+  // The batch as independent per-EC work units, in canonical EC-id order.
+  const std::vector<dpm::ModelDelta::EcRecord> tasks = delta.per_ec();
 
+  // Compute phase — shardable: each task's new state is a pure function of
+  // the (already updated, now read-only) model, written to its own slot.
+  struct Recomputed {
+    EcState next;
+    std::vector<bool> near_moved;
+  };
+  std::vector<Recomputed> computed(tasks.size());
+  const auto compute_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Graph g = build_graph(tasks[i].ec);
+      computed[i].near_moved = tasks[i].moved_devices.empty()
+                                   ? std::vector<bool>{}
+                                   : upstream_of(g, tasks[i].moved_devices);
+      computed[i].next = compute_state(g);
+    }
+  };
+  const std::size_t shards =
+      std::min<std::size_t>(pool_.size(), tasks.empty() ? 1 : tasks.size());
+  out.parallel.shards = static_cast<unsigned>(shards);
+  out.parallel.shard_ms.assign(shards, 0.0);
+  pool_.run(shards, [&](std::size_t s) {
+    const auto t0 = std::chrono::steady_clock::now();
+    compute_range(tasks.size() * s / shards, tasks.size() * (s + 1) / shards);
+    out.parallel.shard_ms[s] =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+  });
+
+  // Merge phase — deterministic: tasks are EC-sorted and applied on this
+  // thread only, so the report is bit-identical for every thread count.
   std::unordered_set<PolicyId> dirty_policies;
-  for (const auto& [ec, moved] : moved_devices) {
-    out.affected_ecs.push_back(ec);
-    const Graph g = build_graph(ec);
-    const std::vector<bool> near_moved =
-        moved.empty() ? std::vector<bool>{} : upstream_of(g, moved);
-    apply_state(ec, compute_state(g), near_moved, out, dirty_policies);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    out.affected_ecs.push_back(tasks[i].ec);
+    apply_state(tasks[i].ec, std::move(computed[i].next), computed[i].near_moved, out,
+                dirty_policies);
   }
 
   // Deduplicate pair lists (several ECs can touch the same pair).

@@ -20,6 +20,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/worker_pool.h"
 #include "dpm/ec.h"
 #include "dpm/model.h"
 #include "topo/topology.h"
@@ -27,6 +28,15 @@
 namespace rcfg::verify {
 
 using PolicyId = std::uint32_t;
+
+struct CheckerOptions {
+  /// Worker-pool width for the affected-EC recompute (1 = single-threaded,
+  /// the historical behaviour). The pool is created once and reused across
+  /// process() calls. Reports are bit-identical for every value: sharding
+  /// only covers the pure per-EC recompute; all state mutation happens in a
+  /// deterministic EC-ordered merge on the calling thread.
+  unsigned threads = 1;
+};
 
 enum class PolicyKind : std::uint8_t {
   kReachability,  ///< every packet of `packets` sent s -> d is delivered
@@ -63,6 +73,14 @@ struct CheckResult {
   std::vector<dpm::EcId> loops_begun, loops_ended;
   std::vector<dpm::EcId> blackholes_begun, blackholes_ended;
 
+  /// How the affected-EC recompute executed (observability only; every
+  /// semantic field above is invariant under the thread count).
+  struct Parallelism {
+    unsigned shards = 1;          ///< shards the affected-EC set split into
+    std::vector<double> shard_ms; ///< per-shard compute-phase wall time
+  };
+  Parallelism parallel;
+
   bool empty() const {
     return affected_ecs.empty() && affected_pairs.empty() && changed_pairs.empty() &&
            events.empty() && loops_begun.empty() && loops_ended.empty() &&
@@ -73,7 +91,10 @@ struct CheckResult {
 class IncrementalChecker {
  public:
   IncrementalChecker(const topo::Topology& topo, dpm::PacketSpace& space, dpm::EcManager& ecs,
-                     const dpm::NetworkModel& model);
+                     const dpm::NetworkModel& model, CheckerOptions options = {});
+
+  /// The pool width this checker shards over (>= 1).
+  unsigned threads() const noexcept { return pool_.size(); }
 
   // --- policy registration (packets BDD registers as an EC predicate) ----
   PolicyId add_reachability(topo::NodeId src, topo::NodeId dst, dpm::BddRef packets,
@@ -141,6 +162,7 @@ class IncrementalChecker {
   dpm::PacketSpace& space_;
   dpm::EcManager& ecs_;
   const dpm::NetworkModel& model_;
+  core::WorkerPool pool_;  ///< fixed; reused by every process() call
 
   std::vector<EcState> state_;  ///< indexed by EcId (grown on splits)
   std::unordered_map<std::uint64_t, std::unordered_set<dpm::EcId>> pair_index_;

@@ -17,7 +17,7 @@ RealConfig::RealConfig(const topo::Topology& topo, RealConfigOptions options)
       generator_(topo, options.generator),
       ecs_(space_),
       model_(space_, ecs_, topo.node_count()),
-      checker_(topo, space_, ecs_, model_) {}
+      checker_(topo, space_, ecs_, model_, CheckerOptions{options.threads}) {}
 
 RealConfig::Report RealConfig::apply(const config::NetworkConfig& cfg) {
   if (poisoned_) {

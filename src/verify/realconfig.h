@@ -34,6 +34,10 @@ namespace rcfg::verify {
 struct RealConfigOptions {
   dpm::UpdateOrder update_order = dpm::UpdateOrder::kInsertFirst;
   routing::GeneratorOptions generator;
+  /// Checker worker-pool width (stage 3 shards the affected-EC set).
+  /// 1 (the default) is the historical single-threaded path; any value
+  /// produces bit-identical reports — see CheckerOptions::threads.
+  unsigned threads = 1;
 };
 
 class RealConfig {

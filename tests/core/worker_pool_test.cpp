@@ -1,0 +1,57 @@
+#include "core/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace rcfg::core {
+namespace {
+
+TEST(WorkerPool, SizeClampsToAtLeastOne) {
+  EXPECT_EQ(WorkerPool(0).size(), 1u);
+  EXPECT_EQ(WorkerPool(1).size(), 1u);
+  EXPECT_EQ(WorkerPool(4).size(), 4u);
+}
+
+TEST(WorkerPool, RunsEveryShardExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    WorkerPool pool(threads);
+    // Shard counts below, at, and above the pool width, plus zero.
+    for (const std::size_t shards : {0u, 1u, 3u, 4u, 17u}) {
+      std::vector<std::atomic<int>> hits(shards);
+      pool.run(shards, [&hits](std::size_t s) {
+        hits[s].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (std::size_t s = 0; s < shards; ++s) {
+        EXPECT_EQ(hits[s].load(), 1) << "threads=" << threads << " shard " << s;
+      }
+    }
+  }
+}
+
+TEST(WorkerPool, ReusableAcrossManyDispatches) {
+  WorkerPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.run(8, [&total](std::size_t s) {
+      total.fetch_add(static_cast<long>(s), std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 200 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+TEST(WorkerPool, ResultsLandInCallerVisibleSlots) {
+  // run() must be a full barrier: writes from worker threads are visible
+  // to the caller afterwards without extra synchronisation.
+  WorkerPool pool(4);
+  std::vector<int> out(64, 0);
+  pool.run(out.size(), [&out](std::size_t s) { out[s] = static_cast<int>(s) * 3; });
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    ASSERT_EQ(out[s], static_cast<int>(s) * 3);
+  }
+}
+
+}  // namespace
+}  // namespace rcfg::core

@@ -1,0 +1,190 @@
+// Randomized differential fuzzing of the whole pipeline: random connected
+// topologies, random protocol/ACL/static-route mixes, random change
+// sequences — and three independent oracles per step:
+//
+//   (1) the incremental generator's FIB equals the baseline simulator's
+//       (different algorithms, so agreement pins both down);
+//   (2) RealConfig lanes at threads 1, 2 and 4 produce semantically
+//       identical reports (the parallel checker's determinism claim);
+//   (3) every registered policy holds the same verdict in every lane.
+//
+// Change selection follows the uniquely-convergent rule from
+// tests/routing/differential_test.cpp: link failures/restores, OSPF costs,
+// local-pref at a single fixed node, and static null routes — BGP networks
+// with arbitrary preference structures can have several legitimate
+// converged states, which would make FIB disagreement a false alarm.
+//
+// Every iteration is seeded deterministically and the seed is in the trace,
+// so any failure replays with a one-line filter. Tier-1 runs a bounded
+// number of iterations; FUZZ_ITERS=200 (or more) widens the sweep.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/simulator.h"
+#include "config/builders.h"
+#include "core/rng.h"
+#include "routing/generator.h"
+#include "topo/generators.h"
+#include "verify/realconfig.h"
+
+namespace rcfg {
+namespace {
+
+unsigned fuzz_iters() {
+  const char* v = std::getenv("FUZZ_ITERS");
+  if (v == nullptr || *v == '\0') return 6;  // tier-1 budget
+  const long parsed = std::strtol(v, nullptr, 10);
+  return parsed > 0 ? static_cast<unsigned>(parsed) : 6;
+}
+
+/// The semantic fields of a CheckResult (everything except the
+/// observability-only Parallelism block), comparable across lanes.
+struct Semantics {
+  std::vector<dpm::EcId> ecs, lb, le, bb, be;
+  std::vector<std::pair<topo::NodeId, topo::NodeId>> affected, changed;
+  std::vector<std::pair<verify::PolicyId, bool>> events;
+
+  static Semantics of(const verify::CheckResult& c) {
+    Semantics s;
+    s.ecs = c.affected_ecs;
+    s.affected = c.affected_pairs;
+    s.changed = c.changed_pairs;
+    for (const verify::PolicyEvent& e : c.events) s.events.emplace_back(e.id, e.satisfied);
+    s.lb = c.loops_begun;
+    s.le = c.loops_ended;
+    s.bb = c.blackholes_begun;
+    s.be = c.blackholes_ended;
+    return s;
+  }
+  bool operator==(const Semantics&) const = default;
+};
+
+TEST(FuzzDifferential, RandomNetworksAgreeAcrossOraclesAndThreadCounts) {
+  constexpr unsigned kLaneThreads[] = {1, 2, 4};
+  const unsigned iters = fuzz_iters();
+
+  for (unsigned iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed = 0xF0550000ULL + iter;
+    SCOPED_TRACE("fuzz seed " + std::to_string(seed) + " (iteration " +
+                 std::to_string(iter) + ")");
+    core::Rng rng(seed);
+
+    // --- random network ---------------------------------------------------
+    const unsigned n = static_cast<unsigned>(rng.next_in(5, 12));
+    const unsigned links = n - 1 + static_cast<unsigned>(rng.next_below(n));
+    const topo::Topology t = topo::make_random_connected(n, links, rng);
+    const bool bgp = rng.next_bool(0.4);
+    config::NetworkConfig cfg =
+        bgp ? config::build_bgp_network(t) : config::build_ospf_network(t);
+
+    // A sprinkle of data-plane-only state: ACLs and discard routes don't
+    // touch the FIB oracle but push the model/checker down the filter and
+    // blackhole paths.
+    if (rng.next_bool(0.5)) {
+      const auto node = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+      const auto adj = t.adjacencies(node);
+      const auto& ifc = t.iface(adj[rng.next_below(adj.size())].iface).name;
+      config::attach_random_acl(cfg, t, t.node(node).name, ifc, rng.next_bool(0.5),
+                                static_cast<unsigned>(rng.next_in(1, 4)), rng);
+    }
+    if (rng.next_bool(0.3)) {
+      const auto victim = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+      const auto holder = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+      cfg.devices.at(t.node(holder).name)
+          .static_routes.push_back({config::host_prefix(victim), config::kNullInterface, 1});
+    }
+
+    // --- lanes ------------------------------------------------------------
+    std::vector<std::unique_ptr<verify::RealConfig>> lanes;
+    for (const unsigned threads : kLaneThreads) {
+      verify::RealConfigOptions o;
+      o.threads = threads;
+      lanes.push_back(std::make_unique<verify::RealConfig>(t, o));
+    }
+    std::vector<verify::PolicyId> policies;
+    for (int p = 0; p < 4; ++p) {
+      const auto src = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+      auto dst = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+      if (dst == src) dst = (dst + 1) % static_cast<topo::NodeId>(t.node_count());
+      const bool isolated = rng.next_bool(0.25);
+      verify::PolicyId id = 0;
+      for (auto& lane : lanes) {
+        id = isolated
+                 ? lane->require_isolated(t.node(src).name, t.node(dst).name,
+                                          config::host_prefix(dst))
+                 : lane->require_reachable(t.node(src).name, t.node(dst).name,
+                                           config::host_prefix(dst));
+      }
+      policies.push_back(id);
+    }
+
+    // --- initial apply + change sequence ----------------------------------
+    std::vector<topo::LinkId> failed;
+    const topo::NodeId lp_node = 0;  // uniquely-convergent: one fixed LP node
+    for (int step = -1; step < 4; ++step) {
+      SCOPED_TRACE("step " + std::to_string(step));
+      if (step >= 0) {
+        const double dice = rng.next_double();
+        if (dice < 0.35) {
+          const auto l = static_cast<topo::LinkId>(rng.next_below(t.link_count()));
+          config::fail_link(cfg, t, l);
+          failed.push_back(l);
+        } else if (dice < 0.55 && !failed.empty()) {
+          const auto idx = rng.next_below(failed.size());
+          config::restore_link(cfg, t, failed[idx]);
+          failed.erase(failed.begin() + static_cast<std::ptrdiff_t>(idx));
+        } else if (dice < 0.7) {
+          const auto victim = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+          const auto holder = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+          auto& routes = cfg.devices.at(t.node(holder).name).static_routes;
+          if (routes.empty()) {
+            routes.push_back({config::host_prefix(victim), config::kNullInterface, 1});
+          } else {
+            routes.pop_back();
+          }
+        } else if (!bgp) {
+          const auto l = static_cast<topo::LinkId>(rng.next_below(t.link_count()));
+          const topo::Link& lk = t.link(l);
+          config::set_ospf_cost(cfg, t.node(lk.a).name, t.iface(lk.a_iface).name,
+                                static_cast<std::uint32_t>(rng.next_in(1, 100)));
+        } else {
+          const auto adj = t.adjacencies(lp_node);
+          const auto& ifc = t.iface(adj[rng.next_below(adj.size())].iface).name;
+          config::set_local_pref(cfg, t.node(lp_node).name, ifc,
+                                 rng.next_bool(0.5) ? 150u : config::kDefaultLocalPref);
+        }
+      }
+
+      std::vector<Semantics> reports;
+      for (auto& lane : lanes) reports.push_back(Semantics::of(lane->apply(cfg).check));
+
+      // Oracle 2: thread-count invariance of the whole report.
+      for (std::size_t lane = 1; lane < lanes.size(); ++lane) {
+        EXPECT_TRUE(reports[0] == reports[lane])
+            << "report at threads=" << kLaneThreads[lane] << " differs from threads=1";
+      }
+      // Oracle 3: identical verdicts everywhere.
+      for (const verify::PolicyId id : policies) {
+        for (std::size_t lane = 1; lane < lanes.size(); ++lane) {
+          EXPECT_EQ(lanes[0]->checker().policy_satisfied(id),
+                    lanes[lane]->checker().policy_satisfied(id))
+              << "policy " << id << " verdict at threads=" << kLaneThreads[lane];
+        }
+      }
+      // Oracle 1: the engine's FIB equals the independent baseline's.
+      const baseline::SimulationResult sim = baseline::simulate(t, cfg);
+      EXPECT_TRUE(lanes[0]->generator().fib() == sim.fib)
+          << "engine FIB differs from baseline simulator";
+
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rcfg

@@ -19,7 +19,7 @@ namespace {
 TEST(Protocol, ParsesEveryVerb) {
   Request r = parse_request(
       R"({"id":1,"op":"open","session":"s","topology":{"kind":"fat_tree","k":4},)"
-      R"("config":"hostname r0","max_rounds":9,"update_order":"delete_first"})");
+      R"("config":"hostname r0","max_rounds":9,"update_order":"delete_first","threads":4})");
   EXPECT_EQ(r.id, 1u);
   EXPECT_EQ(r.verb, Verb::kOpen);
   EXPECT_EQ(r.session, "s");
@@ -28,6 +28,13 @@ TEST(Protocol, ParsesEveryVerb) {
   EXPECT_EQ(r.config_text, "hostname r0");
   EXPECT_EQ(r.options.verifier.generator.max_rounds, 9u);
   EXPECT_EQ(r.options.verifier.update_order, dpm::UpdateOrder::kDeleteFirst);
+  EXPECT_EQ(r.options.verifier.threads, 4u);
+
+  // Omitted => the single-threaded default survives parsing.
+  r = parse_request(
+      R"({"id":1,"op":"open","session":"s","topology":{"kind":"ring","n":4},)"
+      R"("config":"hostname r0"})");
+  EXPECT_EQ(r.options.verifier.threads, 1u);
 
   r = parse_request(R"({"id":2,"op":"propose","session":"s","config":"hostname r0"})");
   EXPECT_EQ(r.verb, Verb::kPropose);

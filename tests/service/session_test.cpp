@@ -158,6 +158,57 @@ TEST(Session, RecoversFromNonterminatingProposal) {
   EXPECT_EQ(s.verifier().checker().pair_count(), oracle.checker().pair_count());
 }
 
+TEST(Session, ReRegisteredPoliciesFireAfterRecovery) {
+  // Regression: the rebuild after a poisoned proposal re-registers every
+  // policy on the fresh verifier. Those re-registrations must be LIVE —
+  // wired into the checker's per-EC policy index so the next committed
+  // change produces events — not merely present in the registry.
+  const topo::Topology t = topo::make_full_mesh(4);
+  const config::NetworkConfig good = config::build_bgp_network(t);
+  Session s("net", t, good, testutil::fast_divergence_options());
+  const auto p1 = config::host_prefix(t.find_node("m1"));
+  s.add_policy(reach("m0-m1", "m0", "m1", p1));
+  ASSERT_TRUE(s.policy_satisfied("m0-m1"));
+
+  const ProposeOutcome bad = s.propose(testutil::bad_gadget(t));
+  ASSERT_FALSE(bad.converged);
+  ASSERT_EQ(s.rebuilds(), 1u);
+  ASSERT_TRUE(s.policy_satisfied("m0-m1"));
+
+  // Cut m1 off entirely in the first post-recovery change.
+  config::NetworkConfig cut = good;
+  for (const auto& adj : t.adjacencies(t.find_node("m1"))) {
+    config::fail_link(cut, t, adj.link);
+  }
+  const ProposeOutcome outcome = s.propose(cut);
+  ASSERT_TRUE(outcome.converged);
+  EXPECT_FALSE(s.policy_satisfied("m0-m1"));
+
+  // The flip arrived as a checker event naming the re-registered policy.
+  bool fired = false;
+  for (const verify::PolicyEvent& e : outcome.report.check.events) {
+    if (s.policy_name(e.id) == "m0-m1") {
+      fired = true;
+      EXPECT_FALSE(e.satisfied);
+    }
+  }
+  EXPECT_TRUE(fired) << "re-registered policy produced no event on the next change";
+  s.commit();
+
+  // And it flips back (with an event) when the repair lands.
+  const ProposeOutcome repair = s.propose(good);
+  ASSERT_TRUE(repair.converged);
+  EXPECT_TRUE(s.policy_satisfied("m0-m1"));
+  fired = false;
+  for (const verify::PolicyEvent& e : repair.report.check.events) {
+    if (s.policy_name(e.id) == "m0-m1") {
+      fired = true;
+      EXPECT_TRUE(e.satisfied);
+    }
+  }
+  EXPECT_TRUE(fired);
+}
+
 TEST(Session, NonterminatingInitialConfigThrows) {
   const topo::Topology t = topo::make_full_mesh(4);
   // No committed baseline to fall back to: construction must fail loudly.
