@@ -1,0 +1,150 @@
+// Cost of provenance: the same propose workload with tracing off vs on
+// (pay-as-you-go check — the traced column buys batch records and changed-
+// device capture, the untraced column must not pay for them), plus the
+// latency of the explain query itself (witness pick + hop-by-hop replay +
+// cause walk over the provenance log).
+//
+// Knobs (environment variables):
+//   RCFG_EXPLAIN_RING      ring size (default 8)
+//   RCFG_EXPLAIN_PROPOSES  proposes per column (default 24)
+//   RCFG_EXPLAIN_QUERIES   explain calls timed (default 50)
+//
+// Emits BENCH_explain.json in the working directory.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "config/builders.h"
+#include "config/print.h"
+#include "service/engine.h"
+#include "topo/generators.h"
+
+using namespace rcfg;
+
+namespace {
+
+struct Column {
+  bool trace = false;
+  bench::Stats propose_ms;
+};
+
+Column run_proposes(bool trace, unsigned proposes, const std::string& base_text,
+                    const std::vector<std::string>& variants) {
+  service::Engine engine;
+  service::Request open;
+  open.id = 1;
+  open.verb = service::Verb::kOpen;
+  open.session = "net";
+  open.topology.kind = "ring";
+  open.topology.k = static_cast<unsigned>(variants.size());
+  open.config_text = base_text;
+  open.options.trace = trace;
+  if (!engine.call(std::move(open)).ok) std::exit(1);
+
+  Column col;
+  col.trace = trace;
+  for (unsigned i = 0; i < proposes; ++i) {
+    service::Request req;
+    req.id = i + 2;
+    req.verb = service::Verb::kPropose;
+    req.session = "net";
+    req.config_text = variants[i % variants.size()];
+    const bench::Timer t;
+    const service::Response r = engine.call(std::move(req));
+    if (!r.ok) std::exit(1);
+    col.propose_ms.add(t.ms());
+  }
+  return col;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned n = bench::env_unsigned("RCFG_EXPLAIN_RING", 8);
+  const unsigned proposes = bench::env_unsigned("RCFG_EXPLAIN_PROPOSES", 24);
+  const unsigned queries = bench::env_unsigned("RCFG_EXPLAIN_QUERIES", 50);
+
+  const topo::Topology topo = topo::make_ring(n);
+  config::NetworkConfig base = config::build_ospf_network(topo);
+  config::set_ospf_cost(base, "r0", "to-r" + std::to_string(n - 1), 10);
+  const std::string base_text = config::print_network(base);
+
+  // One variant per ring link: fail it, keep everything else.
+  std::vector<std::string> variants;
+  for (unsigned l = 0; l < n; ++l) {
+    config::NetworkConfig v = base;
+    config::fail_link(v, topo, l);
+    variants.push_back(config::print_network(v));
+  }
+
+  std::printf("ring %u, %u proposes per column, %u explain queries\n\n", n, proposes, queries);
+
+  const Column off = run_proposes(false, proposes, base_text, variants);
+  const Column on = run_proposes(true, proposes, base_text, variants);
+  const double overhead =
+      off.propose_ms.mean() == 0 ? 0 : (on.propose_ms.mean() / off.propose_ms.mean() - 1) * 100;
+  std::printf("propose, trace off: mean %.3f ms (min %.3f, max %.3f)\n", off.propose_ms.mean(),
+              off.propose_ms.min, off.propose_ms.max);
+  std::printf("propose, trace on:  mean %.3f ms (min %.3f, max %.3f)  overhead %+.1f%%\n",
+              on.propose_ms.mean(), on.propose_ms.min, on.propose_ms.max, overhead);
+
+  // Explain latency: traced session, violated waypoint, repeated queries.
+  service::Engine engine;
+  service::Request open;
+  open.id = 1;
+  open.verb = service::Verb::kOpen;
+  open.session = "net";
+  open.topology.kind = "ring";
+  open.topology.k = n;
+  open.config_text = base_text;
+  open.options.trace = true;
+  if (!engine.call(std::move(open)).ok) std::exit(1);
+  service::Request addp;
+  addp.id = 2;
+  addp.verb = service::Verb::kAddPolicy;
+  addp.session = "net";
+  addp.policy.kind = service::PolicySpec::Kind::kWaypoint;
+  addp.policy.name = "via-r1";
+  addp.policy.src = "r0";
+  addp.policy.dst = "r2";
+  addp.policy.via = "r1";
+  addp.policy.prefix = config::host_prefix(2);
+  if (!engine.call(std::move(addp)).ok) std::exit(1);
+  service::Request prop;
+  prop.id = 3;
+  prop.verb = service::Verb::kPropose;
+  prop.session = "net";
+  prop.config_text = variants[0];  // fail r0--r1: the waypoint breaks
+  if (!engine.call(std::move(prop)).ok) std::exit(1);
+
+  bench::Stats explain_ms;
+  for (unsigned i = 0; i < queries; ++i) {
+    service::Request req;
+    req.id = i + 4;
+    req.verb = service::Verb::kExplain;
+    req.session = "net";
+    const bench::Timer t;
+    const service::Response r = engine.call(std::move(req));
+    if (!r.ok || r.body.get_bool("satisfied", true)) std::exit(1);
+    explain_ms.add(t.ms());
+  }
+  std::printf("explain (violated waypoint): mean %.3f ms (min %.3f, max %.3f)\n",
+              explain_ms.mean(), explain_ms.min, explain_ms.max);
+
+  service::json::Value doc;
+  doc["bench"] = service::json::Value("explain");
+  doc["ring"] = service::json::Value(n);
+  doc["proposes"] = service::json::Value(proposes);
+  doc["propose_ms_trace_off"] = service::json::Value(off.propose_ms.mean());
+  doc["propose_ms_trace_on"] = service::json::Value(on.propose_ms.mean());
+  doc["trace_overhead_pct"] = service::json::Value(overhead);
+  doc["explain_queries"] = service::json::Value(queries);
+  doc["explain_ms_mean"] = service::json::Value(explain_ms.mean());
+  doc["explain_ms_max"] = service::json::Value(explain_ms.max);
+  std::ofstream("BENCH_explain.json") << doc.dump() << "\n";
+  std::printf("\nwrote BENCH_explain.json\n");
+  return 0;
+}

@@ -38,7 +38,10 @@ void run_protocol(const topo::Topology& topo, bool bgp) {
     bench::Stats moves, t1;
     explicit Lane(std::size_t nodes) : model(space, ecs, nodes) {}
   };
+  // Lanes are self-referential (model holds references to space/ecs), so
+  // they must never relocate: reserve before constructing in place.
   std::vector<Lane> lanes;
+  lanes.reserve(3);
   for (std::size_t i = 0; i < 3; ++i) lanes.emplace_back(topo.node_count());
 
   auto feed = [&](const routing::DataPlaneDelta& delta, bool record) {

@@ -1,10 +1,20 @@
 #include "dpm/model.h"
 
 #include <algorithm>
+#include <cassert>
+#include <type_traits>
 
 namespace rcfg::dpm {
 
 namespace {
+
+// The batch scratch map packs (device, ec) into one 64-bit key. Widening
+// either id type past 32 bits would silently truncate/overlap keys and
+// corrupt the merge of per-EC moves, so pin the widths right here.
+static_assert(sizeof(topo::NodeId) == 4 && std::is_unsigned_v<topo::NodeId>,
+              "move_key packs NodeId into the upper 32 bits");
+static_assert(sizeof(EcId) == 4 && std::is_unsigned_v<EcId>,
+              "move_key packs EcId into the lower 32 bits");
 
 std::uint64_t move_key(topo::NodeId device, EcId ec) {
   return (std::uint64_t{device} << 32) | ec;
@@ -87,8 +97,14 @@ bool NetworkModel::permits(topo::NodeId device, topo::IfaceId iface, bool inboun
   if (it == dev.acls.end()) return true;
   const AclBinding& binding = it->second;
   if (ec < binding.permit_by_ec.size()) return binding.permit_by_ec[ec] != 0;
-  // ECs created after the cache was last refreshed are covered by the split
-  // listener, so this is only reachable single-threaded (stale callers).
+  // Unreachable by construction: bindings are refreshed at creation, the
+  // split listener extends them per split, and apply_batch() eagerly
+  // re-extends every binding before returning — so the bitmap always covers
+  // ec_count() and the checker's worker threads never reach this line. The
+  // BDD fallback below is not thread-safe; it survives only as a release-
+  // mode safety net, and the counter lets the fuzz oracle trip on any use.
+  assert(false && "NetworkModel::permits: permit_by_ec cache incomplete");
+  permit_fallbacks_.bump();
   return space_.bdd().implies(ecs_.ec_bdd(ec), binding.permit);
 }
 
@@ -339,6 +355,21 @@ ModelDelta NetworkModel::apply_batch(const routing::DataPlaneDelta& delta, Updat
   out.stats.ecs_changed = out.moves.size();
   first_from_.clear();
   current_batch_ = nullptr;
+
+  // Enforce the permits() invariant before the checker's worker threads see
+  // this batch: every ACL binding's permit bitmap covers every current EC.
+  // This loop is a no-op when the creation-time refresh and the split
+  // listener did their jobs (the common case); it exists so the hot path
+  // provably never falls back to the non-thread-safe BDD manager.
+  const std::size_t ec_count = ecs_.ec_count();
+  for (Device& dev : devices_) {
+    for (auto& [key, binding] : dev.acls) {
+      for (EcId ec = static_cast<EcId>(binding.permit_by_ec.size()); ec < ec_count; ++ec) {
+        binding.permit_by_ec.push_back(
+            space_.bdd().implies(ecs_.ec_bdd(ec), binding.permit) ? 1 : 0);
+      }
+    }
+  }
   return out;
 }
 

@@ -17,6 +17,7 @@
 // via the covering rule's port — usually the drop port — and then back,
 // doubling the EC churn. This asymmetry is the paper's Table 3.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <unordered_map>
@@ -139,6 +140,13 @@ class NetworkModel {
   std::size_t device_count() const noexcept { return devices_.size(); }
   std::size_t rule_count() const;
 
+  /// Times permits() had to fall back to a live BDD query because an ACL
+  /// binding's permit bitmap did not cover the asked-for EC. Kept complete
+  /// by construction (creation-time refresh + split listener + an eager
+  /// batch-end sweep), so any nonzero value is a thread-safety bug — the
+  /// fuzz harness asserts this stays 0.
+  std::uint64_t permit_fallback_count() const { return permit_fallbacks_.load(); }
+
  private:
   struct AclBinding {
     std::vector<routing::FilterRule> rules;  ///< sorted by priority
@@ -171,6 +179,23 @@ class NetworkModel {
   EcManager& ecs_;
   std::vector<Device> devices_;
   PortKey drop_port_;
+
+  /// A relaxed counter that keeps the model move-constructible (std::atomic
+  /// itself is not movable; moves only happen single-threaded during setup).
+  struct RelaxedCounter {
+    std::atomic<std::uint64_t> value{0};
+    RelaxedCounter() noexcept = default;
+    RelaxedCounter(const RelaxedCounter& o) noexcept : value(o.load()) {}
+    RelaxedCounter& operator=(const RelaxedCounter& o) noexcept {
+      value.store(o.load(), std::memory_order_relaxed);
+      return *this;
+    }
+    void bump() noexcept { value.fetch_add(1, std::memory_order_relaxed); }
+    std::uint64_t load() const noexcept { return value.load(std::memory_order_relaxed); }
+  };
+
+  /// Diagnostic only (see permit_fallback_count).
+  mutable RelaxedCounter permit_fallbacks_;
 
   /// Batch-scope scratch: (device, ec) -> port before its first move.
   std::unordered_map<std::uint64_t, PortKey> first_from_;

@@ -96,4 +96,29 @@ net::Ipv4Addr PacketSpace::dst_of(const std::vector<bool>& assignment) {
   return net::Ipv4Addr{bits};
 }
 
+namespace {
+std::uint32_t field_of(const std::vector<bool>& assignment, unsigned base, unsigned width) {
+  std::uint32_t bits = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    bits = (bits << 1) | (assignment[base + i] ? 1u : 0u);
+  }
+  return bits;
+}
+}  // namespace
+
+config::Flow PacketSpace::flow_of(const std::vector<bool>& assignment) {
+  config::Flow flow;
+  flow.dst = net::Ipv4Addr{field_of(assignment, kDstIpBase, 32)};
+  flow.src = net::Ipv4Addr{field_of(assignment, kSrcIpBase, 32)};
+  switch (field_of(assignment, kProtoBase, 2)) {
+    case 0: flow.proto = config::IpProto::kTcp; break;
+    case 1: flow.proto = config::IpProto::kUdp; break;
+    case 2: flow.proto = config::IpProto::kIcmp; break;
+    default: flow.proto = config::IpProto::kAny; break;
+  }
+  flow.src_port = static_cast<std::uint16_t>(field_of(assignment, kSrcPortBase, 16));
+  flow.dst_port = static_cast<std::uint16_t>(field_of(assignment, kDstPortBase, 16));
+  return flow;
+}
+
 }  // namespace rcfg::dpm

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "config/matchers.h"
 #include "config/types.h"
 #include "dpm/bdd.h"
 #include "net/ipv4.h"
@@ -54,6 +55,10 @@ class PacketSpace {
   /// Destination address encoded by a satisfying assignment from
   /// BddManager::pick_one.
   static net::Ipv4Addr dst_of(const std::vector<bool>& assignment);
+
+  /// The full concrete flow encoded by a satisfying assignment — a witness
+  /// packet for tracing. The "other" protocol value decodes to kAny.
+  static config::Flow flow_of(const std::vector<bool>& assignment);
 
  private:
   BddRef ip_prefix(unsigned base, net::Ipv4Prefix p);

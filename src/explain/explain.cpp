@@ -1,0 +1,144 @@
+#include "explain/explain.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+namespace rcfg::explain {
+
+namespace {
+
+/// Does `trace` contain a branch delivered at `dst` that never visits
+/// `via`? (The concrete counterexample shape for a violated waypoint.)
+bool delivered_missing_via(const verify::FlowTrace& trace, topo::NodeId dst,
+                          topo::NodeId via) {
+  for (const verify::TraceBranch& b : trace.branches) {
+    if (b.disposition != verify::Disposition::kDelivered) continue;
+    if (b.hops.empty() || b.hops.back().node != dst) continue;
+    bool crosses = false;
+    for (const verify::TraceHop& h : b.hops) crosses = crosses || h.node == via;
+    if (!crosses) return true;
+  }
+  return false;
+}
+
+/// Pick the EC (and its concrete packet) that exhibits the policy's
+/// current verdict. Returns false when the policy's packet set holds no EC
+/// (nothing to trace).
+bool pick_witness(verify::RealConfig& rc, const verify::Policy& policy, bool satisfied,
+                  Explanation& out) {
+  const std::vector<dpm::EcId> candidates = rc.ecs().ecs_in(policy.packets);
+  if (candidates.empty()) return false;
+
+  auto flow_of_ec = [&rc](dpm::EcId ec) {
+    const auto assignment = rc.packet_space().bdd().pick_one(rc.ecs().ec_bdd(ec));
+    return assignment.has_value() ? dpm::PacketSpace::flow_of(*assignment) : config::Flow{};
+  };
+
+  const verify::IncrementalChecker& checker = rc.checker();
+  auto take = [&](dpm::EcId ec) {
+    out.has_witness = true;
+    out.witness_ec = ec;
+    out.witness = flow_of_ec(ec);
+    out.trace = verify::trace_flow(rc.topology(), rc.model(), out.witness, policy.src);
+  };
+
+  switch (policy.kind) {
+    case verify::PolicyKind::kReachability:
+      // Violated: an EC that does not reach. Satisfied: any (all reach).
+      for (const dpm::EcId ec : candidates) {
+        if (satisfied || !checker.reachable(policy.src, policy.dst, ec)) {
+          take(ec);
+          return true;
+        }
+      }
+      break;
+    case verify::PolicyKind::kIsolation:
+      // Violated: a leaking EC. Satisfied: any (none leak).
+      for (const dpm::EcId ec : candidates) {
+        if (!satisfied && !checker.reachable(policy.src, policy.dst, ec)) continue;
+        take(ec);
+        return true;
+      }
+      break;
+    case verify::PolicyKind::kWaypoint:
+      // Violated: an EC with a delivered branch that misses the waypoint.
+      for (const dpm::EcId ec : candidates) {
+        take(ec);
+        if (satisfied || delivered_missing_via(out.trace, policy.dst, policy.via)) return true;
+      }
+      break;
+  }
+  // No EC matched the expected shape (stale verdict would be a checker
+  // bug); fall back to the first candidate so the caller still gets a path.
+  take(candidates.front());
+  return true;
+}
+
+/// Walk the log newest-first for the batch that last moved `policy_ecs`,
+/// translating EC ids backwards through splits, and fill in the causes.
+void find_causes(const ProvenanceLog& log, const verify::RealConfig& rc,
+                 const std::vector<dpm::EcId>& policy_ecs, Explanation& out) {
+  std::unordered_set<dpm::EcId> relevant(policy_ecs.begin(), policy_ecs.end());
+
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const BatchRecord& batch = log.newest(i);
+
+    // Devices whose rule ops in this batch touched the relevant ECs.
+    std::unordered_set<topo::NodeId> direct_devices;
+    for (const dpm::ModelDelta::Move& m : batch.model.moves) {
+      if (relevant.count(m.ec) != 0) direct_devices.insert(m.device);
+    }
+    bool acl_hit = false;
+    for (const dpm::EcId ec : batch.model.acl_affected) acl_hit = acl_hit || relevant.count(ec) != 0;
+    if (acl_hit) {
+      for (const auto& [rule, weight] : batch.dataplane.filters) {
+        (void)weight;
+        direct_devices.insert(rule.node);
+      }
+    }
+
+    if (!direct_devices.empty()) {
+      out.offending_batch = batch.seq;
+      out.offending_label = batch.label;
+      out.offending_spans = batch.spans;
+      for (const config::DeviceDiff& dd : batch.config_diff()) {
+        Cause cause;
+        cause.device = dd.device;
+        const topo::NodeId node = rc.topology().find_node(dd.device);
+        cause.direct = node != topo::kInvalidNode && direct_devices.count(node) != 0;
+        cause.edits = dd.edits;
+        out.causes.push_back(std::move(cause));
+      }
+      std::stable_sort(out.causes.begin(), out.causes.end(),
+                       [](const Cause& a, const Cause& b) { return a.direct > b.direct; });
+      return;
+    }
+
+    // Translate the relevant set into the id space that existed *before*
+    // this batch's splits, then keep walking older batches.
+    for (auto it = batch.model.splits.rbegin(); it != batch.model.splits.rend(); ++it) {
+      if (relevant.count(it->child) != 0) relevant.insert(it->parent);
+    }
+  }
+}
+
+}  // namespace
+
+Explanation explain_policy(verify::RealConfig& rc, verify::PolicyId id,
+                           const ProvenanceLog* log) {
+  Explanation out;
+  const verify::Policy& policy = rc.checker().policy(id);
+  out.policy_id = id;
+  out.kind = policy.kind;
+  out.satisfied = rc.checker().policy_satisfied(id);
+
+  pick_witness(rc, policy, out.satisfied, out);
+
+  if (log != nullptr && !log->empty()) {
+    find_causes(*log, rc, rc.ecs().ecs_in(policy.packets), out);
+  }
+  return out;
+}
+
+}  // namespace rcfg::explain

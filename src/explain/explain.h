@@ -1,0 +1,67 @@
+#pragma once
+
+// The explain engine: given a policy on a live verifier, produce the
+// operator-facing story of *why* it currently holds or fails —
+//
+//   * a witness EC and a concrete witness packet inside the policy's
+//     packet set, chosen to exhibit the current verdict (for a violated
+//     waypoint: a delivered path that misses the waypoint; for a violated
+//     reachability: a non-delivering EC; for a violated isolation: a
+//     leaking EC);
+//   * the hop-by-hop replay of that packet through the data plane model
+//     (verify::trace_flow over NetworkModel::lookup / filter_verdict),
+//     with the LPM rule and deciding ACL rule at every hop;
+//   * the causes: the batch in the provenance window that last moved the
+//     policy's ECs, its per-stage spans, and the config-line edits of that
+//     batch — devices whose own rule ops touched the witness ECs marked
+//     as direct causes, the rest as remote (a config edit here, a rule
+//     change there).
+//
+// EC ids shift across batches as the partition refines; the cause walk
+// translates the policy's *current* ECs backwards through each batch's
+// recorded splits (child → parent) so older batches are tested against
+// the ids that existed when they ran.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "explain/provenance.h"
+#include "verify/realconfig.h"
+#include "verify/trace.h"
+
+namespace rcfg::explain {
+
+/// One config-level cause from the offending batch.
+struct Cause {
+  std::string device;  ///< device whose config changed in the batch
+  /// True when the device's own rule ops in the batch touched the witness
+  /// ECs; false for a remote cause (its config edit moved rules elsewhere).
+  bool direct = false;
+  std::vector<config::LineEdit> edits;  ///< that device's config-line edits
+};
+
+struct Explanation {
+  verify::PolicyId policy_id = 0;
+  verify::PolicyKind kind = verify::PolicyKind::kReachability;
+  bool satisfied = false;
+
+  bool has_witness = false;  ///< false when the policy's packet set is empty
+  dpm::EcId witness_ec = 0;
+  config::Flow witness;       ///< concrete packet from the witness EC
+  verify::FlowTrace trace;    ///< hop-by-hop replay from the policy's src
+
+  /// The newest batch in the window whose EC moves / ACL changes touched
+  /// the policy's ECs; 0 when none is in the window (or no log).
+  std::uint64_t offending_batch = 0;
+  std::string offending_label;
+  StageSpans offending_spans;
+  std::vector<Cause> causes;  ///< direct causes first
+};
+
+/// Explain policy `id` on the live verifier. `log` may be null (tracing
+/// off): the witness and path replay still work, causes stay empty.
+Explanation explain_policy(verify::RealConfig& rc, verify::PolicyId id,
+                           const ProvenanceLog* log);
+
+}  // namespace rcfg::explain

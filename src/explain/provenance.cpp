@@ -1,0 +1,30 @@
+#include "explain/provenance.h"
+
+#include <utility>
+
+namespace rcfg::explain {
+
+const std::vector<config::DeviceDiff>& BatchRecord::config_diff() const {
+  if (!diff_.has_value()) diff_ = config::diff_networks(old_config, new_config);
+  return *diff_;
+}
+
+std::uint64_t ProvenanceLog::record(BatchRecord record) {
+  record.seq = next_seq_++;
+  records_.push_back(std::move(record));
+  if (records_.size() > capacity_) records_.pop_front();
+  return records_.back().seq;
+}
+
+const BatchRecord* ProvenanceLog::latest() const {
+  return records_.empty() ? nullptr : &records_.back();
+}
+
+const BatchRecord* ProvenanceLog::find(std::uint64_t seq) const {
+  for (const BatchRecord& r : records_) {
+    if (r.seq == seq) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace rcfg::explain

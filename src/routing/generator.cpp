@@ -334,8 +334,58 @@ void IncrementalGenerator::build_program() {
   fib_out_ = &graph_.make<Output<FibEntry>>(fib.out, "fib.out");
 }
 
+void IncrementalGenerator::set_provenance(bool on) {
+  provenance_ = on;
+  if (!on) {
+    prev_facts_.reset();
+    changed_devices_.clear();
+  }
+}
+
+namespace {
+
+/// Collect the device endpoints of every fact in the symmetric difference
+/// of two relation snapshots. `endpoints` projects one fact to its nodes.
+template <typename T, typename Fn>
+void changed_endpoints(const dd::ZSet<T>& now, const dd::ZSet<T>& before, Fn endpoints,
+                       std::vector<topo::NodeId>& out) {
+  for (const auto& [fact, weight] : dd::ZSet<T>::difference(now, before)) {
+    (void)weight;
+    endpoints(fact, out);
+  }
+}
+
+}  // namespace
+
+void IncrementalGenerator::record_changed_devices_(const FactSnapshot& facts) {
+  changed_devices_.clear();
+  if (prev_facts_ != nullptr) {
+    const FactSnapshot& prev = *prev_facts_;
+    auto node = [](const auto& f, std::vector<topo::NodeId>& out) { out.push_back(f.node); };
+    auto edge = [](const auto& f, std::vector<topo::NodeId>& out) {
+      out.push_back(f.from);
+      out.push_back(f.to);
+    };
+    changed_endpoints(facts.ospf_links, prev.ospf_links, edge, changed_devices_);
+    changed_endpoints(facts.ospf_origins, prev.ospf_origins, node, changed_devices_);
+    changed_endpoints(facts.bgp_sessions, prev.bgp_sessions, edge, changed_devices_);
+    changed_endpoints(facts.bgp_origins, prev.bgp_origins, node, changed_devices_);
+    changed_endpoints(facts.bgp_aggregates, prev.bgp_aggregates, node, changed_devices_);
+    changed_endpoints(facts.rip_links, prev.rip_links, edge, changed_devices_);
+    changed_endpoints(facts.rip_origins, prev.rip_origins, node, changed_devices_);
+    changed_endpoints(facts.redist, prev.redist, node, changed_devices_);
+    changed_endpoints(facts.statics, prev.statics, node, changed_devices_);
+    changed_endpoints(facts.connected, prev.connected, node, changed_devices_);
+    std::sort(changed_devices_.begin(), changed_devices_.end());
+    changed_devices_.erase(std::unique(changed_devices_.begin(), changed_devices_.end()),
+                           changed_devices_.end());
+  }
+  prev_facts_ = std::make_unique<FactSnapshot>(facts);
+}
+
 DataPlaneDelta IncrementalGenerator::apply(const config::NetworkConfig& cfg) {
   const FactSnapshot facts = compile_facts(topo_, cfg);
+  if (provenance_) record_changed_devices_(facts);
   in_ospf_links_->set_to(facts.ospf_links);
   in_ospf_origins_->set_to(facts.ospf_origins);
   in_bgp_sessions_->set_to(facts.bgp_sessions);

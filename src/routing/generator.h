@@ -84,12 +84,29 @@ class IncrementalGenerator {
   void set_flush_budget(std::uint64_t budget) { graph_.set_flush_budget(budget); }
   void set_recurrence_threshold(std::uint64_t t) { graph_.set_recurrence_threshold(t); }
 
+  // --- provenance (pay-as-you-go: nothing is retained until enabled) ------
+  /// When on, apply() keeps the previous fact snapshot and records which
+  /// devices' compiled facts changed — the fact-level origin of the rule
+  /// delta, used by the explain layer to tie ops back to config edits.
+  void set_provenance(bool on);
+  bool provenance() const noexcept { return provenance_; }
+  /// Devices whose facts changed in the last apply() (sorted, unique).
+  /// Always empty while provenance is off.
+  const std::vector<topo::NodeId>& last_changed_devices() const noexcept {
+    return changed_devices_;
+  }
+
  private:
   void build_program();
+  void record_changed_devices_(const FactSnapshot& facts);
 
   const topo::Topology& topo_;
   GeneratorOptions options_;
   dd::Graph graph_;
+
+  bool provenance_ = false;
+  std::unique_ptr<FactSnapshot> prev_facts_;  ///< only while provenance is on
+  std::vector<topo::NodeId> changed_devices_;
 
   // Input relations.
   dd::Input<OspfLinkFact>* in_ospf_links_ = nullptr;

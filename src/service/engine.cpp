@@ -1,6 +1,7 @@
 #include "service/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <istream>
 #include <ostream>
@@ -85,6 +86,7 @@ void Engine::submit(Request req, Callback callback) {
     case Verb::kAbort: metrics_.aborts.inc(); break;
     case Verb::kAddPolicy: metrics_.add_policies.inc(); break;
     case Verb::kQuery: metrics_.queries.inc(); break;
+    case Verb::kExplain: metrics_.explains.inc(); break;
     case Verb::kStats: break;
   }
 
@@ -270,6 +272,117 @@ config::NetworkConfig parse_config_text(const std::string& text) {
   return cfg;
 }
 
+const char* proto_text(config::IpProto proto) {
+  switch (proto) {
+    case config::IpProto::kTcp: return "tcp";
+    case config::IpProto::kUdp: return "udp";
+    case config::IpProto::kIcmp: return "icmp";
+    case config::IpProto::kAny: break;
+  }
+  return "any";
+}
+
+std::string filter_rule_text(const routing::FilterRule& r) {
+  std::string out = r.permit ? "permit" : "deny";
+  out += std::string(" ") + proto_text(static_cast<config::IpProto>(r.proto));
+  out += " src " + r.src.to_string() + " dst " + r.dst.to_string();
+  if (r.src_port_lo != 0 || r.src_port_hi != 65535) {
+    out += " sport " + std::to_string(r.src_port_lo) + "-" + std::to_string(r.src_port_hi);
+  }
+  if (r.dst_port_lo != 0 || r.dst_port_hi != 65535) {
+    out += " dport " + std::to_string(r.dst_port_lo) + "-" + std::to_string(r.dst_port_hi);
+  }
+  out += " (priority " + std::to_string(r.priority) + ")";
+  return out;
+}
+
+const char* kind_text(verify::PolicyKind kind) {
+  switch (kind) {
+    case verify::PolicyKind::kReachability: return "reachable";
+    case verify::PolicyKind::kIsolation: return "isolated";
+    case verify::PolicyKind::kWaypoint: return "waypoint";
+  }
+  return "?";
+}
+
+/// Serialize one explanation: witness, hop-by-hop branches, causes.
+json::Value explanation_body(const Session& session, const Session::ExplainResult& result) {
+  const topo::Topology& topo = session.topology();
+  const rcfg::explain::Explanation& ex = result.explanation;
+  json::Value body;
+  body["policy"] = json::Value(result.policy);
+  body["kind"] = json::Value(kind_text(ex.kind));
+  body["satisfied"] = json::Value(ex.satisfied);
+  body["trace_enabled"] = json::Value(session.tracing());
+  if (!ex.has_witness) return body;
+
+  json::Value witness;
+  witness["ec"] = json::Value(static_cast<std::uint64_t>(ex.witness_ec));
+  witness["ingress"] = json::Value(topo.node(ex.trace.ingress).name);
+  witness["src"] = json::Value(ex.witness.src.to_string());
+  witness["dst"] = json::Value(ex.witness.dst.to_string());
+  witness["proto"] = json::Value(proto_text(ex.witness.proto));
+  witness["src_port"] = json::Value(static_cast<std::uint64_t>(ex.witness.src_port));
+  witness["dst_port"] = json::Value(static_cast<std::uint64_t>(ex.witness.dst_port));
+  body["witness"] = std::move(witness);
+
+  json::Value::Array branches;
+  for (const verify::TraceBranch& b : ex.trace.branches) {
+    json::Value branch;
+    branch["disposition"] = json::Value(verify::to_string(b.disposition));
+    json::Value::Array hops;
+    for (const verify::TraceHop& h : b.hops) {
+      json::Value hop;
+      hop["node"] = json::Value(topo.node(h.node).name);
+      hop["lpm"] = h.matched_prefix.has_value() ? json::Value(h.matched_prefix->to_string())
+                                                : json::Value("no route");
+      hop["action"] = json::Value(dpm::to_string(h.port));
+      if (h.egress != topo::kInvalidIface) {
+        hop["egress"] = json::Value(topo.iface(h.egress).name);
+      }
+      if (h.egress_acl_rule.has_value()) {
+        hop["egress_acl"] = json::Value(filter_rule_text(*h.egress_acl_rule));
+      }
+      if (h.ingress_acl_rule.has_value()) {
+        hop["ingress_acl"] = json::Value(filter_rule_text(*h.ingress_acl_rule));
+      }
+      hops.push_back(std::move(hop));
+    }
+    branch["hops"] = json::Value(std::move(hops));
+    branches.push_back(std::move(branch));
+  }
+  body["branches"] = json::Value(std::move(branches));
+
+  if (ex.offending_batch != 0) {
+    json::Value cause;
+    cause["batch"] = json::Value(ex.offending_batch);
+    cause["label"] = json::Value(ex.offending_label);
+    cause["generate_ms"] = json::Value(ex.offending_spans.generate_ms);
+    cause["model_ms"] = json::Value(ex.offending_spans.model_ms);
+    cause["check_ms"] = json::Value(ex.offending_spans.check_ms);
+    json::Value::Array devices;
+    for (const rcfg::explain::Cause& c : ex.causes) {
+      json::Value dev;
+      dev["device"] = json::Value(c.device);
+      dev["direct"] = json::Value(c.direct);
+      json::Value::Array edits;
+      for (const config::LineEdit& e : c.edits) {
+        json::Value edit;
+        edit["op"] = json::Value(e.kind == config::LineEdit::Kind::kInsert ? "insert"
+                                                                           : "delete");
+        edit["line"] = json::Value(e.line);
+        edit["text"] = json::Value(e.text);
+        edits.push_back(std::move(edit));
+      }
+      dev["edits"] = json::Value(std::move(edits));
+      devices.push_back(std::move(dev));
+    }
+    cause["devices"] = json::Value(std::move(devices));
+    body["cause"] = std::move(cause);
+  }
+  return body;
+}
+
 }  // namespace
 
 Response Engine::handle_open_(Slot& slot, const Request& req) {
@@ -369,6 +482,17 @@ Response Engine::handle_(Slot& slot, const Request& req) {
           policies.push_back(std::move(p));
         }
         r.body["policies"] = json::Value(std::move(policies));
+        break;
+      }
+      case Verb::kExplain: {
+        const auto t0 = std::chrono::steady_clock::now();
+        const Session::ExplainResult result = session.explain(req.query_policy);
+        const auto t1 = std::chrono::steady_clock::now();
+        metrics_.explain_ms.record(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        json::Value body = explanation_body(session, result);
+        body["session"] = json::Value(req.session);
+        r.body = std::move(body);
         break;
       }
       case Verb::kOpen:

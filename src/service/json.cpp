@@ -321,10 +321,26 @@ class Parser {
         case 'n': out += '\n'; break;
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
-        case 'u': append_utf8(parse_hex4(), out); break;
+        case 'u': append_utf8(parse_unicode_escape(), out); break;
         default: --pos_; fail("invalid escape");
       }
     }
+  }
+
+  /// One \uXXXX escape, already past the "\u". High surrogates must be
+  /// followed by a \uXXXX low surrogate (combined into one code point, RFC
+  /// 8259 §7); unpaired surrogates in either position are malformed.
+  unsigned parse_unicode_escape() {
+    const unsigned units = parse_hex4();
+    if (units >= 0xDC00 && units <= 0xDFFF) fail("lone low surrogate in \\u escape");
+    if (units < 0xD800 || units > 0xDBFF) return units;
+    if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+      fail("high surrogate not followed by \\u low surrogate");
+    }
+    pos_ += 2;
+    const unsigned low = parse_hex4();
+    if (low < 0xDC00 || low > 0xDFFF) fail("high surrogate followed by a non-low surrogate");
+    return 0x10000 + ((units - 0xD800) << 10) + (low - 0xDC00);
   }
 
   unsigned parse_hex4() {
@@ -352,8 +368,13 @@ class Parser {
     } else if (cp < 0x800) {
       out += static_cast<char>(0xC0 | (cp >> 6));
       out += static_cast<char>(0x80 | (cp & 0x3F));
-    } else {
+    } else if (cp < 0x10000) {
       out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
       out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
       out += static_cast<char>(0x80 | (cp & 0x3F));
     }

@@ -5,8 +5,10 @@
 //
 // Deliberately small: no external dependency, objects keep sorted keys (so
 // serialization is deterministic and transcripts diff cleanly), numbers are
-// either int64 or double, and \uXXXX escapes cover the basic multilingual
-// plane (encoded as UTF-8 on output of control characters only).
+// either int64 or double, and \uXXXX escapes decode the full code-point
+// range — surrogate pairs combine per RFC 8259 §7, lone surrogates are a
+// ParseError — while output escapes control characters only (other
+// non-ASCII text passes through as UTF-8).
 
 #include <cstdint>
 #include <map>

@@ -98,6 +98,7 @@ json::Value ServiceMetrics::to_json() const {
   requests["abort"] = json::Value(aborts.value());
   requests["add_policy"] = json::Value(add_policies.value());
   requests["query"] = json::Value(queries.value());
+  requests["explain"] = json::Value(explains.value());
   requests["stats"] = json::Value(stats_calls.value());
   out["requests"] = std::move(requests);
 
@@ -121,6 +122,7 @@ json::Value ServiceMetrics::to_json() const {
   latency["model_ms"] = model_ms.to_json();
   latency["check_ms"] = check_ms.to_json();
   latency["total_ms"] = total_ms.to_json();
+  latency["explain_ms"] = explain_ms.to_json();
   out["latency"] = std::move(latency);
 
   json::Value load;

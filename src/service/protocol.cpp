@@ -12,6 +12,7 @@ const char* verb_name(Verb v) {
     case Verb::kAbort: return "abort";
     case Verb::kAddPolicy: return "add_policy";
     case Verb::kQuery: return "query";
+    case Verb::kExplain: return "explain";
     case Verb::kStats: return "stats";
   }
   return "?";
@@ -26,6 +27,7 @@ Verb parse_verb(const std::string& op) {
   if (op == "abort") return Verb::kAbort;
   if (op == "add_policy") return Verb::kAddPolicy;
   if (op == "query") return Verb::kQuery;
+  if (op == "explain") return Verb::kExplain;
   if (op == "stats") return Verb::kStats;
   throw ProtocolError("unknown op: '" + op + "'");
 }
@@ -87,6 +89,7 @@ SessionOptions parse_options(const json::Value& doc) {
   opts.flush_budget = static_cast<std::uint64_t>(doc.get_int("flush_budget", 0));
   opts.recurrence_threshold =
       static_cast<std::uint64_t>(doc.get_int("recurrence_threshold", 0));
+  opts.trace = doc.get_bool("trace", false);
   const std::string order = doc.get_string("update_order");
   if (order == "insert_first" || order.empty()) {
     opts.verifier.update_order = dpm::UpdateOrder::kInsertFirst;
@@ -166,6 +169,7 @@ Request parse_request_doc(const json::Value& doc) {
       break;
     }
     case Verb::kQuery:
+    case Verb::kExplain:
       req.query_policy = doc.get_string("policy");
       break;
     case Verb::kCommit:

@@ -6,9 +6,11 @@
 // Requests ({"id":N,"op":VERB,...}):
 //   open        {"session", "topology":{"kind","k"|"n"|"w","h"}, "config",
 //                ["max_rounds","update_order","flush_budget",
-//                 "recurrence_threshold","threads"]}
+//                 "recurrence_threshold","threads","trace"]}
 //               "threads" widens the checker's worker pool (default 1);
 //               reports are identical for any value — only latency changes.
+//               "trace":true records per-batch provenance for `explain`
+//               (pay-as-you-go: without it, batches record nothing).
 //   propose     {"session", "config"}          config = the DSL text of the
 //                                              *whole* intended network
 //   commit      {"session"}
@@ -16,6 +18,10 @@
 //   add_policy  {"session", "policy":{"kind":"reachable"|"isolated"|
 //                "waypoint", "name","src","dst",["via"],"prefix"}}
 //   query       {"session", ["policy":NAME]}   no "policy" => summary
+//   explain     {"session", ["policy":NAME]}   no "policy" => the most
+//               recent violation; replays the policy's witness packet
+//               hop-by-hop (LPM rule + ACL verdict per hop) and names the
+//               batch + config lines that last moved the policy's ECs
 //   stats       {}                             waits for in-flight requests
 //
 // Responses echo the id: {"id":N,"ok":true,...} or
@@ -46,6 +52,7 @@ enum class Verb : std::uint8_t {
   kAbort,
   kAddPolicy,
   kQuery,
+  kExplain,
   kStats,
 };
 
@@ -68,7 +75,7 @@ struct Request {
   TopologySpec topology;    ///< open
   std::string config_text;  ///< open, propose (config DSL, see config/parse.h)
   PolicySpec policy;        ///< add_policy
-  std::string query_policy; ///< query; empty => summary
+  std::string query_policy; ///< query/explain; empty => summary / last violation
   SessionOptions options;   ///< open
 };
 

@@ -11,10 +11,15 @@ Session::Session(std::string name, topo::Topology topology, config::NetworkConfi
                  SessionOptions options)
     : name_(std::move(name)),
       topo_(std::move(topology)),
-      options_(options),
-      rc_(make_verifier_()),
-      committed_(std::move(initial)) {
+      options_(options) {
+  options_.verifier.provenance = options_.trace;
+  rc_ = make_verifier_();
+  committed_ = std::move(initial);
   baseline_report_ = rc_->apply(committed_);
+  if (options_.trace) {
+    log_ = std::make_unique<::rcfg::explain::ProvenanceLog>(options_.trace_capacity);
+    record_("open", committed_, committed_, baseline_report_);
+  }
 }
 
 std::unique_ptr<verify::RealConfig> Session::make_verifier_() const {
@@ -53,13 +58,41 @@ void Session::rebuild_() {
     ids_.emplace(spec.name, id);
     names_by_id_.emplace(id, spec.name);
   }
+  if (log_ != nullptr) {
+    // The fresh verifier starts a fresh EC id space: older records would
+    // name ECs that no longer exist, so the window starts over.
+    log_ = std::make_unique<::rcfg::explain::ProvenanceLog>(options_.trace_capacity);
+    record_("rebuild", committed_, committed_, baseline_report_);
+  }
+}
+
+void Session::record_(const char* label, const config::NetworkConfig& old_cfg,
+                      const config::NetworkConfig& new_cfg,
+                      const verify::RealConfig::Report& report) {
+  if (log_ == nullptr) return;
+  ::rcfg::explain::BatchRecord rec;
+  rec.generation = generation_;
+  rec.label = label;
+  rec.old_config = old_cfg;
+  rec.new_config = new_cfg;
+  rec.dataplane = report.dataplane;
+  rec.changed_devices = report.changed_devices;
+  rec.model = report.model;
+  rec.events = report.check.events;
+  rec.spans = {report.generate_ms, report.model_ms, report.check_ms};
+  log_->record(std::move(rec));
 }
 
 ProposeOutcome Session::propose(const config::NetworkConfig& cfg) {
   ProposeOutcome outcome;
+  // Copied only when tracing: the record needs the pre-batch config after
+  // staged_ has been overwritten.
+  config::NetworkConfig old_cfg;
+  if (log_ != nullptr) old_cfg = live_();
   try {
     outcome.report = rc_->apply(cfg);
     staged_ = cfg;
+    record_("propose", old_cfg, cfg, outcome.report);
     return outcome;
   } catch (const dd::NonterminationError& e) {
     outcome.converged = false;
@@ -85,10 +118,14 @@ verify::RealConfig::Report Session::abort() {
   if (!staged_.has_value()) {
     throw std::logic_error("session '" + name_ + "': abort with no staged proposal");
   }
+  config::NetworkConfig old_cfg;
+  if (log_ != nullptr) old_cfg = *staged_;
   staged_.reset();
   // Roll back incrementally: re-applying the committed config re-verifies
   // only what the aborted proposal(s) had touched.
-  return rc_->apply(committed_);
+  verify::RealConfig::Report report = rc_->apply(committed_);
+  record_("abort", old_cfg, committed_, report);
+  return report;
 }
 
 bool Session::add_policy(const PolicySpec& spec) {
@@ -112,6 +149,45 @@ bool Session::policy_satisfied(const std::string& name) const {
 std::string Session::policy_name(verify::PolicyId id) const {
   const auto it = names_by_id_.find(id);
   return it == names_by_id_.end() ? std::string() : it->second;
+}
+
+Session::ExplainResult Session::explain(const std::string& policy_name) const {
+  std::string resolved = policy_name;
+  if (resolved.empty()) {
+    // Newest verdict-flip-to-false still in the provenance window. The
+    // window never spans a rebuild, so its PolicyIds are current.
+    if (log_ != nullptr) {
+      for (std::size_t i = 0; i < log_->size() && resolved.empty(); ++i) {
+        for (const verify::PolicyEvent& e : log_->newest(i).events) {
+          if (!e.satisfied) {
+            const auto it = names_by_id_.find(e.id);
+            if (it != names_by_id_.end()) {
+              resolved = it->second;
+              break;
+            }
+          }
+        }
+      }
+    }
+    // Fallback: any currently violated policy.
+    if (resolved.empty()) {
+      for (const PolicySpec& spec : specs_) {
+        if (!policy_satisfied(spec.name)) {
+          resolved = spec.name;
+          break;
+        }
+      }
+    }
+    if (resolved.empty()) {
+      throw std::invalid_argument("nothing to explain: no policy is violated");
+    }
+  }
+  const auto it = ids_.find(resolved);
+  if (it == ids_.end()) throw std::invalid_argument("unknown policy: " + resolved);
+  ExplainResult result;
+  result.policy = resolved;
+  result.explanation = ::rcfg::explain::explain_policy(*rc_, it->second, log_.get());
+  return result;
 }
 
 }  // namespace rcfg::service

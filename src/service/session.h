@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "config/types.h"
+#include "explain/explain.h"
+#include "explain/provenance.h"
 #include "net/ipv4.h"
 #include "topo/topology.h"
 #include "verify/realconfig.h"
@@ -49,6 +51,11 @@ struct SessionOptions {
   /// dd::Graph divergence-detector passthroughs; 0 keeps the engine default.
   std::uint64_t flush_budget = 0;
   std::uint64_t recurrence_threshold = 0;
+  /// Record per-batch provenance (config diff → rule delta → EC moves →
+  /// verdict flips) for the `explain` verb. Pay-as-you-go: off (the
+  /// default) means zero recording overhead on every batch.
+  bool trace = false;
+  std::size_t trace_capacity = 32;  ///< provenance ring size (trace only)
 };
 
 /// Result of propose(): either a verification report (converged) or the
@@ -107,6 +114,23 @@ class Session {
   /// directly on the checker, bypassing the session).
   std::string policy_name(verify::PolicyId id) const;
 
+  // --- explain -------------------------------------------------------------
+  /// Explain `policy_name`, or — with an empty name — the most recent
+  /// violation (newest verdict-flip-to-false in the provenance window,
+  /// falling back to any currently violated policy). Works without tracing
+  /// (the path replay needs only the live model); causes then stay empty.
+  /// Throws std::invalid_argument on unknown name / nothing violated.
+  struct ExplainResult {
+    std::string policy;  ///< resolved name
+    ::rcfg::explain::Explanation explanation;
+  };
+  ExplainResult explain(const std::string& policy_name) const;
+
+  bool tracing() const { return log_ != nullptr; }
+  /// The provenance window, or nullptr when the session was opened
+  /// without tracing.
+  const ::rcfg::explain::ProvenanceLog* provenance() const { return log_.get(); }
+
   // --- introspection -------------------------------------------------------
   std::size_t rebuilds() const { return rebuilds_; }
   std::size_t generation() const { return generation_; }  ///< verifier instance #
@@ -119,6 +143,14 @@ class Session {
   /// Discard the (poisoned) verifier, rebuild from `committed_`, re-register
   /// all policies.
   void rebuild_();
+  /// Append one batch to the provenance log (no-op when tracing is off).
+  void record_(const char* label, const config::NetworkConfig& old_cfg,
+               const config::NetworkConfig& new_cfg,
+               const verify::RealConfig::Report& report);
+  /// The configuration the live verifier currently reflects.
+  const config::NetworkConfig& live_() const {
+    return staged_.has_value() ? *staged_ : committed_;
+  }
 
   std::string name_;
   topo::Topology topo_;  ///< owned; rc_ holds a reference into it
@@ -132,6 +164,10 @@ class Session {
   std::vector<PolicySpec> specs_;
   std::unordered_map<std::string, verify::PolicyId> ids_;
   std::unordered_map<verify::PolicyId, std::string> names_by_id_;
+
+  /// Present iff SessionOptions::trace. Cleared on rebuild: a fresh
+  /// verifier starts a fresh EC id space, so older records would lie.
+  std::unique_ptr<::rcfg::explain::ProvenanceLog> log_;
 
   std::size_t rebuilds_ = 0;
   std::size_t generation_ = 1;

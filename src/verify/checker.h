@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -155,6 +156,8 @@ class IncrementalChecker {
   void on_split(const dpm::EcManager::Split& s);
 
   static std::uint64_t pair_key(topo::NodeId s, topo::NodeId d) {
+    static_assert(sizeof(topo::NodeId) == 4 && std::is_unsigned_v<topo::NodeId>,
+                  "pair_key packs two NodeIds into one 64-bit key");
     return (std::uint64_t{s} << 32) | d;
   }
 

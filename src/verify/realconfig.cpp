@@ -17,7 +17,9 @@ RealConfig::RealConfig(const topo::Topology& topo, RealConfigOptions options)
       generator_(topo, options.generator),
       ecs_(space_),
       model_(space_, ecs_, topo.node_count()),
-      checker_(topo, space_, ecs_, model_, CheckerOptions{options.threads}) {}
+      checker_(topo, space_, ecs_, model_, CheckerOptions{options.threads}) {
+  if (options_.provenance) generator_.set_provenance(true);
+}
 
 RealConfig::Report RealConfig::apply(const config::NetworkConfig& cfg) {
   if (poisoned_) {
@@ -35,6 +37,7 @@ RealConfig::Report RealConfig::apply(const config::NetworkConfig& cfg) {
     throw;
   }
   const auto t1 = std::chrono::steady_clock::now();
+  if (options_.provenance) report.changed_devices = generator_.last_changed_devices();
   report.model = model_.apply_batch(report.dataplane, options_.update_order);
   const auto t2 = std::chrono::steady_clock::now();
   report.check = checker_.process(report.model);

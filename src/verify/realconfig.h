@@ -38,6 +38,10 @@ struct RealConfigOptions {
   /// 1 (the default) is the historical single-threaded path; any value
   /// produces bit-identical reports — see CheckerOptions::threads.
   unsigned threads = 1;
+  /// Record which devices caused each delta (generator fact-origin
+  /// tracking; see IncrementalGenerator::set_provenance). Off by default:
+  /// the explain path is pay-as-you-go.
+  bool provenance = false;
 };
 
 class RealConfig {
@@ -54,6 +58,10 @@ class RealConfig {
     routing::DataPlaneDelta dataplane;
     dpm::ModelDelta model;
     CheckResult check;
+    /// Devices whose compiled facts changed (sorted, unique) — the
+    /// fact-level origin of `dataplane`. Filled only with
+    /// RealConfigOptions::provenance on; empty otherwise.
+    std::vector<topo::NodeId> changed_devices;
     double generate_ms = 0;  ///< stage 1 (includes config-to-facts diffing)
     double model_ms = 0;     ///< stage 2
     double check_ms = 0;     ///< stage 3

@@ -261,6 +261,133 @@ TEST(Model, RealFibBatchesMatchLpmOracle) {
   step(UpdateOrder::kInterleaved);
 }
 
+TEST(Model, LookupReturnsLongestMatch) {
+  PacketSpace space;
+  EcManager ecs(space);
+  NetworkModel model(space, ecs, 2);
+
+  const auto wide = fwd(0, pfx("10.0.0.0/8"), {1});
+  const auto narrow = fwd(0, pfx("10.1.0.0/16"), {2});
+  const auto host = fwd(0, pfx("10.1.2.3/32"), {3});
+  model.apply_batch(delta_of({{wide, +1}, {narrow, +1}, {host, +1}}),
+                    UpdateOrder::kInsertFirst);
+
+  // The /32 shadows the /16 shadows the /8 — lookup must report the rule
+  // that actually takes the packet, not just any cover.
+  const auto at_host = model.lookup(0, *net::Ipv4Addr::parse("10.1.2.3"));
+  ASSERT_TRUE(at_host.has_value());
+  EXPECT_EQ(at_host->first, pfx("10.1.2.3/32"));
+  EXPECT_EQ(at_host->second, PortKey::of(host));
+
+  const auto at_16 = model.lookup(0, *net::Ipv4Addr::parse("10.1.9.9"));
+  ASSERT_TRUE(at_16.has_value());
+  EXPECT_EQ(at_16->first, pfx("10.1.0.0/16"));
+  EXPECT_EQ(at_16->second, PortKey::of(narrow));
+
+  const auto at_8 = model.lookup(0, *net::Ipv4Addr::parse("10.200.0.1"));
+  ASSERT_TRUE(at_8.has_value());
+  EXPECT_EQ(at_8->first, pfx("10.0.0.0/8"));
+  EXPECT_EQ(at_8->second, PortKey::of(wide));
+}
+
+TEST(Model, LookupImplicitDrop) {
+  PacketSpace space;
+  EcManager ecs(space);
+  NetworkModel model(space, ecs, 2);
+  model.apply_batch(delta_of({{fwd(0, pfx("10.0.0.0/8"), {1}), +1}}),
+                    UpdateOrder::kInsertFirst);
+
+  // Outside every rule: nullopt (implicit drop), distinct from an explicit
+  // drop rule which would return a PortKey.
+  EXPECT_FALSE(model.lookup(0, *net::Ipv4Addr::parse("192.168.1.1")).has_value());
+  // Same address on a device with no rules at all.
+  EXPECT_FALSE(model.lookup(1, *net::Ipv4Addr::parse("10.1.1.1")).has_value());
+
+  // After deleting the rule, the former match reverts to implicit drop.
+  model.apply_batch(delta_of({{fwd(0, pfx("10.0.0.0/8"), {1}), -1}}),
+                    UpdateOrder::kInsertFirst);
+  EXPECT_FALSE(model.lookup(0, *net::Ipv4Addr::parse("10.1.1.1")).has_value());
+}
+
+routing::FilterRule filter(topo::IfaceId iface, std::uint32_t priority, bool permit,
+                           net::Ipv4Prefix dst) {
+  routing::FilterRule r;
+  r.node = 0;
+  r.iface = iface;
+  r.inbound = true;
+  r.priority = priority;
+  r.permit = permit;
+  r.dst = dst;
+  return r;
+}
+
+config::Flow flow_to(const char* dst) {
+  config::Flow f;
+  f.src = *net::Ipv4Addr::parse("172.16.0.1");
+  f.dst = *net::Ipv4Addr::parse(dst);
+  return f;
+}
+
+TEST(Model, FilterVerdictFirstMatchAndImplicitDeny) {
+  PacketSpace space;
+  EcManager ecs(space);
+  NetworkModel model(space, ecs, 1);
+
+  // Priority order matters: the specific deny sits before the broad permit,
+  // so a 10.1/16 flow must report the deny rule even though both match.
+  routing::DataPlaneDelta d;
+  d.filters.add(filter(7, 0, false, pfx("10.1.0.0/16")), +1);
+  d.filters.add(filter(7, 1, true, pfx("10.0.0.0/8")), +1);
+  model.apply_batch(d, UpdateOrder::kInsertFirst);
+
+  const auto denied = model.filter_verdict(0, 7, true, flow_to("10.1.2.3"));
+  EXPECT_TRUE(denied.has_acl);
+  EXPECT_FALSE(denied.permit);
+  ASSERT_TRUE(denied.rule.has_value());
+  EXPECT_EQ(denied.rule->dst, pfx("10.1.0.0/16"));
+  EXPECT_EQ(denied.rule->priority, 0u);
+
+  const auto permitted = model.filter_verdict(0, 7, true, flow_to("10.2.0.1"));
+  EXPECT_TRUE(permitted.has_acl);
+  EXPECT_TRUE(permitted.permit);
+  ASSERT_TRUE(permitted.rule.has_value());
+  EXPECT_EQ(permitted.rule->dst, pfx("10.0.0.0/8"));
+
+  // No rule matches: ACL bound => implicit deny, and no deciding rule.
+  const auto implicit = model.filter_verdict(0, 7, true, flow_to("192.168.1.1"));
+  EXPECT_TRUE(implicit.has_acl);
+  EXPECT_FALSE(implicit.permit);
+  EXPECT_FALSE(implicit.rule.has_value());
+
+  // Nothing bound on that iface/direction: permit with has_acl=false.
+  const auto unbound_dir = model.filter_verdict(0, 7, false, flow_to("10.1.2.3"));
+  EXPECT_FALSE(unbound_dir.has_acl);
+  EXPECT_TRUE(unbound_dir.permit);
+  const auto unbound_iface = model.filter_verdict(0, 8, true, flow_to("10.1.2.3"));
+  EXPECT_FALSE(unbound_iface.has_acl);
+  EXPECT_TRUE(unbound_iface.permit);
+}
+
+TEST(Model, FilterVerdictAgreesWithPermits) {
+  // The rule-level trace verdict and the EC-level permit bitmap are two
+  // views of the same ACL; they must agree on every probe.
+  PacketSpace space;
+  EcManager ecs(space);
+  NetworkModel model(space, ecs, 1);
+
+  routing::DataPlaneDelta d;
+  d.filters.add(filter(3, 0, false, pfx("10.1.0.0/16")), +1);
+  d.filters.add(filter(3, 1, true, pfx("10.0.0.0/8")), +1);
+  model.apply_batch(d, UpdateOrder::kInsertFirst);
+
+  for (const char* probe : {"10.1.2.3", "10.2.0.1", "192.168.1.1", "10.1.255.255"}) {
+    const config::Flow f = flow_to(probe);
+    const EcId ec = ecs.ec_of(space.dst_prefix(net::Ipv4Prefix{f.dst, 32}));
+    EXPECT_EQ(model.filter_verdict(0, 3, true, f).permit, model.permits(0, 3, true, ec))
+        << "probe " << probe;
+  }
+}
+
 TEST(Model, RuleCountTracksFib) {
   const topo::Topology t = topo::make_ring(4);
   config::NetworkConfig cfg = config::build_ospf_network(t);

@@ -1,0 +1,89 @@
+#include "explain/provenance.h"
+
+#include <gtest/gtest.h>
+
+#include "config/builders.h"
+#include "topo/generators.h"
+
+namespace rcfg::explain {
+namespace {
+
+BatchRecord record_with_label(std::string label) {
+  BatchRecord rec;
+  rec.label = std::move(label);
+  return rec;
+}
+
+TEST(ProvenanceLog, SequencesFromOneAndFinds) {
+  ProvenanceLog log(8);
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.capacity(), 8u);
+
+  const std::uint64_t a = log.record(record_with_label("open"));
+  const std::uint64_t b = log.record(record_with_label("propose"));
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(log.size(), 2u);
+
+  ASSERT_NE(log.find(1), nullptr);
+  EXPECT_EQ(log.find(1)->label, "open");
+  EXPECT_EQ(log.find(2)->label, "propose");
+  EXPECT_EQ(log.find(3), nullptr);
+  EXPECT_EQ(log.latest()->seq, 2u);
+  EXPECT_EQ(log.newest(0).seq, 2u);
+  EXPECT_EQ(log.newest(1).seq, 1u);
+}
+
+TEST(ProvenanceLog, RingEvictsOldestButKeepsSequence) {
+  ProvenanceLog log(2);
+  log.record(record_with_label("open"));
+  log.record(record_with_label("propose"));
+  const std::uint64_t c = log.record(record_with_label("abort"));
+
+  EXPECT_EQ(c, 3u);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.find(1), nullptr);  // evicted
+  ASSERT_NE(log.find(2), nullptr);
+  EXPECT_EQ(log.find(2)->label, "propose");
+  EXPECT_EQ(log.latest()->seq, 3u);
+}
+
+TEST(ProvenanceLog, CapacityFloorsAtOne) {
+  ProvenanceLog log(0);
+  EXPECT_EQ(log.capacity(), 1u);
+  log.record(record_with_label("open"));
+  log.record(record_with_label("propose"));
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.latest()->label, "propose");
+}
+
+TEST(BatchRecord, ConfigDiffIsLazyAndCached) {
+  const topo::Topology t = topo::make_ring(3);
+  BatchRecord rec;
+  rec.old_config = config::build_ospf_network(t);
+  rec.new_config = rec.old_config;
+  config::fail_link(rec.new_config, t, 0);
+
+  const auto& diffs = rec.config_diff();
+  ASSERT_EQ(diffs.size(), 2u);  // both endpoints of the failed link
+  bool saw_shutdown = false;
+  for (const config::DeviceDiff& d : diffs) {
+    for (const config::LineEdit& e : d.edits) {
+      if (e.text.find("shutdown") != std::string::npos) saw_shutdown = true;
+    }
+  }
+  EXPECT_TRUE(saw_shutdown);
+  // Second call returns the cached vector, not a recomputation.
+  EXPECT_EQ(&rec.config_diff(), &diffs);
+}
+
+TEST(BatchRecord, IdenticalConfigsDiffEmpty) {
+  const topo::Topology t = topo::make_ring(3);
+  BatchRecord rec;
+  rec.old_config = config::build_ospf_network(t);
+  rec.new_config = rec.old_config;
+  EXPECT_TRUE(rec.config_diff().empty());
+}
+
+}  // namespace
+}  // namespace rcfg::explain

@@ -1,12 +1,15 @@
 // Randomized differential fuzzing of the whole pipeline: random connected
 // topologies, random protocol/ACL/static-route mixes, random change
-// sequences — and three independent oracles per step:
+// sequences — and four independent oracles per step:
 //
 //   (1) the incremental generator's FIB equals the baseline simulator's
 //       (different algorithms, so agreement pins both down);
 //   (2) RealConfig lanes at threads 1, 2 and 4 produce semantically
 //       identical reports (the parallel checker's determinism claim);
-//   (3) every registered policy holds the same verdict in every lane.
+//   (3) every registered policy holds the same verdict in every lane;
+//   (4) NetworkModel::permits() never takes its BDD fallback — the eager
+//       permit_by_ec maintenance provably keeps worker threads away from
+//       the non-thread-safe BddManager.
 //
 // Change selection follows the uniquely-convergent rule from
 // tests/routing/differential_test.cpp: link failures/restores, OSPF costs,
@@ -180,6 +183,14 @@ TEST(FuzzDifferential, RandomNetworksAgreeAcrossOraclesAndThreadCounts) {
       const baseline::SimulationResult sim = baseline::simulate(t, cfg);
       EXPECT_TRUE(lanes[0]->generator().fib() == sim.fib)
           << "engine FIB differs from baseline simulator";
+
+      // Oracle 4: permits() never fell back to a live BDD query — the
+      // permit_by_ec bitmaps stayed complete, so the checker's worker
+      // threads provably never touched the non-thread-safe BddManager.
+      for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+        EXPECT_EQ(lanes[lane]->model().permit_fallback_count(), 0u)
+            << "permits() BDD fallback reached at threads=" << kLaneThreads[lane];
+      }
 
       if (::testing::Test::HasFailure()) return;
     }

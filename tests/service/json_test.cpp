@@ -49,6 +49,40 @@ TEST(Json, StringEscapes) {
   EXPECT_EQ(Value::parse(dumped).as_string(), "x\"y\nz\t\x01");
 }
 
+TEST(Json, UnicodeEscapes) {
+  // BMP code points decode to UTF-8.
+  EXPECT_EQ(Value::parse("\"\\u00e9\"").as_string(), "\xC3\xA9");      // é
+  EXPECT_EQ(Value::parse("\"\\u20ac\"").as_string(), "\xE2\x82\xAC");  // €
+  // A surrogate pair combines into one supplementary-plane code point.
+  EXPECT_EQ(Value::parse("\"\\ud83d\\ude00\"").as_string(), "\xF0\x9F\x98\x80");  // 😀
+  EXPECT_EQ(Value::parse("\"\\ud800\\udc00\"").as_string(), "\xF0\x90\x80\x80");  // U+10000
+  EXPECT_EQ(Value::parse("\"\\udbff\\udfff\"").as_string(), "\xF4\x8F\xBF\xBF");  // U+10FFFF
+  // Surrounding text survives the combination.
+  EXPECT_EQ(Value::parse("\"a\\ud83d\\ude00b\"").as_string(),
+            "a\xF0\x9F\x98\x80"
+            "b");
+}
+
+TEST(Json, UnicodeEscapesRoundTrip) {
+  // Raw UTF-8 (as a policy name would carry it) dumps verbatim and parses
+  // back bit-identically...
+  const std::string emoji = "pol-\xF0\x9F\x98\x80";
+  EXPECT_EQ(Value::parse(Value(emoji).dump()).as_string(), emoji);
+  // ...and the escaped spelling decodes to the same bytes, so both wire
+  // forms of the same policy name name the same policy.
+  EXPECT_EQ(Value::parse("\"pol-\\uD83D\\uDE00\"").as_string(), emoji);
+}
+
+TEST(Json, LoneSurrogatesAreRejected) {
+  EXPECT_THROW(Value::parse("\"\\ud83d\""), ParseError);         // unpaired high at end
+  EXPECT_THROW(Value::parse("\"\\ud83dxy\""), ParseError);       // high then plain text
+  EXPECT_THROW(Value::parse("\"\\ud83d\\n\""), ParseError);      // high then other escape
+  EXPECT_THROW(Value::parse("\"\\ud83d\\u0041\""), ParseError);  // high then non-surrogate
+  EXPECT_THROW(Value::parse("\"\\ud83d\\ud83d\""), ParseError);  // high then high
+  EXPECT_THROW(Value::parse("\"\\ude00\""), ParseError);         // lone low
+  EXPECT_THROW(Value::parse("\"\\ude00\\ud83d\""), ParseError);  // reversed pair
+}
+
 TEST(Json, DumpIsDeterministicAndSorted) {
   Value v;
   v["zebra"] = Value(1);
