@@ -1,0 +1,187 @@
+// What-if sweep economics: the cost of standing up a failure-scenario
+// replica by snapshot/fork versus building a verifier from scratch, and the
+// cost of a full single-link-failure sweep under the two strategies:
+//
+//   reconverge  sweep_single_link_failures — one long-lived verifier,
+//               fail -> verify -> restore -> verify per scenario (two
+//               incremental applies each, and the EC partition drifts:
+//               atoms split across scenarios never re-merge);
+//   fork        sweep_failures — checkpoint once, every scenario is
+//               restore -> apply -> check on a forked replica (one apply
+//               each, pristine EC partition per scenario), optionally
+//               sharded over a worker pool.
+//
+// Scenario outcomes are asserted identical scenario-for-scenario across the
+// two strategies and across every thread count, so this bench doubles as
+// the determinism check for forked replicas. Speedup from threads needs
+// real cores; on a 1-CPU container the sharded rows show overhead only.
+//
+// Knobs (environment variables):
+//   RCFG_FATTREE_K        fat-tree k (default 8)
+//   RCFG_WHATIF_LINKS     links swept (default 24; 0 = every link)
+//   RCFG_WHATIF_POLICIES  registered reachability policies (default 16)
+//   RCFG_SAMPLES          fork/rebuild timing samples (default 5)
+//
+// Emits BENCH_whatif.json in the working directory.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "config/builders.h"
+#include "core/rng.h"
+#include "service/json.h"
+#include "topo/generators.h"
+#include "verify/failures.h"
+#include "verify/realconfig.h"
+
+using namespace rcfg;
+
+namespace {
+
+/// The semantic content of one scenario outcome (timings stripped).
+struct Verdict {
+  std::vector<topo::LinkId> links;
+  bool diverged = false;
+  std::size_t reachable_pairs = 0;
+  std::size_t pairs_lost = 0;
+  std::vector<verify::PolicyId> violated;
+  bool gained_loop = false;
+
+  static Verdict of(const verify::ScenarioOutcome& out) {
+    return Verdict{out.scenario.links, out.diverged,    out.reachable_pairs,
+                   out.pairs_lost,     out.violated,    out.gained_loop};
+  }
+  bool operator==(const Verdict&) const = default;
+};
+
+std::vector<Verdict> verdicts(const verify::FailureSweepResult& result) {
+  std::vector<Verdict> out;
+  out.reserve(result.outcomes.size());
+  for (const verify::ScenarioOutcome& o : result.outcomes) out.push_back(Verdict::of(o));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned k = bench::fat_tree_k();
+  const unsigned n_links = bench::env_unsigned("RCFG_WHATIF_LINKS", 24);
+  const unsigned n_policies = bench::env_unsigned("RCFG_WHATIF_POLICIES", 16);
+  const unsigned samples = bench::samples();
+
+  const topo::Topology topo = topo::make_fat_tree(k);
+  const config::NetworkConfig base = config::build_ospf_network(topo);
+
+  verify::RealConfig rc(topo);
+  core::Rng rng(0x9e3779b97f4a7c15ULL);
+  for (unsigned p = 0; p < n_policies; ++p) {
+    const topo::NodeId a = static_cast<topo::NodeId>(rng.next_below(topo.node_count()));
+    topo::NodeId b = static_cast<topo::NodeId>(rng.next_below(topo.node_count()));
+    if (b == a) b = (b + 1) % static_cast<topo::NodeId>(topo.node_count());
+    rc.require_reachable(topo.node(a).name, topo.node(b).name, config::host_prefix(b));
+  }
+
+  bench::Timer scratch_timer;
+  rc.apply(base);
+  const double scratch_ms = scratch_timer.ms();
+
+  std::vector<topo::LinkId> links(topo.link_count());
+  for (topo::LinkId l = 0; l < topo.link_count(); ++l) links[l] = l;
+  rng.shuffle(links);
+  if (n_links != 0 && links.size() > n_links) links.resize(n_links);
+
+  std::printf("what-if sweeps: fat-tree k=%u (%zu nodes, %zu links), %zu links swept, "
+              "%u policies\n\n",
+              k, topo.node_count(), topo.link_count(), links.size(), n_policies);
+
+  // --- replica standup: snapshot + fork-restore vs from-scratch rebuild ---
+  bench::Stats snap_ms, fork_ms, rebuild_ms;
+  for (unsigned s = 0; s < samples; ++s) {
+    const bench::Timer t_snap;
+    const auto snap = rc.snapshot();
+    snap_ms.add(t_snap.ms());
+
+    const bench::Timer t_fork;
+    auto replica = rc.fork(*snap);
+    fork_ms.add(t_fork.ms());
+
+    const bench::Timer t_rebuild;
+    verify::RealConfig fresh(topo);
+    fresh.apply(base);
+    rebuild_ms.add(t_rebuild.ms());
+  }
+  std::printf("replica standup (mean over %u samples):\n", samples);
+  std::printf("  snapshot        %8.2f ms\n", snap_ms.mean());
+  std::printf("  fork + restore  %8.2f ms\n", fork_ms.mean());
+  std::printf("  scratch rebuild %8.2f ms  (%.1fx the fork)\n\n", rebuild_ms.mean(),
+              fork_ms.mean() > 0 ? rebuild_ms.mean() / fork_ms.mean() : 0);
+
+  // --- full sweeps: reconverge-in-place vs snapshot-fork, sharded ---------
+  struct Row {
+    std::string strategy;
+    unsigned threads = 0;
+    double sweep_ms = 0;
+    double per_scenario_ms = 0;
+    double speedup = 0;  ///< vs reconverge
+  };
+  std::vector<Row> rows;
+
+  const verify::FailureSweepResult serial = sweep_single_link_failures(rc, base, links);
+  const std::vector<Verdict> reference = verdicts(serial);
+  rows.push_back(Row{"reconverge", 1, serial.sweep_ms,
+                     serial.sweep_ms / static_cast<double>(serial.scenarios), 1.0});
+
+  verify::FailureSweepOptions options;
+  for (const topo::LinkId l : links) options.scenarios.push_back(verify::FailureScenario{{l}});
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    options.threads = threads;
+    const verify::FailureSweepResult forked = sweep_failures(rc, base, options);
+    if (verdicts(forked) != reference) {
+      std::fprintf(stderr,
+                   "FAIL: fork-sweep outcomes at threads=%u differ from the reconverge "
+                   "sweep\n",
+                   threads);
+      return 1;
+    }
+    rows.push_back(Row{"fork", threads, forked.sweep_ms,
+                       forked.sweep_ms / static_cast<double>(forked.scenarios),
+                       forked.sweep_ms > 0 ? serial.sweep_ms / forked.sweep_ms : 0});
+  }
+
+  std::printf("| Strategy   | Threads | Sweep ms | Per-scenario ms | Speedup |\n");
+  std::printf("|------------|---------|----------|-----------------|---------|\n");
+  for (const Row& row : rows) {
+    std::printf("| %-10s | %7u | %8.1f | %15.2f | %6.2fx |\n", row.strategy.c_str(),
+                row.threads, row.sweep_ms, row.per_scenario_ms, row.speedup);
+  }
+  std::printf("\noutcomes identical across both strategies and all thread counts\n");
+
+  service::json::Value doc;
+  doc["bench"] = service::json::Value("whatif");
+  doc["fat_tree_k"] = service::json::Value(k);
+  doc["nodes"] = service::json::Value(static_cast<std::uint64_t>(topo.node_count()));
+  doc["links"] = service::json::Value(static_cast<std::uint64_t>(topo.link_count()));
+  doc["links_swept"] = service::json::Value(static_cast<std::uint64_t>(links.size()));
+  doc["policies"] = service::json::Value(n_policies);
+  doc["scratch_apply_ms"] = service::json::Value(scratch_ms);
+  doc["snapshot_ms"] = service::json::Value(snap_ms.mean());
+  doc["fork_restore_ms"] = service::json::Value(fork_ms.mean());
+  doc["rebuild_ms"] = service::json::Value(rebuild_ms.mean());
+  service::json::Value out_rows;
+  for (const Row& row : rows) {
+    service::json::Value r;
+    r["strategy"] = service::json::Value(row.strategy);
+    r["threads"] = service::json::Value(row.threads);
+    r["sweep_ms"] = service::json::Value(row.sweep_ms);
+    r["per_scenario_ms"] = service::json::Value(row.per_scenario_ms);
+    r["speedup"] = service::json::Value(row.speedup);
+    out_rows.push_back(std::move(r));
+  }
+  doc["rows"] = std::move(out_rows);
+  std::ofstream("BENCH_whatif.json") << doc.dump() << "\n";
+  std::printf("wrote BENCH_whatif.json\n");
+  return 0;
+}

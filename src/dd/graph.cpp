@@ -45,6 +45,31 @@ void Graph::commit() {
   ++commits_;
 }
 
+GraphSnapshot Graph::snapshot() const {
+  if (in_commit_) throw std::logic_error("Graph::snapshot: called during commit()");
+  if (!ready_.empty()) {
+    throw std::logic_error("Graph::snapshot: pending work scheduled; commit() first");
+  }
+  GraphSnapshot snap;
+  snap.op_state.reserve(ops_.size());
+  for (const auto& op : ops_) snap.op_state.push_back(op->save_state());
+  snap.commits = commits_;
+  return snap;
+}
+
+void Graph::restore(const GraphSnapshot& snap) {
+  if (in_commit_) throw std::logic_error("Graph::restore: called during commit()");
+  if (snap.op_state.size() != ops_.size()) {
+    throw std::logic_error("Graph::restore: snapshot has " +
+                           std::to_string(snap.op_state.size()) + " operators, graph has " +
+                           std::to_string(ops_.size()) + " (different program?)");
+  }
+  for (std::size_t i = 0; i < ops_.size(); ++i) ops_[i]->load_state(snap.op_state[i].get());
+  ready_.clear();
+  commits_ = snap.commits;
+  last_commit_flushes_ = 0;
+}
+
 void Graph::note_emitted_delta(const OperatorBase& op, std::size_t delta_hash) {
   if (!in_commit_ || recurrence_threshold_ == 0) return;
   RecurrenceState& rs = recurrence_[op.id()];

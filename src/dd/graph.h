@@ -59,6 +59,17 @@ class OperatorBase {
   /// Consume pending inputs, update state, emit deltas downstream.
   virtual void flush() = 0;
 
+  /// Deep-copy the operator's persistent state (arrangements, groups,
+  /// counts) into an immutable, type-erased blob. Stateless operators
+  /// return nullptr. The blob is shared: many forks may restore from it.
+  virtual std::shared_ptr<const void> save_state() const = 0;
+
+  /// Replace the operator's state with a copy of `state` — a blob produced
+  /// by save_state() on an operator occupying the same graph position —
+  /// and discard any pending input deltas. `state` may be nullptr for
+  /// stateless operators.
+  virtual void load_state(const void* state) = 0;
+
   std::uint32_t id() const noexcept { return id_; }
   const std::string& name() const noexcept { return name_; }
   std::uint64_t flush_count() const noexcept { return flushes_; }
@@ -91,6 +102,15 @@ class Stream {
 
  private:
   std::vector<Subscriber> subs_;
+};
+
+/// A checkpoint of every operator's persistent state, taken at quiescence.
+/// The per-operator blobs are immutable and shared, so one snapshot can
+/// seed any number of forked replicas without further copying; each
+/// Graph::restore() deep-copies blob contents back into its operators.
+struct GraphSnapshot {
+  std::vector<std::shared_ptr<const void>> op_state;
+  std::uint64_t commits = 0;
 };
 
 /// Owns the operators and runs commits. See file header for the model.
@@ -130,6 +150,20 @@ class Graph {
   std::size_t operator_count() const noexcept { return ops_.size(); }
   std::uint64_t last_commit_flushes() const noexcept { return last_commit_flushes_; }
   std::uint64_t commit_count() const noexcept { return commits_; }
+  std::uint64_t flush_budget() const noexcept { return flush_budget_; }
+  std::uint64_t recurrence_threshold() const noexcept { return recurrence_threshold_; }
+
+  /// Checkpoint every operator's state. Requires quiescence (no operator
+  /// scheduled); throws std::logic_error mid-commit or with pending work.
+  GraphSnapshot snapshot() const;
+
+  /// Restore every operator's state from `snap`, discarding pending deltas
+  /// and clearing the schedule. The snapshot must come from a graph with an
+  /// identical program (same operator count/order) — in practice either this
+  /// graph or one built by the same deterministic builder. Safe to call on a
+  /// graph whose last commit diverged: partially flushed state is simply
+  /// overwritten.
+  void restore(const GraphSnapshot& snap);
 
   /// Used by operators (inside flush) to report the hash of the delta they
   /// just emitted, feeding the recurring-state detector.

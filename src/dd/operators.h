@@ -68,6 +68,14 @@ class Input final : public OperatorBase {
     detail::emit_delta(graph_, *this, out, delta);
   }
 
+  std::shared_ptr<const void> save_state() const override {
+    return std::make_shared<const ZSet<T>>(current_);
+  }
+  void load_state(const void* state) override {
+    current_ = *static_cast<const ZSet<T>*>(state);
+    pending_.clear();
+  }
+
   const ZSet<T>& current() const noexcept { return current_; }
 
   Stream<T> out;
@@ -102,6 +110,10 @@ class Map final : public OperatorBase {
     detail::emit_delta(graph_, *this, out, delta);
   }
 
+  // Stateless: only the pending buffer, which a restore discards.
+  std::shared_ptr<const void> save_state() const override { return nullptr; }
+  void load_state(const void*) override { pending_.clear(); }
+
   Stream<Out> out;
 
  private:
@@ -135,6 +147,9 @@ class FlatMap final : public OperatorBase {
     detail::emit_delta(graph_, *this, out, delta);
   }
 
+  std::shared_ptr<const void> save_state() const override { return nullptr; }
+  void load_state(const void*) override { pending_.clear(); }
+
   Stream<Out> out;
 
  private:
@@ -164,6 +179,9 @@ class Filter final : public OperatorBase {
     detail::emit_delta(graph_, *this, out, delta);
   }
 
+  std::shared_ptr<const void> save_state() const override { return nullptr; }
+  void load_state(const void*) override { pending_.clear(); }
+
   Stream<T> out;
 
  private:
@@ -192,6 +210,9 @@ class Negate final : public OperatorBase {
     detail::emit_delta(graph_, *this, out, delta);
   }
 
+  std::shared_ptr<const void> save_state() const override { return nullptr; }
+  void load_state(const void*) override { pending_.clear(); }
+
   Stream<T> out;
 
  private:
@@ -218,6 +239,9 @@ class Concat final : public OperatorBase {
     pending_.clear();
     detail::emit_delta(graph_, *this, out, delta);
   }
+
+  std::shared_ptr<const void> save_state() const override { return nullptr; }
+  void load_state(const void*) override { pending_.clear(); }
 
   Stream<T> out;
 
@@ -280,6 +304,17 @@ class Join final : public OperatorBase {
     detail::emit_delta(graph_, *this, out, delta);
   }
 
+  std::shared_ptr<const void> save_state() const override {
+    return std::make_shared<const Saved>(Saved{left_, right_});
+  }
+  void load_state(const void* state) override {
+    const Saved& s = *static_cast<const Saved*>(state);
+    left_ = s.left;
+    right_ = s.right;
+    pending_left_.clear();
+    pending_right_.clear();
+  }
+
   Stream<Out> out;
 
   /// Number of keys currently arranged on the left/right (introspection).
@@ -289,6 +324,11 @@ class Join final : public OperatorBase {
  private:
   template <class V>
   using Arrangement = std::unordered_map<K, ZSet<V>, core::TupleHash>;
+
+  struct Saved {
+    Arrangement<A> left;
+    Arrangement<B> right;
+  };
 
   template <class V>
   static void apply(Arrangement<V>& arr, const ZSet<std::pair<K, V>>& delta) {
@@ -360,6 +400,14 @@ class Reduce final : public OperatorBase {
     detail::emit_delta(graph_, *this, out, delta);
   }
 
+  std::shared_ptr<const void> save_state() const override {
+    return std::make_shared<const Groups>(groups_);
+  }
+  void load_state(const void* state) override {
+    groups_ = *static_cast<const Groups*>(state);
+    pending_.clear();
+  }
+
   Stream<Out> out;
 
   std::size_t group_count() const noexcept { return groups_.size(); }
@@ -369,9 +417,10 @@ class Reduce final : public OperatorBase {
     ZSet<V> input;
     ZSet<Out> output;
   };
+  using Groups = std::unordered_map<K, Group, core::TupleHash>;
 
   Fn fn_;
-  std::unordered_map<K, Group, core::TupleHash> groups_;
+  Groups groups_;
   ZSet<std::pair<K, V>> pending_;
 };
 
@@ -407,6 +456,14 @@ class Distinct final : public OperatorBase {
     detail::emit_delta(graph_, *this, out, delta);
   }
 
+  std::shared_ptr<const void> save_state() const override {
+    return std::make_shared<const ZSet<T>>(counts_);
+  }
+  void load_state(const void* state) override {
+    counts_ = *static_cast<const ZSet<T>*>(state);
+    pending_.clear();
+  }
+
   Stream<T> out;
 
  private:
@@ -438,6 +495,9 @@ class Inspect final : public OperatorBase {
     if (!delta.empty()) fn_(delta);
   }
 
+  std::shared_ptr<const void> save_state() const override { return nullptr; }
+  void load_state(const void*) override { pending_.clear(); }
+
  private:
   Fn fn_;
   ZSet<T> pending_;
@@ -462,6 +522,16 @@ class Output final : public OperatorBase {
     pending_.clear();
   }
 
+  std::shared_ptr<const void> save_state() const override {
+    return std::make_shared<const Saved>(Saved{current_, accumulated_});
+  }
+  void load_state(const void* state) override {
+    const Saved& s = *static_cast<const Saved*>(state);
+    current_ = s.current;
+    accumulated_ = s.accumulated;
+    pending_.clear();
+  }
+
   const ZSet<T>& current() const noexcept { return current_; }
 
   /// Deltas accumulated since the previous take_delta() call.
@@ -472,6 +542,11 @@ class Output final : public OperatorBase {
   }
 
  private:
+  struct Saved {
+    ZSet<T> current;
+    ZSet<T> accumulated;
+  };
+
   ZSet<T> current_;
   ZSet<T> accumulated_;
   ZSet<T> pending_;

@@ -64,6 +64,25 @@ class EcManager {
 
   std::size_t predicate_count() const noexcept { return predicates_.size(); }
 
+  /// Value copy of the partition (atom BDD refs + predicate refcounts).
+  /// The BddRefs are only meaningful alongside the PacketSpace state they
+  /// were taken with — RealConfig snapshots the space and the partition
+  /// together.
+  struct Snapshot {
+    std::vector<BddRef> atoms;
+    std::unordered_map<BddRef, std::uint32_t> predicates;
+  };
+
+  Snapshot snapshot() const { return Snapshot{atoms_, predicates_}; }
+
+  /// Reset the partition to `snap`. Split listeners are deliberately kept:
+  /// they are subscriptions wired to sibling components (model, checker),
+  /// part of the pipeline's topology rather than its state.
+  void restore(const Snapshot& snap) {
+    atoms_ = snap.atoms;
+    predicates_ = snap.predicates;
+  }
+
  private:
   PacketSpace& space_;
   std::vector<BddRef> atoms_;                      ///< EcId -> atom BDD

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <type_traits>
 
 namespace rcfg::dpm {
@@ -158,6 +159,24 @@ std::size_t NetworkModel::rule_count() const {
   std::size_t n = 0;
   for (const Device& d : devices_) n += d.rules.size();
   return n;
+}
+
+NetworkModel::Snapshot NetworkModel::snapshot() const {
+  if (current_batch_ != nullptr) {
+    throw std::logic_error("NetworkModel::snapshot: batch in flight");
+  }
+  return Snapshot{devices_};
+}
+
+void NetworkModel::restore(const Snapshot& snap) {
+  if (snap.devices.size() != devices_.size()) {
+    throw std::logic_error("NetworkModel::restore: snapshot has " +
+                           std::to_string(snap.devices.size()) + " devices, model has " +
+                           std::to_string(devices_.size()));
+  }
+  devices_ = snap.devices;
+  first_from_.clear();
+  current_batch_ = nullptr;
 }
 
 BddRef NetworkModel::effective_match(const Device& dev, net::Ipv4Prefix prefix) {

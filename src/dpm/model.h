@@ -201,6 +201,22 @@ class NetworkModel {
   std::unordered_map<std::uint64_t, PortKey> first_from_;
   /// Set while a batch runs so the split listener can record into it.
   ModelDelta* current_batch_ = nullptr;
+
+ public:
+  /// Deep copy of every device's state: rule tries, EC->port maps, and ACL
+  /// bindings including their permit BDDs and per-EC permit bitmaps. The
+  /// BddRefs inside are valid only alongside the PacketSpace snapshot taken
+  /// with them (RealConfig pairs the two).
+  struct Snapshot {
+    std::vector<Device> devices;
+  };
+
+  /// Checkpoint the model. Must not be called while a batch is in flight.
+  Snapshot snapshot() const;
+
+  /// Reset device state to `snap`, discarding any batch scratch. The EC
+  /// split subscription stays wired (it is pipeline topology, not state).
+  void restore(const Snapshot& snap);
 };
 
 }  // namespace rcfg::dpm

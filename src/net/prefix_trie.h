@@ -26,6 +26,20 @@ class PrefixTrie {
  public:
   PrefixTrie() : root_(std::make_unique<Node>()) {}
 
+  /// Deep copies: snapshot/fork of a data-plane model needs value-semantic
+  /// device state, so the trie clones its node structure (and V values).
+  PrefixTrie(const PrefixTrie& other)
+      : root_(clone(other.root_.get())), size_(other.size_) {}
+  PrefixTrie& operator=(const PrefixTrie& other) {
+    if (this != &other) {
+      root_ = clone(other.root_.get());
+      size_ = other.size_;
+    }
+    return *this;
+  }
+  PrefixTrie(PrefixTrie&&) noexcept = default;
+  PrefixTrie& operator=(PrefixTrie&&) noexcept = default;
+
   /// Insert or overwrite the value at `p`. Returns true if newly inserted.
   bool insert(Ipv4Prefix p, V value) {
     Node* n = descend_create(p);
@@ -142,6 +156,15 @@ class PrefixTrie {
       n = n->children[bit].get();
     }
     return n;
+  }
+
+  static std::unique_ptr<Node> clone(const Node* n) {
+    auto copy = std::make_unique<Node>();
+    copy->value = n->value;
+    for (unsigned bit = 0; bit < 2; ++bit) {
+      if (n->children[bit]) copy->children[bit] = clone(n->children[bit].get());
+    }
+    return copy;
   }
 
   template <class Fn>

@@ -383,6 +383,27 @@ void IncrementalGenerator::record_changed_devices_(const FactSnapshot& facts) {
   prev_facts_ = std::make_unique<FactSnapshot>(facts);
 }
 
+IncrementalGenerator::Snapshot IncrementalGenerator::snapshot() const {
+  Snapshot snap;
+  snap.graph = graph_.snapshot();
+  snap.filters = filters_;
+  if (provenance_ && prev_facts_ != nullptr) {
+    snap.prev_facts = std::make_shared<const FactSnapshot>(*prev_facts_);
+  }
+  return snap;
+}
+
+void IncrementalGenerator::restore(const Snapshot& snap) {
+  graph_.restore(snap.graph);
+  filters_ = snap.filters;
+  changed_devices_.clear();
+  if (provenance_ && snap.prev_facts != nullptr) {
+    prev_facts_ = std::make_unique<FactSnapshot>(*snap.prev_facts);
+  } else {
+    prev_facts_.reset();
+  }
+}
+
 DataPlaneDelta IncrementalGenerator::apply(const config::NetworkConfig& cfg) {
   const FactSnapshot facts = compile_facts(topo_, cfg);
   if (provenance_) record_changed_devices_(facts);

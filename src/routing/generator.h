@@ -83,6 +83,29 @@ class IncrementalGenerator {
   /// Tuning passthroughs (see dd::Graph).
   void set_flush_budget(std::uint64_t budget) { graph_.set_flush_budget(budget); }
   void set_recurrence_threshold(std::uint64_t t) { graph_.set_recurrence_threshold(t); }
+  std::uint64_t flush_budget() const { return graph_.flush_budget(); }
+  std::uint64_t recurrence_threshold() const { return graph_.recurrence_threshold(); }
+
+  /// Checkpoint of the generator's converged state: every dataflow
+  /// operator's state plus the directly diffed filter relation (and, when
+  /// provenance is on, the previous fact snapshot). Restorable into this
+  /// generator or any generator built over the same topology and options —
+  /// build_program() is deterministic, so operator positions line up.
+  struct Snapshot {
+    dd::GraphSnapshot graph;
+    dd::ZSet<FilterRule> filters;
+    std::shared_ptr<const FactSnapshot> prev_facts;  ///< null when provenance off
+  };
+
+  /// Requires a quiescent graph (apply() either finished or threw with the
+  /// commit unwound); throws std::logic_error otherwise.
+  Snapshot snapshot() const;
+
+  /// Restore converged state from `snap`. Also recovers a generator whose
+  /// last apply() diverged — the partially flushed operator state is
+  /// overwritten wholesale. Tuning knobs (budgets) are not part of the
+  /// snapshot and keep their current values.
+  void restore(const Snapshot& snap);
 
   // --- provenance (pay-as-you-go: nothing is retained until enabled) ------
   /// When on, apply() keeps the previous fact snapshot and records which

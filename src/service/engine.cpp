@@ -87,6 +87,7 @@ void Engine::submit(Request req, Callback callback) {
     case Verb::kAddPolicy: metrics_.add_policies.inc(); break;
     case Verb::kQuery: metrics_.queries.inc(); break;
     case Verb::kExplain: metrics_.explains.inc(); break;
+    case Verb::kSweep: metrics_.sweeps.inc(); break;
     case Verb::kStats: break;
   }
 
@@ -260,6 +261,60 @@ json::Value report_body(const Session& session, const verify::RealConfig::Report
     events.push_back(std::move(ev));
   }
   body["events"] = json::Value(std::move(events));
+  return body;
+}
+
+json::Value::Array link_id_array(const std::vector<topo::LinkId>& links) {
+  json::Value::Array out;
+  for (const topo::LinkId l : links) out.push_back(json::Value(static_cast<std::uint64_t>(l)));
+  return out;
+}
+
+/// Serialize one sweep: the mined aggregates, then (detail only) the
+/// per-scenario outcome records.
+json::Value sweep_body(const Session& session, const verify::FailureSweepResult& result,
+                       bool detail) {
+  json::Value body;
+  body["scenarios"] = json::Value(result.scenarios);
+  body["healthy_pairs"] = json::Value(result.healthy_pairs.size());
+  body["fault_tolerant_pairs"] = json::Value(result.fault_tolerant_pairs.size());
+  body["critical_links"] = json::Value(link_id_array(result.critical_links));
+  body["diverged_links"] = json::Value(link_id_array(result.diverged_links));
+  body["loop_links"] = json::Value(link_id_array(result.loop_scenarios));
+  json::Value violations{json::Value::Object{}};  // {} even when nothing violated
+  for (const auto& [policy, links] : result.policy_violations) {
+    const std::string name = session.policy_name(policy);
+    violations[name.empty() ? "#" + std::to_string(policy) : name] =
+        json::Value(link_id_array(links));
+  }
+  body["policy_violations"] = std::move(violations);
+  body["snapshot_ms"] = json::Value(result.snapshot_ms);
+  body["sweep_ms"] = json::Value(result.sweep_ms);
+  if (!detail) return body;
+
+  json::Value::Array outcomes;
+  for (const verify::ScenarioOutcome& out : result.outcomes) {
+    json::Value o;
+    o["links"] = json::Value(link_id_array(out.scenario.links));
+    o["diverged"] = json::Value(out.diverged);
+    if (!out.diverged) {
+      o["reachable_pairs"] = json::Value(out.reachable_pairs);
+      o["pairs_lost"] = json::Value(out.pairs_lost);
+      o["gained_loop"] = json::Value(out.gained_loop);
+      json::Value::Array violated;
+      for (const verify::PolicyId id : out.violated) {
+        const std::string name = session.policy_name(id);
+        violated.push_back(name.empty()
+                               ? json::Value("#" + std::to_string(id))
+                               : json::Value(name));
+      }
+      o["violated"] = json::Value(std::move(violated));
+    }
+    o["total_ms"] = json::Value(out.total_ms);
+    o["restore_ms"] = json::Value(out.restore_ms);
+    outcomes.push_back(std::move(o));
+  }
+  body["outcomes"] = json::Value(std::move(outcomes));
   return body;
 }
 
@@ -491,6 +546,44 @@ Response Engine::handle_(Slot& slot, const Request& req) {
         metrics_.explain_ms.record(
             std::chrono::duration<double, std::milli>(t1 - t0).count());
         json::Value body = explanation_body(session, result);
+        body["session"] = json::Value(req.session);
+        r.body = std::move(body);
+        break;
+      }
+      case Verb::kSweep: {
+        verify::FailureSweepOptions options;
+        options.max_failures = req.sweep.max_failures;
+        options.threads = req.sweep.threads;
+        if (!req.sweep.links.empty()) {
+          // An explicit link subset: generate the same scenario shapes a full
+          // sweep would (singles, then pairs when max_failures >= 2), but
+          // drawn only from the subset.
+          const std::vector<topo::LinkId>& ls = req.sweep.links;
+          for (const topo::LinkId l : ls) {
+            if (l >= session.topology().link_count()) {
+              return error_response(req.id, "sweep: link id " + std::to_string(l) +
+                                                " out of range");
+            }
+            options.scenarios.push_back(verify::FailureScenario{{l}});
+          }
+          if (options.max_failures >= 2) {
+            for (std::size_t a = 0; a < ls.size(); ++a) {
+              for (std::size_t b = a + 1; b < ls.size(); ++b) {
+                options.scenarios.push_back(verify::FailureScenario{{ls[a], ls[b]}});
+              }
+            }
+          }
+        }
+        const verify::FailureSweepResult result = session.sweep(options);
+        metrics_.sweep_ms.record(result.sweep_ms);
+        metrics_.sweep_scenarios.inc(result.scenarios);
+        std::uint64_t diverged = 0;
+        for (const verify::ScenarioOutcome& out : result.outcomes) {
+          metrics_.sweep_scenario_ms.record(out.total_ms);
+          if (out.diverged) ++diverged;
+        }
+        metrics_.sweep_diverged.inc(diverged);
+        json::Value body = sweep_body(session, result, req.sweep.detail);
         body["session"] = json::Value(req.session);
         r.body = std::move(body);
         break;

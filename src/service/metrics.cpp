@@ -99,6 +99,7 @@ json::Value ServiceMetrics::to_json() const {
   requests["add_policy"] = json::Value(add_policies.value());
   requests["query"] = json::Value(queries.value());
   requests["explain"] = json::Value(explains.value());
+  requests["sweep"] = json::Value(sweeps.value());
   requests["stats"] = json::Value(stats_calls.value());
   out["requests"] = std::move(requests);
 
@@ -110,6 +111,13 @@ json::Value ServiceMetrics::to_json() const {
   out["batching"] = std::move(batching);
 
   out["recoveries"] = json::Value(recoveries.value());
+
+  json::Value sweeping;
+  sweeping["scenarios"] = json::Value(sweep_scenarios.value());
+  sweeping["diverged"] = json::Value(sweep_diverged.value());
+  sweeping["sweep_ms"] = sweep_ms.to_json();
+  sweeping["scenario_ms"] = sweep_scenario_ms.to_json();
+  out["sweeps"] = std::move(sweeping);
 
   json::Value parallelism;
   parallelism["check_shards"] = json::Value(check_parallelism.value());

@@ -13,6 +13,7 @@ const char* verb_name(Verb v) {
     case Verb::kAddPolicy: return "add_policy";
     case Verb::kQuery: return "query";
     case Verb::kExplain: return "explain";
+    case Verb::kSweep: return "sweep";
     case Verb::kStats: return "stats";
   }
   return "?";
@@ -28,6 +29,7 @@ Verb parse_verb(const std::string& op) {
   if (op == "add_policy") return Verb::kAddPolicy;
   if (op == "query") return Verb::kQuery;
   if (op == "explain") return Verb::kExplain;
+  if (op == "sweep") return Verb::kSweep;
   if (op == "stats") return Verb::kStats;
   throw ProtocolError("unknown op: '" + op + "'");
 }
@@ -172,6 +174,24 @@ Request parse_request_doc(const json::Value& doc) {
     case Verb::kExplain:
       req.query_policy = doc.get_string("policy");
       break;
+    case Verb::kSweep: {
+      if (const json::Value* links = doc.find("links"); links != nullptr) {
+        if (!links->is_array()) throw ProtocolError("'links' must be an array of link ids");
+        for (const json::Value& l : links->as_array()) {
+          const std::int64_t id = l.as_int();
+          if (id < 0) throw ProtocolError("'links' entries must be >= 0");
+          req.sweep.links.push_back(static_cast<topo::LinkId>(id));
+        }
+      }
+      req.sweep.max_failures = get_unsigned(doc, "max_failures", 1);
+      if (req.sweep.max_failures < 1 || req.sweep.max_failures > 2) {
+        throw ProtocolError("'max_failures' must be 1 or 2");
+      }
+      req.sweep.threads = get_unsigned(doc, "threads", 1);
+      if (req.sweep.threads == 0) req.sweep.threads = 1;
+      req.sweep.detail = doc.get_bool("detail", false);
+      break;
+    }
     case Verb::kCommit:
     case Verb::kAbort:
     case Verb::kStats:

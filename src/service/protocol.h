@@ -22,6 +22,14 @@
 //               recent violation; replays the policy's witness packet
 //               hop-by-hop (LPM rule + ACL verdict per hop) and names the
 //               batch + config lines that last moved the policy's ECs
+//   sweep       {"session", ["links":[IDs]], ["max_failures":1|2],
+//                ["threads":N], ["detail":true]}
+//               snapshot-fork failure sweep over the live configuration:
+//               every scenario runs on a forked replica of the session's
+//               verifier (the live state is never touched). "links" limits
+//               the swept links (default: all); "max_failures":2 adds every
+//               link pair; "threads" shards scenarios over that many
+//               replicas; "detail" includes the per-scenario outcome array.
 //   stats       {}                             waits for in-flight requests
 //
 // Responses echo the id: {"id":N,"ok":true,...} or
@@ -53,6 +61,7 @@ enum class Verb : std::uint8_t {
   kAddPolicy,
   kQuery,
   kExplain,
+  kSweep,
   kStats,
 };
 
@@ -68,6 +77,14 @@ struct TopologySpec {
 
 topo::Topology build_topology(const TopologySpec& spec);  // throws ProtocolError
 
+/// Sweep parameters (the sweep verb).
+struct SweepSpec {
+  std::vector<topo::LinkId> links;  ///< swept links; empty => every link
+  unsigned max_failures = 1;        ///< 1 = singles; 2 = singles + pairs
+  unsigned threads = 1;             ///< replicas to shard scenarios over
+  bool detail = false;              ///< include per-scenario outcomes
+};
+
 struct Request {
   std::uint64_t id = 0;
   Verb verb = Verb::kStats;
@@ -76,6 +93,7 @@ struct Request {
   std::string config_text;  ///< open, propose (config DSL, see config/parse.h)
   PolicySpec policy;        ///< add_policy
   std::string query_policy; ///< query/explain; empty => summary / last violation
+  SweepSpec sweep;          ///< sweep
   SessionOptions options;   ///< open
 };
 

@@ -151,6 +151,10 @@ std::string Session::policy_name(verify::PolicyId id) const {
   return it == names_by_id_.end() ? std::string() : it->second;
 }
 
+verify::FailureSweepResult Session::sweep(const verify::FailureSweepOptions& options) {
+  return verify::sweep_failures(*rc_, live_(), options);
+}
+
 Session::ExplainResult Session::explain(const std::string& policy_name) const {
   std::string resolved = policy_name;
   if (resolved.empty()) {

@@ -30,6 +30,7 @@
 #include "explain/provenance.h"
 #include "net/ipv4.h"
 #include "topo/topology.h"
+#include "verify/failures.h"
 #include "verify/realconfig.h"
 
 namespace rcfg::service {
@@ -113,6 +114,16 @@ class Session {
   /// Display name for a checker PolicyId ("" if unknown — e.g. registered
   /// directly on the checker, bypassing the session).
   std::string policy_name(verify::PolicyId id) const;
+
+  // --- failure sweep -------------------------------------------------------
+  /// Snapshot-fork what-if sweep over the configuration the live verifier
+  /// currently reflects (the staged proposal when one exists, else the
+  /// committed baseline). Every scenario runs on a forked replica; the live
+  /// verifier itself is checkpointed but never mutated, so the session keeps
+  /// serving queries mid-sweep. Diverging scenarios are reported, never
+  /// fatal. Throws std::logic_error if the verifier is poisoned (cannot
+  /// happen through the public verbs: propose() rebuilds on divergence).
+  verify::FailureSweepResult sweep(const verify::FailureSweepOptions& options = {});
 
   // --- explain -------------------------------------------------------------
   /// Explain `policy_name`, or — with an empty name — the most recent

@@ -4,8 +4,26 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <type_traits>
 
 namespace rcfg::verify {
+
+namespace {
+
+// EcState::pairs elements and pair_index_ keys pack (src << 32) | dst (see
+// pair_key in checker.h). Like the model's move_key, widening NodeId past
+// 32 bits would make the shift/mask below silently alias distinct pairs;
+// pin the layout where the unpacking lives so such a change fails loudly.
+static_assert(sizeof(topo::NodeId) == 4 && std::is_unsigned_v<topo::NodeId>,
+              "node-pair keys pack two 32-bit NodeIds into one 64-bit key");
+static_assert(sizeof(std::uint64_t) == 2 * sizeof(topo::NodeId),
+              "pair unpacking assumes NodeId occupies exactly half the key");
+
+std::pair<topo::NodeId, topo::NodeId> unpack_pair(std::uint64_t p) {
+  return {static_cast<topo::NodeId>(p >> 32), static_cast<topo::NodeId>(p & 0xffffffffu)};
+}
+
+}  // namespace
 
 IncrementalChecker::IncrementalChecker(const topo::Topology& topo, dpm::PacketSpace& space,
                                        dpm::EcManager& ecs, const dpm::NetworkModel& model,
@@ -167,11 +185,6 @@ void IncrementalChecker::apply_state(dpm::EcId ec, EcState next,
                                      std::unordered_set<PolicyId>& dirty_policies) {
   EcState& cur = state_[ec];
 
-  auto unpack = [](std::uint64_t p) {
-    return std::pair<topo::NodeId, topo::NodeId>{static_cast<topo::NodeId>(p >> 32),
-                                                 static_cast<topo::NodeId>(p & 0xffffffffu)};
-  };
-
   // Diff delivered pairs against the index.
   for (const std::uint64_t p : cur.pairs) {
     if (!next.pairs.contains(p)) {
@@ -180,20 +193,20 @@ void IncrementalChecker::apply_state(dpm::EcId ec, EcState next,
         it->second.erase(ec);
         if (it->second.empty()) pair_index_.erase(it);
       }
-      out.changed_pairs.push_back(unpack(p));
-      out.affected_pairs.push_back(unpack(p));
+      out.changed_pairs.push_back(unpack_pair(p));
+      out.affected_pairs.push_back(unpack_pair(p));
     }
   }
   for (const std::uint64_t p : next.pairs) {
     if (!cur.pairs.contains(p)) {
       pair_index_[p].insert(ec);
-      out.changed_pairs.push_back(unpack(p));
-      out.affected_pairs.push_back(unpack(p));
-    } else if (!near_moved.empty() && near_moved[static_cast<topo::NodeId>(p >> 32)]) {
+      out.changed_pairs.push_back(unpack_pair(p));
+      out.affected_pairs.push_back(unpack_pair(p));
+    } else if (!near_moved.empty() && near_moved[unpack_pair(p).first]) {
       // Membership survived, but the source sits upstream of a device whose
       // forwarding changed for this EC: its path was modified, so the pair
       // counts as affected (paper §4.2's pair-update step).
-      out.affected_pairs.push_back(unpack(p));
+      out.affected_pairs.push_back(unpack_pair(p));
     }
   }
 
@@ -391,12 +404,25 @@ bool IncrementalChecker::reachable(topo::NodeId src, topo::NodeId dst, dpm::EcId
 std::vector<std::pair<topo::NodeId, topo::NodeId>> IncrementalChecker::reachable_pairs() const {
   std::vector<std::pair<topo::NodeId, topo::NodeId>> out;
   out.reserve(pair_index_.size());
-  for (const auto& [p, ecs] : pair_index_) {
-    out.emplace_back(static_cast<topo::NodeId>(p >> 32),
-                     static_cast<topo::NodeId>(p & 0xffffffffu));
-  }
+  for (const auto& [p, ecs] : pair_index_) out.push_back(unpack_pair(p));
   std::sort(out.begin(), out.end());
   return out;
+}
+
+IncrementalChecker::Snapshot IncrementalChecker::snapshot() const {
+  return Snapshot{state_,    pair_index_, looping_,        blackholed_,
+                  policies_, satisfied_,  policies_by_ec_, policy_ecs_};
+}
+
+void IncrementalChecker::restore(const Snapshot& snap) {
+  state_ = snap.state;
+  pair_index_ = snap.pair_index;
+  looping_ = snap.looping;
+  blackholed_ = snap.blackholed;
+  policies_ = snap.policies;
+  satisfied_ = snap.satisfied;
+  policies_by_ec_ = snap.policies_by_ec;
+  policy_ecs_ = snap.policy_ecs;
 }
 
 std::vector<dpm::EcId> IncrementalChecker::ecs_between(topo::NodeId src,

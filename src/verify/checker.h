@@ -130,6 +130,16 @@ class IncrementalChecker {
   std::vector<std::vector<topo::NodeId>> trace(topo::NodeId src, dpm::EcId ec,
                                                std::size_t limit = 16) const;
 
+  /// Value copy of everything process() maintains: per-EC delivered-pair
+  /// state, the pair->ECs index, loop/blackhole sets, and the policy tables
+  /// (policies reference packet BDDs, so a snapshot pairs with a
+  /// PacketSpace snapshot — RealConfig keeps them together). The worker
+  /// pool is deliberately not part of the state.
+  struct Snapshot;
+
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
  private:
   struct EcState {
     std::unordered_set<std::uint64_t> pairs;  ///< delivered (s<<32)|d, s != d
@@ -176,6 +186,18 @@ class IncrementalChecker {
   std::vector<bool> satisfied_;
   std::unordered_map<dpm::EcId, std::vector<PolicyId>> policies_by_ec_;
   std::vector<std::vector<dpm::EcId>> policy_ecs_;  ///< PolicyId -> its ECs
+
+ public:
+  struct Snapshot {
+    std::vector<EcState> state;
+    std::unordered_map<std::uint64_t, std::unordered_set<dpm::EcId>> pair_index;
+    std::unordered_set<dpm::EcId> looping;
+    std::unordered_set<dpm::EcId> blackholed;
+    std::vector<Policy> policies;
+    std::vector<bool> satisfied;
+    std::unordered_map<dpm::EcId, std::vector<PolicyId>> policies_by_ec;
+    std::vector<std::vector<dpm::EcId>> policy_ecs;
+  };
 };
 
 }  // namespace rcfg::verify

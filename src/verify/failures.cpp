@@ -1,10 +1,111 @@
 #include "verify/failures.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "config/builders.h"
+#include "core/worker_pool.h"
 
 namespace rcfg::verify {
+
+namespace {
+
+using Pair = std::pair<topo::NodeId, topo::NodeId>;
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Everything a scenario's verdicts are compared against.
+struct HealthyBaseline {
+  std::vector<Pair> pairs;              ///< sorted
+  std::size_t loops = 0;
+  std::vector<PolicyId> watched;        ///< policies satisfied on the healthy net
+
+  static HealthyBaseline of(RealConfig& rc) {
+    HealthyBaseline base;
+    base.pairs = rc.checker().reachable_pairs();
+    base.loops = rc.checker().loop_count();
+    for (PolicyId id = 0; id < rc.checker().policy_count(); ++id) {
+      if (rc.checker().policy_satisfied(id)) base.watched.push_back(id);
+    }
+    return base;
+  }
+};
+
+/// Read a successfully verified scenario's verdicts off a verifier.
+void read_outcome(RealConfig& rc, const HealthyBaseline& base, ScenarioOutcome& out,
+                  std::vector<Pair>& pairs_out) {
+  pairs_out = rc.checker().reachable_pairs();
+  out.reachable_pairs = pairs_out.size();
+  for (const PolicyId id : base.watched) {
+    if (!rc.checker().policy_satisfied(id)) out.violated.push_back(id);
+  }
+  out.gained_loop = rc.checker().loop_count() > base.loops;
+}
+
+std::size_t count_lost(const std::vector<Pair>& healthy, const std::vector<Pair>& now) {
+  // Both sorted; count healthy pairs missing under the scenario.
+  std::size_t lost = 0;
+  auto it = now.begin();
+  for (const Pair& p : healthy) {
+    while (it != now.end() && *it < p) ++it;
+    if (it == now.end() || *it != p) ++lost;
+  }
+  return lost;
+}
+
+/// Fold one scenario (in scenario order) into the sweep aggregates.
+/// `pairs` is the scenario's reachable-pair set (ignored when diverged);
+/// link-keyed aggregate fields only see single-link scenarios.
+void merge_outcome(FailureSweepResult& result, ScenarioOutcome& out,
+                   const std::vector<Pair>& pairs) {
+  ++result.scenarios;
+  const bool single = out.scenario.links.size() == 1;
+  if (out.diverged) {
+    if (single) result.diverged_links.push_back(out.scenario.links.front());
+    return;
+  }
+  out.pairs_lost = count_lost(result.healthy_pairs, pairs);
+
+  std::vector<Pair> kept;
+  kept.reserve(result.fault_tolerant_pairs.size());
+  std::set_intersection(result.fault_tolerant_pairs.begin(),
+                        result.fault_tolerant_pairs.end(), pairs.begin(), pairs.end(),
+                        std::back_inserter(kept));
+  result.fault_tolerant_pairs = std::move(kept);
+
+  if (!single) return;
+  const topo::LinkId link = out.scenario.links.front();
+  if (out.pairs_lost > 0) result.critical_links.push_back(link);
+  for (const PolicyId id : out.violated) result.policy_violations[id].push_back(link);
+  if (out.gained_loop) result.loop_scenarios.push_back(link);
+}
+
+std::vector<FailureScenario> generate_scenarios(const topo::Topology& topo,
+                                                const FailureSweepOptions& options) {
+  if (!options.scenarios.empty()) return options.scenarios;
+  std::vector<FailureScenario> scens;
+  const topo::LinkId n = static_cast<topo::LinkId>(topo.link_count());
+  for (topo::LinkId l = 0; l < n; ++l) scens.push_back(FailureScenario{{l}});
+  if (options.max_failures >= 2) {
+    for (topo::LinkId a = 0; a < n; ++a) {
+      for (topo::LinkId b = a + 1; b < n; ++b) scens.push_back(FailureScenario{{a, b}});
+    }
+  }
+  return scens;
+}
+
+}  // namespace
 
 FailureSweepResult sweep_single_link_failures(RealConfig& rc,
                                               const config::NetworkConfig& healthy,
@@ -16,43 +117,121 @@ FailureSweepResult sweep_single_link_failures(RealConfig& rc,
     for (topo::LinkId l = 0; l < topo.link_count(); ++l) scenario_links.push_back(l);
   }
 
+  const Timer sweep_timer;
   FailureSweepResult result;
-  result.healthy_pairs = rc.checker().reachable_pairs();
-  result.fault_tolerant_pairs = result.healthy_pairs;
+  const HealthyBaseline base = HealthyBaseline::of(rc);
+  result.healthy_pairs = base.pairs;
+  result.fault_tolerant_pairs = base.pairs;
 
-  const std::size_t healthy_loops = rc.checker().loop_count();
-  std::vector<bool> policy_healthy(rc.checker().policy_count());
-  for (PolicyId id = 0; id < policy_healthy.size(); ++id) {
-    policy_healthy[id] = rc.checker().policy_satisfied(id);
-  }
+  // Divergence insurance: a scenario (or the reconvergence back from one)
+  // that oscillates is rolled back to this checkpoint instead of poisoning
+  // the verifier and losing the partial sweep.
+  const Timer snap_timer;
+  const auto snap = rc.snapshot();
+  result.snapshot_ms = snap_timer.ms();
 
   config::NetworkConfig scenario = healthy;
   for (const topo::LinkId link : scenario_links) {
+    const Timer scenario_timer;
+    ScenarioOutcome out;
+    out.scenario.links = {link};
+    std::vector<Pair> pairs;
+
     config::fail_link(scenario, topo, link);
-    rc.apply(scenario);
-    ++result.scenarios;
+    try {
+      rc.apply(scenario);
+      read_outcome(rc, base, out, pairs);
+    } catch (const dd::NonterminationError&) {
+      out.diverged = true;
+    }
+    config::restore_link(scenario, topo, link);
 
-    // Intersect the fault-tolerant spec with this scenario's pairs.
-    const auto pairs = rc.checker().reachable_pairs();
-    std::vector<std::pair<topo::NodeId, topo::NodeId>> kept;
-    kept.reserve(result.fault_tolerant_pairs.size());
-    std::set_intersection(result.fault_tolerant_pairs.begin(),
-                          result.fault_tolerant_pairs.end(), pairs.begin(), pairs.end(),
-                          std::back_inserter(kept));
-    const bool lost_pairs = pairs.size() < result.healthy_pairs.size();
-    result.fault_tolerant_pairs = std::move(kept);
-    if (lost_pairs) result.critical_links.push_back(link);
-
-    for (PolicyId id = 0; id < policy_healthy.size(); ++id) {
-      if (policy_healthy[id] && !rc.checker().policy_satisfied(id)) {
-        result.policy_violations[id].push_back(link);
+    if (out.diverged) {
+      // The verifier is poisoned mid-scenario; snap-back to healthy.
+      const Timer restore_timer;
+      rc.restore(*snap);
+      out.restore_ms = restore_timer.ms();
+    } else {
+      // Reconverge in place back to the healthy state. Oscillation on the
+      // way back (possible: re-adding the link re-creates the unstable
+      // part) gets the same snapshot treatment.
+      try {
+        rc.apply(scenario);
+      } catch (const dd::NonterminationError&) {
+        const Timer restore_timer;
+        rc.restore(*snap);
+        out.restore_ms = restore_timer.ms();
       }
     }
-    if (rc.checker().loop_count() > healthy_loops) result.loop_scenarios.push_back(link);
 
-    config::restore_link(scenario, topo, link);
-    rc.apply(scenario);
+    out.total_ms = scenario_timer.ms();
+    merge_outcome(result, out, pairs);
+    result.outcomes.push_back(std::move(out));
   }
+
+  result.sweep_ms = sweep_timer.ms();
+  return result;
+}
+
+FailureSweepResult sweep_failures(RealConfig& rc, const config::NetworkConfig& healthy,
+                                  const FailureSweepOptions& options) {
+  const topo::Topology& topo = rc.topology();
+  const std::vector<FailureScenario> scens = generate_scenarios(topo, options);
+
+  const Timer sweep_timer;
+  FailureSweepResult result;
+  const HealthyBaseline base = HealthyBaseline::of(rc);
+  result.healthy_pairs = base.pairs;
+  result.fault_tolerant_pairs = base.pairs;
+
+  const Timer snap_timer;
+  const auto snap = rc.snapshot();
+  result.snapshot_ms = snap_timer.ms();
+
+  // Scenario slots are pre-sized and keyed by index; lanes write disjoint
+  // strides and the merge below walks them in index order, so the report is
+  // bit-identical for every thread count.
+  std::vector<ScenarioOutcome> outcomes(scens.size());
+  std::vector<std::vector<Pair>> scenario_pairs(scens.size());
+
+  const unsigned threads = std::max(1u, options.threads);
+  core::WorkerPool pool(threads);
+  pool.run(threads, [&](std::size_t lane) {
+    auto replica = rc.fork(*snap);
+    config::NetworkConfig scenario_cfg = healthy;
+    for (std::size_t i = lane; i < scens.size(); i += threads) {
+      const Timer scenario_timer;
+      ScenarioOutcome& out = outcomes[i];
+      out.scenario = scens[i];
+
+      // Fork semantics: every scenario starts from the pristine healthy
+      // checkpoint — no reconvergence debt, no EC-partition drift, and a
+      // diverged previous scenario leaves no trace (restore un-poisons).
+      const Timer restore_timer;
+      replica->restore(*snap);
+      out.restore_ms = restore_timer.ms();
+
+      for (const topo::LinkId l : out.scenario.links) {
+        config::fail_link(scenario_cfg, topo, l);
+      }
+      try {
+        replica->apply(scenario_cfg);
+        read_outcome(*replica, base, out, scenario_pairs[i]);
+      } catch (const dd::NonterminationError&) {
+        out.diverged = true;
+      }
+      for (const topo::LinkId l : out.scenario.links) {
+        config::restore_link(scenario_cfg, topo, l);
+      }
+      out.total_ms = scenario_timer.ms();
+    }
+  });
+
+  for (std::size_t i = 0; i < scens.size(); ++i) {
+    merge_outcome(result, outcomes[i], scenario_pairs[i]);
+  }
+  result.outcomes = std::move(outcomes);
+  result.sweep_ms = sweep_timer.ms();
   return result;
 }
 

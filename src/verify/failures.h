@@ -1,8 +1,20 @@
 #pragma once
 
 // Failure-scenario analysis (paper §2 "Specification mining"): sweep link
-// failure scenarios with one long-lived, incrementally updated verifier
+// failure scenarios with long-lived, incrementally updated verifiers
 // instead of a from-scratch verification per scenario.
+//
+// Two sweep strategies share one result shape:
+//  - sweep_single_link_failures: the historical reconverge-in-place loop
+//    (fail -> verify -> restore -> verify on the caller's verifier), now
+//    with divergence recovery: an oscillating scenario is recorded in
+//    `diverged_links` and the verifier is rolled back to a snapshot of the
+//    healthy state instead of staying poisoned.
+//  - sweep_failures: snapshot/fork — checkpoint the healthy state once,
+//    then run every scenario as "restore snapshot -> apply delta -> check
+//    -> discard" on forked replicas, optionally sharded over a worker pool
+//    (one replica per worker, so nothing is shared but the immutable
+//    snapshot). Supports k simultaneous link failures (k <= 2 generated).
 //
 // Two consumers: Config2Spec-style mining ("which reachability guarantees
 // survive every single-link failure?") and operational what-if analysis
@@ -15,26 +27,86 @@
 
 namespace rcfg::verify {
 
+/// One what-if scenario: the links failed simultaneously (sorted, unique).
+struct FailureScenario {
+  std::vector<topo::LinkId> links;
+
+  friend bool operator==(const FailureScenario&, const FailureScenario&) = default;
+};
+
+/// What one scenario did to the network, relative to the healthy state.
+/// Semantic fields (everything except the timings) are identical whichever
+/// sweep strategy produced them and for any thread count.
+struct ScenarioOutcome {
+  FailureScenario scenario;
+  /// The control plane has no stable state under this failure (the apply
+  /// threw NonterminationError/RecurringStateError). No verdicts exist for
+  /// the scenario; every other field below is left at its default.
+  bool diverged = false;
+  std::size_t reachable_pairs = 0;  ///< pairs reachable under the scenario
+  std::size_t pairs_lost = 0;       ///< healthy pairs unreachable here
+  std::vector<PolicyId> violated;   ///< healthy-satisfied policies now violated
+  bool gained_loop = false;         ///< some EC developed a forwarding loop
+  double total_ms = 0;              ///< wall time incl. state reset + verify
+  double restore_ms = 0;            ///< snapshot-restore share (0 when in-place)
+};
+
 struct FailureSweepResult {
   /// Ordered pairs (s, d) reachable on the healthy network.
   std::vector<std::pair<topo::NodeId, topo::NodeId>> healthy_pairs;
   /// The mined fault-tolerant spec: pairs reachable under EVERY scenario.
+  /// Diverged scenarios contribute nothing (they have no stable data plane
+  /// to mine; they are reported, not intersected).
   std::vector<std::pair<topo::NodeId, topo::NodeId>> fault_tolerant_pairs;
   /// Links whose single failure disconnects at least one healthy pair.
   std::vector<topo::LinkId> critical_links;
-  /// Registered policies -> scenarios (failed links) that violate them.
+  /// Registered policies -> single-link scenarios that violate them.
   std::unordered_map<PolicyId, std::vector<topo::LinkId>> policy_violations;
-  /// Scenarios where some EC developed a forwarding loop.
+  /// Single-link scenarios where some EC developed a forwarding loop.
   std::vector<topo::LinkId> loop_scenarios;
+  /// Single-link scenarios whose control plane oscillates instead of
+  /// converging (paper §6) — recorded and skipped, never fatal.
+  std::vector<topo::LinkId> diverged_links;
+  /// Per-scenario records, in scenario order (all single-link scenarios
+  /// first, then the k=2 pairs when requested). The link-keyed aggregate
+  /// fields above summarize only the single-link prefix; multi-link
+  /// results live here.
+  std::vector<ScenarioOutcome> outcomes;
   std::size_t scenarios = 0;
+  double snapshot_ms = 0;  ///< cost of checkpointing the healthy state
+  double sweep_ms = 0;     ///< total wall time of the sweep
 };
 
 /// Verify every single-link-failure scenario (or the `links` subset)
-/// incrementally: fail -> re-verify -> restore -> re-verify. The verifier
-/// is left back in the healthy state. `healthy` must be the configuration
-/// most recently applied to `rc`.
+/// incrementally, in place: fail -> re-verify -> restore -> re-verify on
+/// `rc` itself. A scenario that diverges is recorded in `diverged_links`
+/// and rolled back via a healthy-state snapshot taken at sweep start; the
+/// verifier is always left back in the healthy state with
+/// rc.poisoned() == false. `healthy` must be the configuration most
+/// recently applied to `rc`.
 FailureSweepResult sweep_single_link_failures(RealConfig& rc,
                                               const config::NetworkConfig& healthy,
                                               const std::vector<topo::LinkId>& links = {});
+
+struct FailureSweepOptions {
+  /// Scenarios to run. Empty => generated from `max_failures` over every
+  /// link: all single-link scenarios, then (for max_failures >= 2) every
+  /// unordered pair of links.
+  std::vector<FailureScenario> scenarios;
+  unsigned max_failures = 1;  ///< generated-scenario size cap (1 or 2)
+  /// Worker-pool width. Each worker forks its own full replica from the
+  /// healthy snapshot, so workers share no mutable state; results are
+  /// bit-identical for every value (scenario slots are keyed by index and
+  /// merged in order on the caller).
+  unsigned threads = 1;
+};
+
+/// Snapshot/fork sweep: checkpoint `rc`'s healthy state once, then every
+/// scenario is "restore -> apply failure delta -> check -> discard" on a
+/// forked replica — no reconvergence back to healthy between scenarios,
+/// and `rc` itself is never touched (it keeps serving queries). `healthy`
+/// must be the configuration most recently applied to `rc`.
+FailureSweepResult sweep_failures(RealConfig& rc, const config::NetworkConfig& healthy,
+                                  const FailureSweepOptions& options = {});
 
 }  // namespace rcfg::verify

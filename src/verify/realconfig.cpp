@@ -48,6 +48,42 @@ RealConfig::Report RealConfig::apply(const config::NetworkConfig& cfg) {
   return report;
 }
 
+std::shared_ptr<const RealConfig::Snapshot> RealConfig::snapshot() const {
+  if (poisoned_) {
+    throw std::logic_error(
+        "RealConfig::snapshot called on a poisoned instance: the pipeline state is "
+        "inconsistent; snapshots may only capture converged states");
+  }
+  auto snap = std::make_shared<Snapshot>();
+  snap->generator = generator_.snapshot();
+  snap->space = space_;
+  snap->ecs = ecs_.snapshot();
+  snap->model = model_.snapshot();
+  snap->checker = checker_.snapshot();
+  return snap;
+}
+
+void RealConfig::restore(const Snapshot& snap) {
+  // Order matters only in that the space must be in place before anything
+  // that could consult BDDs; everything else is a plain state overwrite.
+  space_ = snap.space;
+  ecs_.restore(snap.ecs);
+  model_.restore(snap.model);
+  checker_.restore(snap.checker);
+  generator_.restore(snap.generator);
+  poisoned_ = false;
+}
+
+std::unique_ptr<RealConfig> RealConfig::fork(const Snapshot& snap) const {
+  RealConfigOptions opts = options_;
+  opts.threads = 1;  // replicas are driven one-per-thread; no nested pools
+  auto replica = std::make_unique<RealConfig>(topo_, opts);
+  replica->generator_.set_flush_budget(generator_.flush_budget());
+  replica->generator_.set_recurrence_threshold(generator_.recurrence_threshold());
+  replica->restore(snap);
+  return replica;
+}
+
 topo::NodeId RealConfig::node_or_throw(const std::string& name) const {
   const topo::NodeId n = topo_.find_node(name);
   if (n == topo::kInvalidNode) throw std::invalid_argument("unknown node: " + name);

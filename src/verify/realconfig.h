@@ -19,6 +19,7 @@
 // is the from-scratch baseline run.
 
 #include <chrono>
+#include <memory>
 #include <string>
 
 #include "config/types.h"
@@ -72,7 +73,39 @@ class RealConfig {
   /// True once an apply() ended in NonterminationError: the pipeline state
   /// is inconsistent (the generator converged partially, the model and
   /// checker never saw the delta) and no further apply() is allowed.
+  /// restore() un-poisons by overwriting the inconsistent state wholesale.
   bool poisoned() const { return poisoned_; }
+
+  // --- checkpoint / fork ---------------------------------------------------
+  /// A converged pipeline state: generator operator state, the whole BDD
+  /// manager (so every stored BddRef — EC atoms, policy packet sets, ACL
+  /// permit sets — stays meaningful), the EC partition, the model's device
+  /// state, and the checker's pair/policy state. Immutable and cheap to
+  /// share: one snapshot can seed any number of restores/forks.
+  ///
+  /// See DESIGN.md "Snapshot / fork" for the deep-copy-vs-shared contract.
+  struct Snapshot;
+
+  /// Checkpoint the current (converged, non-poisoned) state. Throws
+  /// std::logic_error when poisoned or mid-pipeline.
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// Reset the pipeline to `snap` (taken from this instance or from any
+  /// RealConfig over the same topology and equivalent options). Clears the
+  /// poisoned flag: restoring is the sanctioned recovery path after a
+  /// divergent apply(). Component wiring (EC-split subscriptions, the
+  /// checker's worker pool) is untouched; only state is replaced.
+  void restore(const Snapshot& snap);
+
+  /// Build an independent replica seeded from `snap`: a new RealConfig on
+  /// the same topology whose next apply() re-converges incrementally from
+  /// the snapshot instead of from scratch. The replica owns a private copy
+  /// of every mutable structure (BDD manager included), so replicas are
+  /// safe to drive from different threads concurrently. Replicas are built
+  /// single-threaded (threads = 1) to keep nested worker pools out of
+  /// sharded sweeps; generator tuning (flush budget, recurrence threshold)
+  /// is inherited from this instance.
+  std::unique_ptr<RealConfig> fork(const Snapshot& snap) const;
 
   // --- policy helpers (by device name; packets default to "everything") --
   PolicyId require_reachable(const std::string& src, const std::string& dst,
@@ -84,6 +117,7 @@ class RealConfig {
 
   // --- component access ----------------------------------------------------
   const topo::Topology& topology() const { return topo_; }
+  const RealConfigOptions& options() const { return options_; }
   routing::IncrementalGenerator& generator() { return generator_; }
   dpm::PacketSpace& packet_space() { return space_; }
   dpm::EcManager& ecs() { return ecs_; }
@@ -101,6 +135,14 @@ class RealConfig {
   dpm::NetworkModel model_;
   IncrementalChecker checker_;
   bool poisoned_ = false;
+};
+
+struct RealConfig::Snapshot {
+  routing::IncrementalGenerator::Snapshot generator;
+  dpm::PacketSpace space;  ///< full BDD manager copy: keeps every BddRef valid
+  dpm::EcManager::Snapshot ecs;
+  dpm::NetworkModel::Snapshot model;
+  IncrementalChecker::Snapshot checker;
 };
 
 }  // namespace rcfg::verify

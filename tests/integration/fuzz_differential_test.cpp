@@ -10,6 +10,10 @@
 //   (4) NetworkModel::permits() never takes its BDD fallback — the eager
 //       permit_by_ec maintenance provably keeps worker threads away from
 //       the non-thread-safe BddManager.
+//   (5) what-if failure sweeps agree scenario-for-scenario between the
+//       reconverge-in-place strategy, the snapshot-fork strategy (sharded
+//       over 2 workers), and a from-scratch verifier built directly on
+//       each failed configuration.
 //
 // Change selection follows the uniquely-convergent rule from
 // tests/routing/differential_test.cpp: link failures/restores, OSPF costs,
@@ -23,6 +27,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -33,6 +38,7 @@
 #include "core/rng.h"
 #include "routing/generator.h"
 #include "topo/generators.h"
+#include "verify/failures.h"
 #include "verify/realconfig.h"
 
 namespace rcfg {
@@ -194,6 +200,58 @@ TEST(FuzzDifferential, RandomNetworksAgreeAcrossOraclesAndThreadCounts) {
 
       if (::testing::Test::HasFailure()) return;
     }
+
+    // --- Oracle 5: what-if sweep agreement --------------------------------
+    // Sample a few links that are up in the final configuration (sweeping a
+    // link the config already failed would make the serial sweep's
+    // restore_link un-fail it behind the oracle's back).
+    std::vector<topo::LinkId> sweep_links;
+    for (topo::LinkId l = 0; l < t.link_count() && sweep_links.size() < 4; ++l) {
+      if (std::find(failed.begin(), failed.end(), l) == failed.end()) {
+        sweep_links.push_back(l);
+      }
+    }
+    const verify::FailureSweepResult serial =
+        verify::sweep_single_link_failures(*lanes[0], cfg, sweep_links);
+
+    verify::FailureSweepOptions sweep_options;
+    for (const topo::LinkId l : sweep_links) {
+      sweep_options.scenarios.push_back(verify::FailureScenario{{l}});
+    }
+    sweep_options.threads = 2;
+    const verify::FailureSweepResult forked =
+        verify::sweep_failures(*lanes[0], cfg, sweep_options);
+
+    ASSERT_EQ(forked.outcomes.size(), serial.outcomes.size());
+    for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+      SCOPED_TRACE("sweep scenario " + std::to_string(i));
+      const verify::ScenarioOutcome& a = serial.outcomes[i];
+      const verify::ScenarioOutcome& b = forked.outcomes[i];
+      EXPECT_EQ(b.scenario, a.scenario);
+      EXPECT_EQ(b.diverged, a.diverged);
+      EXPECT_EQ(b.reachable_pairs, a.reachable_pairs);
+      EXPECT_EQ(b.pairs_lost, a.pairs_lost);
+      EXPECT_EQ(b.violated, a.violated);
+      EXPECT_EQ(b.gained_loop, a.gained_loop);
+
+      // From-scratch rebuild on the failed configuration: the incremental
+      // restore-then-delta path must land on the same reachable set.
+      if (!a.diverged) {
+        config::NetworkConfig scenario_cfg = cfg;
+        config::fail_link(scenario_cfg, t, a.scenario.links.front());
+        verify::RealConfig scratch(t);
+        scratch.apply(scenario_cfg);
+        EXPECT_EQ(a.reachable_pairs, scratch.checker().reachable_pairs().size());
+        EXPECT_EQ(b.gained_loop,
+                  scratch.checker().loop_count() > lanes[0]->checker().loop_count());
+      }
+    }
+    EXPECT_EQ(forked.fault_tolerant_pairs, serial.fault_tolerant_pairs);
+    EXPECT_EQ(forked.critical_links, serial.critical_links);
+
+    // Both sweeps hand the verifier back in its healthy state.
+    EXPECT_EQ(lanes[0]->checker().reachable_pairs(), serial.healthy_pairs);
+    if (::testing::Test::HasFailure()) return;
   }
 }
 

@@ -323,5 +323,95 @@ TEST(Engine, StatsWaitsForInFlightWork) {
   EXPECT_EQ(r.body.find("metrics")->find("load")->get_int("sessions_open"), 2);
 }
 
+TEST(Engine, SweepVerbMinesCriticalLinksAndViolations) {
+  // A 3-node chain: both links are critical, and each breaks the policy.
+  const topo::Topology t = topo::make_grid(3, 1);
+  const config::NetworkConfig cfg = config::build_ospf_network(t);
+  Engine engine;
+
+  Request open;
+  open.id = 1;
+  open.verb = Verb::kOpen;
+  open.session = "net";
+  open.topology.kind = "grid";
+  open.topology.w = 3;
+  open.topology.h = 1;
+  open.config_text = config::print_network(cfg);
+  ASSERT_TRUE(engine.call(std::move(open)).ok);
+
+  Request policy = verb_request(2, "net", Verb::kAddPolicy);
+  policy.policy.name = "p";
+  policy.policy.src = "n0-0";
+  policy.policy.dst = "n2-0";
+  policy.policy.prefix = config::host_prefix(t.find_node("n2-0"));
+  ASSERT_TRUE(engine.call(std::move(policy)).ok);
+
+  Request sweep = verb_request(3, "net", Verb::kSweep);
+  sweep.sweep.threads = 2;
+  sweep.sweep.detail = true;
+  const Response r = engine.call(std::move(sweep));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.body.get_int("scenarios"), 2);
+  ASSERT_NE(r.body.find("critical_links"), nullptr);
+  EXPECT_EQ(r.body.find("critical_links")->as_array().size(), 2u);
+  EXPECT_TRUE(r.body.find("diverged_links")->as_array().empty());
+  const json::Value* violated = r.body.find("policy_violations")->find("p");
+  ASSERT_NE(violated, nullptr);
+  EXPECT_EQ(violated->as_array().size(), 2u);
+  ASSERT_NE(r.body.find("outcomes"), nullptr);
+  const auto& outcomes = r.body.find("outcomes")->as_array();
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const json::Value& o : outcomes) {
+    EXPECT_FALSE(o.get_bool("diverged"));
+    EXPECT_GT(o.get_int("pairs_lost"), 0);
+  }
+
+  // A link subset narrows the sweep; without detail there is no outcome
+  // array. Out-of-range links are rejected.
+  Request subset = verb_request(4, "net", Verb::kSweep);
+  subset.sweep.links = {0};
+  const Response rs = engine.call(std::move(subset));
+  ASSERT_TRUE(rs.ok);
+  EXPECT_EQ(rs.body.get_int("scenarios"), 1);
+  EXPECT_EQ(rs.body.find("outcomes"), nullptr);
+
+  Request bad = verb_request(5, "net", Verb::kSweep);
+  bad.sweep.links = {99};
+  EXPECT_FALSE(engine.call(std::move(bad)).ok);
+
+  EXPECT_EQ(engine.metrics().sweeps.value(), 3u);
+  EXPECT_EQ(engine.metrics().sweep_scenarios.value(), 3u);
+  EXPECT_EQ(engine.metrics().sweep_diverged.value(), 0u);
+}
+
+TEST(Engine, SweepVerbSurvivesDivergentScenarios) {
+  // The stabilized bad gadget: healthy converges because m1 strongly
+  // prefers its direct route from m0; failing link m0-m1 re-exposes the
+  // dispute wheel. The sweep must report that scenario as diverged and
+  // leave the session fully usable.
+  const topo::Topology t = topo::make_full_mesh(4);
+  config::NetworkConfig cfg = testutil::bad_gadget(t);
+  config::set_local_pref(cfg, "m1", "to-m0", 300);
+
+  Engine engine;
+  Request open = open_request(1, "net", "full_mesh", 4, cfg);
+  open.options = testutil::fast_divergence_options();
+  ASSERT_TRUE(engine.call(std::move(open)).ok);
+
+  Request sweep = verb_request(2, "net", Verb::kSweep);
+  sweep.sweep.threads = 2;
+  const Response r = engine.call(std::move(sweep));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.body.get_int("scenarios"), static_cast<std::int64_t>(t.link_count()));
+  EXPECT_EQ(r.body.find("diverged_links")->as_array().size(), 1u);
+  EXPECT_EQ(engine.metrics().sweep_diverged.value(), 1u);
+
+  // The sweep ran on forked replicas: the live verifier is untouched and
+  // the session keeps serving.
+  const Response q = engine.call(verb_request(3, "net", Verb::kQuery));
+  ASSERT_TRUE(q.ok);
+  EXPECT_EQ(q.body.get_int("rebuilds"), 0);
+}
+
 }  // namespace
 }  // namespace rcfg::service

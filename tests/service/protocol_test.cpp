@@ -59,6 +59,22 @@ TEST(Protocol, ParsesEveryVerb) {
   r = parse_request(R"({"id":7,"op":"stats"})");
   EXPECT_EQ(r.verb, Verb::kStats);
   EXPECT_TRUE(r.session.empty());
+
+  r = parse_request(
+      R"({"id":8,"op":"sweep","session":"s","links":[3,0,7],"max_failures":2,)"
+      R"("threads":4,"detail":true})");
+  EXPECT_EQ(r.verb, Verb::kSweep);
+  EXPECT_EQ(r.sweep.links, (std::vector<topo::LinkId>{3, 0, 7}));
+  EXPECT_EQ(r.sweep.max_failures, 2u);
+  EXPECT_EQ(r.sweep.threads, 4u);
+  EXPECT_TRUE(r.sweep.detail);
+
+  // Everything optional: defaults are a full single-failure serial sweep.
+  r = parse_request(R"({"id":9,"op":"sweep","session":"s"})");
+  EXPECT_TRUE(r.sweep.links.empty());
+  EXPECT_EQ(r.sweep.max_failures, 1u);
+  EXPECT_EQ(r.sweep.threads, 1u);
+  EXPECT_FALSE(r.sweep.detail);
 }
 
 TEST(Protocol, RejectsMalformedRequests) {
@@ -77,6 +93,12 @@ TEST(Protocol, RejectsMalformedRequests) {
       parse_request(
           R"({"op":"add_policy","session":"s","policy":{"name":"p","src":"a","dst":"b","prefix":"299.0.0.0/8"}})"),
       ProtocolError);  // bad prefix
+  EXPECT_THROW(parse_request(R"({"op":"sweep"})"), ProtocolError);  // no session
+  EXPECT_THROW(parse_request(R"({"op":"sweep","session":"s","links":3})"),
+               ProtocolError);  // links must be an array
+  EXPECT_THROW(parse_request(R"({"op":"sweep","session":"s","links":[-1]})"), ProtocolError);
+  EXPECT_THROW(parse_request(R"({"op":"sweep","session":"s","max_failures":3})"),
+               ProtocolError);  // only k <= 2 scenarios are generated
 }
 
 TEST(Protocol, BuildTopologyKinds) {

@@ -90,5 +90,138 @@ TEST(FailureSweep, SubsetOfLinks) {
   EXPECT_EQ(r.scenarios, 2u);
 }
 
+// ---------------------------------------------------------------------------
+// Divergent scenarios and the snapshot-fork sweep
+// ---------------------------------------------------------------------------
+
+/// Griffin's BAD GADGET on full_mesh(4), stabilized: m1's strong preference
+/// for its direct route from m0 breaks the dispute wheel, so the healthy
+/// configuration converges — but failing link m0–m1 removes exactly that
+/// route and re-exposes the oscillation.
+config::NetworkConfig stabilized_gadget(const topo::Topology& t) {
+  config::NetworkConfig cfg = config::build_bgp_network(t);
+  for (unsigned i = 1; i <= 3; ++i) {
+    cfg.devices.at("m" + std::to_string(i)).bgp->networks.clear();
+  }
+  config::set_local_pref(cfg, "m1", "to-m2", 200);
+  config::set_local_pref(cfg, "m2", "to-m3", 200);
+  config::set_local_pref(cfg, "m3", "to-m1", 200);
+  config::set_local_pref(cfg, "m1", "to-m0", 300);
+  return cfg;
+}
+
+topo::LinkId link_between(const topo::Topology& t, const std::string& a,
+                          const std::string& b) {
+  for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+    const auto& lk = t.link(l);
+    const std::string& na = t.node(lk.a).name;
+    const std::string& nb = t.node(lk.b).name;
+    if ((na == a && nb == b) || (na == b && nb == a)) return l;
+  }
+  throw std::logic_error("no link " + a + "-" + b);
+}
+
+void prime_gadget_verifier(RealConfig& rc, const config::NetworkConfig& healthy) {
+  rc.generator().set_flush_budget(2'000'000);
+  rc.generator().set_recurrence_threshold(500);
+  rc.apply(healthy);
+}
+
+TEST(FailureSweep, DivergentScenarioIsRecordedNotFatal) {
+  const topo::Topology t = topo::make_full_mesh(4);
+  const config::NetworkConfig healthy = stabilized_gadget(t);
+  RealConfig rc(t);
+  prime_gadget_verifier(rc, healthy);
+  const topo::LinkId bad = link_between(t, "m0", "m1");
+
+  const FailureSweepResult r = sweep_single_link_failures(rc, healthy);
+  EXPECT_EQ(r.scenarios, t.link_count());
+  ASSERT_EQ(r.diverged_links, std::vector<topo::LinkId>{bad});
+  ASSERT_EQ(r.outcomes.size(), t.link_count());
+  for (const ScenarioOutcome& out : r.outcomes) {
+    EXPECT_EQ(out.diverged, out.scenario.links.front() == bad);
+  }
+
+  // The satellite bugfix: the sweep must not leave the verifier poisoned —
+  // the divergent scenario was rolled back to the healthy snapshot.
+  EXPECT_FALSE(rc.poisoned());
+  EXPECT_EQ(rc.checker().reachable_pairs(), r.healthy_pairs);
+  EXPECT_NO_THROW(rc.apply(healthy));
+}
+
+TEST(FailureSweep, ForkSweepAgreesWithReconvergeSweep) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  RealConfig rc(t);
+  rc.apply(cfg);
+  rc.require_reachable("edge0-0", "edge1-1", config::host_prefix(t.find_node("edge1-1")));
+
+  const FailureSweepResult serial = sweep_single_link_failures(rc, cfg);
+
+  for (const unsigned threads : {1u, 2u}) {
+    FailureSweepOptions options;
+    options.threads = threads;
+    const FailureSweepResult forked = sweep_failures(rc, cfg, options);
+
+    EXPECT_EQ(forked.scenarios, serial.scenarios);
+    EXPECT_EQ(forked.healthy_pairs, serial.healthy_pairs);
+    EXPECT_EQ(forked.fault_tolerant_pairs, serial.fault_tolerant_pairs);
+    EXPECT_EQ(forked.critical_links, serial.critical_links);
+    EXPECT_EQ(forked.policy_violations, serial.policy_violations);
+    EXPECT_EQ(forked.loop_scenarios, serial.loop_scenarios);
+    EXPECT_EQ(forked.diverged_links, serial.diverged_links);
+    ASSERT_EQ(forked.outcomes.size(), serial.outcomes.size());
+    for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+      const ScenarioOutcome& a = serial.outcomes[i];
+      const ScenarioOutcome& b = forked.outcomes[i];
+      EXPECT_EQ(b.scenario, a.scenario) << "scenario " << i;
+      EXPECT_EQ(b.diverged, a.diverged);
+      EXPECT_EQ(b.reachable_pairs, a.reachable_pairs);
+      EXPECT_EQ(b.pairs_lost, a.pairs_lost);
+      EXPECT_EQ(b.violated, a.violated);
+      EXPECT_EQ(b.gained_loop, a.gained_loop);
+    }
+  }
+  // The fork sweep never touched the caller's verifier.
+  EXPECT_EQ(rc.checker().reachable_pairs(), serial.healthy_pairs);
+}
+
+TEST(FailureSweep, ForkSweepRecordsDivergenceWithoutTouchingParent) {
+  const topo::Topology t = topo::make_full_mesh(4);
+  const config::NetworkConfig healthy = stabilized_gadget(t);
+  RealConfig rc(t);
+  prime_gadget_verifier(rc, healthy);
+  const topo::LinkId bad = link_between(t, "m0", "m1");
+
+  FailureSweepOptions options;
+  options.threads = 2;
+  const FailureSweepResult r = sweep_failures(rc, healthy, options);
+  EXPECT_EQ(r.diverged_links, std::vector<topo::LinkId>{bad});
+  EXPECT_FALSE(rc.poisoned());
+  EXPECT_EQ(rc.checker().reachable_pairs(), r.healthy_pairs);
+}
+
+TEST(FailureSweep, MaxFailuresTwoCoversEveryPair) {
+  const topo::Topology t = topo::make_ring(4);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  RealConfig rc(t);
+  rc.apply(cfg);
+
+  FailureSweepOptions options;
+  options.max_failures = 2;
+  const FailureSweepResult r = sweep_failures(rc, cfg, options);
+  const std::size_t n = t.link_count();
+  ASSERT_EQ(r.scenarios, n + n * (n - 1) / 2);
+  // Singles first, then pairs; link-keyed aggregates only see the singles.
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(r.outcomes[i].scenario.links.size(), 1u);
+  for (std::size_t i = n; i < r.outcomes.size(); ++i) {
+    EXPECT_EQ(r.outcomes[i].scenario.links.size(), 2u);
+  }
+  // A ring survives any single failure but is partitioned by any two
+  // non-adjacent failures, so the two-failure spec is strictly smaller.
+  const FailureSweepResult singles = sweep_failures(rc, cfg, {});
+  EXPECT_LT(r.fault_tolerant_pairs.size(), singles.fault_tolerant_pairs.size());
+}
+
 }  // namespace
 }  // namespace rcfg::verify

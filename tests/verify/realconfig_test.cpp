@@ -196,5 +196,114 @@ TEST(RealConfig, NonconvergentConfigThrows) {
   EXPECT_THROW(rc.apply(config::build_bgp_network(t)), std::logic_error);
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot / fork
+// ---------------------------------------------------------------------------
+
+/// Griffin's BAD GADGET on full_mesh(4), stabilized: m1's strong preference
+/// for its direct route from m0 breaks the dispute wheel, so the healthy
+/// configuration converges — but failing link m0–m1 removes exactly that
+/// route and re-exposes the oscillation.
+config::NetworkConfig stabilized_gadget(const topo::Topology& t) {
+  config::NetworkConfig cfg = config::build_bgp_network(t);
+  for (unsigned i = 1; i <= 3; ++i) {
+    cfg.devices.at("m" + std::to_string(i)).bgp->networks.clear();
+  }
+  config::set_local_pref(cfg, "m1", "to-m2", 200);
+  config::set_local_pref(cfg, "m2", "to-m3", 200);
+  config::set_local_pref(cfg, "m3", "to-m1", 200);
+  config::set_local_pref(cfg, "m1", "to-m0", 300);
+  return cfg;
+}
+
+topo::LinkId link_between(const topo::Topology& t, const std::string& a,
+                          const std::string& b) {
+  for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+    const auto& lk = t.link(l);
+    const std::string& na = t.node(lk.a).name;
+    const std::string& nb = t.node(lk.b).name;
+    if ((na == a && nb == b) || (na == b && nb == a)) return l;
+  }
+  throw std::logic_error("no link " + a + "-" + b);
+}
+
+TEST(RealConfigSnapshot, RestoreRewindsPipelineState) {
+  // A chain, so a link failure genuinely partitions the network.
+  const topo::Topology t = topo::make_grid(3, 1);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  RealConfig rc(t);
+  rc.apply(cfg);
+  const PolicyId pid =
+      rc.require_reachable("n0-0", "n2-0", config::host_prefix(t.find_node("n2-0")));
+
+  const auto healthy_pairs = rc.checker().reachable_pairs();
+  const auto snap = rc.snapshot();
+
+  config::NetworkConfig failed = cfg;
+  config::fail_link(failed, t, 1);
+  rc.apply(failed);
+  const auto failed_pairs = rc.checker().reachable_pairs();
+  ASSERT_NE(failed_pairs, healthy_pairs);
+
+  rc.restore(*snap);
+  EXPECT_EQ(rc.checker().reachable_pairs(), healthy_pairs);
+  EXPECT_TRUE(rc.checker().policy_satisfied(pid));
+
+  // Incremental work from the restored state reproduces the first run
+  // exactly: the whole pipeline (not just the checker) was rewound.
+  rc.apply(failed);
+  EXPECT_EQ(rc.checker().reachable_pairs(), failed_pairs);
+}
+
+TEST(RealConfigSnapshot, ForkedReplicaMatchesParentAndLeavesItUntouched) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  RealConfig rc(t);
+  rc.apply(cfg);
+  const auto healthy_pairs = rc.checker().reachable_pairs();
+
+  const auto snap = rc.snapshot();
+  const std::unique_ptr<RealConfig> replica = rc.fork(*snap);
+  EXPECT_EQ(replica->checker().reachable_pairs(), healthy_pairs);
+
+  // The replica diverges from the parent without touching it.
+  config::NetworkConfig failed = cfg;
+  config::fail_link(failed, t, 5);
+  replica->apply(failed);
+  EXPECT_EQ(rc.checker().reachable_pairs(), healthy_pairs);
+
+  // The replica's incremental verdicts equal the parent's on the same delta.
+  rc.apply(failed);
+  EXPECT_EQ(replica->checker().reachable_pairs(), rc.checker().reachable_pairs());
+  EXPECT_EQ(replica->checker().loop_count(), rc.checker().loop_count());
+  EXPECT_EQ(replica->checker().blackhole_count(), rc.checker().blackhole_count());
+}
+
+TEST(RealConfigSnapshot, RestoreUnpoisonsAfterDivergence) {
+  const topo::Topology t = topo::make_full_mesh(4);
+  const config::NetworkConfig healthy = stabilized_gadget(t);
+  RealConfig rc(t);
+  rc.generator().set_flush_budget(2'000'000);
+  rc.generator().set_recurrence_threshold(500);
+  rc.apply(healthy);
+  const auto healthy_pairs = rc.checker().reachable_pairs();
+  const auto snap = rc.snapshot();
+
+  config::NetworkConfig failed = healthy;
+  config::fail_link(failed, t, link_between(t, "m0", "m1"));
+  ASSERT_THROW(rc.apply(failed), dd::NonterminationError);
+  ASSERT_TRUE(rc.poisoned());
+  EXPECT_THROW(rc.snapshot(), std::logic_error);  // no checkpointing mid-wreck
+
+  rc.restore(*snap);
+  EXPECT_FALSE(rc.poisoned());
+  EXPECT_EQ(rc.checker().reachable_pairs(), healthy_pairs);
+
+  // And the recovered instance verifies converging deltas again.
+  config::NetworkConfig other = healthy;
+  config::fail_link(other, t, link_between(t, "m2", "m3"));
+  EXPECT_NO_THROW(rc.apply(other));
+}
+
 }  // namespace
 }  // namespace rcfg::verify
