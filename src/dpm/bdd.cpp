@@ -10,6 +10,7 @@ namespace rcfg::dpm {
 
 namespace {
 constexpr unsigned kTerminalVar = ~0u;
+constexpr unsigned kFreeVar = ~0u - 1;  ///< poison marker for reclaimed slots
 
 std::uint64_t unique_key(unsigned var, BddRef lo, BddRef hi) {
   // var < 2^16 in practice; lo/hi < 2^24 comfortably for our workloads, but
@@ -26,6 +27,7 @@ std::uint64_t apply_key(unsigned op, BddRef a, BddRef b) {
 BddManager::BddManager(unsigned var_count) : var_count_(var_count) {
   nodes_.push_back(Node{kTerminalVar, kBddFalse, kBddFalse});  // 0 = false
   nodes_.push_back(Node{kTerminalVar, kBddTrue, kBddTrue});    // 1 = true
+  refs_.resize(nodes_.size(), 0);
 }
 
 BddRef BddManager::make(unsigned var, BddRef lo, BddRef hi) {
@@ -37,10 +39,74 @@ BddRef BddManager::make(unsigned var, BddRef lo, BddRef hi) {
     const Node& n = nodes_[it->second];
     if (n.var == var && n.lo == lo && n.hi == hi) return it->second;
   }
-  const BddRef r = static_cast<BddRef>(nodes_.size());
-  nodes_.push_back(Node{var, lo, hi});
+  BddRef r;
+  if (!free_.empty()) {
+    r = free_.back();
+    free_.pop_back();
+    nodes_[r] = Node{var, lo, hi};
+    refs_[r] = 0;
+  } else {
+    r = static_cast<BddRef>(nodes_.size());
+    nodes_.push_back(Node{var, lo, hi});
+    refs_.push_back(0);
+  }
   unique_[key] = r;
   return r;
+}
+
+void BddManager::add_ref(BddRef a) noexcept {
+  if (a > kBddTrue) ++refs_[a];
+}
+
+void BddManager::release(BddRef a) noexcept {
+  if (a > kBddTrue && refs_[a] > 0) --refs_[a];
+}
+
+std::uint32_t BddManager::ref_count(BddRef a) const noexcept {
+  return a > kBddTrue ? refs_[a] : 0;
+}
+
+std::size_t BddManager::gc() {
+  // Mark: everything reachable from an externally pinned node stays.
+  std::vector<bool> marked(nodes_.size(), false);
+  marked[kBddFalse] = marked[kBddTrue] = true;
+  std::vector<BddRef> stack;
+  for (BddRef r = kBddTrue + 1; r < nodes_.size(); ++r) {
+    if (refs_[r] > 0) stack.push_back(r);
+  }
+  while (!stack.empty()) {
+    const BddRef r = stack.back();
+    stack.pop_back();
+    if (marked[r]) continue;
+    marked[r] = true;
+    const Node& n = nodes_[r];
+    if (!marked[n.lo]) stack.push_back(n.lo);
+    if (!marked[n.hi]) stack.push_back(n.hi);
+  }
+
+  // Sweep: unhook dead nodes from the hash-cons table, poison, recycle.
+  std::size_t reclaimed = 0;
+  for (BddRef r = kBddTrue + 1; r < nodes_.size(); ++r) {
+    if (marked[r] || nodes_[r].var == kFreeVar) continue;
+    const Node& n = nodes_[r];
+    const std::uint64_t key = unique_key(n.var, n.lo, n.hi);
+    if (auto it = unique_.find(key); it != unique_.end() && it->second == r) {
+      unique_.erase(it);
+    }
+    nodes_[r] = Node{kFreeVar, kBddFalse, kBddFalse};
+    refs_[r] = 0;
+    free_.push_back(r);
+    ++reclaimed;
+  }
+
+  // The memo caches may name reclaimed ids; a recycled slot would make a
+  // stale hit silently wrong, so drop them wholesale.
+  if (reclaimed > 0) {
+    apply_cache_.clear();
+    not_cache_.clear();
+    count_cache_.clear();
+  }
+  return reclaimed;
 }
 
 BddRef BddManager::var(unsigned v) {

@@ -2,9 +2,13 @@
 
 // A reduced, ordered binary decision diagram (ROBDD) package — the symbolic
 // set representation under the data plane model (the role bdd/javabdd plays
-// for APKeep). Hash-consed nodes, memoized apply, no GC (the verifier's
-// working sets are small and node ids must stay stable for the lifetime of
-// the model; `node_count()` exposes growth for the benches).
+// for APKeep). Hash-consed nodes, memoized apply, and refcount-rooted
+// mark-sweep GC: callers pin the functions they hold across operations with
+// add_ref()/release(), and gc() reclaims every node unreachable from a
+// pinned root. Live node ids never move (freed slots are recycled by
+// make()), so a BddRef held under a root stays valid — and stays *equal*
+// after rebuilds of the same function, because the surviving node keeps its
+// hash-cons identity. `node_count()` reports live nodes for the benches.
 
 #include <cstdint>
 #include <functional>
@@ -28,7 +32,24 @@ class BddManager {
   explicit BddManager(unsigned var_count);
 
   unsigned var_count() const noexcept { return var_count_; }
-  std::size_t node_count() const noexcept { return nodes_.size(); }
+  /// Live (non-freed) nodes, terminals included.
+  std::size_t node_count() const noexcept { return nodes_.size() - free_.size(); }
+  /// Total slots ever allocated (live + recyclable).
+  std::size_t node_capacity() const noexcept { return nodes_.size(); }
+
+  /// Pin `a` (and transitively everything below it) across gc() calls.
+  /// Terminals are always live; pinning them is a no-op.
+  void add_ref(BddRef a) noexcept;
+  /// Drop one pin. The nodes stay valid until the next gc().
+  void release(BddRef a) noexcept;
+  /// External pins on `a` (terminals report 0; they need no pin).
+  std::uint32_t ref_count(BddRef a) const noexcept;
+
+  /// Mark from every pinned root, sweep dead nodes out of the hash-cons
+  /// table, clear the memo caches, and recycle the slots. Returns the
+  /// number of nodes reclaimed. Any BddRef not reachable from a pinned
+  /// root is invalid afterwards.
+  std::size_t gc();
 
   /// The function "variable v is 1".
   BddRef var(unsigned v);
@@ -80,6 +101,8 @@ class BddManager {
 
   unsigned var_count_;
   std::vector<Node> nodes_;
+  std::vector<std::uint32_t> refs_;  ///< external pins, parallel to nodes_
+  std::vector<BddRef> free_;         ///< reclaimed slots, recycled by make()
   std::unordered_map<std::uint64_t, BddRef> unique_;  ///< (var, lo, hi) -> node
   std::unordered_map<std::uint64_t, BddRef> apply_cache_;
   std::unordered_map<BddRef, BddRef> not_cache_;

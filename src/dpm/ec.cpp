@@ -1,30 +1,53 @@
 #include "dpm/ec.h"
 
+#include <algorithm>
+#include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace rcfg::dpm {
 
 EcManager::EcManager(PacketSpace& space) : space_(space) {
   atoms_.push_back(kBddTrue);  // EC 0: the whole packet space
+  atom_index_.emplace(kBddTrue, 0);
 }
 
 std::vector<EcManager::Split> EcManager::register_predicate(BddRef p) {
   std::vector<Split> splits;
+  // True/false refine nothing; keeping them out of predicates_ means the
+  // refcount map only ever holds predicates that pin a real BDD root.
+  if (p == kBddTrue || p == kBddFalse) return splits;
   auto [it, fresh] = predicates_.try_emplace(p, 0);
   ++it->second;
   if (!fresh) return splits;  // partition already refined for p
-  if (p == kBddTrue || p == kBddFalse) return splits;
 
   BddManager& bdd = space_.bdd();
+  bdd.add_ref(p);  // the predicate key is a GC root while registered
   const std::size_t n = atoms_.size();
   for (EcId id = 0; id < n; ++id) {
     const BddRef inside = bdd.bdd_and(atoms_[id], p);
     if (inside == kBddFalse || inside == atoms_[id]) continue;  // no straddle
     const BddRef outside = bdd.bdd_diff(atoms_[id], p);
     // Parent keeps the outside part; the new child gets the inside part.
+    // Re-root before releasing so neither half is ever unpinned.
+    bdd.add_ref(outside);
+    bdd.add_ref(inside);
+    bdd.release(atoms_[id]);
+    atom_index_.erase(atoms_[id]);
     atoms_[id] = outside;
+    atom_index_.emplace(outside, id);
     const EcId child = static_cast<EcId>(atoms_.size());
     atoms_.push_back(inside);
+    atom_index_.emplace(inside, child);
+    // Cached member lists: the parent was wholly inside or wholly outside
+    // every cached predicate (the partition was refined for it), so the
+    // child belongs exactly where the parent does. Child ids are
+    // allocated in increasing order, so push_back keeps lists sorted.
+    for (auto& [q, members] : members_) {
+      if (std::binary_search(members.begin(), members.end(), id)) {
+        members.push_back(child);
+      }
+    }
     const Split s{id, child};
     for (const SplitListener& l : listeners_) l(s);
     splits.push_back(s);
@@ -33,30 +56,101 @@ std::vector<EcManager::Split> EcManager::register_predicate(BddRef p) {
 }
 
 void EcManager::unregister_predicate(BddRef p) {
+  if (p == kBddTrue || p == kBddFalse) return;  // mirrors register: never tracked
   auto it = predicates_.find(p);
-  if (it == predicates_.end()) return;
-  if (--it->second == 0) predicates_.erase(it);
-}
-
-void EcManager::compact() {
-  atoms_.clear();
-  atoms_.push_back(kBddTrue);
-  std::unordered_map<BddRef, std::uint32_t> keep = std::move(predicates_);
-  predicates_.clear();
-  for (const auto& [p, refs] : keep) {
-    register_predicate(p);
-    predicates_[p] = refs;  // restore the original refcount
+  if (it == predicates_.end()) {
+    // Never registered: a register/unregister pairing bug in the caller.
+    ++stats_.unknown_unregisters;
+    assert(false && "unregister_predicate: predicate was never registered");
+    return;
+  }
+  if (--it->second == 0) {
+    space_.bdd().release(it->first);
+    predicates_.erase(it);
+    members_.erase(p);
+    ++dropped_since_compact_;
   }
 }
 
-std::vector<EcId> EcManager::ecs_in(BddRef p) const {
+std::optional<EcRemap> EcManager::compact() {
+  dropped_since_compact_ = 0;
+  const std::size_t n = atoms_.size();
+  if (n <= 1) return std::nullopt;
+
+  // Signature basis: the registered predicates in BddRef order — a
+  // deterministic order independent of hash-map iteration. Every atom is
+  // wholly inside or wholly disjoint from each basis predicate, so a
+  // byte per predicate captures its side exactly.
+  std::vector<BddRef> basis;
+  basis.reserve(predicates_.size());
+  for (const auto& [p, refs] : predicates_) basis.push_back(p);
+  std::sort(basis.begin(), basis.end());
+
+  BddManager& bdd = space_.bdd();
+  EcRemap remap;
+  remap.forward.resize(n);
+  std::vector<std::vector<EcId>> groups;
+  std::unordered_map<std::string, EcId> by_sig;
+  for (EcId id = 0; id < n; ++id) {
+    std::string sig(basis.size(), '0');
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+      if (!bdd.disjoint(atoms_[id], basis[i])) sig[i] = '1';
+    }
+    const auto [slot, fresh] =
+        by_sig.try_emplace(std::move(sig), static_cast<EcId>(groups.size()));
+    if (fresh) groups.emplace_back();
+    groups[slot->second].push_back(id);
+    remap.forward[id] = slot->second;
+  }
+  remap.new_count = groups.size();
+  if (remap.new_count == n) return std::nullopt;  // already minimal
+
+  // Union each group into its surviving atom. Pin the new atoms before
+  // releasing the old ones so shared nodes never go unrooted.
+  std::vector<BddRef> merged(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    BddRef u = kBddFalse;
+    for (const EcId id : groups[g]) u = bdd.bdd_or(u, atoms_[id]);
+    merged[g] = u;
+    bdd.add_ref(u);
+  }
+  for (const BddRef a : atoms_) bdd.release(a);
+  atoms_ = std::move(merged);
+  atom_index_.clear();
+  for (EcId id = 0; id < atoms_.size(); ++id) atom_index_.emplace(atoms_[id], id);
+  members_.clear();  // ids changed wholesale; recompute lazily
+
+  ++stats_.compactions;
+  stats_.merged_atoms += n - remap.new_count;
+  for (const RemapListener& l : remap_listeners_) l(remap);
+  return remap;
+}
+
+std::vector<EcId> EcManager::scan_members(BddRef p) const {
   std::vector<EcId> out;
-  if (p == kBddFalse) return out;
   BddManager& bdd = space_.bdd();
   for (EcId id = 0; id < atoms_.size(); ++id) {
     if (!bdd.disjoint(atoms_[id], p)) out.push_back(id);
   }
   return out;
+}
+
+std::vector<EcId> EcManager::ecs_in(BddRef p) const {
+  if (p == kBddFalse) return {};
+  if (p == kBddTrue) {
+    std::vector<EcId> all(atoms_.size());
+    for (EcId id = 0; id < atoms_.size(); ++id) all[id] = id;
+    return all;
+  }
+  // Single-atom fast path: atoms are pairwise disjoint, so a predicate
+  // that *is* an atom contains exactly that atom.
+  if (const auto it = atom_index_.find(p); it != atom_index_.end()) return {it->second};
+  if (predicates_.find(p) != predicates_.end()) {
+    const auto [it, fresh] = members_.try_emplace(p);
+    if (fresh) it->second = scan_members(p);
+    return it->second;
+  }
+  return scan_members(p);
 }
 
 EcId EcManager::ec_of(BddRef packet_cube) const {
@@ -65,6 +159,20 @@ EcId EcManager::ec_of(BddRef packet_cube) const {
     if (!bdd.disjoint(atoms_[id], packet_cube)) return id;
   }
   throw std::logic_error("packet outside every EC (partition invariant broken)");
+}
+
+std::uint32_t EcManager::predicate_refs(BddRef p) const {
+  const auto it = predicates_.find(p);
+  return it == predicates_.end() ? 0 : it->second;
+}
+
+void EcManager::restore(const Snapshot& snap) {
+  atoms_ = snap.atoms;
+  predicates_ = snap.predicates;
+  dropped_since_compact_ = snap.dropped_since_compact;
+  atom_index_.clear();
+  for (EcId id = 0; id < atoms_.size(); ++id) atom_index_.emplace(atoms_[id], id);
+  members_.clear();
 }
 
 }  // namespace rcfg::dpm

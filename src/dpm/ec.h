@@ -6,13 +6,23 @@
 // packets are treated identically by every rule in the network, so
 // verification reasons per-EC instead of per-packet.
 //
-// Registering a predicate splits every straddling atom in two; atoms only
-// ever get finer (this implementation does not merge on predicate
-// unregistration — a finer-than-minimal partition stays correct, see
-// DESIGN.md; compact() rebuilds minimality between benchmark phases).
+// Registering a predicate splits every straddling atom in two. The inverse
+// direction is handled by compact(): once unregister_predicate() has
+// dropped the last reference to one or more predicates, atoms that are no
+// longer distinguished by any *remaining* predicate are merged, and every
+// subscriber learns the old-id → new-id mapping through an EcRemap
+// notification — so long-lived sessions keep the partition minimal instead
+// of refining forever (see DESIGN.md "Memory reclamation").
+//
+// The manager also owns the BDD garbage-collection roots for the
+// partition: every atom BDD and every registered predicate key is pinned
+// with BddManager::add_ref() and released when it dies, so a
+// BddManager::gc() between batches reclaims exactly the nodes no longer
+// reachable from the current configuration's state.
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +31,16 @@
 namespace rcfg::dpm {
 
 using EcId = std::uint32_t;
+
+/// A merge event produced by EcManager::compact(): every old EC id maps
+/// through `forward` onto a dense range [0, new_count). Merged atoms share
+/// a forward target; new ids are assigned by first occurrence in old-id
+/// order, so an unmerged prefix keeps its ids. Every structure indexing
+/// ECs must translate its keys before the next query.
+struct EcRemap {
+  std::vector<EcId> forward;  ///< old EcId -> new EcId (size = old ec_count)
+  std::size_t new_count = 0;
+};
 
 class EcManager {
  public:
@@ -40,29 +60,63 @@ class EcManager {
   using SplitListener = std::function<void(const Split&)>;
   void subscribe(SplitListener listener) { listeners_.push_back(std::move(listener)); }
 
+  /// Same contract for merges: compact() fires each subscriber once with
+  /// the full remap, after atoms_ already reflects the new partition.
+  using RemapListener = std::function<void(const EcRemap&)>;
+  void subscribe_remap(RemapListener listener) {
+    remap_listeners_.push_back(std::move(listener));
+  }
+
   /// Refine the partition w.r.t. `p`. Idempotent per distinct BDD (a
   /// reference count tracks repeated registrations). Listeners fire once
-  /// per split before this returns.
+  /// per split before this returns. The trivial predicates true/false
+  /// never refine anything and are not tracked at all.
   std::vector<Split> register_predicate(BddRef p);
 
-  /// Drop one reference to `p`. Atoms are not merged (documented above).
+  /// Drop one reference to `p`. When the last reference goes, the
+  /// predicate stops pinning its BDD root and becomes eligible for
+  /// merging at the next compact(). Unregistering a predicate that was
+  /// never registered asserts in debug builds and is counted in stats()
+  /// — it means the caller's register/unregister pairing is broken.
   void unregister_predicate(BddRef p);
 
-  /// Rebuild the minimal partition for the currently referenced predicates.
-  /// Invalidates all EC ids; only call between verification phases.
-  void compact();
+  /// Merge atoms that are indistinguishable under the currently registered
+  /// predicates, restoring the minimal partition. Safe to call with live
+  /// subscribers: returns the EcRemap (also fanned out to remap
+  /// listeners) when anything merged, nullopt when the partition was
+  /// already minimal. Deterministic: independent of hash-map iteration
+  /// order and thread count.
+  std::optional<EcRemap> compact();
+
+  /// Counters for refcount hygiene and reclamation activity.
+  struct Stats {
+    std::uint64_t unknown_unregisters = 0;  ///< unregister of an unknown predicate
+    std::uint64_t compactions = 0;          ///< compact() calls that merged atoms
+    std::uint64_t merged_atoms = 0;         ///< atoms eliminated across all compactions
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Predicates whose refcount hit zero since the last compact(). Merges
+  /// only become possible after such a drop, so reclamation can skip the
+  /// signature pass while this is zero.
+  std::size_t dropped_since_compact() const noexcept { return dropped_since_compact_; }
 
   std::size_t ec_count() const noexcept { return atoms_.size(); }
   BddRef ec_bdd(EcId id) const { return atoms_.at(id); }
 
   /// All ECs contained in `p`. `p` must be a boolean combination of
   /// registered predicates (then every atom is inside or disjoint).
+  /// Fast paths: false/true/single-atom answer without touching the BDD
+  /// engine; registered predicates get a cached member list maintained
+  /// across splits and invalidated by compact()/restore().
   std::vector<EcId> ecs_in(BddRef p) const;
 
   /// The EC containing a fully specified packet (by its BDD cube).
   EcId ec_of(BddRef packet_cube) const;
 
   std::size_t predicate_count() const noexcept { return predicates_.size(); }
+  /// Current refcount of a registered predicate (0 when unknown/trivial).
+  std::uint32_t predicate_refs(BddRef p) const;
 
   /// Value copy of the partition (atom BDD refs + predicate refcounts).
   /// The BddRefs are only meaningful alongside the PacketSpace state they
@@ -71,23 +125,34 @@ class EcManager {
   struct Snapshot {
     std::vector<BddRef> atoms;
     std::unordered_map<BddRef, std::uint32_t> predicates;
+    std::size_t dropped_since_compact = 0;
   };
 
-  Snapshot snapshot() const { return Snapshot{atoms_, predicates_}; }
+  Snapshot snapshot() const { return Snapshot{atoms_, predicates_, dropped_since_compact_}; }
 
-  /// Reset the partition to `snap`. Split listeners are deliberately kept:
-  /// they are subscriptions wired to sibling components (model, checker),
-  /// part of the pipeline's topology rather than its state.
-  void restore(const Snapshot& snap) {
-    atoms_ = snap.atoms;
-    predicates_ = snap.predicates;
-  }
+  /// Reset the partition to `snap`. Split/remap listeners are deliberately
+  /// kept: they are subscriptions wired to sibling components (model,
+  /// checker), part of the pipeline's topology rather than its state.
+  /// BDD roots are NOT re-pinned here — restore only makes sense next to
+  /// a PacketSpace restored from the same snapshot, whose BddManager
+  /// already carries the matching refcounts.
+  void restore(const Snapshot& snap);
 
  private:
+  std::vector<EcId> scan_members(BddRef p) const;
+
   PacketSpace& space_;
   std::vector<BddRef> atoms_;                      ///< EcId -> atom BDD
+  std::unordered_map<BddRef, EcId> atom_index_;    ///< atom BDD -> EcId
   std::unordered_map<BddRef, std::uint32_t> predicates_;  ///< refcounts
+  /// Lazily filled per-registered-predicate member lists (sorted). Split
+  /// maintenance appends the child wherever the parent is a member;
+  /// compact()/restore() drop the cache wholesale.
+  mutable std::unordered_map<BddRef, std::vector<EcId>> members_;
   std::vector<SplitListener> listeners_;
+  std::vector<RemapListener> remap_listeners_;
+  Stats stats_;
+  std::size_t dropped_since_compact_ = 0;
 };
 
 }  // namespace rcfg::dpm

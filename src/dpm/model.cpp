@@ -83,6 +83,7 @@ const char* to_string(UpdateOrder order) {
 NetworkModel::NetworkModel(PacketSpace& space, EcManager& ecs, std::size_t node_count)
     : space_(space), ecs_(ecs), devices_(node_count) {
   ecs_.subscribe([this](const EcManager::Split& s) { mirror_split(s); });
+  ecs_.subscribe_remap([this](const EcRemap& r) { apply_remap(r); });
 }
 
 const PortKey& NetworkModel::port_of(topo::NodeId device, EcId ec) const {
@@ -218,6 +219,35 @@ void NetworkModel::mirror_split(const EcManager::Split& s) {
   }
 }
 
+void NetworkModel::apply_remap(const EcRemap& remap) {
+  // Compaction runs between batches (RealConfig's reclaim step), never
+  // while the model is mid-update.
+  assert(current_batch_ == nullptr && "EC remap during a batch");
+  first_from_.clear();
+  for (Device& dev : devices_) {
+    std::unordered_map<EcId, PortKey> ports;
+    ports.reserve(dev.port_of.size());
+    for (const auto& [ec, port] : dev.port_of) {
+      const auto [slot, fresh] = ports.try_emplace(remap.forward[ec], port);
+      // Merged atoms take the same port everywhere — that is what made
+      // them mergeable.
+      assert(fresh || slot->second == port);
+      (void)slot;
+      (void)fresh;
+    }
+    dev.port_of = std::move(ports);
+    for (auto& [key, binding] : dev.acls) {
+      std::vector<std::uint8_t> by_ec(remap.new_count, 0);
+      const std::size_t n =
+          std::min(binding.permit_by_ec.size(), remap.forward.size());
+      for (EcId ec = 0; ec < n; ++ec) {
+        by_ec[remap.forward[ec]] = binding.permit_by_ec[ec];
+      }
+      binding.permit_by_ec = std::move(by_ec);
+    }
+  }
+}
+
 void NetworkModel::move_ecs(topo::NodeId device, BddRef packets, const PortKey& to,
                             ModelDelta& out) {
   Device& dev = devices_[device];
@@ -243,8 +273,19 @@ void NetworkModel::insert_rule(topo::NodeId device, const routing::FibEntry& e,
     ++out.stats.stale_ops;
     return;
   }
+  // Register the rule's *raw* prefix set, not its effective match. With
+  // every present rule's raw prefix registered, no atom straddles any
+  // effective match either (an effective match is a boolean combination of
+  // present prefixes), so move_ecs below still moves whole atoms — and the
+  // raw predicate pairs trivially with the unregister in remove_rule(),
+  // which is what lets compact() merge safely. Effective matches have no
+  // such pairing: the shape registered at insert time (prefix minus the
+  // *then-present* descendants) is generally not reconstructible at
+  // withdrawal time, and merging atoms by the surviving effective-match
+  // signatures can equate packets with different forwarding behaviour.
+  const bool fresh_rule = existing == nullptr;
   const BddRef eff = effective_match(dev, e.prefix);
-  ecs_.register_predicate(eff);
+  if (fresh_rule) ecs_.register_predicate(space_.dst_prefix(e.prefix));
   dev.rules.insert(e.prefix, port);
   move_ecs(device, eff, port, out);
   ++out.stats.rule_inserts;
@@ -262,7 +303,6 @@ void NetworkModel::remove_rule(topo::NodeId device, const routing::FibEntry& e,
     return;
   }
   const BddRef eff = effective_match(dev, e.prefix);
-  ecs_.register_predicate(eff);
   dev.rules.erase(e.prefix);
 
   // Packets revert to the nearest covering rule, or drop.
@@ -270,6 +310,9 @@ void NetworkModel::remove_rule(topo::NodeId device, const routing::FibEntry& e,
   dev.rules.visit_ancestors(e.prefix,
                             [&](net::Ipv4Prefix, const PortKey& p) { owner = p; });
   move_ecs(device, eff, owner, out);
+  // The rule is gone: drop the reference its insert_rule() took. Atoms
+  // stay refined until the next compact(), so the move above was safe.
+  ecs_.unregister_predicate(space_.dst_prefix(e.prefix));
   ++out.stats.rule_deletes;
 }
 
@@ -307,6 +350,11 @@ void NetworkModel::apply_filter_changes(const dd::ZSet<routing::FilterRule>& del
       binding.permit = new_permit;
       const BddRef changed = space_.bdd().bdd_xor(old_permit, new_permit);
       for (EcId ec : ecs_.ecs_in(changed)) out.acl_affected.push_back(ec);
+      // Drop the old permit's reference only after the ecs_in above: the
+      // atoms remain refined for it regardless, but the pairing rule is
+      // "a binding holds exactly one reference to its current permit".
+      // A fresh binding starts at kBddTrue, which is never tracked.
+      ecs_.unregister_predicate(old_permit);
     }
     if (unbound) {
       dev.acls.erase(it);

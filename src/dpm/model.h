@@ -174,6 +174,11 @@ class NetworkModel {
   void apply_filter_changes(const dd::ZSet<routing::FilterRule>& delta, ModelDelta& out);
   /// EcManager split listener: children inherit their parent's ports.
   void mirror_split(const EcManager::Split& s);
+  /// EcManager remap listener: translate port maps and ACL permit bitmaps
+  /// through a compact()'s old-id → new-id mapping. Merged atoms are
+  /// indistinguishable by every registered predicate, hence by every rule's
+  /// match, so their entries agree (debug-asserted).
+  void apply_remap(const EcRemap& remap);
 
   PacketSpace& space_;
   EcManager& ecs_;

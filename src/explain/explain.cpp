@@ -84,6 +84,19 @@ void find_causes(const ProvenanceLog& log, const verify::RealConfig& rc,
   for (std::size_t i = 0; i < log.size(); ++i) {
     const BatchRecord& batch = log.newest(i);
 
+    // If this batch ended in an EC merge, `relevant` (expressed in the id
+    // space newer batches speak) must first be translated back into the
+    // pre-remap ids the batch's own moves were recorded in: every old id
+    // whose forward image is relevant is relevant.
+    if (batch.remap.has_value()) {
+      std::unordered_set<dpm::EcId> pre;
+      const std::vector<dpm::EcId>& fwd = batch.remap->forward;
+      for (dpm::EcId old = 0; old < fwd.size(); ++old) {
+        if (relevant.count(fwd[old]) != 0) pre.insert(old);
+      }
+      relevant = std::move(pre);
+    }
+
     // Devices whose rule ops in this batch touched the relevant ECs.
     std::unordered_set<topo::NodeId> direct_devices;
     for (const dpm::ModelDelta::Move& m : batch.model.moves) {

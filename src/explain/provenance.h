@@ -58,6 +58,12 @@ struct BatchRecord {
   /// Stage 3 output: the policies whose verdict flipped.
   std::vector<verify::PolicyEvent> events;
 
+  /// The reclaim step's EC merge, when one ran after this batch's check.
+  /// The batch's own splits/moves are recorded in the *pre-remap* id
+  /// space; newer batches (and the live verifier) speak post-remap ids,
+  /// so cause walks translate backward through this before matching.
+  std::optional<dpm::EcRemap> remap;
+
   StageSpans spans;
 
   /// Per-device config-line edits old → new, computed on first use and

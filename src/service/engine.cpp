@@ -218,11 +218,33 @@ void Engine::process_batch_(Slot& slot, std::vector<Pending> batch) {
   }
 }
 
-void Engine::record_report_(const verify::RealConfig::Report& report) {
+void Engine::record_report_(Slot& slot, const verify::RealConfig::Report& report) {
   metrics_.generate_ms.record(report.generate_ms);
   metrics_.model_ms.record(report.model_ms);
   metrics_.check_ms.record(report.check_ms);
   metrics_.total_ms.record(report.total_ms());
+
+  metrics_.ec_count.set(static_cast<std::int64_t>(report.ec_count));
+  metrics_.bdd_nodes.set(static_cast<std::int64_t>(report.bdd_nodes));
+  if (report.reclaim.ran) {
+    metrics_.reclaims.inc();
+    if (report.reclaim.ecs_before > report.reclaim.ecs_after) {
+      metrics_.reclaimed_ecs.inc(report.reclaim.ecs_before - report.reclaim.ecs_after);
+    }
+    if (report.reclaim.bdd_before > report.reclaim.bdd_after) {
+      metrics_.reclaimed_bdd_nodes.inc(report.reclaim.bdd_before -
+                                       report.reclaim.bdd_after);
+    }
+    metrics_.compact_ms.record(report.reclaim.reclaim_ms);
+  }
+  if (slot.session != nullptr) {
+    const std::uint64_t now =
+        slot.session->verifier().ecs().stats().unknown_unregisters;
+    if (now > slot.unknown_unregisters_seen) {
+      metrics_.unknown_unregisters.inc(now - slot.unknown_unregisters_seen);
+    }
+    slot.unknown_unregisters_seen = now;
+  }
 
   const verify::CheckResult::Parallelism& par = report.check.parallel;
   metrics_.check_parallelism.set(par.shards);
@@ -251,6 +273,18 @@ json::Value report_body(const Session& session, const verify::RealConfig::Report
   body["model_ms"] = json::Value(report.model_ms);
   body["check_ms"] = json::Value(report.check_ms);
   body["total_ms"] = json::Value(report.total_ms());
+  body["ec_count"] = json::Value(report.ec_count);
+  body["bdd_nodes"] = json::Value(report.bdd_nodes);
+  if (report.reclaim.ran) {
+    json::Value reclaim;
+    reclaim["ecs_before"] = json::Value(report.reclaim.ecs_before);
+    reclaim["ecs_after"] = json::Value(report.reclaim.ecs_after);
+    reclaim["bdd_before"] = json::Value(report.reclaim.bdd_before);
+    reclaim["bdd_after"] = json::Value(report.reclaim.bdd_after);
+    reclaim["merged"] = json::Value(report.reclaim.remap.has_value());
+    reclaim["reclaim_ms"] = json::Value(report.reclaim.reclaim_ms);
+    body["reclaim"] = std::move(reclaim);
+  }
   json::Value::Array events;
   for (const verify::PolicyEvent& e : report.check.events) {
     json::Value ev;
@@ -452,7 +486,7 @@ Response Engine::handle_open_(Slot& slot, const Request& req) {
                                            std::move(initial), req.options);
   metrics_.sessions_open.add(1);
   const verify::RealConfig::Report& report = slot.session->baseline_report();
-  record_report_(report);
+  record_report_(slot, report);
 
   Response r;
   r.id = req.id;
@@ -483,7 +517,7 @@ Response Engine::handle_(Slot& slot, const Request& req) {
         const config::NetworkConfig cfg = parse_config_text(req.config_text);
         const ProposeOutcome outcome = session.propose(cfg);
         if (outcome.converged) {
-          record_report_(outcome.report);
+          record_report_(slot, outcome.report);
           json::Value body = report_body(session, outcome.report);
           body["session"] = json::Value(req.session);
           body["status"] = json::Value("staged");
@@ -503,7 +537,7 @@ Response Engine::handle_(Slot& slot, const Request& req) {
         break;
       case Verb::kAbort: {
         const verify::RealConfig::Report report = session.abort();
-        record_report_(report);
+        record_report_(slot, report);
         r.body["status"] = json::Value("aborted");
         r.body["rollback_ms"] = json::Value(report.total_ms());
         break;

@@ -92,13 +92,17 @@ class Engine {
     std::deque<Pending> queue;
     bool busy = false;   ///< a worker is processing this session
     bool ready = false;  ///< queued in ready_
+    /// High-water mark of the session's cumulative unknown-unregister
+    /// count already folded into the service counter (the session's value
+    /// resets on rebuild, so deltas are clamped at zero).
+    std::uint64_t unknown_unregisters_seen = 0;
   };
 
   void worker_loop_();
   void process_batch_(Slot& slot, std::vector<Pending> batch);
   Response handle_(Slot& slot, const Request& req);
   Response handle_open_(Slot& slot, const Request& req);
-  void record_report_(const verify::RealConfig::Report& report);
+  void record_report_(Slot& slot, const verify::RealConfig::Report& report);
 
   EngineOptions options_;
   ServiceMetrics metrics_;

@@ -125,6 +125,18 @@ json::Value ServiceMetrics::to_json() const {
   parallelism["shard_imbalance"] = shard_imbalance.to_json();
   out["parallelism"] = std::move(parallelism);
 
+  json::Value reclamation;
+  reclamation["reclaims"] = json::Value(reclaims.value());
+  reclamation["reclaimed_ecs"] = json::Value(reclaimed_ecs.value());
+  reclamation["reclaimed_bdd_nodes"] = json::Value(reclaimed_bdd_nodes.value());
+  reclamation["unknown_unregisters"] = json::Value(unknown_unregisters.value());
+  reclamation["ec_count"] = json::Value(ec_count.value());
+  reclamation["ec_count_max"] = json::Value(ec_count.max());
+  reclamation["bdd_nodes"] = json::Value(bdd_nodes.value());
+  reclamation["bdd_nodes_max"] = json::Value(bdd_nodes.max());
+  reclamation["compact_ms"] = compact_ms.to_json();
+  out["reclamation"] = std::move(reclamation);
+
   json::Value latency;
   latency["generate_ms"] = generate_ms.to_json();
   latency["model_ms"] = model_ms.to_json();

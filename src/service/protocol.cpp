@@ -92,6 +92,11 @@ SessionOptions parse_options(const json::Value& doc) {
   opts.recurrence_threshold =
       static_cast<std::uint64_t>(doc.get_int("recurrence_threshold", 0));
   opts.trace = doc.get_bool("trace", false);
+  opts.verifier.reclamation.enabled = doc.get_bool("reclaim", false);
+  opts.verifier.reclamation.ec_watermark =
+      static_cast<std::size_t>(doc.get_int("ec_watermark", 0));
+  opts.verifier.reclamation.bdd_watermark =
+      static_cast<std::size_t>(doc.get_int("bdd_watermark", 0));
   const std::string order = doc.get_string("update_order");
   if (order == "insert_first" || order.empty()) {
     opts.verifier.update_order = dpm::UpdateOrder::kInsertFirst;

@@ -6,11 +6,18 @@
 // Requests ({"id":N,"op":VERB,...}):
 //   open        {"session", "topology":{"kind","k"|"n"|"w","h"}, "config",
 //                ["max_rounds","update_order","flush_budget",
-//                 "recurrence_threshold","threads","trace"]}
+//                 "recurrence_threshold","threads","trace",
+//                 "reclaim","ec_watermark","bdd_watermark"]}
 //               "threads" widens the checker's worker pool (default 1);
 //               reports are identical for any value — only latency changes.
 //               "trace":true records per-batch provenance for `explain`
 //               (pay-as-you-go: without it, batches record nothing).
+//               "reclaim":true enables online memory reclamation (EC merge
+//               + BDD GC after each check); "ec_watermark"/"bdd_watermark"
+//               defer it until the partition / node count exceeds the
+//               given size (0, the default, reclaims eagerly). Verdicts
+//               and pair-level results are unaffected; EC ids in later
+//               reports are renumbered by merges.
 //   propose     {"session", "config"}          config = the DSL text of the
 //                                              *whole* intended network
 //   commit      {"session"}

@@ -79,6 +79,7 @@ void Session::record_(const char* label, const config::NetworkConfig& old_cfg,
   rec.changed_devices = report.changed_devices;
   rec.model = report.model;
   rec.events = report.check.events;
+  rec.remap = report.reclaim.remap;
   rec.spans = {report.generate_ms, report.model_ms, report.check_ms};
   log_->record(std::move(rec));
 }

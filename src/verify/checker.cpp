@@ -31,6 +31,51 @@ IncrementalChecker::IncrementalChecker(const topo::Topology& topo, dpm::PacketSp
     : topo_(topo), space_(space), ecs_(ecs), model_(model), pool_(options.threads) {
   state_.resize(ecs_.ec_count());
   ecs_.subscribe([this](const dpm::EcManager::Split& s) { on_split(s); });
+  ecs_.subscribe_remap([this](const dpm::EcRemap& r) { on_remap(r); });
+}
+
+void IncrementalChecker::on_remap(const dpm::EcRemap& remap) {
+  // Per-EC state: every member of a merged group has the same delivered
+  // pairs and flags (that is what made the group mergeable), so keeping
+  // the last member seen is keeping them all.
+  std::vector<EcState> state(remap.new_count);
+  const std::size_t old_n = std::min(state_.size(), remap.forward.size());
+  for (dpm::EcId ec = 0; ec < old_n; ++ec) {
+    state[remap.forward[ec]] = std::move(state_[ec]);
+  }
+  state_ = std::move(state);
+
+  // Derived indexes rebuild from the translated state.
+  pair_index_.clear();
+  for (dpm::EcId ec = 0; ec < state_.size(); ++ec) {
+    for (const std::uint64_t p : state_[ec].pairs) pair_index_[p].insert(ec);
+  }
+  const auto translate_set = [&](std::unordered_set<dpm::EcId>& set) {
+    std::unordered_set<dpm::EcId> out;
+    out.reserve(set.size());
+    for (const dpm::EcId ec : set) out.insert(remap.forward[ec]);
+    set = std::move(out);
+  };
+  translate_set(looping_);
+  translate_set(blackholed_);
+
+  // Policy registrations: merge per-EC policy lists onto the new ids.
+  std::unordered_map<dpm::EcId, std::vector<PolicyId>> by_ec;
+  for (auto& [ec, ids] : policies_by_ec_) {
+    std::vector<PolicyId>& dst = by_ec[remap.forward[ec]];
+    dst.insert(dst.end(), ids.begin(), ids.end());
+  }
+  for (auto& [ec, ids] : by_ec) {
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  }
+  policies_by_ec_ = std::move(by_ec);
+  for (std::vector<dpm::EcId>& ecs : policy_ecs_) {
+    for (dpm::EcId& ec : ecs) ec = remap.forward[ec];
+    std::sort(ecs.begin(), ecs.end());
+    ecs.erase(std::unique(ecs.begin(), ecs.end()), ecs.end());
+  }
+  // satisfied_ is untouched: verdicts are invariant under renaming.
 }
 
 void IncrementalChecker::on_split(const dpm::EcManager::Split& s) {

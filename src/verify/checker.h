@@ -164,6 +164,11 @@ class IncrementalChecker {
   bool evaluate(const Policy& p) const;
   bool waypoint_ok(const Policy& p, dpm::EcId ec) const;
   void on_split(const dpm::EcManager::Split& s);
+  /// EcManager remap listener: translate every EC-indexed map through a
+  /// compact()'s old-id → new-id mapping. Merged atoms carry identical
+  /// state, so collapsing them loses nothing; policy verdicts are
+  /// invariant under the renaming.
+  void on_remap(const dpm::EcRemap& remap);
 
   static std::uint64_t pair_key(topo::NodeId s, topo::NodeId d) {
     static_assert(sizeof(topo::NodeId) == 4 && std::is_unsigned_v<topo::NodeId>,

@@ -45,7 +45,34 @@ RealConfig::Report RealConfig::apply(const config::NetworkConfig& cfg) {
   report.generate_ms = ms_between(t0, t1);
   report.model_ms = ms_between(t1, t2);
   report.check_ms = ms_between(t2, t3);
+  if (options_.reclamation.enabled) maybe_reclaim(report);
+  report.ec_count = ecs_.ec_count();
+  report.bdd_nodes = space_.bdd().node_count();
   return report;
+}
+
+void RealConfig::maybe_reclaim(Report& report) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Report::Reclamation& r = report.reclaim;
+  const std::size_t ecs_now = ecs_.ec_count();
+  const std::size_t nodes_now = space_.bdd().node_count();
+  // Merging is only worth attempting after a predicate fully dropped —
+  // register_predicate() splits from an already-minimal partition, so
+  // growth without drops never creates mergeable atoms.
+  const bool merge_due = ecs_.dropped_since_compact() > 0 &&
+                         ecs_now > options_.reclamation.ec_watermark;
+  const bool gc_due = nodes_now > options_.reclamation.bdd_watermark;
+  if (!merge_due && !gc_due) return;
+  r.ran = true;
+  r.ecs_before = ecs_now;
+  r.bdd_before = nodes_now;
+  if (merge_due) r.remap = ecs_.compact();
+  // A merge released the dead atoms' roots, so always sweep after one;
+  // otherwise sweep only when the node watermark tripped.
+  if (gc_due || r.remap.has_value()) space_.bdd().gc();
+  r.ecs_after = ecs_.ec_count();
+  r.bdd_after = space_.bdd().node_count();
+  r.reclaim_ms = ms_between(t0, std::chrono::steady_clock::now());
 }
 
 std::shared_ptr<const RealConfig::Snapshot> RealConfig::snapshot() const {

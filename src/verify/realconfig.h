@@ -20,6 +20,7 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "config/types.h"
@@ -43,6 +44,22 @@ struct RealConfigOptions {
   /// tracking; see IncrementalGenerator::set_provenance). Off by default:
   /// the explain path is pay-as-you-go.
   bool provenance = false;
+  /// Online memory reclamation for long-lived sessions (see DESIGN.md
+  /// "Memory reclamation"). When enabled, apply() runs a reclaim step
+  /// after the check phase: merge ECs that predicate withdrawals left
+  /// indistinguishable (fanned out as an EcRemap), then garbage-collect
+  /// unrooted BDD nodes. Policy verdicts and pair-level results are
+  /// unaffected; EC *ids* in subsequent reports are renumbered by merges.
+  struct ReclamationOptions {
+    bool enabled = false;
+    /// Merge only once the partition exceeds this many ECs (0 = merge on
+    /// every apply that fully dropped a predicate).
+    std::size_t ec_watermark = 0;
+    /// GC only once the BDD manager exceeds this many live nodes
+    /// (0 = collect on every reclaim).
+    std::size_t bdd_watermark = 0;
+  };
+  ReclamationOptions reclamation;
 };
 
 class RealConfig {
@@ -63,10 +80,28 @@ class RealConfig {
     /// fact-level origin of `dataplane`. Filled only with
     /// RealConfigOptions::provenance on; empty otherwise.
     std::vector<topo::NodeId> changed_devices;
+    /// What the post-check reclaim step did (all zeros when reclamation is
+    /// disabled or nothing was due this round).
+    struct Reclamation {
+      bool ran = false;  ///< the reclaim step fired this apply()
+      std::size_t ecs_before = 0, ecs_after = 0;
+      std::size_t bdd_before = 0, bdd_after = 0;  ///< live BDD nodes
+      /// The merge's old-id → new-id mapping (absent when no atoms
+      /// merged). Consumers holding EC ids from *earlier* reports — the
+      /// provenance log, external caches — must translate through it.
+      std::optional<dpm::EcRemap> remap;
+      double reclaim_ms = 0;
+    };
+    Reclamation reclaim;
+    /// End-of-apply state levels (for the service's gauges).
+    std::size_t ec_count = 0;
+    std::size_t bdd_nodes = 0;
     double generate_ms = 0;  ///< stage 1 (includes config-to-facts diffing)
     double model_ms = 0;     ///< stage 2
     double check_ms = 0;     ///< stage 3
-    double total_ms() const { return generate_ms + model_ms + check_ms; }
+    double total_ms() const {
+      return generate_ms + model_ms + check_ms + reclaim.reclaim_ms;
+    }
   };
   Report apply(const config::NetworkConfig& cfg);
 
@@ -126,6 +161,9 @@ class RealConfig {
 
  private:
   topo::NodeId node_or_throw(const std::string& name) const;
+  /// The post-check reclaim step (no-op unless options_.reclamation.enabled
+  /// and a watermark tripped). Fills report.reclaim.
+  void maybe_reclaim(Report& report);
 
   const topo::Topology& topo_;
   RealConfigOptions options_;

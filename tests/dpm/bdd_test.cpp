@@ -74,6 +74,76 @@ TEST(Bdd, PickOneSatisfies) {
   EXPECT_FALSE(m.pick_one(kBddFalse).has_value());
 }
 
+TEST(BddGc, SweepsUnrootedNodesAndPreservesRoots) {
+  BddManager m(8);
+  const BddRef keep = m.bdd_and(m.var(0), m.var(1));
+  m.add_ref(keep);
+
+  // Build unrooted garbage.
+  BddRef junk = kBddTrue;
+  for (unsigned v = 2; v < 8; ++v) junk = m.bdd_and(junk, m.var(v));
+  EXPECT_GT(m.node_count(), 4u);
+
+  const std::size_t reclaimed = m.gc();
+  EXPECT_GT(reclaimed, 0u);
+  // Exactly keep's closure survives: two terminals, the x1 node (keep's
+  // hi-branch), and keep itself. The standalone var(0) node is garbage.
+  EXPECT_EQ(m.node_count(), 4u);
+  // The rooted function keeps its hash-cons identity: rebuilding it yields
+  // the same node id.
+  EXPECT_EQ(m.bdd_and(m.var(0), m.var(1)), keep);
+  EXPECT_DOUBLE_EQ(m.sat_count(keep), 64.0);
+}
+
+TEST(BddGc, MakeRecyclesFreedSlots) {
+  BddManager m(8);
+  BddRef junk = kBddTrue;
+  for (unsigned v = 0; v < 8; ++v) junk = m.bdd_and(junk, m.var(v));
+  const std::size_t cap = m.node_capacity();
+  ASSERT_GT(m.gc(), 0u);
+  // Rebuilding comparable structure reuses the freed slots instead of
+  // growing the arena.
+  BddRef again = kBddTrue;
+  for (unsigned v = 0; v < 8; ++v) again = m.bdd_and(again, m.var(v));
+  EXPECT_EQ(m.node_capacity(), cap);
+  EXPECT_DOUBLE_EQ(m.sat_count(again), 1.0);
+}
+
+TEST(BddGc, RefcountsNestAndTerminalsAreImmortal) {
+  BddManager m(4);
+  const BddRef a = m.var(0);
+  m.add_ref(a);
+  m.add_ref(a);
+  EXPECT_EQ(m.ref_count(a), 2u);
+  m.release(a);
+  EXPECT_EQ(m.ref_count(a), 1u);
+  m.gc();  // one pin left: survives
+  EXPECT_EQ(m.bdd_not(m.bdd_not(a)), a);
+
+  // Terminals ignore pinning entirely.
+  m.add_ref(kBddTrue);
+  m.release(kBddFalse);
+  EXPECT_EQ(m.ref_count(kBddTrue), 0u);
+
+  m.release(a);
+  EXPECT_EQ(m.ref_count(a), 0u);
+  EXPECT_GE(m.gc(), 1u);
+  EXPECT_EQ(m.node_count(), 2u);  // only the terminals remain
+  EXPECT_TRUE(m.is_true(kBddTrue));
+  EXPECT_TRUE(m.is_false(kBddFalse));
+}
+
+TEST(BddGc, SharedSubgraphsSurviveThroughAnyRoot) {
+  BddManager m(4);
+  const BddRef x1 = m.var(1);
+  const BddRef f = m.bdd_and(m.var(0), x1);  // f's hi-branch IS the x1 node
+  m.add_ref(f);
+  m.gc();
+  // x1 was never pinned directly but is reachable from f.
+  EXPECT_EQ(m.var(1), x1);
+  EXPECT_EQ(m.bdd_and(m.var(0), m.var(1)), f);
+}
+
 /// Property: BDD operations agree with brute-force truth-table evaluation
 /// on random formulas over 8 variables.
 TEST(BddProperty, MatchesTruthTables) {

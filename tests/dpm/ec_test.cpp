@@ -117,6 +117,135 @@ TEST(EcManager, CompactRebuildsMinimalPartition) {
   check_partition(s, ecs);
 }
 
+TEST(EcManager, RefcountLifecycle) {
+  PacketSpace s;
+  EcManager ecs(s);
+  const BddRef p = s.dst_prefix(pfx("10.0.0.0/8"));
+  EXPECT_EQ(ecs.predicate_refs(p), 0u);
+  ecs.register_predicate(p);
+  ecs.register_predicate(p);
+  EXPECT_EQ(ecs.predicate_refs(p), 2u);
+  EXPECT_GT(s.bdd().ref_count(p), 0u);  // registered => pinned as a GC root
+  ecs.unregister_predicate(p);
+  EXPECT_EQ(ecs.predicate_refs(p), 1u);
+  EXPECT_EQ(ecs.dropped_since_compact(), 0u);
+  ecs.unregister_predicate(p);
+  EXPECT_EQ(ecs.predicate_refs(p), 0u);
+  EXPECT_EQ(ecs.predicate_count(), 0u);
+  EXPECT_EQ(ecs.dropped_since_compact(), 1u);
+  // Re-registering against the still-refined partition splits nothing.
+  EXPECT_TRUE(ecs.register_predicate(p).empty());
+  EXPECT_EQ(ecs.predicate_refs(p), 1u);
+  EXPECT_EQ(ecs.stats().unknown_unregisters, 0u);
+}
+
+TEST(EcManager, TrivialPredicatesAreNeverTracked) {
+  PacketSpace s;
+  EcManager ecs(s);
+  EXPECT_TRUE(ecs.register_predicate(kBddTrue).empty());
+  EXPECT_TRUE(ecs.register_predicate(kBddFalse).empty());
+  EXPECT_EQ(ecs.predicate_count(), 0u);
+  ecs.unregister_predicate(kBddTrue);  // mirrors register: a no-op, not a bug
+  ecs.unregister_predicate(kBddFalse);
+  EXPECT_EQ(ecs.stats().unknown_unregisters, 0u);
+}
+
+TEST(EcManagerDeathTest, UnknownUnregisterAssertsAndCounts) {
+  PacketSpace s;
+  EcManager ecs(s);
+  const BddRef p = s.dst_prefix(pfx("10.0.0.0/8"));
+  // Debug builds assert (a register/unregister pairing bug); release
+  // builds survive and count the event instead of masking it.
+  EXPECT_DEBUG_DEATH(ecs.unregister_predicate(p), "never registered");
+#ifdef NDEBUG
+  EXPECT_EQ(ecs.stats().unknown_unregisters, 1u);
+#endif
+}
+
+TEST(EcManager, CompactMergesAndNotifiesRemapListeners) {
+  PacketSpace s;
+  EcManager ecs(s);
+  std::vector<EcRemap> seen;
+  ecs.subscribe_remap([&](const EcRemap& r) { seen.push_back(r); });
+  const BddRef a = s.dst_prefix(pfx("10.0.0.0/8"));
+  const BddRef b = s.dst_prefix(pfx("10.1.0.0/16"));
+  ecs.register_predicate(a);
+  ecs.register_predicate(b);
+  ASSERT_EQ(ecs.ec_count(), 3u);  // outside /8; /8 minus /16; /16
+  ecs.unregister_predicate(b);
+  const auto remap = ecs.compact();
+  ASSERT_TRUE(remap.has_value());
+  EXPECT_EQ(remap->new_count, 2u);
+  ASSERT_EQ(remap->forward.size(), 3u);
+  EXPECT_EQ(remap->forward[0], 0u);  // unmerged prefix keeps its id
+  EXPECT_EQ(remap->forward[1], remap->forward[2]);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].forward, remap->forward);
+  check_partition(s, ecs);
+  // The merged atom is exactly the still-registered predicate.
+  EXPECT_EQ(ecs.ec_bdd(remap->forward[1]), a);
+  EXPECT_EQ(ecs.stats().compactions, 1u);
+  EXPECT_EQ(ecs.stats().merged_atoms, 1u);
+  EXPECT_EQ(ecs.dropped_since_compact(), 0u);
+  // A minimal partition compacts to nothing.
+  EXPECT_FALSE(ecs.compact().has_value());
+}
+
+TEST(EcManager, CompactPreservesRefcountsAndPartitionSemantics) {
+  PacketSpace s;
+  EcManager ecs(s);
+  const BddRef a = s.dst_prefix(pfx("10.0.0.0/8"));
+  const BddRef b = s.dst_prefix(pfx("20.0.0.0/8"));
+  const BddRef c = s.src_prefix(pfx("30.0.0.0/8"));
+  ecs.register_predicate(a);
+  ecs.register_predicate(a);
+  ecs.register_predicate(b);
+  ecs.register_predicate(c);
+  ecs.unregister_predicate(b);
+  ASSERT_TRUE(ecs.compact().has_value());
+  EXPECT_EQ(ecs.predicate_refs(a), 2u);
+  EXPECT_EQ(ecs.predicate_refs(c), 1u);
+  EXPECT_EQ(ecs.ec_count(), 4u);  // {a, not a} x {c, not c}
+  check_partition(s, ecs);
+  // Every surviving predicate is still a union of atoms.
+  for (const BddRef p : {a, c}) {
+    BddRef uni = kBddFalse;
+    for (EcId e : ecs.ecs_in(p)) uni = s.bdd().bdd_or(uni, ecs.ec_bdd(e));
+    EXPECT_EQ(uni, p);
+  }
+}
+
+TEST(EcManager, EcsInFastPathsMatchFullScan) {
+  PacketSpace s;
+  EcManager ecs(s);
+  const BddRef a = s.dst_prefix(pfx("10.0.0.0/8"));
+  ecs.register_predicate(a);
+  ecs.register_predicate(s.dst_prefix(pfx("10.1.0.0/16")));
+
+  // Single-atom fast path: an atom's own BDD names exactly that atom.
+  for (EcId i = 0; i < ecs.ec_count(); ++i) {
+    const auto v = ecs.ecs_in(ecs.ec_bdd(i));
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], i);
+  }
+
+  const auto check_members = [&](BddRef p) {
+    std::vector<EcId> expect;
+    for (EcId i = 0; i < ecs.ec_count(); ++i) {
+      if (!s.bdd().disjoint(ecs.ec_bdd(i), p)) expect.push_back(i);
+    }
+    EXPECT_EQ(ecs.ecs_in(p), expect);
+  };
+  check_members(a);  // fills the per-predicate cache
+  // A later registration splits atoms; the cached list must follow.
+  ecs.register_predicate(s.src_prefix(pfx("30.0.0.0/8")));
+  check_members(a);
+  // And survive a compact (ids renumbered wholesale).
+  ecs.unregister_predicate(s.dst_prefix(pfx("10.1.0.0/16")));
+  ASSERT_TRUE(ecs.compact().has_value());
+  check_members(a);
+}
+
 /// Property: after registering random (overlapping) predicates the atom set
 /// is always a partition, and each predicate is exactly a union of atoms.
 TEST(EcManagerProperty, RandomPredicatesKeepInvariants) {

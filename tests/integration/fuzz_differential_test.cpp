@@ -14,6 +14,13 @@
 //       reconverge-in-place strategy, the snapshot-fork strategy (sharded
 //       over 2 workers), and a from-scratch verifier built directly on
 //       each failed configuration.
+//   (6) lanes running online memory reclamation (eager EC merging + BDD GC
+//       after every batch) stay pair- and verdict-equivalent to the
+//       non-reclaiming lanes at every step, are bit-identical across thread
+//       counts among themselves, and finish the change sequence with
+//       exactly as many ECs as a fresh rebuild of the final configuration
+//       (merging reclaimed everything withdrawals left behind — and nothing
+//       more).
 //
 // Change selection follows the uniquely-convergent rule from
 // tests/routing/differential_test.cpp: link failures/restores, OSPF costs,
@@ -109,12 +116,25 @@ TEST(FuzzDifferential, RandomNetworksAgreeAcrossOraclesAndThreadCounts) {
     }
 
     // --- lanes ------------------------------------------------------------
+    // Lanes [0, kReclaimBase) run plain; lanes [kReclaimBase, ...) run with
+    // eager online reclamation (merge + GC after every batch), same thread
+    // spread.
     std::vector<std::unique_ptr<verify::RealConfig>> lanes;
-    for (const unsigned threads : kLaneThreads) {
-      verify::RealConfigOptions o;
-      o.threads = threads;
-      lanes.push_back(std::make_unique<verify::RealConfig>(t, o));
+    for (const bool reclaim : {false, true}) {
+      for (const unsigned threads : kLaneThreads) {
+        verify::RealConfigOptions o;
+        o.threads = threads;
+        o.reclamation.enabled = reclaim;
+        lanes.push_back(std::make_unique<verify::RealConfig>(t, o));
+      }
     }
+    const std::size_t kReclaimBase = std::size(kLaneThreads);
+
+    struct PolicySpec {
+      bool isolated;
+      topo::NodeId src, dst;
+    };
+    std::vector<PolicySpec> policy_specs;
     std::vector<verify::PolicyId> policies;
     for (int p = 0; p < 4; ++p) {
       const auto src = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
@@ -129,6 +149,7 @@ TEST(FuzzDifferential, RandomNetworksAgreeAcrossOraclesAndThreadCounts) {
                  : lane->require_reachable(t.node(src).name, t.node(dst).name,
                                            config::host_prefix(dst));
       }
+      policy_specs.push_back({isolated, src, dst});
       policies.push_back(id);
     }
 
@@ -172,10 +193,15 @@ TEST(FuzzDifferential, RandomNetworksAgreeAcrossOraclesAndThreadCounts) {
       std::vector<Semantics> reports;
       for (auto& lane : lanes) reports.push_back(Semantics::of(lane->apply(cfg).check));
 
-      // Oracle 2: thread-count invariance of the whole report.
-      for (std::size_t lane = 1; lane < lanes.size(); ++lane) {
-        EXPECT_TRUE(reports[0] == reports[lane])
-            << "report at threads=" << kLaneThreads[lane] << " differs from threads=1";
+      // Oracle 2: thread-count invariance of the whole report, within each
+      // reclamation setting (across settings EC ids legitimately renumber
+      // after merges, so only oracle 6's pair/verdict comparison applies).
+      for (std::size_t base : {std::size_t{0}, kReclaimBase}) {
+        for (std::size_t i = 1; i < std::size(kLaneThreads); ++i) {
+          EXPECT_TRUE(reports[base] == reports[base + i])
+              << "report at threads=" << kLaneThreads[i] << " (reclaim="
+              << (base == kReclaimBase) << ") differs from threads=1";
+        }
       }
       // Oracle 3: identical verdicts everywhere.
       for (const verify::PolicyId id : policies) {
@@ -195,10 +221,44 @@ TEST(FuzzDifferential, RandomNetworksAgreeAcrossOraclesAndThreadCounts) {
       // threads provably never touched the non-thread-safe BddManager.
       for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
         EXPECT_EQ(lanes[lane]->model().permit_fallback_count(), 0u)
-            << "permits() BDD fallback reached at threads=" << kLaneThreads[lane];
+            << "permits() BDD fallback reached in lane " << lane;
       }
 
+      // Oracle 6 (per step): the reclaiming lane's pair-level semantics and
+      // anomaly counts match the non-reclaiming lane's despite the merges.
+      EXPECT_EQ(lanes[kReclaimBase]->checker().reachable_pairs(),
+                lanes[0]->checker().reachable_pairs());
+      EXPECT_EQ(lanes[kReclaimBase]->checker().loop_count(),
+                lanes[0]->checker().loop_count());
+      EXPECT_EQ(lanes[kReclaimBase]->checker().blackhole_count(),
+                lanes[0]->checker().blackhole_count());
+      EXPECT_LE(lanes[kReclaimBase]->ecs().ec_count(), lanes[0]->ecs().ec_count());
+
       if (::testing::Test::HasFailure()) return;
+    }
+
+    // --- Oracle 6 (end of sequence): fresh-rebuild minimality -------------
+    // A brand-new verifier over the final configuration (with the same
+    // policies) has the coarsest partition the current predicates allow; a
+    // churned-then-reclaimed lane must land on exactly that size.
+    {
+      verify::RealConfigOptions o;
+      o.reclamation.enabled = true;
+      verify::RealConfig rebuilt(t, o);
+      for (const PolicySpec& p : policy_specs) {
+        if (p.isolated) {
+          rebuilt.require_isolated(t.node(p.src).name, t.node(p.dst).name,
+                                   config::host_prefix(p.dst));
+        } else {
+          rebuilt.require_reachable(t.node(p.src).name, t.node(p.dst).name,
+                                    config::host_prefix(p.dst));
+        }
+      }
+      rebuilt.apply(cfg);
+      EXPECT_EQ(lanes[kReclaimBase]->ecs().ec_count(), rebuilt.ecs().ec_count())
+          << "reclaimed partition is not as small as a fresh rebuild's";
+      EXPECT_EQ(lanes[kReclaimBase]->checker().reachable_pairs(),
+                rebuilt.checker().reachable_pairs());
     }
 
     // --- Oracle 5: what-if sweep agreement --------------------------------

@@ -305,5 +305,142 @@ TEST(RealConfigSnapshot, RestoreUnpoisonsAfterDivergence) {
   EXPECT_NO_THROW(rc.apply(other));
 }
 
+// ---------------------------------------------------------------------------
+// Memory reclamation
+// ---------------------------------------------------------------------------
+
+net::Ipv4Prefix churn_prefix(unsigned round, unsigned i) {
+  return net::Ipv4Prefix{
+      net::Ipv4Addr{192, 168, static_cast<std::uint8_t>(round * 8 + i), 0}, 24};
+}
+
+TEST(RealConfigReclaim, ChurnStaysBoundedAndMatchesFreshRebuild) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  const config::NetworkConfig base = config::build_ospf_network(t);
+
+  RealConfigOptions eager;
+  eager.reclamation.enabled = true;  // watermarks 0: reclaim after every batch
+  RealConfig reclaiming(t, eager);
+  RealConfig hoarding(t);
+  reclaiming.apply(base);
+  hoarding.apply(base);
+  const std::size_t baseline_ecs = reclaiming.ecs().ec_count();
+
+  // Insert/withdraw churn: each round announces 8 fresh discard prefixes and
+  // then withdraws them again.
+  config::NetworkConfig cfg = base;
+  for (unsigned round = 0; round < 6; ++round) {
+    auto& dev = cfg.devices.at("edge0-0");
+    for (unsigned i = 0; i < 8; ++i) {
+      dev.static_routes.push_back({churn_prefix(round, i), config::kNullInterface});
+    }
+    reclaiming.apply(cfg);
+    hoarding.apply(cfg);
+    ASSERT_EQ(reclaiming.checker().reachable_pairs(), hoarding.checker().reachable_pairs())
+        << "round " << round << " after insert";
+
+    dev.static_routes.clear();
+    const auto rep = reclaiming.apply(cfg);
+    hoarding.apply(cfg);
+    ASSERT_EQ(reclaiming.checker().reachable_pairs(), hoarding.checker().reachable_pairs())
+        << "round " << round << " after withdraw";
+    EXPECT_TRUE(rep.reclaim.ran);
+    // The withdrawn prefixes' atoms merged away again: no residue grows
+    // round over round.
+    EXPECT_EQ(reclaiming.ecs().ec_count(), baseline_ecs) << "round " << round;
+  }
+
+  // Without reclamation, every withdrawn prefix leaves its split behind.
+  EXPECT_GT(hoarding.ecs().ec_count(), baseline_ecs);
+  EXPECT_GT(hoarding.packet_space().bdd().node_count(),
+            reclaiming.packet_space().bdd().node_count());
+
+  // The churned-then-reclaimed verifier matches a fresh rebuild exactly.
+  RealConfig fresh(t);
+  fresh.apply(cfg);
+  EXPECT_EQ(reclaiming.ecs().ec_count(), fresh.ecs().ec_count());
+  EXPECT_EQ(reclaiming.checker().pair_count(), fresh.checker().pair_count());
+  EXPECT_EQ(reclaiming.checker().reachable_pairs(), fresh.checker().reachable_pairs());
+}
+
+TEST(RealConfigReclaim, ReportExposesReclaimTelemetry) {
+  const topo::Topology t = topo::make_grid(3, 1);
+  RealConfigOptions eager;
+  eager.reclamation.enabled = true;
+  RealConfig rc(t, eager);
+
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  const auto first = rc.apply(cfg);
+  EXPECT_GT(first.ec_count, 0u);
+  EXPECT_GT(first.bdd_nodes, 0u);
+
+  auto& dev = cfg.devices.at("n0-0");
+  dev.static_routes.push_back({churn_prefix(0, 0), config::kNullInterface});
+  rc.apply(cfg);
+  dev.static_routes.clear();
+  const auto rep = rc.apply(cfg);
+
+  ASSERT_TRUE(rep.reclaim.ran);
+  EXPECT_GT(rep.reclaim.ecs_before, rep.reclaim.ecs_after);
+  EXPECT_GE(rep.reclaim.bdd_before, rep.reclaim.bdd_after);
+  ASSERT_TRUE(rep.reclaim.remap.has_value());
+  EXPECT_EQ(rep.reclaim.remap->new_count, rep.reclaim.ecs_after);
+  EXPECT_EQ(rep.ec_count, rep.reclaim.ecs_after);
+  EXPECT_GE(rep.total_ms(), rep.reclaim.reclaim_ms);
+}
+
+TEST(RealConfigReclaim, WatermarksGateTheReclaimStep) {
+  const topo::Topology t = topo::make_grid(3, 1);
+  RealConfigOptions lazy;
+  lazy.reclamation.enabled = true;
+  lazy.reclamation.ec_watermark = 10'000;  // never crossed by this test
+  lazy.reclamation.bdd_watermark = 1'000'000;
+  RealConfig rc(t, lazy);
+
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  rc.apply(cfg);
+  auto& dev = cfg.devices.at("n0-0");
+  dev.static_routes.push_back({churn_prefix(0, 0), config::kNullInterface});
+  rc.apply(cfg);
+  dev.static_routes.clear();
+  const auto rep = rc.apply(cfg);
+  EXPECT_FALSE(rep.reclaim.ran);  // below both watermarks: nothing fires
+}
+
+TEST(RealConfigReclaim, SnapshotRestoreInterleavesWithReclaim) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  RealConfigOptions eager;
+  eager.reclamation.enabled = true;
+  RealConfig rc(t, eager);
+
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  rc.apply(cfg);
+  const auto healthy_pairs = rc.checker().reachable_pairs();
+  const auto snap = rc.snapshot();
+
+  // Churn (with reclaims firing) past the snapshot...
+  auto& dev = cfg.devices.at("edge0-0");
+  for (unsigned i = 0; i < 4; ++i) {
+    dev.static_routes.push_back({churn_prefix(1, i), config::kNullInterface});
+  }
+  rc.apply(cfg);
+  dev.static_routes.clear();
+  ASSERT_TRUE(rc.apply(cfg).reclaim.ran);
+
+  // ...then rewind: the snapshot's partition and verdicts come back, and
+  // further incremental work (including fresh reclaims) behaves normally.
+  rc.restore(*snap);
+  EXPECT_EQ(rc.checker().reachable_pairs(), healthy_pairs);
+
+  for (unsigned i = 0; i < 4; ++i) {
+    dev.static_routes.push_back({churn_prefix(2, i), config::kNullInterface});
+  }
+  rc.apply(cfg);
+  dev.static_routes.clear();
+  const auto rep = rc.apply(cfg);
+  EXPECT_TRUE(rep.reclaim.ran);
+  EXPECT_EQ(rc.checker().reachable_pairs(), healthy_pairs);
+}
+
 }  // namespace
 }  // namespace rcfg::verify
