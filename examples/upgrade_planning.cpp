@@ -1,29 +1,40 @@
 // Planning a large-scale change in small, individually verified steps
 // (paper §2, modeled on Alibaba's ACL migration: move packet filters from
 // core routers to dedicated edge devices, re-configuring a third of the
-// network).
+// network) — driven end to end through the rcfgd service layer's `order`
+// verb.
 //
-// The plan: (1) install per-edge ACLs that deny a quarantined subnet,
-// (2) remove the old core ACLs, pod by pod. One planned step contains a
-// bug — the new edge ACL forgets the catch-all permit, blackholing
-// everything — and incremental verification pins the violation on exactly
-// that step instead of surfacing it after the whole migration.
+// Instead of trying rollout steps one by one and rolling back on failure,
+// the operator hands the WHOLE batch to the service: per-pod edge-ACL
+// installs plus core decommissions, every step touching its own devices.
+// Update-order synthesis searches the orderings on a scratch fork of the
+// live verifier and either returns a rollout order in which every
+// intermediate network satisfies every policy — or pins the minimal set of
+// steps that block all orderings. The first plan contains a bug (pod 2's
+// edge ACL forgets the catch-all permit, blackholing the pod) and the
+// synthesizer names exactly that step; fixed, the same batch orders
+// cleanly and the example replays it propose/commit by propose/commit.
 //
 //   $ ./examples/upgrade_planning
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "config/builders.h"
+#include "config/print.h"
+#include "service/engine.h"
 #include "topo/generators.h"
-#include "verify/realconfig.h"
 
 using namespace rcfg;
+using service::json::Value;
 
 namespace {
 
 constexpr unsigned kK = 4;
+constexpr const char* kSession = "migration";
 
 /// The subnet the security team quarantines: edge1-1's hosts.
 net::Ipv4Prefix quarantined(const topo::Topology& t) {
@@ -59,6 +70,21 @@ void unbind(config::DeviceConfig& dev) {
   for (auto& iface : dev.interfaces) iface.acl_in.reset();
 }
 
+void require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    std::exit(1);
+  }
+}
+
+std::vector<std::string> names(const Value& body, const char* key) {
+  std::vector<std::string> out;
+  if (const Value* arr = body.find(key); arr != nullptr) {
+    for (const Value& v : arr->as_array()) out.push_back(v.as_string());
+  }
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -71,83 +97,157 @@ int main() {
     bind_on_uplinks(cfg.devices.at("core" + std::to_string(c)), make_filter(topo, false));
   }
 
-  verify::RealConfig rc(topo);
-  rc.apply(cfg);
-
-  // Intent that must hold through the whole migration.
-  const auto ok_prefix = config::host_prefix(topo.find_node("edge2-0"));
-  rc.require_reachable("edge0-0", "edge2-0", ok_prefix);
-  rc.require_isolated("edge0-0", "edge1-1", quarantined(topo));
-  rc.require_isolated("edge3-1", "edge1-1", quarantined(topo));
-  std::printf("migration start: %zu policies hold on the current network\n\n",
-              rc.checker().policy_count());
-
-  // The migration plan, one step per pod, then core cleanup.
-  struct Step {
-    std::string description;
-    bool buggy;
+  // The migration batch: one edge-ACL install per pod, then the core
+  // decommissions two cores at a time. Steps touch pairwise disjoint
+  // devices, so the synthesizer is free to interleave them.
+  struct PlanStep {
+    std::string name;
+    std::vector<std::string> devices;
+    bool install = true;  ///< install edge filter vs unbind core filter
+    bool buggy = false;
   };
-  unsigned step_no = 0;
-  auto run_step = [&](const std::string& what, auto&& edit) {
-    ++step_no;
-    config::NetworkConfig draft = cfg;
-    edit(draft);
-    const auto report = rc.apply(draft);
-    bool bad = false;
-    for (const auto& event : report.check.events) bad |= !event.satisfied;
-    std::printf("step %u: %-58s %s (%.1f ms, %zu ECs affected)\n", step_no, what.c_str(),
-                bad ? "VIOLATION" : "ok", report.total_ms(),
-                report.check.affected_ecs.size());
-    if (bad) {
-      for (const auto& event : report.check.events) {
-        if (!event.satisfied) {
-          std::printf("        broken: %s\n", rc.checker().policy(event.id).name.c_str());
-        }
-      }
-      std::printf("        -> rolling back this step only\n");
-      rc.apply(cfg);
-      return false;
-    }
-    cfg = std::move(draft);
-    return true;
-  };
-
-  // Phase 1: install edge filters pod by pod. Pod 2's step is the buggy one.
+  std::vector<PlanStep> plan;
   for (unsigned pod = 0; pod < kK; ++pod) {
-    const bool buggy = pod == 2;
-    const bool landed = run_step(
-        "install edge ACLs in pod " + std::to_string(pod) + (buggy ? " (buggy draft)" : ""),
-        [&](config::NetworkConfig& draft) {
-          for (unsigned e = 0; e < kK / 2; ++e) {
-            auto& dev =
-                draft.devices.at("edge" + std::to_string(pod) + "-" + std::to_string(e));
-            bind_on_uplinks(dev, make_filter(topo, buggy));
-          }
-        });
-    if (!landed) {
-      // Fix the draft and retry the same step.
-      run_step("install edge ACLs in pod " + std::to_string(pod) + " (fixed)",
-               [&](config::NetworkConfig& draft) {
-                 for (unsigned e = 0; e < kK / 2; ++e) {
-                   auto& dev = draft.devices.at("edge" + std::to_string(pod) + "-" +
-                                                std::to_string(e));
-                   bind_on_uplinks(dev, make_filter(topo, false));
-                 }
-               });
+    PlanStep s;
+    s.name = "install-pod" + std::to_string(pod) + "-edges";
+    for (unsigned e = 0; e < kK / 2; ++e) {
+      s.devices.push_back("edge" + std::to_string(pod) + "-" + std::to_string(e));
     }
+    s.buggy = pod == 2;  // the draft forgets pod 2's catch-all permit
+    plan.push_back(std::move(s));
   }
-
-  // Phase 2: remove the core ACLs, two cores at a time.
   for (unsigned c = 0; c < kK * kK / 4; c += 2) {
-    run_step("decommission core ACLs on core" + std::to_string(c) + ", core" +
-                 std::to_string(c + 1),
-             [&](config::NetworkConfig& draft) {
-               unbind(draft.devices.at("core" + std::to_string(c)));
-               unbind(draft.devices.at("core" + std::to_string(c + 1)));
-             });
+    PlanStep s;
+    s.name = "decommission-core" + std::to_string(c) + "-core" + std::to_string(c + 1);
+    s.devices = {"core" + std::to_string(c), "core" + std::to_string(c + 1)};
+    s.install = false;
+    plan.push_back(std::move(s));
   }
 
-  std::printf("\nmigration complete; all %zu policies still hold\n",
-              rc.checker().policy_count());
+  const auto step_json = [&](const PlanStep& s, bool fixed) {
+    // Each step ships only its own devices' configs — the service overlays
+    // them on the live configuration per candidate placement.
+    config::NetworkConfig patch;
+    for (const std::string& device : s.devices) {
+      config::DeviceConfig dev = cfg.devices.at(device);
+      if (s.install) {
+        bind_on_uplinks(dev, make_filter(topo, s.buggy && !fixed));
+      } else {
+        unbind(dev);
+      }
+      patch.devices[device] = std::move(dev);
+    }
+    Value step;
+    step["name"] = Value(s.name);
+    step["config"] = Value(config::print_network(patch));
+    return step;
+  };
+  const auto order_request = [&](int id, bool fixed) {
+    Value req;
+    req["id"] = Value(id);
+    req["op"] = Value("order");
+    req["session"] = Value(kSession);
+    Value::Array steps;
+    for (const PlanStep& s : plan) steps.push_back(step_json(s, fixed));
+    req["steps"] = Value(std::move(steps));
+    req["max_blocking"] = Value(2);
+    return service::parse_request(req.dump());
+  };
+
+  // --- open a session and pin the migration's intent ----------------------
+  service::Engine engine;
+  Value topology;
+  topology["kind"] = Value("fat_tree");
+  topology["k"] = Value(kK);
+  Value open;
+  open["id"] = Value(1);
+  open["op"] = Value("open");
+  open["session"] = Value(kSession);
+  open["topology"] = topology;
+  open["config"] = Value(config::print_network(cfg));
+  require(engine.call(service::parse_request(open.dump())).ok, "open failed");
+
+  const auto add_policy = [&](int id, const char* kind, const char* name, const char* src,
+                              const char* dst, net::Ipv4Prefix prefix) {
+    Value policy;
+    policy["kind"] = Value(kind);
+    policy["name"] = Value(name);
+    policy["src"] = Value(src);
+    policy["dst"] = Value(dst);
+    policy["prefix"] = Value(prefix.to_string());
+    Value req;
+    req["id"] = Value(id);
+    req["op"] = Value("add_policy");
+    req["session"] = Value(kSession);
+    req["policy"] = policy;
+    require(engine.call(service::parse_request(req.dump())).ok, "add_policy failed");
+  };
+  add_policy(2, "reachable", "pods-connected", "edge0-0", "edge2-0",
+             config::host_prefix(topo.find_node("edge2-0")));
+  add_policy(3, "isolated", "quarantine-near", "edge0-0", "edge1-1", quarantined(topo));
+  add_policy(4, "isolated", "quarantine-far", "edge3-1", "edge1-1", quarantined(topo));
+  std::printf("session '%s' open: fat-tree k=%u, 3 policies hold\n\n", kSession, kK);
+
+  // --- round 1: the draft plan --------------------------------------------
+  service::Response draft = engine.call(order_request(5, /*fixed=*/false));
+  require(draft.ok, "order (draft) failed");
+  const std::vector<std::string> blocking = names(draft.body, "blocking");
+  std::printf("draft plan: found=%s, %lld placements verified\n",
+              draft.body.get_bool("found") ? "yes" : "no",
+              static_cast<long long>(draft.body.get_int("explored")));
+  for (const std::string& b : blocking) std::printf("  blocking step: %s\n", b.c_str());
+  require(blocking == std::vector<std::string>{"install-pod2-edges"},
+          "the synthesizer did not pin the buggy step");
+  require(draft.body.get_bool("blocking_minimal"), "blocking subset not proven minimal");
+  std::printf("  -> pod 2's edge ACL blackholes the pod (no catch-all permit);\n"
+              "     no ordering can place it, every other step still orders.\n\n");
+
+  // --- round 2: the fixed plan --------------------------------------------
+  service::Response fixed = engine.call(order_request(6, /*fixed=*/true));
+  require(fixed.ok, "order (fixed) failed");
+  require(fixed.body.get_bool("found"), "fixed plan should be orderable");
+  require(names(fixed.body, "blocking").empty(), "fixed plan should have no blockers");
+  const std::vector<std::string> rollout = names(fixed.body, "order");
+  require(rollout.size() == plan.size(), "fixed plan should order every step");
+  std::printf("fixed plan: safe rollout order synthesized\n");
+  for (std::size_t i = 0; i < rollout.size(); ++i) {
+    std::printf("  %zu. %s\n", i + 1, rollout[i].c_str());
+  }
+
+  // --- replay: propose/commit each step in the synthesized order ----------
+  std::printf("\nrolling out:\n");
+  int id = 7;
+  for (const std::string& step_name : rollout) {
+    const auto it = std::find_if(plan.begin(), plan.end(),
+                                 [&](const PlanStep& s) { return s.name == step_name; });
+    require(it != plan.end(), "synthesized step name not in the plan");
+    for (const std::string& device : it->devices) {
+      auto& dev = cfg.devices.at(device);
+      if (it->install) {
+        bind_on_uplinks(dev, make_filter(topo, false));
+      } else {
+        unbind(dev);
+      }
+    }
+    Value propose;
+    propose["id"] = Value(id++);
+    propose["op"] = Value("propose");
+    propose["session"] = Value(kSession);
+    propose["config"] = Value(config::print_network(cfg));
+    const service::Response r = engine.call(service::parse_request(propose.dump()));
+    require(r.ok, "propose failed");
+    const Value* events = r.body.find("events");
+    require(events == nullptr || events->as_array().empty(),
+            "a synthesized step flipped a policy verdict");
+    Value commit;
+    commit["id"] = Value(id++);
+    commit["op"] = Value("commit");
+    commit["session"] = Value(kSession);
+    require(engine.call(service::parse_request(commit.dump())).ok, "commit failed");
+    std::printf("  %-34s committed, all policies hold\n", step_name.c_str());
+  }
+
+  std::printf("\nmigration complete: filters live at the edges, cores clean,\n"
+              "every intermediate network verified before it ever existed.\n");
   return 0;
 }

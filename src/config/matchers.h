@@ -48,6 +48,8 @@ struct Flow {
   IpProto proto = IpProto::kAny;
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
+
+  friend bool operator==(const Flow&, const Flow&) = default;
 };
 
 /// Does `flow` match one ACL rule? kAny proto in the rule matches

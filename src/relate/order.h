@@ -1,0 +1,104 @@
+#pragma once
+
+// Safe update-order synthesis (Toward Synthesis of Network Updates,
+// PAPERS.md): given a batch of per-device configuration updates and the
+// policies registered on a live verifier, find an order in which to roll
+// the updates out so that EVERY intermediate state satisfies every policy
+// that held at the start — or, when no such order exists, identify the
+// smallest subset of updates that blocks all orderings.
+//
+// The verifier is the inner loop. One scratch replica is forked from the
+// base state; placing a step is "restore the parent checkpoint -> apply
+// the prefix's composed config incrementally -> re-check" (PR 4's
+// restore/apply/check/discard recipe, with a per-depth snapshot stack so
+// backtracking is a restore, not a rebuild). Steps must touch pairwise
+// disjoint device sets — then placed sets commute, the intermediate state
+// depends only on WHICH steps are placed (not their order), and the search
+// memoises failed placed-sets as bitmasks, collapsing the n! order space
+// to at most 2^n distinct states.
+//
+// Search: greedy descent (steps tried in index order, first passing step
+// taken) with backtracking on dead ends. When the full set is infeasible,
+// a minimal-blocking search re-runs the synthesis with every size-1, then
+// size-2, ... subset excluded (bounded by OrderOptions::max_blocking):
+// the first exclusion that admits a safe order of the remainder is the
+// minimal blocking subset — which names the broken step(s) instead of
+// reporting a bare failure.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/types.h"
+#include "verify/realconfig.h"
+
+namespace rcfg::relate {
+
+/// One rollout step: the devices it reconfigures and their new configs.
+/// Patch devices replace (or extend) the base network's entries; steps in
+/// one batch must touch pairwise disjoint device sets.
+struct UpdateStep {
+  std::string name;
+  config::NetworkConfig patch;
+};
+
+struct OrderOptions {
+  /// Largest blocking subset the exclusion search will look for. Bigger
+  /// values prove minimality for deeper faults at combinatorial cost.
+  std::size_t max_blocking = 2;
+  /// Hard cap on verified candidate placements across the whole synthesis
+  /// (a safety valve; 2^n memoisation keeps real runs far below it).
+  std::size_t max_explored = 4096;
+};
+
+/// What happened when one step was placed on top of a (safe) prefix.
+struct StepVerdict {
+  std::size_t step = 0;       ///< index into the input batch
+  bool converged = true;      ///< the control plane reached a stable state
+  /// Policies that held at base but are violated after placing the step
+  /// (empty iff the placement is safe and converged).
+  std::vector<verify::PolicyId> violated;
+  std::size_t affected_ecs = 0;  ///< incremental work the placement caused
+  double apply_ms = 0;
+};
+
+struct OrderResult {
+  /// A safe total order was found. When `blocking` is also nonempty the
+  /// order covers every step EXCEPT the blocking subset.
+  bool found = false;
+  std::vector<std::size_t> order;     ///< step indices in rollout order
+  std::vector<StepVerdict> verdicts;  ///< per placed step of `order`
+  /// Minimal subset whose exclusion makes the rest orderable (empty when
+  /// found on the full set, or when no subset within max_blocking works).
+  std::vector<std::size_t> blocking;
+  /// True when `blocking` is provably minimal: every strictly smaller
+  /// exclusion (including none) was searched exhaustively and failed.
+  bool blocking_minimal = false;
+  std::size_t explored = 0;  ///< candidate placements actually verified
+  std::size_t restores = 0;  ///< checkpoint restores performed
+  double snapshot_ms = 0;    ///< base checkpoint cost
+  double search_ms = 0;      ///< everything after the checkpoint
+};
+
+/// Synthesize a safe rollout order for `steps` over the base verifier's
+/// current state and registered policies. The base is never mutated: all
+/// work happens on a private scratch fork. Throws std::invalid_argument
+/// when two steps touch the same device, a step is empty, or the batch
+/// exceeds 64 steps (the bitmask memo width); dd::NonterminationError is
+/// absorbed — a non-converging placement is an unsafe placement, not an
+/// error.
+class UpdateOrderSynthesizer {
+ public:
+  /// `base_cfg` must be the configuration most recently applied to `base`.
+  UpdateOrderSynthesizer(verify::RealConfig& base, config::NetworkConfig base_cfg)
+      : base_(base), base_cfg_(std::move(base_cfg)) {}
+
+  OrderResult synthesize(const std::vector<UpdateStep>& steps,
+                         const OrderOptions& options = {});
+
+ private:
+  verify::RealConfig& base_;
+  config::NetworkConfig base_cfg_;
+};
+
+}  // namespace rcfg::relate

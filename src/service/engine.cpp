@@ -88,6 +88,8 @@ void Engine::submit(Request req, Callback callback) {
     case Verb::kQuery: metrics_.queries.inc(); break;
     case Verb::kExplain: metrics_.explains.inc(); break;
     case Verb::kSweep: metrics_.sweeps.inc(); break;
+    case Verb::kRelate: metrics_.relates.inc(); break;
+    case Verb::kOrder: metrics_.orders.inc(); break;
     case Verb::kStats: break;
   }
 
@@ -394,6 +396,153 @@ const char* kind_text(verify::PolicyKind kind) {
   return "?";
 }
 
+json::Value flow_json(const config::Flow& flow) {
+  json::Value f;
+  f["src"] = json::Value(flow.src.to_string());
+  f["dst"] = json::Value(flow.dst.to_string());
+  f["proto"] = json::Value(proto_text(flow.proto));
+  f["src_port"] = json::Value(static_cast<std::uint64_t>(flow.src_port));
+  f["dst_port"] = json::Value(static_cast<std::uint64_t>(flow.dst_port));
+  return f;
+}
+
+/// Compact per-branch rendering of one flow trace (node names only; the
+/// explain verb carries the rule-level detail).
+json::Value trace_json(const topo::Topology& topo, const verify::FlowTrace& trace) {
+  json::Value t;
+  t["delivered"] = json::Value(trace.any_delivered());
+  json::Value::Array branches;
+  for (const verify::TraceBranch& b : trace.branches) {
+    json::Value branch;
+    branch["disposition"] = json::Value(verify::to_string(b.disposition));
+    json::Value::Array path;
+    for (const verify::TraceHop& h : b.hops) {
+      path.push_back(json::Value(topo.node(h.node).name));
+    }
+    branch["path"] = json::Value(std::move(path));
+    branches.push_back(std::move(branch));
+  }
+  t["branches"] = json::Value(std::move(branches));
+  return t;
+}
+
+json::Value::Array pair_strings(const topo::Topology& topo,
+                                const std::vector<std::pair<topo::NodeId, topo::NodeId>>& pairs) {
+  json::Value::Array out;
+  for (const auto& [s, d] : pairs) {
+    out.push_back(json::Value(topo.node(s).name + "->" + topo.node(d).name));
+  }
+  return out;
+}
+
+/// Serialize one relational check: summary counts, violated specs with
+/// witnesses, and (detail only) the per-EC diff array.
+json::Value relate_body(const Session& session, const relate::RelationalResult& result,
+                        const RelateSpec& spec) {
+  const topo::Topology& topo = session.topology();
+  json::Value body;
+  body["holds"] = json::Value(result.holds);
+  body["ecs_compared"] = json::Value(result.ecs_compared);
+  body["ecs_changed"] = json::Value(result.diff.ecs.size());
+  body["pairs_gained"] = json::Value(result.diff.pairs_gained());
+  body["pairs_lost"] = json::Value(result.diff.pairs_lost());
+  body["devices_diverged"] = json::Value(result.diff.devices_diverged());
+  json::Value::Array violations;
+  for (const relate::SpecViolation& v : result.violations) {
+    const relate::RelationalSpec& rs = spec.specs[v.spec];
+    json::Value vj;
+    vj["spec"] = rs.name.empty() ? json::Value(v.spec) : json::Value(rs.name);
+    vj["kind"] = json::Value(relate::to_string(rs.kind));
+    json::Value::Array ecs;
+    for (const dpm::EcId ec : v.ecs) ecs.push_back(json::Value(static_cast<std::uint64_t>(ec)));
+    vj["ecs"] = json::Value(std::move(ecs));
+    if (v.witness.has_value()) {
+      json::Value w;
+      w["flow"] = flow_json(v.witness->flow);
+      w["ingress"] = json::Value(topo.node(v.witness->ingress).name);
+      w["before"] = trace_json(topo, v.witness->before);
+      w["after"] = trace_json(topo, v.witness->after);
+      vj["witness"] = std::move(w);
+    }
+    violations.push_back(std::move(vj));
+  }
+  body["violations"] = json::Value(std::move(violations));
+  body["snapshot_ms"] = json::Value(result.snapshot_ms);
+  body["fork_ms"] = json::Value(result.fork_ms);
+  body["apply_ms"] = json::Value(result.apply_ms);
+  body["diff_ms"] = json::Value(result.diff_ms);
+  body["relate_ms"] = json::Value(result.total_ms());
+  if (!spec.detail) return body;
+
+  json::Value::Array diff;
+  for (const relate::EcDiff& d : result.diff.ecs) {
+    json::Value e;
+    e["ec"] = json::Value(static_cast<std::uint64_t>(d.changed_ec));
+    e["base_ec"] = json::Value(static_cast<std::uint64_t>(d.base_ec));
+    e["example"] = flow_json(d.example);
+    json::Value::Array devices;
+    for (const relate::DeviceDivergence& dd : d.devices) {
+      json::Value dv;
+      dv["device"] = json::Value(topo.node(dd.device).name);
+      dv["before"] = json::Value(dpm::to_string(dd.before));
+      dv["after"] = json::Value(dpm::to_string(dd.after));
+      devices.push_back(std::move(dv));
+    }
+    e["devices"] = json::Value(std::move(devices));
+    e["pairs_gained"] = json::Value(pair_strings(topo, d.pairs_gained));
+    e["pairs_lost"] = json::Value(pair_strings(topo, d.pairs_lost));
+    if (d.loop_before != d.loop_after) e["loop"] = json::Value(d.loop_after);
+    if (d.blackhole_before != d.blackhole_after) {
+      e["blackhole"] = json::Value(d.blackhole_after);
+    }
+    diff.push_back(std::move(e));
+  }
+  body["diff"] = json::Value(std::move(diff));
+  return body;
+}
+
+/// Serialize one order synthesis: the rollout order (or blocking subset)
+/// by step name, and (detail only) the per-step verdict records.
+json::Value order_body(const Session& session, const relate::OrderResult& result,
+                       const std::vector<relate::UpdateStep>& steps, bool detail) {
+  json::Value body;
+  body["found"] = json::Value(result.found);
+  json::Value::Array order;
+  for (const std::size_t idx : result.order) order.push_back(json::Value(steps[idx].name));
+  body["order"] = json::Value(std::move(order));
+  json::Value::Array blocking;
+  for (const std::size_t idx : result.blocking) {
+    blocking.push_back(json::Value(steps[idx].name));
+  }
+  body["blocking"] = json::Value(std::move(blocking));
+  body["blocking_minimal"] = json::Value(result.blocking_minimal);
+  body["explored"] = json::Value(result.explored);
+  body["restores"] = json::Value(result.restores);
+  body["snapshot_ms"] = json::Value(result.snapshot_ms);
+  body["search_ms"] = json::Value(result.search_ms);
+  body["order_ms"] = json::Value(result.snapshot_ms + result.search_ms);
+  if (!detail) return body;
+
+  json::Value::Array verdicts;
+  for (const relate::StepVerdict& v : result.verdicts) {
+    json::Value s;
+    s["name"] = json::Value(steps[v.step].name);
+    s["converged"] = json::Value(v.converged);
+    json::Value::Array violated;
+    for (const verify::PolicyId id : v.violated) {
+      const std::string name = session.policy_name(id);
+      violated.push_back(name.empty() ? json::Value("#" + std::to_string(id))
+                                      : json::Value(name));
+    }
+    s["violated"] = json::Value(std::move(violated));
+    s["affected_ecs"] = json::Value(v.affected_ecs);
+    s["apply_ms"] = json::Value(v.apply_ms);
+    verdicts.push_back(std::move(s));
+  }
+  body["steps"] = json::Value(std::move(verdicts));
+  return body;
+}
+
 /// Serialize one explanation: witness, hop-by-hop branches, causes.
 json::Value explanation_body(const Session& session, const Session::ExplainResult& result) {
   const topo::Topology& topo = session.topology();
@@ -618,6 +767,42 @@ Response Engine::handle_(Slot& slot, const Request& req) {
         }
         metrics_.sweep_diverged.inc(diverged);
         json::Value body = sweep_body(session, result, req.sweep.detail);
+        body["session"] = json::Value(req.session);
+        r.body = std::move(body);
+        break;
+      }
+      case Verb::kRelate: {
+        const config::NetworkConfig cfg = parse_config_text(req.config_text);
+        const auto t0 = std::chrono::steady_clock::now();
+        const relate::RelationalResult result =
+            session.relate(cfg, req.relate.specs, req.relate.witnesses);
+        metrics_.relate_ms.record(
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                .count());
+        metrics_.relate_diff_ecs.inc(result.diff.ecs.size());
+        json::Value body = relate_body(session, result, req.relate);
+        body["session"] = json::Value(req.session);
+        r.body = std::move(body);
+        break;
+      }
+      case Verb::kOrder: {
+        std::vector<relate::UpdateStep> steps;
+        steps.reserve(req.order.steps.size());
+        for (const OrderStepSpec& s : req.order.steps) {
+          relate::UpdateStep step;
+          step.name = s.name;
+          step.patch = parse_config_text(s.config_text);
+          steps.push_back(std::move(step));
+        }
+        relate::OrderOptions options;
+        options.max_blocking = req.order.max_blocking;
+        const auto t0 = std::chrono::steady_clock::now();
+        const relate::OrderResult result = session.order(steps, options);
+        metrics_.order_ms.record(
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                .count());
+        metrics_.order_steps_explored.inc(result.explored);
+        json::Value body = order_body(session, result, steps, req.order.detail);
         body["session"] = json::Value(req.session);
         r.body = std::move(body);
         break;

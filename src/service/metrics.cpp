@@ -100,6 +100,8 @@ json::Value ServiceMetrics::to_json() const {
   requests["query"] = json::Value(queries.value());
   requests["explain"] = json::Value(explains.value());
   requests["sweep"] = json::Value(sweeps.value());
+  requests["relate"] = json::Value(relates.value());
+  requests["order"] = json::Value(orders.value());
   requests["stats"] = json::Value(stats_calls.value());
   out["requests"] = std::move(requests);
 
@@ -118,6 +120,13 @@ json::Value ServiceMetrics::to_json() const {
   sweeping["sweep_ms"] = sweep_ms.to_json();
   sweeping["scenario_ms"] = sweep_scenario_ms.to_json();
   out["sweeps"] = std::move(sweeping);
+
+  json::Value relational;
+  relational["relate_diff_ecs"] = json::Value(relate_diff_ecs.value());
+  relational["order_steps_explored"] = json::Value(order_steps_explored.value());
+  relational["relate_ms"] = relate_ms.to_json();
+  relational["order_ms"] = order_ms.to_json();
+  out["relational"] = std::move(relational);
 
   json::Value parallelism;
   parallelism["check_shards"] = json::Value(check_parallelism.value());

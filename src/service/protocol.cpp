@@ -14,6 +14,8 @@ const char* verb_name(Verb v) {
     case Verb::kQuery: return "query";
     case Verb::kExplain: return "explain";
     case Verb::kSweep: return "sweep";
+    case Verb::kRelate: return "relate";
+    case Verb::kOrder: return "order";
     case Verb::kStats: return "stats";
   }
   return "?";
@@ -30,6 +32,8 @@ Verb parse_verb(const std::string& op) {
   if (op == "query") return Verb::kQuery;
   if (op == "explain") return Verb::kExplain;
   if (op == "sweep") return Verb::kSweep;
+  if (op == "relate") return Verb::kRelate;
+  if (op == "order") return Verb::kOrder;
   if (op == "stats") return Verb::kStats;
   throw ProtocolError("unknown op: '" + op + "'");
 }
@@ -108,6 +112,75 @@ SessionOptions parse_options(const json::Value& doc) {
     throw ProtocolError("unknown update_order: '" + order + "'");
   }
   return opts;
+}
+
+RelateSpec parse_relate(const json::Value& doc) {
+  RelateSpec spec;
+  if (const json::Value* specs = doc.find("specs"); specs != nullptr) {
+    if (!specs->is_array()) throw ProtocolError("'specs' must be an array");
+    for (const json::Value& s : specs->as_array()) {
+      if (!s.is_object()) throw ProtocolError("relate spec must be an object");
+      relate::RelationalSpec rs;
+      const std::string kind = s.get_string("kind");
+      if (kind.empty()) throw ProtocolError("relate spec needs a 'kind'");
+      try {
+        rs.kind = relate::spec_kind_of(kind);
+      } catch (const std::invalid_argument& e) {
+        throw ProtocolError(e.what());
+      }
+      rs.name = s.get_string("name");
+      if (const json::Value* prefixes = s.find("prefixes"); prefixes != nullptr) {
+        if (!prefixes->is_array()) {
+          throw ProtocolError("'prefixes' must be an array of CIDR strings");
+        }
+        for (const json::Value& p : prefixes->as_array()) {
+          if (!p.is_string()) {
+            throw ProtocolError("'prefixes' must be an array of CIDR strings");
+          }
+          rs.prefixes.push_back(parse_prefix(p.as_string()));
+        }
+      }
+      if (rs.kind == relate::RelationalSpec::Kind::kNone) {
+        if (!rs.prefixes.empty()) {
+          throw ProtocolError("spec kind 'none' takes no 'prefixes'");
+        }
+      } else if (rs.prefixes.empty()) {
+        throw ProtocolError(std::string("spec kind '") + relate::to_string(rs.kind) +
+                            "' needs a non-empty 'prefixes'");
+      }
+      spec.specs.push_back(std::move(rs));
+    }
+  }
+  spec.witnesses = doc.get_bool("witnesses", true);
+  spec.detail = doc.get_bool("detail", false);
+  return spec;
+}
+
+OrderSpec parse_order(const json::Value& doc) {
+  OrderSpec spec;
+  const json::Value* steps = doc.find("steps");
+  if (steps == nullptr || !steps->is_array() || steps->as_array().empty()) {
+    throw ProtocolError("order needs a non-empty 'steps' array");
+  }
+  for (const json::Value& s : steps->as_array()) {
+    if (!s.is_object()) throw ProtocolError("order step must be an object");
+    OrderStepSpec step;
+    step.name = s.get_string("name");
+    if (step.name.empty()) throw ProtocolError("order step needs a 'name'");
+    step.config_text = s.get_string("config");
+    if (step.config_text.empty()) {
+      throw ProtocolError("order step '" + step.name + "' needs a 'config'");
+    }
+    for (const OrderStepSpec& earlier : spec.steps) {
+      if (earlier.name == step.name) {
+        throw ProtocolError("duplicate order step name '" + step.name + "'");
+      }
+    }
+    spec.steps.push_back(std::move(step));
+  }
+  spec.max_blocking = get_unsigned(doc, "max_blocking", 2);
+  spec.detail = doc.get_bool("detail", false);
+  return spec;
 }
 
 }  // namespace
@@ -197,6 +270,14 @@ Request parse_request_doc(const json::Value& doc) {
       req.sweep.detail = doc.get_bool("detail", false);
       break;
     }
+    case Verb::kRelate:
+      req.config_text = doc.get_string("config");
+      if (req.config_text.empty()) throw ProtocolError("relate needs a 'config'");
+      req.relate = parse_relate(doc);
+      break;
+    case Verb::kOrder:
+      req.order = parse_order(doc);
+      break;
     case Verb::kCommit:
     case Verb::kAbort:
     case Verb::kStats:

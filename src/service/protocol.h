@@ -5,19 +5,29 @@
 //
 // Requests ({"id":N,"op":VERB,...}):
 //   open        {"session", "topology":{"kind","k"|"n"|"w","h"}, "config",
-//                ["max_rounds","update_order","flush_budget",
-//                 "recurrence_threshold","threads","trace",
-//                 "reclaim","ec_watermark","bdd_watermark"]}
-//               "threads" widens the checker's worker pool (default 1);
-//               reports are identical for any value — only latency changes.
-//               "trace":true records per-batch provenance for `explain`
-//               (pay-as-you-go: without it, batches record nothing).
-//               "reclaim":true enables online memory reclamation (EC merge
-//               + BDD GC after each check); "ec_watermark"/"bdd_watermark"
-//               defer it until the partition / node count exceeds the
-//               given size (0, the default, reclaims eagerly). Verdicts
-//               and pair-level results are unaffected; EC ids in later
-//               reports are renumbered by merges.
+//                [options...]} — the COMPLETE option set, in one place:
+//                 "max_rounds":N            control-plane convergence cap
+//                 "update_order":"insert_first"|"delete_first"|"interleaved"
+//                                           batch rule-update order (Table 3;
+//                                           default insert_first)
+//                 "flush_budget":N          generator divergence detector:
+//                                           operator-flush budget (0 = default)
+//                 "recurrence_threshold":N  generator divergence detector:
+//                                           recurring-state threshold
+//                 "threads":N               checker worker-pool width
+//                                           (default 1); reports are identical
+//                                           for any value — only latency moves
+//                 "trace":true              record per-batch provenance for
+//                                           `explain` (pay-as-you-go: without
+//                                           it, batches record nothing)
+//                 "reclaim":true            online memory reclamation (EC merge
+//                                           + BDD GC after each check); verdicts
+//                                           and pair results unaffected, EC ids
+//                                           in later reports renumbered by merges
+//                 "ec_watermark":N          defer reclamation until the EC
+//                                           partition exceeds N atoms (0 = eager)
+//                 "bdd_watermark":N         defer BDD GC until the manager
+//                                           exceeds N live nodes (0 = eager)
 //   propose     {"session", "config"}          config = the DSL text of the
 //                                              *whole* intended network
 //   commit      {"session"}
@@ -37,6 +47,27 @@
 //               the swept links (default: all); "max_failures":2 adds every
 //               link pair; "threads" shards scenarios over that many
 //               replicas; "detail" includes the per-scenario outcome array.
+//   relate      {"session", "config", ["specs":[{"kind":"none"|
+//                "only_dst_in"|"only_src_in", ["prefixes":[CIDR,...]],
+//                ["name"]}]], ["witnesses":true], ["detail":true]}
+//               relational check of a proposed config against the live
+//               state (fork-pair behavioural diff; the live verifier is
+//               never touched): which ECs forward/filter differently, per
+//               device, with gained/lost delivered pairs. Each spec says
+//               which traffic MAY change ("none" = behaviour-preserving);
+//               violating ECs come back with a hop-by-hop witness trace
+//               through both data planes. "detail" adds the per-EC diff.
+//   order       {"session", "steps":[{"name","config"},...],
+//                ["max_blocking":N], ["detail":true]}
+//               safe update-order synthesis: each step's "config" is a
+//               patch (DSL text of just the devices it reconfigures; steps
+//               must touch disjoint devices). Searches for a rollout order
+//               where every prefix keeps every currently-satisfied policy
+//               satisfied, on a scratch fork (restore → apply → check →
+//               discard). Answers a safe total order with per-step
+//               verdicts, or the minimal blocking subset (up to
+//               "max_blocking", default 2) whose exclusion unblocks the
+//               rest. "detail" adds per-step verdict records.
 //   stats       {}                             waits for in-flight requests
 //
 // Responses echo the id: {"id":N,"ok":true,...} or
@@ -48,6 +79,7 @@
 #include <string>
 #include <string_view>
 
+#include "relate/relate.h"
 #include "service/json.h"
 #include "service/session.h"
 #include "topo/topology.h"
@@ -69,6 +101,8 @@ enum class Verb : std::uint8_t {
   kQuery,
   kExplain,
   kSweep,
+  kRelate,
+  kOrder,
   kStats,
 };
 
@@ -92,15 +126,38 @@ struct SweepSpec {
   bool detail = false;              ///< include per-scenario outcomes
 };
 
+/// Relational-check parameters (the relate verb). The proposed config
+/// itself rides in Request::config_text.
+struct RelateSpec {
+  std::vector<relate::RelationalSpec> specs;  ///< may be empty (diff only)
+  bool witnesses = true;  ///< trace a witness flow per violated spec
+  bool detail = false;    ///< include the per-EC diff array
+};
+
+/// One rollout step of the order verb: a named config patch (DSL text).
+struct OrderStepSpec {
+  std::string name;
+  std::string config_text;
+};
+
+/// Order-synthesis parameters (the order verb).
+struct OrderSpec {
+  std::vector<OrderStepSpec> steps;
+  unsigned max_blocking = 2;  ///< blocking-subset search size cap
+  bool detail = false;        ///< include per-step verdict records
+};
+
 struct Request {
   std::uint64_t id = 0;
   Verb verb = Verb::kStats;
   std::string session;      ///< empty for stats
   TopologySpec topology;    ///< open
-  std::string config_text;  ///< open, propose (config DSL, see config/parse.h)
+  std::string config_text;  ///< open, propose, relate (config DSL, see config/parse.h)
   PolicySpec policy;        ///< add_policy
   std::string query_policy; ///< query/explain; empty => summary / last violation
   SweepSpec sweep;          ///< sweep
+  RelateSpec relate;        ///< relate
+  OrderSpec order;          ///< order
   SessionOptions options;   ///< open
 };
 

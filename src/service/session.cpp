@@ -156,6 +156,19 @@ verify::FailureSweepResult Session::sweep(const verify::FailureSweepOptions& opt
   return verify::sweep_failures(*rc_, live_(), options);
 }
 
+relate::RelationalResult Session::relate(const config::NetworkConfig& proposed,
+                                         const std::vector<relate::RelationalSpec>& specs,
+                                         bool witnesses) {
+  relate::RelationalChecker checker(*rc_);
+  return checker.check(proposed, specs, witnesses);
+}
+
+relate::OrderResult Session::order(const std::vector<relate::UpdateStep>& steps,
+                                   const relate::OrderOptions& options) {
+  relate::UpdateOrderSynthesizer synth(*rc_, live_());
+  return synth.synthesize(steps, options);
+}
+
 Session::ExplainResult Session::explain(const std::string& policy_name) const {
   std::string resolved = policy_name;
   if (resolved.empty()) {

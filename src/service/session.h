@@ -29,6 +29,8 @@
 #include "explain/explain.h"
 #include "explain/provenance.h"
 #include "net/ipv4.h"
+#include "relate/order.h"
+#include "relate/relate.h"
 #include "topo/topology.h"
 #include "verify/failures.h"
 #include "verify/realconfig.h"
@@ -124,6 +126,24 @@ class Session {
   /// fatal. Throws std::logic_error if the verifier is poisoned (cannot
   /// happen through the public verbs: propose() rebuilds on divergence).
   verify::FailureSweepResult sweep(const verify::FailureSweepOptions& options = {});
+
+  // --- relational verification --------------------------------------------
+  /// Relational check of `proposed` against the configuration the live
+  /// verifier currently reflects: fork-pair behavioural diff + spec
+  /// evaluation (see relate::RelationalChecker). The live verifier is
+  /// checkpointed but never mutated. Throws dd::NonterminationError when
+  /// the proposal does not converge on the fork (the session stays
+  /// healthy — nothing to recover).
+  relate::RelationalResult relate(const config::NetworkConfig& proposed,
+                                  const std::vector<relate::RelationalSpec>& specs,
+                                  bool witnesses = true);
+
+  /// Safe update-order synthesis over the live configuration and this
+  /// session's registered policies (see relate::UpdateOrderSynthesizer).
+  /// All search work happens on a scratch fork. Throws
+  /// std::invalid_argument on overlapping/unknown-device steps.
+  relate::OrderResult order(const std::vector<relate::UpdateStep>& steps,
+                            const relate::OrderOptions& options = {});
 
   // --- explain -------------------------------------------------------------
   /// Explain `policy_name`, or — with an empty name — the most recent

@@ -454,6 +454,16 @@ std::vector<std::pair<topo::NodeId, topo::NodeId>> IncrementalChecker::reachable
   return out;
 }
 
+std::vector<std::pair<topo::NodeId, topo::NodeId>> IncrementalChecker::delivered_pairs(
+    dpm::EcId ec) const {
+  std::vector<std::pair<topo::NodeId, topo::NodeId>> out;
+  if (ec >= state_.size()) return out;
+  out.reserve(state_[ec].pairs.size());
+  for (const std::uint64_t p : state_[ec].pairs) out.push_back(unpack_pair(p));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 IncrementalChecker::Snapshot IncrementalChecker::snapshot() const {
   return Snapshot{state_,    pair_index_, looping_,        blackholed_,
                   policies_, satisfied_,  policies_by_ec_, policy_ecs_};

@@ -123,6 +123,13 @@ class IncrementalChecker {
   std::size_t loop_count() const { return looping_.size(); }
   std::size_t blackhole_count() const { return blackholed_.size(); }
 
+  // --- per-EC behaviour accessors (relational diffing) --------------------
+  /// The delivered (src, dst) pairs of one EC, sorted. ECs the checker has
+  /// never seen (beyond the grown state) have no pairs.
+  std::vector<std::pair<topo::NodeId, topo::NodeId>> delivered_pairs(dpm::EcId ec) const;
+  bool looping(dpm::EcId ec) const { return looping_.count(ec) != 0; }
+  bool blackholed(dpm::EcId ec) const { return blackholed_.count(ec) != 0; }
+
   /// Enumerate (up to `limit`) forwarding paths of `ec` from `src` — the
   /// paper's "dumping the full packet traces" debugging aid. A path ends
   /// with the delivering/dropping node; looping branches are truncated at

@@ -104,6 +104,11 @@ void RealConfig::restore(const Snapshot& snap) {
 std::unique_ptr<RealConfig> RealConfig::fork(const Snapshot& snap) const {
   RealConfigOptions opts = options_;
   opts.threads = 1;  // replicas are driven one-per-thread; no nested pools
+  return fork(snap, opts);
+}
+
+std::unique_ptr<RealConfig> RealConfig::fork(const Snapshot& snap,
+                                             RealConfigOptions opts) const {
   auto replica = std::make_unique<RealConfig>(topo_, opts);
   replica->generator_.set_flush_budget(generator_.flush_budget());
   replica->generator_.set_recurrence_threshold(generator_.recurrence_threshold());

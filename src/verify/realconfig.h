@@ -142,6 +142,12 @@ class RealConfig {
   /// is inherited from this instance.
   std::unique_ptr<RealConfig> fork(const Snapshot& snap) const;
 
+  /// fork() with caller-chosen options — for replicas that must deviate
+  /// from the parent's tuning (the relational checker disables reclamation
+  /// so fork EC ids stay relatable to base ids). Generator tuning is still
+  /// inherited; the topology contract is unchanged.
+  std::unique_ptr<RealConfig> fork(const Snapshot& snap, RealConfigOptions opts) const;
+
   // --- policy helpers (by device name; packets default to "everything") --
   PolicyId require_reachable(const std::string& src, const std::string& dst,
                              net::Ipv4Prefix dst_prefix);
@@ -155,9 +161,13 @@ class RealConfig {
   const RealConfigOptions& options() const { return options_; }
   routing::IncrementalGenerator& generator() { return generator_; }
   dpm::PacketSpace& packet_space() { return space_; }
+  const dpm::PacketSpace& packet_space() const { return space_; }
   dpm::EcManager& ecs() { return ecs_; }
+  const dpm::EcManager& ecs() const { return ecs_; }
   dpm::NetworkModel& model() { return model_; }
+  const dpm::NetworkModel& model() const { return model_; }
   IncrementalChecker& checker() { return checker_; }
+  const IncrementalChecker& checker() const { return checker_; }
 
  private:
   topo::NodeId node_or_throw(const std::string& name) const;

@@ -20,7 +20,16 @@
 //       counts among themselves, and finish the change sequence with
 //       exactly as many ECs as a fresh rebuild of the final configuration
 //       (merging reclaimed everything withdrawals left behind — and nothing
-//       more).
+//       more);
+//   (7) the relational checker's incremental fork-pair diff is bit-identical
+//       to a brute-force comparison of EVERY fork EC against its base
+//       ancestor, and bit-identical across thread counts; and update-order
+//       synthesis agrees exactly with a ground truth built by evaluating
+//       every placed SET on a scratch verifier (disjoint steps commute, so
+//       an order is safe iff every prefix set is safe): a safe order exists
+//       iff the synthesizer finds one, every returned order walks only safe
+//       sets, and a claimed minimal blocking pair really has no size-1
+//       alternative.
 //
 // Change selection follows the uniquely-convergent rule from
 // tests/routing/differential_test.cpp: link failures/restores, OSPF costs,
@@ -40,9 +49,15 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+#include <tuple>
+
 #include "baseline/simulator.h"
 #include "config/builders.h"
 #include "core/rng.h"
+#include "dd/graph.h"
+#include "relate/order.h"
+#include "relate/relate.h"
 #include "routing/generator.h"
 #include "topo/generators.h"
 #include "verify/failures.h"
@@ -311,6 +326,272 @@ TEST(FuzzDifferential, RandomNetworksAgreeAcrossOraclesAndThreadCounts) {
 
     // Both sweeps hand the verifier back in its healthy state.
     EXPECT_EQ(lanes[0]->checker().reachable_pairs(), serial.healthy_pairs);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 7: relational diffing and update-order synthesis
+// ---------------------------------------------------------------------------
+
+/// Mutate exactly one device of `cfg` (static null route, IGP cost, local
+/// pref, or a random ACL) — the building block for both the relate proposal
+/// and the pairwise-disjoint order steps.
+void mutate_device(config::NetworkConfig& cfg, const topo::Topology& t, topo::NodeId node,
+                   bool bgp, core::Rng& rng) {
+  const auto adj = t.adjacencies(node);
+  const auto& ifc = t.iface(adj[rng.next_below(adj.size())].iface).name;
+  const double dice = rng.next_double();
+  if (dice < 0.35) {
+    const auto victim = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+    cfg.devices.at(t.node(node).name)
+        .static_routes.push_back({config::host_prefix(victim), config::kNullInterface, 1});
+  } else if (dice < 0.6) {
+    config::attach_random_acl(cfg, t, t.node(node).name, ifc, true,
+                              static_cast<unsigned>(rng.next_in(1, 4)), rng);
+  } else if (!bgp) {
+    config::set_ospf_cost(cfg, t.node(node).name, ifc,
+                          static_cast<std::uint32_t>(rng.next_in(1, 100)));
+  } else {
+    config::set_local_pref(cfg, t.node(node).name, ifc,
+                           rng.next_bool(0.5) ? 150u : config::kDefaultLocalPref);
+  }
+}
+
+/// The lane-comparable projection of an OrderResult (timings dropped).
+struct OrderSemantics {
+  bool found = false, minimal = false;
+  std::vector<std::size_t> order, blocking;
+  std::vector<std::tuple<std::size_t, bool, std::vector<verify::PolicyId>>> verdicts;
+  std::size_t explored = 0;
+
+  static OrderSemantics of(const relate::OrderResult& r) {
+    OrderSemantics s;
+    s.found = r.found;
+    s.minimal = r.blocking_minimal;
+    s.order = r.order;
+    s.blocking = r.blocking;
+    for (const relate::StepVerdict& v : r.verdicts) {
+      s.verdicts.emplace_back(v.step, v.converged, v.violated);
+    }
+    s.explored = r.explored;
+    return s;
+  }
+  bool operator==(const OrderSemantics&) const = default;
+};
+
+TEST(FuzzDifferential, RelationalDiffAndOrderSynthesisAgreeWithGroundTruth) {
+  constexpr unsigned kLaneThreads[] = {1, 2, 4};
+  constexpr std::size_t kSteps = 3;
+  const unsigned iters = fuzz_iters();
+
+  for (unsigned iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed = 0xF0770000ULL + iter;
+    SCOPED_TRACE("fuzz seed " + std::to_string(seed) + " (iteration " +
+                 std::to_string(iter) + ")");
+    core::Rng rng(seed);
+
+    const unsigned n = static_cast<unsigned>(rng.next_in(5, 10));
+    const unsigned links = n - 1 + static_cast<unsigned>(rng.next_below(n));
+    const topo::Topology t = topo::make_random_connected(n, links, rng);
+    const bool bgp = rng.next_bool(0.3);
+    config::NetworkConfig cfg =
+        bgp ? config::build_bgp_network(t) : config::build_ospf_network(t);
+
+    // Identical policy slates on every lane and on the ground-truth scratch.
+    struct PolicySpec {
+      bool isolated;
+      topo::NodeId src, dst;
+    };
+    std::vector<PolicySpec> policy_specs;
+    for (int p = 0; p < 4; ++p) {
+      const auto src = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+      auto dst = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+      if (dst == src) dst = (dst + 1) % static_cast<topo::NodeId>(t.node_count());
+      policy_specs.push_back({rng.next_bool(0.25), src, dst});
+    }
+    const auto register_policies = [&](verify::RealConfig& rc) {
+      for (const PolicySpec& p : policy_specs) {
+        if (p.isolated) {
+          rc.require_isolated(t.node(p.src).name, t.node(p.dst).name,
+                              config::host_prefix(p.dst));
+        } else {
+          rc.require_reachable(t.node(p.src).name, t.node(p.dst).name,
+                               config::host_prefix(p.dst));
+        }
+      }
+    };
+
+    std::vector<std::unique_ptr<verify::RealConfig>> lanes;
+    for (const unsigned threads : kLaneThreads) {
+      verify::RealConfigOptions o;
+      o.threads = threads;
+      lanes.push_back(std::make_unique<verify::RealConfig>(t, o));
+      register_policies(*lanes.back());
+      lanes.back()->apply(cfg);
+    }
+
+    // --- Oracle 7a: incremental diff == brute force, lane-invariant -------
+    config::NetworkConfig proposed = cfg;
+    const auto mutated = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+    mutate_device(proposed, t, mutated, bgp, rng);
+
+    std::vector<relate::RelationalSpec> specs;
+    const auto allowed_dst = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+    specs.push_back({relate::RelationalSpec::Kind::kOnlyDstIn,
+                     {config::host_prefix(allowed_dst)},
+                     "confined"});
+    specs.push_back({relate::RelationalSpec::Kind::kNone, {}, "frozen"});
+
+    std::optional<relate::RelationalResult> first;
+    for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+      SCOPED_TRACE("relate lane threads=" + std::to_string(kLaneThreads[lane]));
+      relate::RelationalChecker checker(*lanes[lane]);
+      relate::RelationalResult r = checker.check(proposed, specs);
+      // The diff the affected-set walk produced is exactly what comparing
+      // EVERY fork EC produces: the unexamined ECs really were identical.
+      const relate::RelationalDiff brute = relate::relational_diff_bruteforce(
+          *lanes[lane], checker.changed(), checker.base_of());
+      EXPECT_EQ(r.diff, brute);
+      if (!first.has_value()) {
+        first = std::move(r);
+        continue;
+      }
+      // Bit-identical across thread counts: same ECs, ports, pairs, flags,
+      // same violating EC sets, same witness flows.
+      EXPECT_EQ(r.diff, first->diff);
+      EXPECT_EQ(r.holds, first->holds);
+      ASSERT_EQ(r.violations.size(), first->violations.size());
+      for (std::size_t v = 0; v < r.violations.size(); ++v) {
+        EXPECT_EQ(r.violations[v].spec, first->violations[v].spec);
+        EXPECT_EQ(r.violations[v].ecs, first->violations[v].ecs);
+        ASSERT_EQ(r.violations[v].witness.has_value(),
+                  first->violations[v].witness.has_value());
+        if (r.violations[v].witness.has_value()) {
+          EXPECT_EQ(r.violations[v].witness->flow, first->violations[v].witness->flow);
+          EXPECT_EQ(r.violations[v].witness->ingress,
+                    first->violations[v].witness->ingress);
+        }
+      }
+    }
+    if (::testing::Test::HasFailure()) return;
+
+    // --- Oracle 7b: order synthesis vs placed-set ground truth ------------
+    // kSteps pairwise-disjoint single-device steps.
+    std::vector<topo::NodeId> devices;
+    while (devices.size() < kSteps) {
+      const auto d = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+      if (std::find(devices.begin(), devices.end(), d) == devices.end()) {
+        devices.push_back(d);
+      }
+    }
+    std::vector<relate::UpdateStep> steps;
+    for (std::size_t i = 0; i < kSteps; ++i) {
+      config::NetworkConfig scratch_cfg = cfg;
+      mutate_device(scratch_cfg, t, devices[i], bgp, rng);
+      relate::UpdateStep step;
+      step.name = "step-" + std::to_string(i);
+      step.patch.devices[t.node(devices[i]).name] =
+          scratch_cfg.devices.at(t.node(devices[i]).name);
+      steps.push_back(std::move(step));
+    }
+    const auto compose = [&](std::uint64_t mask) {
+      config::NetworkConfig c = cfg;
+      for (std::size_t i = 0; i < kSteps; ++i) {
+        if (!(mask & (std::uint64_t{1} << i))) continue;
+        for (const auto& [device, dev_cfg] : steps[i].patch.devices) {
+          c.devices[device] = dev_cfg;
+        }
+      }
+      return c;
+    };
+
+    // Ground truth: disjoint steps commute, so an order is safe iff every
+    // prefix SET is safe — evaluate all 2^kSteps sets on a scratch verifier.
+    verify::RealConfig scratch(t);
+    register_policies(scratch);
+    scratch.apply(cfg);
+    std::vector<verify::PolicyId> watched;
+    for (verify::PolicyId id = 0; id < scratch.checker().policy_count(); ++id) {
+      if (scratch.checker().policy_satisfied(id)) watched.push_back(id);
+    }
+    const auto snap = scratch.snapshot();
+    std::vector<bool> safe(std::size_t{1} << kSteps, true);  // safe[0]: base holds
+    for (std::uint64_t mask = 1; mask < safe.size(); ++mask) {
+      scratch.restore(*snap);
+      try {
+        scratch.apply(compose(mask));
+        for (const verify::PolicyId id : watched) {
+          if (!scratch.checker().policy_satisfied(id)) safe[mask] = false;
+        }
+      } catch (const dd::NonterminationError&) {
+        safe[mask] = false;  // a non-converging placement is unsafe
+      }
+    }
+    // A safe chain from `from` to the full `allowed` set exists?
+    const auto chain_exists = [&](std::uint64_t allowed) {
+      std::vector<bool> reach(safe.size(), false);
+      reach[0] = true;
+      for (std::uint64_t mask = 0; mask < safe.size(); ++mask) {
+        if (!reach[mask]) continue;
+        if (mask == allowed) return true;
+        for (std::size_t s = 0; s < kSteps; ++s) {
+          const std::uint64_t next = mask | (std::uint64_t{1} << s);
+          if ((allowed & (std::uint64_t{1} << s)) && next != mask && safe[next]) {
+            reach[next] = true;
+          }
+        }
+      }
+      return false;
+    };
+    const std::uint64_t full = (std::uint64_t{1} << kSteps) - 1;
+
+    std::optional<OrderSemantics> first_order;
+    for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+      SCOPED_TRACE("order lane threads=" + std::to_string(kLaneThreads[lane]));
+      relate::UpdateOrderSynthesizer synth(*lanes[lane], cfg);
+      const relate::OrderResult r = synth.synthesize(steps);
+
+      // Sound and complete on the full set: found-with-no-blocking iff a
+      // safe chain exists.
+      EXPECT_EQ(r.found && r.blocking.empty(), chain_exists(full));
+      if (r.found) {
+        // Every prefix of the returned order is a safe placed set.
+        std::uint64_t mask = 0;
+        for (const std::size_t s : r.order) {
+          mask |= std::uint64_t{1} << s;
+          EXPECT_TRUE(safe[mask]) << "order walks through unsafe set " << mask;
+        }
+        std::uint64_t excluded = 0;
+        for (const std::size_t s : r.blocking) excluded |= std::uint64_t{1} << s;
+        EXPECT_EQ(mask, full & ~excluded);
+        for (const relate::StepVerdict& v : r.verdicts) {
+          EXPECT_TRUE(v.converged);
+          EXPECT_TRUE(v.violated.empty());
+        }
+      }
+      if (!r.blocking.empty()) {
+        // The exclusion really unblocks the remainder...
+        EXPECT_TRUE(chain_exists(full & ~[&] {
+          std::uint64_t e = 0;
+          for (const std::size_t s : r.blocking) e |= std::uint64_t{1} << s;
+          return e;
+        }()));
+        // ...and a claimed-minimal pair has no single-step alternative.
+        if (r.blocking_minimal && r.blocking.size() == 2) {
+          for (std::size_t s = 0; s < kSteps; ++s) {
+            EXPECT_FALSE(chain_exists(full & ~(std::uint64_t{1} << s)));
+          }
+        }
+      }
+
+      if (!first_order.has_value()) {
+        first_order = OrderSemantics::of(r);
+      } else {
+        EXPECT_TRUE(OrderSemantics::of(r) == *first_order)
+            << "order synthesis differs across thread counts";
+      }
+    }
     if (::testing::Test::HasFailure()) return;
   }
 }

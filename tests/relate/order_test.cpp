@@ -1,0 +1,190 @@
+#include "relate/order.h"
+
+#include <gtest/gtest.h>
+
+#include "config/builders.h"
+#include "topo/generators.h"
+#include "verify/realconfig.h"
+
+namespace rcfg::relate {
+namespace {
+
+config::DeviceConfig with_deny_dst(config::DeviceConfig dev, net::Ipv4Prefix dst,
+                                   const std::string& iface) {
+  config::Acl acl;
+  acl.name = "ORD-DENY";
+  config::AclRule deny;
+  deny.seq = 10;
+  deny.action = config::Action::kDeny;
+  deny.dst = dst;
+  acl.rules.push_back(deny);
+  config::AclRule permit;
+  permit.seq = 20;
+  permit.action = config::Action::kPermit;
+  acl.rules.push_back(permit);
+  dev.acls[acl.name] = acl;
+  dev.find_interface(iface)->acl_in = acl.name;
+  return dev;
+}
+
+/// Chain n0-0 — n1-0 — n2-0 where the base quarantines n2-0's host prefix
+/// with an ACL on the middle device. The rollout wants to move the filter
+/// to the edge (n2-0) and then remove the middle ACL — safe only in that
+/// order.
+struct Rig {
+  topo::Topology topo = topo::make_grid(3, 1);
+  config::NetworkConfig clean;    ///< no ACLs anywhere
+  config::NetworkConfig base;     ///< middle ACL installed
+  net::Ipv4Prefix victim;
+  verify::RealConfig rc{topo};
+
+  Rig() {
+    clean = config::build_ospf_network(topo);
+    victim = config::host_prefix(topo.find_node("n2-0"));
+    base = clean;
+    base.devices.at("n1-0") =
+        with_deny_dst(clean.devices.at("n1-0"), victim, "to-n0-0");
+    rc.apply(base);
+    // Both policies hold at base and must keep holding at every prefix.
+    rc.require_isolated("n0-0", "n2-0", victim);
+    rc.require_reachable("n0-0", "n1-0",
+                         config::host_prefix(topo.find_node("n1-0")));
+  }
+
+  UpdateStep cleanup_step() const {
+    UpdateStep s;
+    s.name = "core-cleanup";
+    s.patch.devices["n1-0"] = clean.devices.at("n1-0");
+    return s;
+  }
+  UpdateStep edge_step(bool broken = false) const {
+    UpdateStep s;
+    s.name = "edge-install";
+    // The broken variant "touches" the edge device but forgets the filter.
+    s.patch.devices["n2-0"] =
+        broken ? clean.devices.at("n2-0")
+               : with_deny_dst(clean.devices.at("n2-0"), victim, "to-n1-0");
+    return s;
+  }
+};
+
+TEST(Order, BacktracksToTheSafeOrder) {
+  Rig rig;
+  // Steps given in the UNSAFE order: greedy tries the cleanup first, sees
+  // the isolation policy break mid-rollout, and backtracks.
+  UpdateOrderSynthesizer synth(rig.rc, rig.base);
+  const OrderResult r = synth.synthesize({rig.cleanup_step(), rig.edge_step()});
+
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(r.blocking.empty());
+  ASSERT_EQ(r.order, (std::vector<std::size_t>{1, 0}));
+  ASSERT_EQ(r.verdicts.size(), 2u);
+  EXPECT_EQ(r.verdicts[0].step, 1u);
+  EXPECT_EQ(r.verdicts[1].step, 0u);
+  EXPECT_TRUE(r.verdicts[0].violated.empty());
+  // Three placements were verified: the failed greedy try plus the two
+  // steps of the safe order.
+  EXPECT_EQ(r.explored, 3u);
+  EXPECT_GE(r.restores, 3u);
+
+  // The failed placement was recorded with the violated policy.
+  // (It is not part of the returned order.)
+  for (const StepVerdict& v : r.verdicts) EXPECT_TRUE(v.converged);
+}
+
+TEST(Order, NamesTheMinimalBlockingStep) {
+  Rig rig;
+  // The edge step forgets the filter: no order can ever retire the middle
+  // ACL, so the cleanup step is the (provably minimal) blocker.
+  UpdateOrderSynthesizer synth(rig.rc, rig.base);
+  const OrderResult r =
+      synth.synthesize({rig.cleanup_step(), rig.edge_step(/*broken=*/true)});
+
+  ASSERT_TRUE(r.found);
+  ASSERT_EQ(r.blocking, (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(r.blocking_minimal);
+  // The remainder (just the broken-but-harmless edge step) is orderable.
+  EXPECT_EQ(r.order, (std::vector<std::size_t>{1}));
+}
+
+TEST(Order, BaseVerifierIsNeverMutated) {
+  Rig rig;
+  const std::size_t ecs = rig.rc.ecs().ec_count();
+  const std::size_t pairs = rig.rc.checker().pair_count();
+  UpdateOrderSynthesizer synth(rig.rc, rig.base);
+  synth.synthesize({rig.cleanup_step(), rig.edge_step()});
+  EXPECT_EQ(rig.rc.ecs().ec_count(), ecs);
+  EXPECT_EQ(rig.rc.checker().pair_count(), pairs);
+}
+
+TEST(Order, EmptyBatchIsTriviallyOrdered) {
+  Rig rig;
+  UpdateOrderSynthesizer synth(rig.rc, rig.base);
+  const OrderResult r = synth.synthesize({});
+  EXPECT_TRUE(r.found);
+  EXPECT_TRUE(r.order.empty());
+  EXPECT_EQ(r.explored, 0u);
+}
+
+TEST(Order, PoliciesViolatedAtBaseAreNotWatched) {
+  Rig rig;
+  // Violated at base (n1-0 is reachable from n0-0): stays violated through
+  // the rollout without blocking it.
+  rig.rc.require_isolated("n0-0", "n1-0",
+                          config::host_prefix(rig.topo.find_node("n1-0")));
+  UpdateOrderSynthesizer synth(rig.rc, rig.base);
+  const OrderResult r = synth.synthesize({rig.cleanup_step(), rig.edge_step()});
+  EXPECT_TRUE(r.found);
+  EXPECT_TRUE(r.blocking.empty());
+}
+
+TEST(Order, OverlappingStepsAreRejected) {
+  Rig rig;
+  UpdateStep a = rig.cleanup_step();
+  UpdateStep b = rig.edge_step();
+  b.patch.devices["n1-0"] = rig.clean.devices.at("n1-0");  // also touches n1-0
+  UpdateOrderSynthesizer synth(rig.rc, rig.base);
+  try {
+    synth.synthesize({a, b});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("n1-0"), std::string::npos);
+  }
+}
+
+TEST(Order, UnknownDeviceAndEmptyPatchAreRejected) {
+  Rig rig;
+  UpdateStep ghost;
+  ghost.name = "ghost";
+  ghost.patch.devices["n9-9"] = rig.clean.devices.at("n1-0");
+  UpdateOrderSynthesizer synth(rig.rc, rig.base);
+  EXPECT_THROW(synth.synthesize({ghost}), std::invalid_argument);
+
+  UpdateStep empty;
+  empty.name = "empty";
+  EXPECT_THROW(synth.synthesize({empty}), std::invalid_argument);
+}
+
+TEST(Order, MoreThan64StepsAreRejected) {
+  Rig rig;
+  std::vector<UpdateStep> steps(65);
+  UpdateOrderSynthesizer synth(rig.rc, rig.base);
+  // The width check fires before any per-step validation.
+  EXPECT_THROW(synth.synthesize(steps), std::invalid_argument);
+}
+
+TEST(Order, ExplorationBudgetIsRespected) {
+  Rig rig;
+  UpdateOrderSynthesizer synth(rig.rc, rig.base);
+  OrderOptions opts;
+  opts.max_explored = 1;
+  const OrderResult r = synth.synthesize({rig.cleanup_step(), rig.edge_step()}, opts);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.explored, 1u);
+  // An exhausted budget proves nothing: no blocking subset is claimed.
+  EXPECT_TRUE(r.blocking.empty());
+  EXPECT_FALSE(r.blocking_minimal);
+}
+
+}  // namespace
+}  // namespace rcfg::relate

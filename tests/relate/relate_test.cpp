@@ -1,0 +1,176 @@
+#include "relate/relate.h"
+
+#include <gtest/gtest.h>
+
+#include "config/builders.h"
+#include "topo/generators.h"
+#include "verify/realconfig.h"
+
+namespace rcfg::relate {
+namespace {
+
+/// Deny `dst` (then permit everything else) on every named ingress
+/// interface of `device`.
+void deny_dst_on(config::NetworkConfig& cfg, const std::string& device,
+                 net::Ipv4Prefix dst, const std::vector<std::string>& ifaces) {
+  auto& dev = cfg.devices.at(device);
+  config::Acl acl;
+  acl.name = "REL-DENY";
+  config::AclRule deny;
+  deny.seq = 10;
+  deny.action = config::Action::kDeny;
+  deny.dst = dst;
+  acl.rules.push_back(deny);
+  config::AclRule permit;
+  permit.seq = 20;
+  permit.action = config::Action::kPermit;
+  acl.rules.push_back(permit);
+  dev.acls[acl.name] = acl;
+  for (const std::string& iface : ifaces) dev.find_interface(iface)->acl_in = acl.name;
+}
+
+TEST(Relate, IdenticalConfigProducesEmptyDiff) {
+  const topo::Topology t = topo::make_ring(4);
+  const config::NetworkConfig cfg = config::build_ospf_network(t);
+  verify::RealConfig rc(t);
+  rc.apply(cfg);
+  const std::size_t base_ecs = rc.ecs().ec_count();
+  const std::size_t base_pairs = rc.checker().pair_count();
+
+  RelationalChecker checker(rc);
+  const RelationalResult r = checker.check(cfg, {{RelationalSpec::Kind::kNone, {}, ""}});
+
+  EXPECT_TRUE(r.holds);
+  EXPECT_TRUE(r.diff.ecs.empty());
+  EXPECT_TRUE(r.violations.empty());
+  // The base verifier is never mutated by a relational check.
+  EXPECT_EQ(rc.ecs().ec_count(), base_ecs);
+  EXPECT_EQ(rc.checker().pair_count(), base_pairs);
+}
+
+TEST(Relate, AclChangeConfinedToItsPrefix) {
+  const topo::Topology t = topo::make_ring(4);
+  const config::NetworkConfig base = config::build_ospf_network(t);
+  const net::Ipv4Prefix victim = config::host_prefix(t.find_node("r2"));
+  verify::RealConfig rc(t);
+  rc.apply(base);
+
+  config::NetworkConfig proposed = base;
+  deny_dst_on(proposed, "r2", victim, {"to-r1", "to-r3"});
+
+  RelationalChecker checker(rc);
+  const RelationalResult r =
+      checker.check(proposed, {{RelationalSpec::Kind::kOnlyDstIn, {victim}, "quarantine"},
+                               {RelationalSpec::Kind::kNone, {}, "frozen"}});
+
+  // The ACL only affects traffic to r2's host prefix, so only_dst_in holds
+  // while the behaviour-preserving spec is violated by exactly that diff.
+  ASSERT_FALSE(r.diff.ecs.empty());
+  EXPECT_FALSE(r.holds);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].spec, 1u);
+  EXPECT_FALSE(r.violations[0].ecs.empty());
+
+  // Every diffed EC lost delivered pairs (r2 became unreachable for the
+  // victim prefix) and gained none. An ingress filter changes no forwarding
+  // decision, so the diff shows dropped deliveries, not port divergences —
+  // every lost pair's destination is r2.
+  const topo::NodeId r2 = t.find_node("r2");
+  for (const EcDiff& d : r.diff.ecs) {
+    ASSERT_FALSE(d.pairs_lost.empty());
+    EXPECT_TRUE(d.pairs_gained.empty());
+    EXPECT_FALSE(d.loop_after);
+    for (const auto& [src, dst] : d.pairs_lost) EXPECT_EQ(dst, r2);
+  }
+
+  // The witness flow targets the victim prefix and flips from delivered to
+  // dropped across the change.
+  ASSERT_TRUE(r.violations[0].witness.has_value());
+  const RelationalWitness& w = *r.violations[0].witness;
+  EXPECT_TRUE(victim.contains(w.flow.dst));
+  EXPECT_TRUE(w.before.any_delivered());
+  EXPECT_FALSE(w.after.any_delivered());
+}
+
+TEST(Relate, CostChangeViolatesDstSpec) {
+  const topo::Topology t = topo::make_ring(4);
+  config::NetworkConfig base = config::build_ospf_network(t);
+  verify::RealConfig rc(t);
+  rc.apply(base);
+
+  // Rerouting r0's clockwise traffic changes behaviour for prefixes far
+  // outside r2's host prefix — the confinement spec must catch it.
+  config::NetworkConfig proposed = base;
+  config::set_ospf_cost(proposed, "r0", "to-r1", 10);
+
+  RelationalChecker checker(rc);
+  const net::Ipv4Prefix victim = config::host_prefix(t.find_node("r2"));
+  const RelationalResult r =
+      checker.check(proposed, {{RelationalSpec::Kind::kOnlyDstIn, {victim}, ""}});
+
+  EXPECT_FALSE(r.holds);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].spec, 0u);
+  ASSERT_TRUE(r.violations[0].witness.has_value());
+  // The witness escaped the allowed set: its destination is NOT in P.
+  EXPECT_FALSE(victim.contains(r.violations[0].witness->flow.dst));
+
+  // A routing change (unlike a filter change) diverges forwarding
+  // decisions: r0's next hop flips for the rerouted ECs.
+  const topo::NodeId r0 = t.find_node("r0");
+  bool r0_diverged = false;
+  for (const EcDiff& d : r.diff.ecs)
+    for (const DeviceDivergence& dd : d.devices) r0_diverged |= (dd.device == r0);
+  EXPECT_TRUE(r0_diverged);
+}
+
+TEST(Relate, WitnessesCanBeDisabled) {
+  const topo::Topology t = topo::make_ring(4);
+  const config::NetworkConfig base = config::build_ospf_network(t);
+  verify::RealConfig rc(t);
+  rc.apply(base);
+
+  config::NetworkConfig proposed = base;
+  config::set_ospf_cost(proposed, "r0", "to-r1", 10);
+
+  RelationalChecker checker(rc);
+  const RelationalResult r =
+      checker.check(proposed, {{RelationalSpec::Kind::kNone, {}, ""}}, false);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_FALSE(r.violations[0].witness.has_value());
+}
+
+TEST(Relate, IncrementalDiffMatchesBruteForce) {
+  const topo::Topology t = topo::make_ring(4);
+  const config::NetworkConfig base = config::build_ospf_network(t);
+  verify::RealConfig rc(t);
+  rc.apply(base);
+
+  config::NetworkConfig proposed = base;
+  deny_dst_on(proposed, "r2", config::host_prefix(t.find_node("r2")),
+              {"to-r1", "to-r3"});
+  config::set_ospf_cost(proposed, "r0", "to-r1", 10);
+
+  RelationalChecker checker(rc);
+  const RelationalResult r = checker.check(proposed);
+  ASSERT_TRUE(checker.has_changed());
+
+  // The brute force compares EVERY fork EC against its base ancestor; the
+  // incremental diff looked only at the apply's affected set. Equality is
+  // the proof that the unexamined ECs really are behaviourally identical.
+  const RelationalDiff brute =
+      relational_diff_bruteforce(rc, checker.changed(), checker.base_of());
+  EXPECT_EQ(r.diff, brute);
+  EXPECT_LE(r.ecs_compared, checker.changed().ecs().ec_count());
+}
+
+TEST(Relate, SpecKindRoundTrip) {
+  for (const auto kind : {RelationalSpec::Kind::kNone, RelationalSpec::Kind::kOnlyDstIn,
+                          RelationalSpec::Kind::kOnlySrcIn}) {
+    EXPECT_EQ(spec_kind_of(to_string(kind)), kind);
+  }
+  EXPECT_THROW(spec_kind_of("only_via"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rcfg::relate

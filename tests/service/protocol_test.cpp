@@ -77,6 +77,86 @@ TEST(Protocol, ParsesEveryVerb) {
   EXPECT_FALSE(r.sweep.detail);
 }
 
+TEST(Protocol, ParsesRelateRequests) {
+  Request r = parse_request(
+      R"({"id":10,"op":"relate","session":"s","config":"hostname r0",)"
+      R"("specs":[{"kind":"only_dst_in","prefixes":["10.0.2.0/24","10.0.3.0/24"],)"
+      R"("name":"quarantine"},{"kind":"none"}],"witnesses":false,"detail":true})");
+  EXPECT_EQ(r.verb, Verb::kRelate);
+  EXPECT_EQ(verb_name(r.verb), "relate");
+  EXPECT_EQ(r.config_text, "hostname r0");
+  ASSERT_EQ(r.relate.specs.size(), 2u);
+  EXPECT_EQ(r.relate.specs[0].kind, relate::RelationalSpec::Kind::kOnlyDstIn);
+  ASSERT_EQ(r.relate.specs[0].prefixes.size(), 2u);
+  EXPECT_EQ(r.relate.specs[0].prefixes[1].to_string(), "10.0.3.0/24");
+  EXPECT_EQ(r.relate.specs[0].name, "quarantine");
+  EXPECT_EQ(r.relate.specs[1].kind, relate::RelationalSpec::Kind::kNone);
+  EXPECT_FALSE(r.relate.witnesses);
+  EXPECT_TRUE(r.relate.detail);
+
+  // Specs optional (a bare behavioural diff); witnesses default on.
+  r = parse_request(R"({"id":11,"op":"relate","session":"s","config":"hostname r0"})");
+  EXPECT_TRUE(r.relate.specs.empty());
+  EXPECT_TRUE(r.relate.witnesses);
+  EXPECT_FALSE(r.relate.detail);
+}
+
+TEST(Protocol, ParsesOrderRequests) {
+  Request r = parse_request(
+      R"({"id":12,"op":"order","session":"s","steps":[)"
+      R"({"name":"edge","config":"hostname e0"},{"name":"core","config":"hostname c0"}],)"
+      R"("max_blocking":3,"detail":true})");
+  EXPECT_EQ(r.verb, Verb::kOrder);
+  EXPECT_EQ(verb_name(r.verb), "order");
+  ASSERT_EQ(r.order.steps.size(), 2u);
+  EXPECT_EQ(r.order.steps[0].name, "edge");
+  EXPECT_EQ(r.order.steps[1].config_text, "hostname c0");
+  EXPECT_EQ(r.order.max_blocking, 3u);
+  EXPECT_TRUE(r.order.detail);
+
+  r = parse_request(
+      R"({"id":13,"op":"order","session":"s","steps":[{"name":"a","config":"hostname a"}]})");
+  EXPECT_EQ(r.order.max_blocking, 2u);
+  EXPECT_FALSE(r.order.detail);
+}
+
+TEST(Protocol, RejectsMalformedRelateAndOrder) {
+  // relate: missing config, bad spec kind, malformed prefixes, kind/prefix
+  // mismatches.
+  EXPECT_THROW(parse_request(R"({"op":"relate","session":"s"})"), ProtocolError);
+  EXPECT_THROW(parse_request(R"({"op":"relate","session":"s","config":"x",)"
+                             R"("specs":[{"kind":"only_via","prefixes":["10.0.0.0/8"]}]})"),
+               ProtocolError);  // unknown spec kind
+  EXPECT_THROW(parse_request(R"({"op":"relate","session":"s","config":"x",)"
+                             R"("specs":[{"prefixes":["10.0.0.0/8"]}]})"),
+               ProtocolError);  // no kind
+  EXPECT_THROW(parse_request(R"({"op":"relate","session":"s","config":"x",)"
+                             R"("specs":[{"kind":"only_dst_in","prefixes":["299.0.0.0/8"]}]})"),
+               ProtocolError);  // malformed prefix
+  EXPECT_THROW(parse_request(R"({"op":"relate","session":"s","config":"x",)"
+                             R"("specs":[{"kind":"only_dst_in","prefixes":"10.0.0.0/8"}]})"),
+               ProtocolError);  // prefixes must be an array
+  EXPECT_THROW(parse_request(R"({"op":"relate","session":"s","config":"x",)"
+                             R"("specs":[{"kind":"only_dst_in"}]})"),
+               ProtocolError);  // only_dst_in needs prefixes
+  EXPECT_THROW(parse_request(R"({"op":"relate","session":"s","config":"x",)"
+                             R"("specs":[{"kind":"none","prefixes":["10.0.0.0/8"]}]})"),
+               ProtocolError);  // none takes no prefixes
+
+  // order: empty or malformed step batches.
+  EXPECT_THROW(parse_request(R"({"op":"order","session":"s"})"), ProtocolError);
+  EXPECT_THROW(parse_request(R"({"op":"order","session":"s","steps":[]})"), ProtocolError);
+  EXPECT_THROW(parse_request(R"({"op":"order","session":"s","steps":["a"]})"),
+               ProtocolError);  // step must be an object
+  EXPECT_THROW(parse_request(R"({"op":"order","session":"s","steps":[{"config":"x"}]})"),
+               ProtocolError);  // step without name
+  EXPECT_THROW(parse_request(R"({"op":"order","session":"s","steps":[{"name":"a"}]})"),
+               ProtocolError);  // step without config
+  EXPECT_THROW(parse_request(R"({"op":"order","session":"s","steps":[)"
+                             R"({"name":"a","config":"x"},{"name":"a","config":"y"}]})"),
+               ProtocolError);  // duplicate step name
+}
+
 TEST(Protocol, RejectsMalformedRequests) {
   EXPECT_THROW(parse_request("not json"), ProtocolError);
   EXPECT_THROW(parse_request("[1,2]"), ProtocolError);
