@@ -18,14 +18,21 @@ net::Ipv4Prefix random_prefix(core::Rng& rng, int lo, int hi) {
   return net::Ipv4Prefix{net::Ipv4Addr{static_cast<std::uint32_t>(rng.next())}, len};
 }
 
-void BM_BddPrefixEncode(benchmark::State& state) {
-  dpm::PacketSpace space;
+/// Benchmarks taking a backend argument run head-to-head: arg 0 is the BDD
+/// backend, arg 1 the interval-atom backend (bench_backend records the
+/// aggregate churn ratio in BENCH_backend.json).
+dpm::BackendKind backend_of(std::int64_t arg) {
+  return arg == 0 ? dpm::BackendKind::kBdd : dpm::BackendKind::kInterval;
+}
+
+void BM_PrefixEncode(benchmark::State& state) {
+  dpm::PacketSpace space(backend_of(state.range(0)));
   core::Rng rng{1};
   for (auto _ : state) {
     benchmark::DoNotOptimize(space.dst_prefix(random_prefix(rng, 8, 32)));
   }
 }
-BENCHMARK(BM_BddPrefixEncode);
+BENCHMARK(BM_PrefixEncode)->ArgNames({"backend"})->Arg(0)->Arg(1);
 
 void BM_BddAndOr(benchmark::State& state) {
   dpm::PacketSpace space;
@@ -46,7 +53,7 @@ BENCHMARK(BM_BddAndOr);
 /// the scan cost grows — the reason APKeep keeps the EC set minimal.
 void BM_EcRegisterNthPredicate(benchmark::State& state) {
   const int existing = static_cast<int>(state.range(0));
-  dpm::PacketSpace space;
+  dpm::PacketSpace space(backend_of(state.range(1)));
   dpm::EcManager ecs(space);
   core::Rng rng{3};
   for (int i = 0; i < existing; ++i) {
@@ -60,11 +67,16 @@ void BM_EcRegisterNthPredicate(benchmark::State& state) {
   }
   state.counters["atoms"] = static_cast<double>(ecs.ec_count());
 }
-BENCHMARK(BM_EcRegisterNthPredicate)->Arg(64)->Arg(512);
+BENCHMARK(BM_EcRegisterNthPredicate)
+    ->ArgNames({"existing", "backend"})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
 
 void BM_EcsInScan(benchmark::State& state) {
   const int atoms = static_cast<int>(state.range(0));
-  dpm::PacketSpace space;
+  dpm::PacketSpace space(backend_of(state.range(1)));
   dpm::EcManager ecs(space);
   for (int i = 0; i < atoms; ++i) {
     ecs.register_predicate(space.dst_prefix(config::host_prefix(static_cast<topo::NodeId>(i))));
@@ -75,7 +87,12 @@ void BM_EcsInScan(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * ecs.ec_count());
 }
-BENCHMARK(BM_EcsInScan)->Arg(128)->Arg(1024);
+BENCHMARK(BM_EcsInScan)
+    ->ArgNames({"atoms", "backend"})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1});
 
 void BM_AclPermitSetCompile(benchmark::State& state) {
   const int rules = static_cast<int>(state.range(0));

@@ -50,13 +50,15 @@ struct Pipelines {
   verify::RealConfig insert_first;
   verify::RealConfig delete_first;
 
-  explicit Pipelines(const topo::Topology& t)
-      : insert_first(t, make_options(dpm::UpdateOrder::kInsertFirst)),
-        delete_first(t, make_options(dpm::UpdateOrder::kDeleteFirst)) {}
+  Pipelines(const topo::Topology& t, dpm::BackendKind backend)
+      : insert_first(t, make_options(dpm::UpdateOrder::kInsertFirst, backend)),
+        delete_first(t, make_options(dpm::UpdateOrder::kDeleteFirst, backend)) {}
 
-  static verify::RealConfigOptions make_options(dpm::UpdateOrder order) {
+  static verify::RealConfigOptions make_options(dpm::UpdateOrder order,
+                                                dpm::BackendKind backend) {
     verify::RealConfigOptions o;
     o.update_order = order;
+    o.packet_space = backend;
     o.generator.max_rounds = bench::rounds();
     return o;
   }
@@ -86,67 +88,82 @@ void revert(Pipelines& p, const config::NetworkConfig& cfg) {
 int main() {
   const unsigned k = bench::fat_tree_k();
   const topo::Topology topo = topo::make_fat_tree(k);
-  config::NetworkConfig cfg = config::build_bgp_network(topo);
 
   std::printf("Table 3: model update and property checking (BGP fat tree)\n");
-  std::printf("fat tree k=%u: %zu nodes, %zu links; %u samples per change type\n\n", k,
+  std::printf("fat tree k=%u: %zu nodes, %zu links; %u samples per change type\n", k,
               topo.node_count(), topo.link_count(), bench::samples());
 
-  Pipelines pipelines(topo);
-  pipelines.insert_first.apply(cfg);
-  pipelines.delete_first.apply(cfg);
-  const std::size_t total_rules = pipelines.insert_first.model().rule_count();
-  const std::size_t total_pairs = pipelines.insert_first.checker().pair_count();
-  std::fprintf(stderr, "  initial model: %zu rules, %zu ECs, %zu pairs\n", total_rules,
-               pipelines.insert_first.ecs().ec_count(), total_pairs);
+  // Both packet-space backends replay the identical change script (the BGP
+  // fat tree registers dst prefixes only, so the interval lane never
+  // migrates); the T1 column is where the backends differ.
+  ChangeRow t1_reference[2];  // per-backend LinkFailure rows, for the summary
+  for (const dpm::BackendKind backend :
+       {dpm::BackendKind::kBdd, dpm::BackendKind::kInterval}) {
+    const bool interval = backend == dpm::BackendKind::kInterval;
+    std::printf("\n--- packet-space backend: %s ---\n\n", dpm::to_string(backend));
+    config::NetworkConfig cfg = config::build_bgp_network(topo);
 
-  core::Rng rng{31};
-  const unsigned samples = bench::samples();
+    Pipelines pipelines(topo, backend);
+    pipelines.insert_first.apply(cfg);
+    pipelines.delete_first.apply(cfg);
+    const std::size_t total_rules = pipelines.insert_first.model().rule_count();
+    const std::size_t total_pairs = pipelines.insert_first.checker().pair_count();
+    std::fprintf(stderr, "  initial model: %zu rules, %zu ECs, %zu pairs\n", total_rules,
+                 pipelines.insert_first.ecs().ec_count(), total_pairs);
 
-  ChangeRow link_failure{"LinkFailure", {}, {}, {}, {}, {}};
-  for (unsigned i = 0; i < samples; ++i) {
-    const auto l = static_cast<topo::LinkId>(rng.next_below(topo.link_count()));
-    config::fail_link(cfg, topo, l);
-    run_change(pipelines, cfg, link_failure);
-    config::restore_link(cfg, topo, l);
-    revert(pipelines, cfg);
+    core::Rng rng{31};
+    const unsigned samples = bench::samples();
+
+    ChangeRow link_failure{"LinkFailure", {}, {}, {}, {}, {}};
+    for (unsigned i = 0; i < samples; ++i) {
+      const auto l = static_cast<topo::LinkId>(rng.next_below(topo.link_count()));
+      config::fail_link(cfg, topo, l);
+      run_change(pipelines, cfg, link_failure);
+      config::restore_link(cfg, topo, l);
+      revert(pipelines, cfg);
+    }
+
+    ChangeRow lp{"LP", {}, {}, {}, {}, {}};
+    for (unsigned i = 0; i < samples; ++i) {
+      const auto l = static_cast<topo::LinkId>(rng.next_below(topo.link_count()));
+      const auto& lk = topo.link(l);
+      const std::string dev = topo.node(lk.a).name;
+      const std::string iface = topo.iface(lk.a_iface).name;
+      config::set_local_pref(cfg, dev, iface, 150);
+      run_change(pipelines, cfg, lp);
+      config::set_local_pref(cfg, dev, iface, config::kDefaultLocalPref);
+      revert(pipelines, cfg);
+    }
+    t1_reference[interval ? 1 : 0] = link_failure;
+
+    std::printf(
+        "| Change      | #Rules          | Order | #ECs  | T1       | #Pairs           | T2       |\n");
+    std::printf(
+        "|-------------|-----------------|-------|-------|----------|------------------|----------|\n");
+    for (const ChangeRow* row : {&link_failure, &lp}) {
+      const double rule_pct =
+          100.0 * (row->rule_inserts.mean() + row->rule_deletes.mean()) / total_rules;
+      std::printf("| %-11s | +%.0f/-%.0f (%.2f%%) | +,-   | %5.0f | %6.2fms | %5.0f/%zu (%.2f%%) | %6.2fms |\n",
+                  row->change.c_str(), row->rule_inserts.mean(), row->rule_deletes.mean(),
+                  rule_pct, row->orders[0].ecs.mean(), row->orders[0].t1.mean(),
+                  row->pairs.mean(), total_pairs, 100.0 * row->pairs.mean() / total_pairs,
+                  row->t2.mean());
+      std::printf("| %-11s | %-15s | -,+   | %5.0f | %6.2fms | %-16s | %-8s |\n", "", "",
+                  row->orders[1].ecs.mean(), row->orders[1].t1.mean(), "", "");
+    }
+
+    std::printf("\nshape checks:\n");
+    std::printf("  deletion-first EC churn / insertion-first: %.1fx (LinkFailure), %.1fx (LP) — paper ~2x\n",
+                link_failure.orders[1].ecs.mean() / std::max(1.0, link_failure.orders[0].ecs.mean()),
+                lp.orders[1].ecs.mean() / std::max(1.0, lp.orders[0].ecs.mean()));
+    std::printf("  affected rules: %.2f%% / %.2f%% of all rules — paper 0.32%% / 0.64%%\n",
+                100.0 * (link_failure.rule_inserts.mean() + link_failure.rule_deletes.mean()) /
+                    total_rules,
+                100.0 * (lp.rule_inserts.mean() + lp.rule_deletes.mean()) / total_rules);
   }
 
-  ChangeRow lp{"LP", {}, {}, {}, {}, {}};
-  for (unsigned i = 0; i < samples; ++i) {
-    const auto l = static_cast<topo::LinkId>(rng.next_below(topo.link_count()));
-    const auto& lk = topo.link(l);
-    const std::string dev = topo.node(lk.a).name;
-    const std::string iface = topo.iface(lk.a_iface).name;
-    config::set_local_pref(cfg, dev, iface, 150);
-    run_change(pipelines, cfg, lp);
-    config::set_local_pref(cfg, dev, iface, config::kDefaultLocalPref);
-    revert(pipelines, cfg);
-  }
-
-  std::printf(
-      "| Change      | #Rules          | Order | #ECs  | T1       | #Pairs           | T2       |\n");
-  std::printf(
-      "|-------------|-----------------|-------|-------|----------|------------------|----------|\n");
-  for (const ChangeRow* row : {&link_failure, &lp}) {
-    const double rule_pct =
-        100.0 * (row->rule_inserts.mean() + row->rule_deletes.mean()) / total_rules;
-    std::printf("| %-11s | +%.0f/-%.0f (%.2f%%) | +,-   | %5.0f | %6.2fms | %5.0f/%zu (%.2f%%) | %6.2fms |\n",
-                row->change.c_str(), row->rule_inserts.mean(), row->rule_deletes.mean(),
-                rule_pct, row->orders[0].ecs.mean(), row->orders[0].t1.mean(),
-                row->pairs.mean(), total_pairs, 100.0 * row->pairs.mean() / total_pairs,
-                row->t2.mean());
-    std::printf("| %-11s | %-15s | -,+   | %5.0f | %6.2fms | %-16s | %-8s |\n", "", "",
-                row->orders[1].ecs.mean(), row->orders[1].t1.mean(), "", "");
-  }
-
-  std::printf("\nshape checks:\n");
-  std::printf("  deletion-first EC churn / insertion-first: %.1fx (LinkFailure), %.1fx (LP) — paper ~2x\n",
-              link_failure.orders[1].ecs.mean() / std::max(1.0, link_failure.orders[0].ecs.mean()),
-              lp.orders[1].ecs.mean() / std::max(1.0, lp.orders[0].ecs.mean()));
-  std::printf("  affected rules: %.2f%% / %.2f%% of all rules — paper 0.32%% / 0.64%%\n",
-              100.0 * (link_failure.rule_inserts.mean() + link_failure.rule_deletes.mean()) /
-                  total_rules,
-              100.0 * (lp.rule_inserts.mean() + lp.rule_deletes.mean()) / total_rules);
+  std::printf("\nbackend head-to-head (LinkFailure, insertion-first): T1 bdd/interval = %.1fx\n",
+              t1_reference[0].orders[0].t1.mean() /
+                  std::max(1e-6, t1_reference[1].orders[0].t1.mean()));
   return 0;
 }

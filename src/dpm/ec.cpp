@@ -10,29 +10,32 @@ namespace rcfg::dpm {
 EcManager::EcManager(PacketSpace& space) : space_(space) {
   atoms_.push_back(kBddTrue);  // EC 0: the whole packet space
   atom_index_.emplace(kBddTrue, 0);
+  space_.subscribe_migration([this] { on_backend_migration(); });
 }
 
 std::vector<EcManager::Split> EcManager::register_predicate(BddRef p) {
   std::vector<Split> splits;
+  // Predicates minted before a migration canonicalize to the active
+  // representation so the refcount map never aliases one set under two keys.
+  p = space_.canonical(p);
   // True/false refine nothing; keeping them out of predicates_ means the
-  // refcount map only ever holds predicates that pin a real BDD root.
+  // refcount map only ever holds predicates that pin a real root.
   if (p == kBddTrue || p == kBddFalse) return splits;
   auto [it, fresh] = predicates_.try_emplace(p, 0);
   ++it->second;
   if (!fresh) return splits;  // partition already refined for p
 
-  BddManager& bdd = space_.bdd();
-  bdd.add_ref(p);  // the predicate key is a GC root while registered
+  space_.add_ref(p);  // the predicate key is a GC root while registered
   const std::size_t n = atoms_.size();
   for (EcId id = 0; id < n; ++id) {
-    const BddRef inside = bdd.bdd_and(atoms_[id], p);
+    const BddRef inside = space_.set_and(atoms_[id], p);
     if (inside == kBddFalse || inside == atoms_[id]) continue;  // no straddle
-    const BddRef outside = bdd.bdd_diff(atoms_[id], p);
+    const BddRef outside = space_.set_diff(atoms_[id], p);
     // Parent keeps the outside part; the new child gets the inside part.
     // Re-root before releasing so neither half is ever unpinned.
-    bdd.add_ref(outside);
-    bdd.add_ref(inside);
-    bdd.release(atoms_[id]);
+    space_.add_ref(outside);
+    space_.add_ref(inside);
+    space_.release(atoms_[id]);
     atom_index_.erase(atoms_[id]);
     atoms_[id] = outside;
     atom_index_.emplace(outside, id);
@@ -56,6 +59,7 @@ std::vector<EcManager::Split> EcManager::register_predicate(BddRef p) {
 }
 
 void EcManager::unregister_predicate(BddRef p) {
+  p = space_.canonical(p);
   if (p == kBddTrue || p == kBddFalse) return;  // mirrors register: never tracked
   auto it = predicates_.find(p);
   if (it == predicates_.end()) {
@@ -65,7 +69,7 @@ void EcManager::unregister_predicate(BddRef p) {
     return;
   }
   if (--it->second == 0) {
-    space_.bdd().release(it->first);
+    space_.release(it->first);
     predicates_.erase(it);
     members_.erase(p);
     ++dropped_since_compact_;
@@ -86,7 +90,6 @@ std::optional<EcRemap> EcManager::compact() {
   for (const auto& [p, refs] : predicates_) basis.push_back(p);
   std::sort(basis.begin(), basis.end());
 
-  BddManager& bdd = space_.bdd();
   EcRemap remap;
   remap.forward.resize(n);
   std::vector<std::vector<EcId>> groups;
@@ -94,7 +97,7 @@ std::optional<EcRemap> EcManager::compact() {
   for (EcId id = 0; id < n; ++id) {
     std::string sig(basis.size(), '0');
     for (std::size_t i = 0; i < basis.size(); ++i) {
-      if (!bdd.disjoint(atoms_[id], basis[i])) sig[i] = '1';
+      if (!space_.disjoint(atoms_[id], basis[i])) sig[i] = '1';
     }
     const auto [slot, fresh] =
         by_sig.try_emplace(std::move(sig), static_cast<EcId>(groups.size()));
@@ -110,11 +113,11 @@ std::optional<EcRemap> EcManager::compact() {
   std::vector<BddRef> merged(groups.size());
   for (std::size_t g = 0; g < groups.size(); ++g) {
     BddRef u = kBddFalse;
-    for (const EcId id : groups[g]) u = bdd.bdd_or(u, atoms_[id]);
+    for (const EcId id : groups[g]) u = space_.set_or(u, atoms_[id]);
     merged[g] = u;
-    bdd.add_ref(u);
+    space_.add_ref(u);
   }
-  for (const BddRef a : atoms_) bdd.release(a);
+  for (const BddRef a : atoms_) space_.release(a);
   atoms_ = std::move(merged);
   atom_index_.clear();
   for (EcId id = 0; id < atoms_.size(); ++id) atom_index_.emplace(atoms_[id], id);
@@ -128,14 +131,14 @@ std::optional<EcRemap> EcManager::compact() {
 
 std::vector<EcId> EcManager::scan_members(BddRef p) const {
   std::vector<EcId> out;
-  BddManager& bdd = space_.bdd();
   for (EcId id = 0; id < atoms_.size(); ++id) {
-    if (!bdd.disjoint(atoms_[id], p)) out.push_back(id);
+    if (!space_.disjoint(atoms_[id], p)) out.push_back(id);
   }
   return out;
 }
 
 std::vector<EcId> EcManager::ecs_in(BddRef p) const {
+  p = space_.canonical(p);
   if (p == kBddFalse) return {};
   if (p == kBddTrue) {
     std::vector<EcId> all(atoms_.size());
@@ -154,15 +157,15 @@ std::vector<EcId> EcManager::ecs_in(BddRef p) const {
 }
 
 EcId EcManager::ec_of(BddRef packet_cube) const {
-  BddManager& bdd = space_.bdd();
+  packet_cube = space_.canonical(packet_cube);
   for (EcId id = 0; id < atoms_.size(); ++id) {
-    if (!bdd.disjoint(atoms_[id], packet_cube)) return id;
+    if (!space_.disjoint(atoms_[id], packet_cube)) return id;
   }
   throw std::logic_error("packet outside every EC (partition invariant broken)");
 }
 
 std::uint32_t EcManager::predicate_refs(BddRef p) const {
-  const auto it = predicates_.find(p);
+  const auto it = predicates_.find(space_.canonical(p));
   return it == predicates_.end() ? 0 : it->second;
 }
 
@@ -173,6 +176,36 @@ void EcManager::restore(const Snapshot& snap) {
   atom_index_.clear();
   for (EcId id = 0; id < atoms_.size(); ++id) atom_index_.emplace(atoms_[id], id);
   members_.clear();
+}
+
+void EcManager::on_backend_migration() {
+  // Translate every atom to its canonical BDD, pinning the new handle
+  // before releasing the old (the interval arena keeps the old set alive
+  // regardless — this keeps both backends' refcounts honest). Atoms are
+  // pairwise-disjoint nonempty sets and canonical() is injective on them,
+  // so no two ids can collapse onto one handle; EC ids do not move.
+  for (EcId id = 0; id < atoms_.size(); ++id) {
+    const BddRef neu = space_.canonical(atoms_[id]);
+    if (neu == atoms_[id]) continue;
+    space_.add_ref(neu);
+    space_.release(atoms_[id]);
+    atoms_[id] = neu;
+  }
+  atom_index_.clear();
+  for (EcId id = 0; id < atoms_.size(); ++id) atom_index_.emplace(atoms_[id], id);
+
+  std::unordered_map<BddRef, std::uint32_t> rekeyed;
+  rekeyed.reserve(predicates_.size());
+  for (const auto& [p, refs] : predicates_) {
+    const BddRef neu = space_.canonical(p);
+    if (neu != p) {
+      space_.add_ref(neu);
+      space_.release(p);
+    }
+    rekeyed[neu] += refs;  // interned interval sets are distinct, so no merge
+  }
+  predicates_ = std::move(rekeyed);
+  members_.clear();  // keys changed; recompute lazily
 }
 
 }  // namespace rcfg::dpm

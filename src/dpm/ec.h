@@ -14,11 +14,17 @@
 // notification — so long-lived sessions keep the partition minimal instead
 // of refining forever (see DESIGN.md "Memory reclamation").
 //
-// The manager also owns the BDD garbage-collection roots for the
-// partition: every atom BDD and every registered predicate key is pinned
-// with BddManager::add_ref() and released when it dies, so a
-// BddManager::gc() between batches reclaims exactly the nodes no longer
-// reachable from the current configuration's state.
+// The manager also owns the garbage-collection roots for the partition:
+// every atom handle and every registered predicate key is pinned with
+// PacketSpace::add_ref() and released when it dies, so a gc() between
+// batches reclaims exactly the nodes no longer reachable from the current
+// configuration's state.
+//
+// The manager is backend-agnostic: all set operations go through the
+// PacketSpace facade, so the partition works identically over interval
+// atoms and over BDDs. It subscribes to the space's one-time interval→BDD
+// migration and rekeys its tables to canonical BDD handles when it fires
+// (EC *ids* are untouched — only the handle each id maps to changes).
 
 #include <cstdint>
 #include <functional>
@@ -140,6 +146,13 @@ class EcManager {
 
  private:
   std::vector<EcId> scan_members(BddRef p) const;
+
+  /// Fired by PacketSpace when the interval→BDD migration happens: rekeys
+  /// every atom and predicate to its canonical BDD handle (pinning the new,
+  /// releasing the old) so identity-based invariants — the no-straddle
+  /// check in register_predicate, atom_index_ lookups, predicate refcount
+  /// keys — keep holding across the representation switch.
+  void on_backend_migration();
 
   PacketSpace& space_;
   std::vector<BddRef> atoms_;                      ///< EcId -> atom BDD

@@ -107,7 +107,7 @@ bool NetworkModel::permits(topo::NodeId device, topo::IfaceId iface, bool inboun
   // mode safety net, and the counter lets the fuzz oracle trip on any use.
   assert(false && "NetworkModel::permits: permit_by_ec cache incomplete");
   permit_fallbacks_.bump();
-  return space_.bdd().implies(ecs_.ec_bdd(ec), binding.permit);
+  return space_.implies(ecs_.ec_bdd(ec), binding.permit);
 }
 
 void NetworkModel::refresh_acl_cache(AclBinding& binding) {
@@ -115,7 +115,7 @@ void NetworkModel::refresh_acl_cache(AclBinding& binding) {
   binding.permit_by_ec.resize(n);
   for (EcId ec = 0; ec < n; ++ec) {
     binding.permit_by_ec[ec] =
-        space_.bdd().implies(ecs_.ec_bdd(ec), binding.permit) ? 1 : 0;
+        space_.implies(ecs_.ec_bdd(ec), binding.permit) ? 1 : 0;
   }
 }
 
@@ -183,7 +183,7 @@ void NetworkModel::restore(const Snapshot& snap) {
 BddRef NetworkModel::effective_match(const Device& dev, net::Ipv4Prefix prefix) {
   BddRef eff = space_.dst_prefix(prefix);
   dev.rules.visit_descendants(prefix, [&](net::Ipv4Prefix longer, const PortKey&) {
-    eff = space_.bdd().bdd_diff(eff, space_.dst_prefix(longer));
+    eff = space_.set_diff(eff, space_.dst_prefix(longer));
   });
   return eff;
 }
@@ -348,7 +348,7 @@ void NetworkModel::apply_filter_changes(const dd::ZSet<routing::FilterRule>& del
     if (new_permit != old_permit) {
       ecs_.register_predicate(new_permit);
       binding.permit = new_permit;
-      const BddRef changed = space_.bdd().bdd_xor(old_permit, new_permit);
+      const BddRef changed = space_.set_xor(old_permit, new_permit);
       for (EcId ec : ecs_.ecs_in(changed)) out.acl_affected.push_back(ec);
       // Drop the old permit's reference only after the ecs_in above: the
       // atoms remain refined for it regardless, but the pairing rule is
@@ -433,7 +433,7 @@ ModelDelta NetworkModel::apply_batch(const routing::DataPlaneDelta& delta, Updat
     for (auto& [key, binding] : dev.acls) {
       for (EcId ec = static_cast<EcId>(binding.permit_by_ec.size()); ec < ec_count; ++ec) {
         binding.permit_by_ec.push_back(
-            space_.bdd().implies(ecs_.ec_bdd(ec), binding.permit) ? 1 : 0);
+            space_.implies(ecs_.ec_bdd(ec), binding.permit) ? 1 : 0);
       }
     }
   }

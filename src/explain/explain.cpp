@@ -31,7 +31,7 @@ bool pick_witness(verify::RealConfig& rc, const verify::Policy& policy, bool sat
   if (candidates.empty()) return false;
 
   auto flow_of_ec = [&rc](dpm::EcId ec) {
-    const auto assignment = rc.packet_space().bdd().pick_one(rc.ecs().ec_bdd(ec));
+    const auto assignment = rc.packet_space().pick_one(rc.ecs().ec_bdd(ec));
     return assignment.has_value() ? dpm::PacketSpace::flow_of(*assignment) : config::Flow{};
   };
 

@@ -51,7 +51,7 @@ std::optional<EcDiff> diff_one_ec(verify::RealConfig& base, verify::RealConfig& 
                        d.blackhole_before != d.blackhole_after;
   if (!differs) return std::nullopt;
   d.packets = changed.ecs().ec_bdd(changed_ec);
-  const auto assignment = changed.packet_space().bdd().pick_one(d.packets);
+  const auto assignment = changed.packet_space().pick_one(d.packets);
   if (assignment) d.example = dpm::PacketSpace::flow_of(*assignment);
   return d;
 }
@@ -134,26 +134,29 @@ RelationalResult RelationalChecker::check(const config::NetworkConfig& proposed,
   std::sort(result.diff.ecs.begin(), result.diff.ecs.end(),
             [](const EcDiff& a, const EcDiff& b) { return a.changed_ec < b.changed_ec; });
 
-  // Evaluate the relational specs against the diff.
-  dpm::BddManager& bdd = changed_->packet_space().bdd();
+  // Evaluate the relational specs against the diff. All set algebra goes
+  // through the PacketSpace facade: the fork may be running on interval
+  // atoms (d.packets) while an only_src_in spec needs BDDs — the facade
+  // migrates and canonicalizes as required.
+  dpm::PacketSpace& space = changed_->packet_space();
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const RelationalSpec& spec = specs[i];
     dpm::BddRef allowed = dpm::kBddFalse;
     for (const net::Ipv4Prefix& p : spec.prefixes) {
       const dpm::BddRef match = spec.kind == RelationalSpec::Kind::kOnlySrcIn
-                                    ? changed_->packet_space().src_prefix(p)
-                                    : changed_->packet_space().dst_prefix(p);
-      allowed = bdd.bdd_or(allowed, match);
+                                    ? space.src_prefix(p)
+                                    : space.dst_prefix(p);
+      allowed = space.set_or(allowed, match);
     }
     SpecViolation violation;
     violation.spec = i;
     for (const EcDiff& d : result.diff.ecs) {
-      const dpm::BddRef escaped = bdd.bdd_diff(d.packets, allowed);
+      const dpm::BddRef escaped = space.set_diff(d.packets, allowed);
       if (escaped == dpm::kBddFalse) continue;  // diff confined to the allowed set
       violation.ecs.push_back(d.changed_ec);
       if (witnesses && !violation.witness) {
         RelationalWitness w;
-        const auto assignment = bdd.pick_one(escaped);
+        const auto assignment = space.pick_one(escaped);
         w.flow = dpm::PacketSpace::flow_of(*assignment);
         w.ingress = !d.pairs_lost.empty()     ? d.pairs_lost.front().first
                     : !d.pairs_gained.empty() ? d.pairs_gained.front().first

@@ -111,6 +111,15 @@ SessionOptions parse_options(const json::Value& doc) {
   } else {
     throw ProtocolError("unknown update_order: '" + order + "'");
   }
+  const std::string backend = doc.get_string("packet_space");
+  if (!backend.empty()) {
+    const auto kind = dpm::backend_kind_of(backend);
+    if (!kind) {
+      throw ProtocolError("unknown packet_space: '" + backend +
+                          "' (expected auto | bdd | interval)");
+    }
+    opts.verifier.packet_space = *kind;
+  }
   return opts;
 }
 

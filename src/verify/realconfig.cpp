@@ -15,6 +15,7 @@ RealConfig::RealConfig(const topo::Topology& topo, RealConfigOptions options)
     : topo_(topo),
       options_(options),
       generator_(topo, options.generator),
+      space_(options.packet_space),
       ecs_(space_),
       model_(space_, ecs_, topo.node_count()),
       checker_(topo, space_, ecs_, model_, CheckerOptions{options.threads}) {
@@ -47,7 +48,7 @@ RealConfig::Report RealConfig::apply(const config::NetworkConfig& cfg) {
   report.check_ms = ms_between(t2, t3);
   if (options_.reclamation.enabled) maybe_reclaim(report);
   report.ec_count = ecs_.ec_count();
-  report.bdd_nodes = space_.bdd().node_count();
+  report.bdd_nodes = space_.live_nodes();
   return report;
 }
 
@@ -55,7 +56,7 @@ void RealConfig::maybe_reclaim(Report& report) {
   const auto t0 = std::chrono::steady_clock::now();
   Report::Reclamation& r = report.reclaim;
   const std::size_t ecs_now = ecs_.ec_count();
-  const std::size_t nodes_now = space_.bdd().node_count();
+  const std::size_t nodes_now = space_.live_nodes();
   // Merging is only worth attempting after a predicate fully dropped —
   // register_predicate() splits from an already-minimal partition, so
   // growth without drops never creates mergeable atoms.
@@ -69,9 +70,9 @@ void RealConfig::maybe_reclaim(Report& report) {
   if (merge_due) r.remap = ecs_.compact();
   // A merge released the dead atoms' roots, so always sweep after one;
   // otherwise sweep only when the node watermark tripped.
-  if (gc_due || r.remap.has_value()) space_.bdd().gc();
+  if (gc_due || r.remap.has_value()) space_.gc();
   r.ecs_after = ecs_.ec_count();
-  r.bdd_after = space_.bdd().node_count();
+  r.bdd_after = space_.live_nodes();
   r.reclaim_ms = ms_between(t0, std::chrono::steady_clock::now());
 }
 

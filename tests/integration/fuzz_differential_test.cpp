@@ -30,6 +30,13 @@
 //       iff the synthesizer finds one, every returned order walks only safe
 //       sets, and a claimed minimal blocking pair really has no size-1
 //       alternative.
+//   (8) packet-space backend equivalence: lanes pinned to the BDD backend,
+//       lanes on "auto" (interval atoms until a multi-field predicate), and
+//       reclaiming auto lanes run the identical change sequence — with a
+//       deterministic mid-run ACL injection that forces the one-time
+//       interval->BDD migration — and EC partitions, policy verdicts, and
+//       explain witnesses stay bit-identical across backends and across
+//       thread counts {1, 2, 4}.
 //
 // Change selection follows the uniquely-convergent rule from
 // tests/routing/differential_test.cpp: link failures/restores, OSPF costs,
@@ -56,6 +63,7 @@
 #include "config/builders.h"
 #include "core/rng.h"
 #include "dd/graph.h"
+#include "explain/explain.h"
 #include "relate/order.h"
 #include "relate/relate.h"
 #include "routing/generator.h"
@@ -593,6 +601,185 @@ TEST(FuzzDifferential, RelationalDiffAndOrderSynthesisAgreeWithGroundTruth) {
       }
     }
     if (::testing::Test::HasFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 8: packet-space backend equivalence under forced migration
+// ---------------------------------------------------------------------------
+
+TEST(FuzzDifferential, BackendsAgreeAcrossMigrationAndThreadCounts) {
+  constexpr unsigned kLaneThreads[] = {1, 2, 4};
+  constexpr int kAclStep = 1;  // deterministic mid-run migration trigger
+  const unsigned iters = fuzz_iters();
+
+  for (unsigned iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed = 0xF0880000ULL + iter;
+    SCOPED_TRACE("fuzz seed " + std::to_string(seed) + " (iteration " +
+                 std::to_string(iter) + ")");
+    core::Rng rng(seed);
+
+    const unsigned n = static_cast<unsigned>(rng.next_in(5, 12));
+    const unsigned links = n - 1 + static_cast<unsigned>(rng.next_below(n));
+    const topo::Topology t = topo::make_random_connected(n, links, rng);
+    const bool bgp = rng.next_bool(0.4);
+    // No ACLs in the base configuration: the auto lanes must provably run on
+    // interval atoms until kAclStep injects the first multi-field predicate.
+    config::NetworkConfig cfg =
+        bgp ? config::build_bgp_network(t) : config::build_ospf_network(t);
+
+    // Lanes [0, 6): {bdd, auto} x threads {1,2,4}, no reclamation — these
+    // must be bit-identical in EVERY field, EC ids included (identical split
+    // sequences produce identical ids on both backends). Lanes [6, 9): auto
+    // with eager reclamation, compared like oracle 6's reclaim lanes.
+    std::vector<std::unique_ptr<verify::RealConfig>> lanes;
+    std::vector<int> migrations;  // per-lane migration-listener fire count
+    const auto add_lane = [&](dpm::BackendKind backend, bool reclaim, unsigned threads) {
+      verify::RealConfigOptions o;
+      o.packet_space = backend;
+      o.threads = threads;
+      o.reclamation.enabled = reclaim;
+      lanes.push_back(std::make_unique<verify::RealConfig>(t, o));
+      migrations.push_back(0);
+      const std::size_t lane_idx = migrations.size() - 1;
+      lanes.back()->packet_space().subscribe_migration(
+          [&migrations, lane_idx] { ++migrations[lane_idx]; });
+    };
+    for (const dpm::BackendKind backend : {dpm::BackendKind::kBdd, dpm::BackendKind::kAuto}) {
+      for (const unsigned threads : kLaneThreads) add_lane(backend, false, threads);
+    }
+    for (const unsigned threads : kLaneThreads) {
+      add_lane(dpm::BackendKind::kAuto, true, threads);
+    }
+    const std::size_t kAutoBase = std::size(kLaneThreads);
+    const std::size_t kReclaimBase = 2 * std::size(kLaneThreads);
+
+    std::vector<verify::PolicyId> policies;
+    for (int p = 0; p < 4; ++p) {
+      const auto src = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+      auto dst = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+      if (dst == src) dst = (dst + 1) % static_cast<topo::NodeId>(t.node_count());
+      const bool isolated = rng.next_bool(0.25);
+      verify::PolicyId id = 0;
+      for (auto& lane : lanes) {
+        id = isolated
+                 ? lane->require_isolated(t.node(src).name, t.node(dst).name,
+                                          config::host_prefix(dst))
+                 : lane->require_reachable(t.node(src).name, t.node(dst).name,
+                                           config::host_prefix(dst));
+      }
+      policies.push_back(id);
+    }
+
+    std::vector<topo::LinkId> failed;
+    for (int step = -1; step < 4; ++step) {
+      SCOPED_TRACE("step " + std::to_string(step));
+      if (step == kAclStep) {
+        // The forced migration point: the first multi-field predicate of the
+        // run. Every lane sees the identical ACL.
+        const auto node = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+        const auto adj = t.adjacencies(node);
+        const auto& ifc = t.iface(adj[rng.next_below(adj.size())].iface).name;
+        config::attach_random_acl(cfg, t, t.node(node).name, ifc, rng.next_bool(0.5),
+                                  static_cast<unsigned>(rng.next_in(1, 4)), rng);
+      } else if (step >= 0) {
+        const double dice = rng.next_double();
+        if (dice < 0.35) {
+          const auto l = static_cast<topo::LinkId>(rng.next_below(t.link_count()));
+          config::fail_link(cfg, t, l);
+          failed.push_back(l);
+        } else if (dice < 0.55 && !failed.empty()) {
+          const auto idx = rng.next_below(failed.size());
+          config::restore_link(cfg, t, failed[idx]);
+          failed.erase(failed.begin() + static_cast<std::ptrdiff_t>(idx));
+        } else if (dice < 0.7) {
+          const auto victim = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+          const auto holder = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+          auto& routes = cfg.devices.at(t.node(holder).name).static_routes;
+          if (routes.empty()) {
+            routes.push_back({config::host_prefix(victim), config::kNullInterface, 1});
+          } else {
+            routes.pop_back();
+          }
+        } else if (!bgp) {
+          const auto l = static_cast<topo::LinkId>(rng.next_below(t.link_count()));
+          const topo::Link& lk = t.link(l);
+          config::set_ospf_cost(cfg, t.node(lk.a).name, t.iface(lk.a_iface).name,
+                                static_cast<std::uint32_t>(rng.next_in(1, 100)));
+        } else {
+          const auto adj = t.adjacencies(0);
+          const auto& ifc = t.iface(adj[rng.next_below(adj.size())].iface).name;
+          config::set_local_pref(cfg, t.node(0).name, ifc,
+                                 rng.next_bool(0.5) ? 150u : config::kDefaultLocalPref);
+        }
+      }
+
+      std::vector<Semantics> reports;
+      for (auto& lane : lanes) reports.push_back(Semantics::of(lane->apply(cfg).check));
+
+      // Backend state: auto lanes run interval atoms strictly before the ACL
+      // step and BDDs (after exactly one migration) from it onwards; pinned
+      // lanes never migrate.
+      for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+        const bool pinned_bdd = lane < kAutoBase;
+        const dpm::PacketSpace& space = lanes[lane]->packet_space();
+        if (pinned_bdd) {
+          EXPECT_EQ(space.active_backend(), dpm::BackendKind::kBdd);
+          EXPECT_EQ(migrations[lane], 0) << "lane " << lane;
+        } else if (step < kAclStep) {
+          EXPECT_EQ(space.active_backend(), dpm::BackendKind::kInterval)
+              << "lane " << lane;
+          EXPECT_EQ(migrations[lane], 0) << "lane " << lane;
+        } else {
+          EXPECT_EQ(space.active_backend(), dpm::BackendKind::kBdd) << "lane " << lane;
+          EXPECT_TRUE(space.migrated()) << "lane " << lane;
+          EXPECT_EQ(migrations[lane], 1) << "lane " << lane;
+        }
+      }
+
+      // Full-report bit-identity across every non-reclaim lane: both
+      // backends, all thread counts — EC ids and all.
+      for (std::size_t lane = 1; lane < kReclaimBase; ++lane) {
+        EXPECT_TRUE(reports[0] == reports[lane])
+            << "lane " << lane << " report differs from pinned-BDD threads=1";
+      }
+      // Reclaim lanes: bit-identical among themselves, verdict/pair-level
+      // equivalent to the rest (EC ids legitimately renumber after merges).
+      for (std::size_t i = 1; i < std::size(kLaneThreads); ++i) {
+        EXPECT_TRUE(reports[kReclaimBase] == reports[kReclaimBase + i])
+            << "reclaim-auto lane threads=" << kLaneThreads[i] << " differs";
+      }
+      EXPECT_EQ(lanes[kReclaimBase]->checker().reachable_pairs(),
+                lanes[0]->checker().reachable_pairs());
+
+      // Identical verdicts and identical explain answers everywhere. The
+      // witness comparison is the sharp end: same witness EC id, same
+      // concrete packet — pick_one agrees bit for bit across backends.
+      for (const verify::PolicyId id : policies) {
+        const explain::Explanation ref = explain::explain_policy(*lanes[0], id, nullptr);
+        for (std::size_t lane = 1; lane < lanes.size(); ++lane) {
+          SCOPED_TRACE("policy " + std::to_string(id) + " lane " + std::to_string(lane));
+          EXPECT_EQ(lanes[0]->checker().policy_satisfied(id),
+                    lanes[lane]->checker().policy_satisfied(id));
+          const explain::Explanation e = explain::explain_policy(*lanes[lane], id, nullptr);
+          EXPECT_EQ(e.satisfied, ref.satisfied);
+          EXPECT_EQ(e.has_witness, ref.has_witness);
+          if (lane < kReclaimBase) {
+            EXPECT_EQ(e.witness_ec, ref.witness_ec);
+            EXPECT_EQ(e.witness, ref.witness);
+          }
+        }
+      }
+
+      // permits() never fell back to a live BDD query in any lane, on either
+      // backend, before or after migration.
+      for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+        EXPECT_EQ(lanes[lane]->model().permit_fallback_count(), 0u)
+            << "permits() BDD fallback reached in lane " << lane;
+      }
+
+      if (::testing::Test::HasFailure()) return;
+    }
   }
 }
 

@@ -318,10 +318,16 @@ TEST(RealConfigReclaim, ChurnStaysBoundedAndMatchesFreshRebuild) {
   const topo::Topology t = topo::make_fat_tree(4);
   const config::NetworkConfig base = config::build_ospf_network(t);
 
+  // Pinned to the BDD backend: the node_count comparison below measures
+  // BDD-arena hoarding, which the interval backend (append-only, gc no-op)
+  // does not exhibit.
   RealConfigOptions eager;
+  eager.packet_space = dpm::BackendKind::kBdd;
   eager.reclamation.enabled = true;  // watermarks 0: reclaim after every batch
+  RealConfigOptions plain;
+  plain.packet_space = dpm::BackendKind::kBdd;
   RealConfig reclaiming(t, eager);
-  RealConfig hoarding(t);
+  RealConfig hoarding(t, plain);
   reclaiming.apply(base);
   hoarding.apply(base);
   const std::size_t baseline_ecs = reclaiming.ecs().ec_count();
@@ -356,7 +362,7 @@ TEST(RealConfigReclaim, ChurnStaysBoundedAndMatchesFreshRebuild) {
             reclaiming.packet_space().bdd().node_count());
 
   // The churned-then-reclaimed verifier matches a fresh rebuild exactly.
-  RealConfig fresh(t);
+  RealConfig fresh(t, plain);
   fresh.apply(cfg);
   EXPECT_EQ(reclaiming.ecs().ec_count(), fresh.ecs().ec_count());
   EXPECT_EQ(reclaiming.checker().pair_count(), fresh.checker().pair_count());
