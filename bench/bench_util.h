@@ -9,6 +9,7 @@
 //   RCFG_SAMPLES    changes sampled per change type (default 5)
 //   RCFG_ROUNDS     generator max_rounds (default 12; plenty for fat trees)
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -54,5 +55,17 @@ struct Stats {
   }
   double mean() const { return n == 0 ? 0 : sum / n; }
 };
+
+/// Interpolated percentile (p in [0,100]) of a sample; 0 when empty. Takes
+/// the sample by value: callers keep their raw (unsorted) latency vectors.
+inline double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
 
 }  // namespace rcfg::bench

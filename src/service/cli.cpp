@@ -1,0 +1,32 @@
+#include "service/cli.h"
+
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <cstring>
+
+namespace rcfg::service {
+
+std::optional<unsigned> parse_count_arg(const char* value) {
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  // strtoul is permissive (leading whitespace, '+'/'-' with wraparound): a
+  // count must start with a digit outright.
+  if (value[0] < '0' || value[0] > '9') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(value, &end, 10);
+  if (errno == ERANGE) return std::nullopt;
+  if (end == value || *end != '\0') return std::nullopt;  // "4x", "12 " etc.
+  if (n == 0 || n > UINT_MAX) return std::nullopt;
+  return static_cast<unsigned>(n);
+}
+
+std::optional<Framing> parse_framing_arg(const char* value) {
+  if (value == nullptr) return std::nullopt;
+  if (std::strcmp(value, "auto") == 0) return Framing::kAuto;
+  if (std::strcmp(value, "jsonl") == 0) return Framing::kJsonl;
+  if (std::strcmp(value, "binary") == 0) return Framing::kBinary;
+  return std::nullopt;
+}
+
+}  // namespace rcfg::service

@@ -1,0 +1,20 @@
+#pragma once
+
+// Flag-argument parsing for rcfgd, split out of the main() so the parsing
+// rules are unit-testable (tests/service/cli_test.cpp).
+
+#include <optional>
+
+#include "service/framing.h"
+
+namespace rcfg::service {
+
+/// Parse a strictly positive decimal count. Rejects (returns nullopt):
+/// null/empty input, any non-digit character (including a trailing suffix
+/// like "4x", signs, and whitespace), zero, and values above UINT_MAX.
+std::optional<unsigned> parse_count_arg(const char* value);
+
+/// Parse a --framing argument: "auto" | "jsonl" | "binary".
+std::optional<Framing> parse_framing_arg(const char* value);
+
+}  // namespace rcfg::service

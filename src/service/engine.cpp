@@ -15,10 +15,15 @@ namespace rcfg::service {
 
 Engine::Engine(EngineOptions options) : options_(options) {
   if (options_.workers == 0) options_.workers = 1;
+  if (options_.read_workers == 0) options_.read_workers = 1;
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   workers_.reserve(options_.workers);
   for (unsigned i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop_(); });
+  }
+  read_workers_.reserve(options_.read_workers);
+  for (unsigned i = 0; i < options_.read_workers; ++i) {
+    read_workers_.emplace_back([this] { read_worker_loop_(); });
   }
 }
 
@@ -30,7 +35,9 @@ Engine::~Engine() {
     stop_ = true;
   }
   work_cv_.notify_all();
+  read_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  for (std::thread& t : read_workers_) t.join();
 }
 
 void Engine::pause() {
@@ -44,6 +51,7 @@ void Engine::resume() {
     paused_ = false;
   }
   work_cv_.notify_all();
+  read_cv_.notify_all();
 }
 
 void Engine::drain() {
@@ -52,6 +60,11 @@ void Engine::drain() {
     if (active_workers_ != 0) return false;
     for (const auto& [name, slot] : slots_) {
       if (!slot.queue.empty() || slot.busy) return false;
+      for (const auto& lane : slot.lanes) {
+        // Pending deltas alone don't block drain — only unanswered reads
+        // do. (Lanes with a backlog are already queued for catch-up.)
+        if (!lane->queue.empty() || lane->busy) return false;
+      }
     }
     return true;
   });
@@ -61,7 +74,7 @@ std::size_t Engine::session_count() const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
   for (const auto& [name, slot] : slots_) {
-    if (slot.session != nullptr) ++n;
+    if (slot.has_session) ++n;
   }
   return n;
 }
@@ -110,9 +123,67 @@ void Engine::submit(Request req, Callback callback) {
     return;
   }
 
-  // Backpressure: a full queue blocks the submitter. The slot cannot be
-  // erased while its queue is non-empty, so the reference stays valid.
   Slot& slot = it->second;
+
+  // Read routing: on a session with replica lanes, query/explain/relate go
+  // to a lane (unless pinned to the primary), fenced at the epoch of the
+  // latest acknowledged mutation. Fence-aware: prefer a lane already at the
+  // fence — the read needs no replay — round-robin among those; with every
+  // lane behind, pick the freshest, so one lane pays the catch-up instead
+  // of spreading the same replay across all of them.
+  const bool is_read = req.verb == Verb::kQuery || req.verb == Verb::kExplain ||
+                       req.verb == Verb::kRelate;
+  if (is_read && !req.force_primary && slot.has_session && !slot.lanes.empty()) {
+    const std::uint64_t fence = slot.processed_epoch;
+    std::size_t lane_index = slot.lanes.size();
+    for (std::size_t i = 0; i < slot.lanes.size(); ++i) {
+      const std::size_t candidate = (slot.next_lane + i) % slot.lanes.size();
+      const ReplicaLane& lane = *slot.lanes[candidate];
+      if (lane.broken) continue;
+      if (lane.epoch >= fence) {
+        lane_index = candidate;
+        break;
+      }
+      if (lane_index == slot.lanes.size() ||
+          lane.epoch > slot.lanes[lane_index]->epoch) {
+        lane_index = candidate;
+      }
+    }
+    if (lane_index != slot.lanes.size()) {  // else: every lane broken -> primary
+      slot.next_lane = (lane_index + 1) % slot.lanes.size();
+      ReplicaLane& lane = *slot.lanes[lane_index];
+      if (lane.queue.size() >= options_.queue_capacity && options_.reject_on_full) {
+        lock.unlock();
+        metrics_.rejected_total.inc();
+        metrics_.errors_total.inc();
+        callback(error_response(req.id,
+                                "backpressure: session '" + req.session + "' queue full"));
+        return;
+      }
+      space_cv_.wait(lock, [&] { return lane.queue.size() < options_.queue_capacity; });
+      Pending pending{std::move(req), std::move(callback)};
+      pending.fence = slot.processed_epoch;
+      lane.queue.push_back(std::move(pending));
+      metrics_.queue_depth.add(1);
+      enqueue_lane_(it->first, slot, lane_index);
+      return;
+    }
+  }
+
+  // Backpressure: a full queue blocks the submitter — or, with
+  // reject_on_full, answers an explicit backpressure error so the caller
+  // can shed load. The slot cannot be erased while its queue is non-empty,
+  // so the reference stays valid.
+  if (slot.queue.size() >= options_.queue_capacity && options_.reject_on_full) {
+    // An `open` slot just created above has an empty queue, so this path
+    // never strands a fresh slot.
+    lock.unlock();
+    metrics_.rejected_total.inc();
+    metrics_.errors_total.inc();
+    callback(error_response(req.id,
+                            "backpressure: session '" + req.session + "' queue full"));
+    return;
+  }
   space_cv_.wait(lock, [&] { return slot.queue.size() < options_.queue_capacity; });
 
   slot.queue.push_back(Pending{std::move(req), std::move(callback)});
@@ -122,6 +193,26 @@ void Engine::submit(Request req, Callback callback) {
     ready_.push_back(it->first);
     work_cv_.notify_one();
   }
+}
+
+bool Engine::lane_claimable_(const ReplicaLane& lane) {
+  if (lane.busy || lane.ready || lane.broken) return false;
+  // Catch-up is read-driven: a lane replays its backlog only on the way to
+  // answering a read, so read workers never burn cycles on replay no read
+  // is waiting for (under write saturation, N eager lanes would multiply
+  // every verification N-fold). A lane no reads are routed to stays behind
+  // until the backlog squash (acknowledge_) collapses its backlog into one
+  // snapshot fork.
+  if (lane.queue.empty()) return false;
+  return lane.queue.front().fence <= lane.epoch || !lane.deltas.empty();
+}
+
+void Engine::enqueue_lane_(const std::string& name, Slot& slot, std::size_t index) {
+  ReplicaLane& lane = *slot.lanes[index];
+  if (!lane_claimable_(lane)) return;
+  lane.ready = true;
+  read_ready_.emplace_back(name, index);
+  read_cv_.notify_one();
 }
 
 Response Engine::call(Request req) {
@@ -173,6 +264,95 @@ void Engine::worker_loop_() {
   }
 }
 
+void Engine::read_worker_loop_() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    read_cv_.wait(lock, [this] { return stop_ || (!paused_ && !read_ready_.empty()); });
+    if (stop_ && (paused_ || read_ready_.empty())) return;
+
+    auto [name, index] = std::move(read_ready_.front());
+    read_ready_.pop_front();
+    Slot& slot = slots_.at(name);
+    ReplicaLane& lane = *slot.lanes[index];
+    lane.ready = false;
+    lane.busy = true;
+
+    // Claim the delta backlog plus every read fenced at or below the epoch
+    // the backlog reaches. Reads fenced above it arrived after a mutation
+    // that is still being acknowledged; they stay queued.
+    std::deque<ReplicaDelta> deltas;
+    deltas.swap(lane.deltas);
+    const std::uint64_t target = deltas.empty() ? lane.epoch : deltas.back().epoch;
+    std::vector<Pending> batch;
+    while (!lane.queue.empty() && lane.queue.front().fence <= target) {
+      batch.push_back(std::move(lane.queue.front()));
+      lane.queue.pop_front();
+    }
+    metrics_.queue_depth.add(-static_cast<std::int64_t>(batch.size()));
+    ++active_workers_;
+    lock.unlock();
+    space_cv_.notify_all();
+
+    bool broke = false;
+    if (!deltas.empty()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (ReplicaDelta& delta : deltas) {
+        try {
+          if (delta.kind == ReplicaDelta::Kind::kResync) {
+            lane.replica = std::move(delta.resync);
+          } else {
+            lane.replica->apply_replica_delta(delta);
+          }
+        } catch (const std::exception&) {
+          // Replay diverged from the primary (should be impossible —
+          // deterministic apply on an identical fork). Contain: stop the
+          // lane, fall every queued read back to the primary.
+          broke = true;
+          break;
+        }
+      }
+      metrics_.replica_catchup_ms.record(
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+
+    if (!broke) {
+      for (Pending& p : batch) {
+        Response r = handle_read_(name, *lane.replica, p.req);
+        metrics_.replica_queries.inc();
+        if (!r.ok) metrics_.errors_total.inc();
+        p.callback(std::move(r));
+      }
+    }
+
+    lock.lock();
+    if (broke) {
+      lane.broken = true;
+      metrics_.replica_lane_failures.inc();
+      // Re-route this claim's and any still-queued reads to the primary
+      // queue (FIFO; their fences are trivially satisfied there).
+      for (Pending& p : lane.queue) batch.push_back(std::move(p));
+      lane.queue.clear();
+      metrics_.replica_fallbacks.inc(batch.size());
+      for (Pending& p : batch) {
+        slot.queue.push_back(std::move(p));
+        metrics_.queue_depth.add(1);
+      }
+      if (!slot.queue.empty() && !slot.busy && !slot.ready) {
+        slot.ready = true;
+        ready_.push_back(name);
+        work_cv_.notify_one();
+      }
+    } else {
+      lane.epoch = target;
+    }
+    lane.busy = false;
+    --active_workers_;
+    enqueue_lane_(name, slot, index);
+    idle_cv_.notify_all();
+  }
+}
+
 void Engine::process_batch_(Slot& slot, std::vector<Pending> batch) {
   metrics_.batches_total.inc();
   metrics_.batch_size.record(static_cast<double>(batch.size()));
@@ -207,16 +387,102 @@ void Engine::process_batch_(Slot& slot, std::vector<Pending> batch) {
   for (std::size_t i = 0; i < batch.size(); ++i) {
     Pending& p = batch[i];
     Response r;
+    ReplicaEffect effect;
     if (superseded_by[i] != 0) {
       r.id = p.req.id;
       r.body["session"] = json::Value(p.req.session);
       r.body["status"] = json::Value("coalesced");
       r.body["superseded_by"] = json::Value(superseded_by[i]);
     } else {
-      r = handle_(slot, p.req);
+      r = handle_(slot, p.req, effect);
     }
+    // Acknowledge before the callback: once the caller sees the response,
+    // the epoch fence guarantees any subsequent read observes this request.
+    acknowledge_(slot, std::move(effect));
     if (!r.ok) metrics_.errors_total.inc();
     p.callback(std::move(r));
+  }
+}
+
+void Engine::acknowledge_(Slot& slot, ReplicaEffect effect) {
+  // Lanes are only created/destroyed by the primary worker that owns this
+  // slot (busy=true), so reading the vector's shape unlocked is safe; lane
+  // *state* is touched under mu_ only.
+  std::vector<std::unique_ptr<Session>> installs;
+  std::vector<std::unique_ptr<Session>> resyncs;
+  if (effect.install_lanes > 0 && slot.session != nullptr) {
+    installs.reserve(effect.install_lanes);
+    for (unsigned i = 0; i < effect.install_lanes; ++i) {
+      installs.push_back(slot.session->fork_replica());
+    }
+  }
+  if (effect.kind == ReplicaDelta::Kind::kResync && !slot.lanes.empty() &&
+      slot.session != nullptr) {
+    resyncs.reserve(slot.lanes.size());
+    for (std::size_t i = 0; i < slot.lanes.size(); ++i) {
+      resyncs.push_back(slot.session->fork_replica());
+    }
+    metrics_.replica_resyncs.inc(slot.lanes.size());
+  }
+
+  // Backlog squash: a lane about to exceed lane_resync_backlog pending
+  // deltas gets a snapshot resync instead of yet another delta to replay —
+  // its whole backlog collapses into one fork of the current primary state.
+  // Backlog sizes are lane state (mutated by read workers), so peek under
+  // the lock, fork outside it, install below. A lane that drains in between
+  // just takes a cheap redundant resync.
+  std::vector<std::unique_ptr<Session>> squashes(slot.lanes.size());
+  if (options_.lane_resync_backlog > 0 && slot.session != nullptr &&
+      effect.kind != ReplicaDelta::Kind::kResync && !slot.lanes.empty()) {
+    std::vector<std::size_t> behind;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t i = 0; i < slot.lanes.size(); ++i) {
+        const ReplicaLane& lane = *slot.lanes[i];
+        if (!lane.broken && lane.deltas.size() + 1 >= options_.lane_resync_backlog) {
+          behind.push_back(i);
+        }
+      }
+    }
+    for (const std::size_t i : behind) {
+      squashes[i] = slot.session->fork_replica();
+      metrics_.replica_squashes.inc();
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  slot.has_session = slot.session != nullptr;
+  ++slot.processed_epoch;
+  const std::string name = slot.session != nullptr ? slot.session->name() : std::string();
+  for (std::size_t i = 0; i < slot.lanes.size(); ++i) {
+    ReplicaLane& lane = *slot.lanes[i];
+    if (lane.broken) continue;
+    ReplicaDelta delta;
+    delta.epoch = slot.processed_epoch;
+    if (squashes[i] != nullptr) {
+      lane.deltas.clear();
+      delta.kind = ReplicaDelta::Kind::kResync;
+      delta.resync = std::move(squashes[i]);
+    } else {
+      delta.kind = effect.kind;
+      delta.config = effect.config;
+      delta.staged_after = effect.staged_after;
+      delta.policy = effect.policy;
+      delta.record = effect.record;
+      if (effect.kind == ReplicaDelta::Kind::kResync) delta.resync = std::move(resyncs[i]);
+    }
+    lane.deltas.push_back(std::move(delta));
+    metrics_.replica_deltas.inc();
+    enqueue_lane_(name, slot, i);
+  }
+  if (!installs.empty()) {
+    for (auto& replica : installs) {
+      auto lane = std::make_unique<ReplicaLane>();
+      lane->replica = std::move(replica);
+      lane->epoch = slot.processed_epoch;  // forked from the post-open state
+      slot.lanes.push_back(std::move(lane));
+    }
+    metrics_.replicas_open.add(static_cast<std::int64_t>(installs.size()));
   }
 }
 
@@ -623,7 +889,7 @@ json::Value explanation_body(const Session& session, const Session::ExplainResul
 
 }  // namespace
 
-Response Engine::handle_open_(Slot& slot, const Request& req) {
+Response Engine::handle_open_(Slot& slot, const Request& req, ReplicaEffect& effect) {
   if (slot.session != nullptr) {
     return error_response(req.id, "session already open: '" + req.session + "'");
   }
@@ -633,6 +899,7 @@ Response Engine::handle_open_(Slot& slot, const Request& req) {
   // nothing to recover to, so a nonconvergent *initial* config fails open.
   slot.session = std::make_unique<Session>(req.session, std::move(topology),
                                            std::move(initial), req.options);
+  effect.install_lanes = req.options.replicas;
   metrics_.sessions_open.add(1);
   const verify::RealConfig::Report& report = slot.session->baseline_report();
   record_report_(slot, report);
@@ -650,54 +917,14 @@ Response Engine::handle_open_(Slot& slot, const Request& req) {
   return r;
 }
 
-Response Engine::handle_(Slot& slot, const Request& req) {
+Response Engine::handle_read_(const std::string& session_name, Session& session,
+                              const Request& req) {
   try {
-    if (req.verb == Verb::kOpen) return handle_open_(slot, req);
-    if (slot.session == nullptr) {
-      return error_response(req.id, "session '" + req.session + "' failed to open");
-    }
-    Session& session = *slot.session;
     Response r;
     r.id = req.id;
-    r.body["session"] = json::Value(req.session);
+    r.body["session"] = json::Value(session_name);
 
     switch (req.verb) {
-      case Verb::kPropose: {
-        const config::NetworkConfig cfg = parse_config_text(req.config_text);
-        const ProposeOutcome outcome = session.propose(cfg);
-        if (outcome.converged) {
-          record_report_(slot, outcome.report);
-          json::Value body = report_body(session, outcome.report);
-          body["session"] = json::Value(req.session);
-          body["status"] = json::Value("staged");
-          r.body = std::move(body);
-        } else {
-          metrics_.recoveries.inc();
-          r.body["status"] = json::Value("nonconvergent");
-          r.body["recovered"] = json::Value(true);
-          r.body["rebuilds"] = json::Value(session.rebuilds());
-          r.body["detail"] = json::Value(outcome.error);
-        }
-        break;
-      }
-      case Verb::kCommit:
-        session.commit();
-        r.body["status"] = json::Value("committed");
-        break;
-      case Verb::kAbort: {
-        const verify::RealConfig::Report report = session.abort();
-        record_report_(slot, report);
-        r.body["status"] = json::Value("aborted");
-        r.body["rollback_ms"] = json::Value(report.total_ms());
-        break;
-      }
-      case Verb::kAddPolicy: {
-        const bool satisfied = session.add_policy(req.policy);
-        r.body["status"] = json::Value("policy_added");
-        r.body["policy"] = json::Value(req.policy.name);
-        r.body["satisfied"] = json::Value(satisfied);
-        break;
-      }
       case Verb::kQuery: {
         if (!req.query_policy.empty()) {
           r.body["policy"] = json::Value(req.query_policy);
@@ -729,8 +956,121 @@ Response Engine::handle_(Slot& slot, const Request& req) {
         metrics_.explain_ms.record(
             std::chrono::duration<double, std::milli>(t1 - t0).count());
         json::Value body = explanation_body(session, result);
-        body["session"] = json::Value(req.session);
+        body["session"] = json::Value(session_name);
         r.body = std::move(body);
+        break;
+      }
+      case Verb::kRelate: {
+        const config::NetworkConfig cfg = parse_config_text(req.config_text);
+        const auto t0 = std::chrono::steady_clock::now();
+        const relate::RelationalResult result =
+            session.relate(cfg, req.relate.specs, req.relate.witnesses);
+        metrics_.relate_ms.record(
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                .count());
+        metrics_.relate_diff_ecs.inc(result.diff.ecs.size());
+        json::Value body = relate_body(session, result, req.relate);
+        body["session"] = json::Value(session_name);
+        r.body = std::move(body);
+        break;
+      }
+      default:
+        return error_response(req.id, "unreachable read verb");
+    }
+    return r;
+  } catch (const std::exception& e) {
+    return error_response(req.id, std::string(verb_name(req.verb)) + ": " + e.what());
+  }
+}
+
+Response Engine::handle_(Slot& slot, const Request& req, ReplicaEffect& effect) {
+  try {
+    if (req.verb == Verb::kOpen) return handle_open_(slot, req, effect);
+    if (slot.session == nullptr) {
+      return error_response(req.id, "session '" + req.session + "' failed to open");
+    }
+    Session& session = *slot.session;
+
+    // The read verbs run against the primary here (sessions without lanes,
+    // or reads pinned with "primary":true). Replica-lane reads go through
+    // handle_read_ directly from the read workers.
+    if (req.verb == Verb::kQuery || req.verb == Verb::kExplain || req.verb == Verb::kRelate) {
+      return handle_read_(req.session, session, req);
+    }
+
+    Response r;
+    r.id = req.id;
+    r.body["session"] = json::Value(req.session);
+
+    switch (req.verb) {
+      case Verb::kPropose: {
+        auto cfg = std::make_shared<const config::NetworkConfig>(
+            parse_config_text(req.config_text));
+        const bool was_migrated = session.verifier().packet_space().migrated();
+        const ProposeOutcome outcome = session.propose(*cfg);
+        if (outcome.converged) {
+          record_report_(slot, outcome.report);
+          // Incremental replay keeps replicas bit-identical — except where
+          // the id space moved underneath: a reclamation merge (EcRemap) or
+          // a backend migration. Those stream a fresh fork instead.
+          if (outcome.report.reclaim.remap.has_value() ||
+              session.verifier().packet_space().migrated() != was_migrated) {
+            effect.kind = ReplicaDelta::Kind::kResync;
+          } else {
+            effect.kind = ReplicaDelta::Kind::kApply;
+            effect.config = cfg;
+            effect.staged_after = true;
+            if (session.tracing() && session.provenance()->latest() != nullptr) {
+              effect.record = std::make_shared<const ::rcfg::explain::BatchRecord>(
+                  *session.provenance()->latest());
+            }
+          }
+          json::Value body = report_body(session, outcome.report);
+          body["session"] = json::Value(req.session);
+          body["status"] = json::Value("staged");
+          r.body = std::move(body);
+        } else {
+          metrics_.recoveries.inc();
+          // The session rebuilt itself from the committed baseline: a fresh
+          // EC id space, so replicas must resync.
+          effect.kind = ReplicaDelta::Kind::kResync;
+          r.body["status"] = json::Value("nonconvergent");
+          r.body["recovered"] = json::Value(true);
+          r.body["rebuilds"] = json::Value(session.rebuilds());
+          r.body["detail"] = json::Value(outcome.error);
+        }
+        break;
+      }
+      case Verb::kCommit:
+        session.commit();
+        effect.kind = ReplicaDelta::Kind::kCommit;
+        r.body["status"] = json::Value("committed");
+        break;
+      case Verb::kAbort: {
+        const verify::RealConfig::Report report = session.abort();
+        record_report_(slot, report);
+        if (report.reclaim.remap.has_value()) {
+          effect.kind = ReplicaDelta::Kind::kResync;
+        } else {
+          effect.kind = ReplicaDelta::Kind::kApply;
+          effect.config = std::make_shared<const config::NetworkConfig>(session.committed());
+          effect.staged_after = false;
+          if (session.tracing() && session.provenance()->latest() != nullptr) {
+            effect.record = std::make_shared<const ::rcfg::explain::BatchRecord>(
+                *session.provenance()->latest());
+          }
+        }
+        r.body["status"] = json::Value("aborted");
+        r.body["rollback_ms"] = json::Value(report.total_ms());
+        break;
+      }
+      case Verb::kAddPolicy: {
+        const bool satisfied = session.add_policy(req.policy);
+        effect.kind = ReplicaDelta::Kind::kAddPolicy;
+        effect.policy = std::make_shared<const PolicySpec>(req.policy);
+        r.body["status"] = json::Value("policy_added");
+        r.body["policy"] = json::Value(req.policy.name);
+        r.body["satisfied"] = json::Value(satisfied);
         break;
       }
       case Verb::kSweep: {
@@ -771,20 +1111,6 @@ Response Engine::handle_(Slot& slot, const Request& req) {
         r.body = std::move(body);
         break;
       }
-      case Verb::kRelate: {
-        const config::NetworkConfig cfg = parse_config_text(req.config_text);
-        const auto t0 = std::chrono::steady_clock::now();
-        const relate::RelationalResult result =
-            session.relate(cfg, req.relate.specs, req.relate.witnesses);
-        metrics_.relate_ms.record(
-            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
-                .count());
-        metrics_.relate_diff_ecs.inc(result.diff.ecs.size());
-        json::Value body = relate_body(session, result, req.relate);
-        body["session"] = json::Value(req.session);
-        r.body = std::move(body);
-        break;
-      }
       case Verb::kOrder: {
         std::vector<relate::UpdateStep> steps;
         steps.reserve(req.order.steps.size());
@@ -809,6 +1135,9 @@ Response Engine::handle_(Slot& slot, const Request& req) {
       }
       case Verb::kOpen:
       case Verb::kStats:
+      case Verb::kQuery:
+      case Verb::kExplain:
+      case Verb::kRelate:
         return error_response(req.id, "unreachable verb");
     }
     return r;
@@ -831,47 +1160,20 @@ json::Value Engine::stats_json() const {
       s["staged"] = json::Value(slot.session->has_staged());
       s["rebuilds"] = json::Value(slot.session->rebuilds());
       s["generation"] = json::Value(slot.session->generation());
+      if (!slot.lanes.empty()) {
+        s["replicas"] = json::Value(slot.lanes.size());
+        s["epoch"] = json::Value(slot.processed_epoch);
+        std::size_t broken = 0;
+        for (const auto& lane : slot.lanes) {
+          if (lane->broken) ++broken;
+        }
+        if (broken > 0) s["replicas_broken"] = json::Value(broken);
+      }
       sessions.push_back(std::move(s));
     }
   }
   out["sessions"] = json::Value(std::move(sessions));
   return out;
-}
-
-void run_jsonl(std::istream& in, std::ostream& out, const EngineOptions& options) {
-  Engine engine(options);
-  std::mutex out_mu;
-  const auto emit = [&out, &out_mu](const Response& r) {
-    const std::string line = serialize_response(r);
-    const std::lock_guard<std::mutex> lock(out_mu);
-    out << line << std::endl;  // flush per line: consumers may be pipes
-  };
-
-  std::string line;
-  while (std::getline(in, line)) {
-    std::string_view view(line);
-    while (!view.empty() && (view.front() == ' ' || view.front() == '\t')) view.remove_prefix(1);
-    while (!view.empty() && (view.back() == '\r' || view.back() == ' ')) view.remove_suffix(1);
-    if (view.empty() || view.front() == '#') {
-      // Two comment directives make replayed transcripts deterministic:
-      // "#pause" queues everything until "#resume", forcing the requests in
-      // between into one batch regardless of machine speed.
-      if (view == "#pause") engine.pause();
-      if (view == "#resume") engine.resume();
-      continue;
-    }
-
-    Request req;
-    try {
-      req = parse_request(view);
-    } catch (const ProtocolError& e) {
-      engine.metrics().errors_total.inc();
-      emit(error_response(0, e.what()));
-      continue;
-    }
-    engine.submit(std::move(req), emit);
-  }
-  engine.drain();
 }
 
 }  // namespace rcfg::service

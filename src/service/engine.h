@@ -13,10 +13,41 @@
 //     apply() whose input delta is the whole burst — the service layer is
 //     what turns an update stream into the paper's §4 batch mode.
 //   * Backpressure — submit() blocks while the target session's queue is at
-//     queue_capacity, bounding memory under overload.
+//     queue_capacity, bounding memory under overload. With
+//     `reject_on_full`, a full queue instead answers immediately with an
+//     explicit "backpressure" error, so callers can shed load rather than
+//     stall (the EnginePool's admission control composes with this).
 //   * Recovery — nonterminating proposals are absorbed by Session (the
 //     verifier rebuilds from the last committed config); the engine just
 //     reports the structured outcome and counts the recovery.
+//
+// Read replicas (sessions opened with "replicas":N > 0):
+//
+//   The slot keeps the primary Session plus N replica *lanes*, each a full
+//   fork of the session (Session::fork_replica). Read verbs — query,
+//   explain, relate without "primary":true — are routed to a lane and
+//   processed by a dedicated read-worker pool, so a read never queues
+//   behind an in-flight verification, on either the session's FIFO or the
+//   write workers. Routing is fence-aware: round-robin across the lanes
+//   already at the read's fence (the read is answerable with no replay);
+//   when none is, the freshest lane, so catch-up work concentrates on one
+//   lane instead of being paid by all of them. Mutations stay on the
+//   primary; after the primary acknowledges each request it advances the
+//   session's epoch and enqueues one ReplicaDelta per lane (kNoop for
+//   non-mutating verbs). A lane whose backlog reaches lane_resync_backlog
+//   is squashed: the backlog is replaced by one snapshot resync, so a
+//   lagging lane costs a fork per backlog rather than a replay per
+//   mutation.
+//
+//   Consistency — read-your-acknowledged-writes: a read is fenced at the
+//   epoch of the latest *acknowledged* mutation at submit time, and a lane
+//   answers it only after consuming deltas up to that fence. Reads never
+//   wait for in-flight proposes (that would reintroduce the head-of-line
+//   blocking replicas exist to remove), and lanes replay the identical
+//   apply stream, so their answers are bit-identical to the primary's at
+//   the same epoch. Where incremental replay cannot preserve EC ids —
+//   rebuilds, reclamation merges, backend migrations — the primary streams
+//   a snapshot resync (a fresh fork) instead. See DESIGN.md.
 //
 // Callbacks run on whichever thread produced the response: a worker thread
 // for queued requests, the submitting thread for immediate errors and
@@ -43,8 +74,22 @@ namespace rcfg::service {
 
 struct EngineOptions {
   unsigned workers = 2;
+  /// Dedicated pool for replica-lane reads; only exercised by sessions
+  /// opened with replicas. Kept separate from `workers` so reads are never
+  /// starved of a thread by long verifications.
+  unsigned read_workers = 2;
   std::size_t queue_capacity = 64;  ///< per-session; submit() blocks beyond
   bool coalesce = true;             ///< batch consecutive proposes
+  /// Answer "backpressure: session queue full" instead of blocking the
+  /// submitter when a queue is at capacity.
+  bool reject_on_full = false;
+  /// Collapse a replica lane's pending-delta backlog into one snapshot
+  /// resync once it reaches this many deltas (0 = never). Under write
+  /// saturation a lane that cannot keep up would otherwise replay every
+  /// mutation — N lanes multiply verification work N-fold; squashing caps a
+  /// lagging lane's cost at one fork per `lane_resync_backlog` mutations
+  /// and bounds its backlog memory.
+  std::size_t lane_resync_backlog = 8;
 };
 
 class Engine {
@@ -59,9 +104,9 @@ class Engine {
   using Callback = std::function<void(Response)>;
 
   /// Enqueue a request; the callback receives exactly one Response. Blocks
-  /// while the session's queue is full (backpressure). Requests that cannot
-  /// be routed (unknown session, duplicate open) are answered with an error
-  /// on the calling thread.
+  /// while the session's queue is full (backpressure), unless
+  /// reject_on_full. Requests that cannot be routed (unknown session,
+  /// duplicate open) are answered with an error on the calling thread.
   void submit(Request req, Callback callback);
 
   /// Synchronous convenience: submit + wait for the response.
@@ -86,9 +131,33 @@ class Engine {
   struct Pending {
     Request req;
     Callback callback;
+    /// Replica-lane reads only: the session epoch this read must observe
+    /// (the acknowledged-mutation count at submit time).
+    std::uint64_t fence = 0;
   };
+
+  /// One read replica: a forked Session, its fenced read queue, and the
+  /// delta backlog the primary has streamed but the lane has not consumed.
+  struct ReplicaLane {
+    std::unique_ptr<Session> replica;
+    std::deque<Pending> queue;
+    std::deque<ReplicaDelta> deltas;
+    std::uint64_t epoch = 0;  ///< deltas consumed up to here
+    bool busy = false;
+    bool ready = false;  ///< queued in read_ready_
+    /// Delta replay threw (cannot happen when primary and fork agree; this
+    /// is the containment path): the lane stops serving, queued reads fall
+    /// back to the primary.
+    bool broken = false;
+  };
+
   struct Slot {
     std::unique_ptr<Session> session;  ///< null until `open` has been processed
+    /// Mirror of `session != nullptr` for threads that don't own the slot.
+    /// `session` itself is assigned by the owning worker outside `mu_`, so
+    /// submit/session_count must read this flag (written under `mu_` in
+    /// acknowledge_, before the open's callback fires) instead.
+    bool has_session = false;
     std::deque<Pending> queue;
     bool busy = false;   ///< a worker is processing this session
     bool ready = false;  ///< queued in ready_
@@ -96,35 +165,67 @@ class Engine {
     /// count already folded into the service counter (the session's value
     /// resets on rebuild, so deltas are clamped at zero).
     std::uint64_t unknown_unregisters_seen = 0;
+
+    std::vector<std::unique_ptr<ReplicaLane>> lanes;  ///< empty without replicas
+    std::uint64_t processed_epoch = 0;  ///< mutations acknowledged by the primary
+    std::size_t next_lane = 0;          ///< round-robin read routing cursor
+  };
+
+  /// What a handled request must stream to the session's replica lanes
+  /// (always exactly one delta per lane — kNoop when nothing changed — so
+  /// the epoch advances uniformly and fences never deadlock).
+  struct ReplicaEffect {
+    ReplicaDelta::Kind kind = ReplicaDelta::Kind::kNoop;
+    std::shared_ptr<const config::NetworkConfig> config;
+    bool staged_after = false;
+    std::shared_ptr<const PolicySpec> policy;
+    std::shared_ptr<const ::rcfg::explain::BatchRecord> record;
+    unsigned install_lanes = 0;  ///< open only: fork this many lanes
   };
 
   void worker_loop_();
+  void read_worker_loop_();
   void process_batch_(Slot& slot, std::vector<Pending> batch);
-  Response handle_(Slot& slot, const Request& req);
-  Response handle_open_(Slot& slot, const Request& req);
+  Response handle_(Slot& slot, const Request& req, ReplicaEffect& effect);
+  Response handle_open_(Slot& slot, const Request& req, ReplicaEffect& effect);
+  /// The read-only verbs (query/explain/relate), runnable against either
+  /// the primary or a replica Session.
+  Response handle_read_(const std::string& session_name, Session& session,
+                        const Request& req);
   void record_report_(Slot& slot, const verify::RealConfig::Report& report);
+  /// Advance the slot's epoch and stream `effect` to every lane (plus lane
+  /// installation / resync forks). Called by the primary worker after each
+  /// request, before the callback fires.
+  void acknowledge_(Slot& slot, ReplicaEffect effect);
+  /// True if a read worker could make progress on the lane right now.
+  static bool lane_claimable_(const ReplicaLane& lane);
+  void enqueue_lane_(const std::string& name, Slot& slot, std::size_t index);
 
   EngineOptions options_;
   ServiceMetrics metrics_;
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;   ///< workers: ready_ / stop / resume
+  std::condition_variable work_cv_;   ///< write workers: ready_ / stop / resume
+  std::condition_variable read_cv_;   ///< read workers: read_ready_ / stop / resume
   std::condition_variable space_cv_;  ///< submitters: queue has room again
   std::condition_variable idle_cv_;   ///< drain(): engine went quiescent
   std::map<std::string, Slot> slots_;
   std::deque<std::string> ready_;     ///< sessions with pending, unclaimed work
-  unsigned active_workers_ = 0;
+  std::deque<std::pair<std::string, std::size_t>> read_ready_;  ///< (session, lane)
+  unsigned active_workers_ = 0;       ///< both pools
   bool paused_ = false;
   bool stop_ = false;
 
   std::vector<std::thread> workers_;
+  std::vector<std::thread> read_workers_;
 };
 
 /// Drive an Engine from a JSON-lines stream: one request per line (blank
 /// lines and lines starting with '#' are skipped), one response per line on
 /// `out` in completion order (per-session FIFO). Returns after EOF once all
-/// requests have been answered. This is rcfgd's whole main loop — tests and
-/// examples call it directly on string streams.
+/// requests have been answered. Tests and examples call it directly on
+/// string streams; rcfgd's main loop is the framing-aware superset
+/// run_service (io.h), of which this is the framing=jsonl special case.
 ///
 /// The comment directives "#pause" / "#resume" gate worker dispatch (see
 /// Engine::pause), so a transcript can deterministically force a run of

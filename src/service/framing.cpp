@@ -1,0 +1,204 @@
+#include "service/framing.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace rcfg::service {
+
+namespace {
+
+enum : unsigned char {
+  kTagNull = 0x00,
+  kTagFalse = 0x01,
+  kTagTrue = 0x02,
+  kTagInt = 0x03,
+  kTagDouble = 0x04,
+  kTagString = 0x05,
+  kTagArray = 0x06,
+  kTagObject = 0x07,
+};
+
+constexpr std::size_t kMaxDepth = 256;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_sized(std::string& out, std::string_view s, const char* what) {
+  if (s.size() > kMaxFrameBytes) {
+    throw FramingError(std::string(what) + " too large to encode");
+  }
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+/// Bounds-checked cursor over one frame's payload.
+struct Reader {
+  const char* p;
+  const char* end;
+
+  [[noreturn]] static void truncated() { throw FramingError("truncated frame"); }
+
+  unsigned char u8() {
+    if (p == end) truncated();
+    return static_cast<unsigned char>(*p++);
+  }
+  std::uint32_t u32() {
+    if (end - p < 4) truncated();
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+    p += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (end - p < 8) truncated();
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+    p += 8;
+    return v;
+  }
+  std::string_view bytes(std::uint32_t n) {
+    if (static_cast<std::size_t>(end - p) < n) truncated();
+    std::string_view s(p, n);
+    p += n;
+    return s;
+  }
+};
+
+json::Value decode_one(Reader& r, std::size_t depth) {
+  if (depth > kMaxDepth) throw FramingError("value nested too deeply");
+  const unsigned char tag = r.u8();
+  switch (tag) {
+    case kTagNull: return json::Value();
+    case kTagFalse: return json::Value(false);
+    case kTagTrue: return json::Value(true);
+    case kTagInt: return json::Value(static_cast<std::int64_t>(r.u64()));
+    case kTagDouble: {
+      const std::uint64_t bits = r.u64();
+      double d;
+      std::memcpy(&d, &bits, sizeof d);
+      return json::Value(d);
+    }
+    case kTagString: return json::Value(std::string(r.bytes(r.u32())));
+    case kTagArray: {
+      const std::uint32_t n = r.u32();
+      json::Value::Array a;
+      // Each element costs >= 1 byte, so the remaining payload bounds the
+      // count — a hostile header can't force a huge reserve.
+      if (n > static_cast<std::size_t>(r.end - r.p)) Reader::truncated();
+      a.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) a.push_back(decode_one(r, depth + 1));
+      return json::Value(std::move(a));
+    }
+    case kTagObject: {
+      const std::uint32_t n = r.u32();
+      if (n > static_cast<std::size_t>(r.end - r.p)) Reader::truncated();
+      json::Value::Object o;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::string key(r.bytes(r.u32()));
+        o.insert_or_assign(std::move(key), decode_one(r, depth + 1));
+      }
+      return json::Value(std::move(o));
+    }
+    default:
+      throw FramingError("unknown value tag 0x" + std::to_string(tag));
+  }
+}
+
+}  // namespace
+
+void encode_value(const json::Value& v, std::string& out) {
+  if (v.is_null()) {
+    out.push_back(static_cast<char>(kTagNull));
+  } else if (v.is_bool()) {
+    out.push_back(static_cast<char>(v.as_bool() ? kTagTrue : kTagFalse));
+  } else if (v.is_int()) {
+    out.push_back(static_cast<char>(kTagInt));
+    put_u64(out, static_cast<std::uint64_t>(v.as_int()));
+  } else if (v.is_double()) {
+    out.push_back(static_cast<char>(kTagDouble));
+    const double d = v.as_double();
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof bits);
+    put_u64(out, bits);
+  } else if (v.is_string()) {
+    out.push_back(static_cast<char>(kTagString));
+    put_sized(out, v.as_string(), "string");
+  } else if (v.is_array()) {
+    const json::Value::Array& a = v.as_array();
+    out.push_back(static_cast<char>(kTagArray));
+    put_u32(out, static_cast<std::uint32_t>(a.size()));
+    for (const json::Value& e : a) encode_value(e, out);
+  } else {
+    const json::Value::Object& o = v.as_object();
+    out.push_back(static_cast<char>(kTagObject));
+    put_u32(out, static_cast<std::uint32_t>(o.size()));
+    for (const auto& [key, val] : o) {
+      put_sized(out, key, "object key");
+      encode_value(val, out);
+    }
+  }
+}
+
+json::Value decode_value(std::string_view payload) {
+  Reader r{payload.data(), payload.data() + payload.size()};
+  json::Value v = decode_one(r, 0);
+  if (r.p != r.end) throw FramingError("trailing bytes after value");
+  return v;
+}
+
+std::string encode_frame(const json::Value& v) {
+  std::string payload;
+  encode_value(v, payload);
+  std::string out;
+  out.reserve(payload.size() + 4);
+  put_sized(out, payload, "frame");
+  return out;
+}
+
+void write_magic(std::ostream& out) {
+  out.write(reinterpret_cast<const char*>(kFramingMagic), sizeof kFramingMagic);
+}
+
+void read_magic(std::istream& in) {
+  char buf[4];
+  in.read(buf, 4);
+  if (in.gcount() != 4 || std::memcmp(buf, kFramingMagic, 4) != 0) {
+    throw FramingError("bad stream magic (expected B5 'R' 'C' '1')");
+  }
+}
+
+bool read_frame(std::istream& in, std::string& payload) {
+  char hdr[4];
+  in.read(hdr, 4);
+  if (in.gcount() == 0) return false;  // clean EOF at a frame boundary
+  if (in.gcount() != 4) throw FramingError("truncated frame header");
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(static_cast<unsigned char>(hdr[i])) << (8 * i);
+  if (len > kMaxFrameBytes) {
+    throw FramingError("frame length " + std::to_string(len) + " exceeds cap");
+  }
+  payload.resize(len);
+  in.read(payload.data(), static_cast<std::streamsize>(len));
+  if (static_cast<std::uint32_t>(in.gcount()) != len) throw FramingError("truncated frame payload");
+  return true;
+}
+
+void write_frame(std::ostream& out, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) throw FramingError("frame too large to write");
+  char hdr[4];
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) hdr[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  out.write(hdr, 4);
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+}  // namespace rcfg::service

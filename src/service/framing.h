@@ -1,0 +1,85 @@
+#pragma once
+
+// Binary framing for the rcfgd wire protocol: the same Request/Response
+// surface as JSON-lines (protocol.h), but length-prefixed binary values so
+// the hot serving path never tokenizes text.
+//
+// Stream layout:
+//
+//   magic   4 bytes   0xB5 'R' 'C' '1'   once, at stream start
+//   frame   u32 LE payload length, then payload (one encoded Value)
+//   frame   ...
+//
+// The magic doubles as the auto-detection byte: 0xB5 can never start a
+// JSON-lines request (lines begin with '{', whitespace, or '#'), so
+// run_service peeks one byte and picks the framing per stream.
+//
+// Value encoding (tag byte, then payload; all integers little-endian):
+//
+//   0x00  null
+//   0x01  false
+//   0x02  true
+//   0x03  int64    8 bytes
+//   0x04  double   8 bytes (IEEE-754 bit pattern)
+//   0x05  string   u32 byte length + bytes (UTF-8, NUL allowed)
+//   0x06  array    u32 count + count values
+//   0x07  object   u32 count + count of (u32 key length + key bytes, value)
+//
+// Frames and strings are capped at kMaxFrameBytes; oversized or truncated
+// input throws FramingError. Decoding is strict: a frame must contain
+// exactly one value with no trailing bytes.
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "service/json.h"
+
+namespace rcfg::service {
+
+/// Thrown on malformed binary frames (bad tag, truncation, oversize,
+/// trailing bytes, nesting too deep). Unlike a bad JSON line — which is
+/// answered with an error response and skipped — a framing error is not
+/// recoverable: the stream offset is lost, so the connection ends.
+class FramingError : public std::runtime_error {
+ public:
+  explicit FramingError(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Wire framing of a service stream.
+enum class Framing : std::uint8_t {
+  kAuto,    ///< detect per stream from the first byte (default)
+  kJsonl,   ///< JSON lines (protocol.h)
+  kBinary,  ///< length-prefixed binary frames (this header)
+};
+
+inline constexpr unsigned char kFramingMagic[4] = {0xB5, 'R', 'C', '1'};
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 30;  ///< 1 GiB
+
+/// Append the binary encoding of `v` to `out` (no frame header).
+void encode_value(const json::Value& v, std::string& out);
+
+/// Decode exactly one value spanning all of `payload`. Throws FramingError
+/// on truncation, trailing bytes, unknown tags, or nesting deeper than 256.
+json::Value decode_value(std::string_view payload);
+
+/// u32-length-prefixed frame around encode_value(v) (no magic).
+std::string encode_frame(const json::Value& v);
+
+/// Write the 4-byte stream magic.
+void write_magic(std::ostream& out);
+
+/// Read + validate the 4-byte stream magic. Throws FramingError on mismatch.
+void read_magic(std::istream& in);
+
+/// Read one frame's payload into `payload`. Returns false on clean EOF at a
+/// frame boundary; throws FramingError on a truncated header/payload or a
+/// length above kMaxFrameBytes.
+bool read_frame(std::istream& in, std::string& payload);
+
+/// Write one frame (u32 LE length + payload).
+void write_frame(std::ostream& out, std::string_view payload);
+
+}  // namespace rcfg::service

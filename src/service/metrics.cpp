@@ -154,11 +154,24 @@ json::Value ServiceMetrics::to_json() const {
   latency["explain_ms"] = explain_ms.to_json();
   out["latency"] = std::move(latency);
 
+  json::Value replicas;
+  replicas["queries"] = json::Value(replica_queries.value());
+  replicas["deltas"] = json::Value(replica_deltas.value());
+  replicas["resyncs"] = json::Value(replica_resyncs.value());
+  replicas["squashes"] = json::Value(replica_squashes.value());
+  replicas["fallbacks"] = json::Value(replica_fallbacks.value());
+  replicas["lane_failures"] = json::Value(replica_lane_failures.value());
+  replicas["open"] = json::Value(replicas_open.value());
+  replicas["open_max"] = json::Value(replicas_open.max());
+  replicas["catchup_ms"] = replica_catchup_ms.to_json();
+  out["replicas"] = std::move(replicas);
+
   json::Value load;
   load["queue_depth"] = json::Value(queue_depth.value());
   load["queue_depth_max"] = json::Value(queue_depth.max());
   load["sessions_open"] = json::Value(sessions_open.value());
   load["sessions_open_max"] = json::Value(sessions_open.max());
+  load["rejected"] = json::Value(rejected_total.value());
   out["load"] = std::move(load);
 
   return out;

@@ -1,0 +1,86 @@
+#include "service/pool.h"
+
+#include <future>
+#include <utility>
+
+namespace rcfg::service {
+
+EnginePool::EnginePool(PoolOptions options) : options_(std::move(options)) {
+  if (options_.engines == 0) options_.engines = 1;
+  engines_.reserve(options_.engines);
+  for (unsigned i = 0; i < options_.engines; ++i) {
+    engines_.push_back(std::make_unique<Engine>(options_.engine));
+  }
+}
+
+std::size_t EnginePool::shard_(const std::string& session) const {
+  // FNV-1a: stable across runs (unlike std::hash), so a session's shard is
+  // reproducible in logs and tests.
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : session) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h % engines_.size());
+}
+
+void EnginePool::submit(Request req, Engine::Callback callback) {
+  if (req.verb == Verb::kStats) {
+    Response r;
+    r.id = req.id;
+    r.body = stats_json();
+    callback(std::move(r));
+    return;
+  }
+  if (req.verb == Verb::kOpen && options_.max_sessions != 0 &&
+      session_count() >= options_.max_sessions) {
+    denials_.fetch_add(1, std::memory_order_relaxed);
+    callback(error_response(req.id, "admission denied: pool at max_sessions (" +
+                                        std::to_string(options_.max_sessions) + ")"));
+    return;
+  }
+  engines_[shard_(req.session)]->submit(std::move(req), std::move(callback));
+}
+
+Response EnginePool::call(Request req) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  submit(std::move(req), [&promise](Response r) { promise.set_value(std::move(r)); });
+  return future.get();
+}
+
+void EnginePool::drain() {
+  for (auto& engine : engines_) engine->drain();
+}
+
+void EnginePool::pause() {
+  for (auto& engine : engines_) engine->pause();
+}
+
+void EnginePool::resume() {
+  for (auto& engine : engines_) engine->resume();
+}
+
+std::size_t EnginePool::session_count() const {
+  std::size_t n = 0;
+  for (const auto& engine : engines_) n += engine->session_count();
+  return n;
+}
+
+json::Value EnginePool::stats_json() {
+  drain();
+  json::Value out;
+  json::Value::Array per_engine;
+  per_engine.reserve(engines_.size());
+  for (auto& engine : engines_) per_engine.push_back(engine->stats_json());
+  out["engines"] = json::Value(std::move(per_engine));
+  json::Value pool;
+  pool["engines"] = json::Value(static_cast<std::uint64_t>(engines_.size()));
+  pool["sessions"] = json::Value(static_cast<std::uint64_t>(session_count()));
+  pool["max_sessions"] = json::Value(static_cast<std::uint64_t>(options_.max_sessions));
+  pool["admission_denials"] = json::Value(admission_denials());
+  out["pool"] = std::move(pool);
+  return out;
+}
+
+}  // namespace rcfg::service

@@ -1,0 +1,74 @@
+#pragma once
+
+// Session sharding across a pool of Engines, with admission control.
+//
+// Each session name hashes (FNV-1a) to one engine, so a session's requests
+// keep their per-session FIFO order while unrelated sessions spread across
+// engines — each with its own worker pools, lock, and slot map. This is the
+// horizontal axis: one Engine's mutex and condition variables eventually
+// serialize tens of thousands of sessions; E engines cut that contention by
+// E with no cross-engine coordination (sessions never interact).
+//
+// Admission control: with max_sessions > 0, an `open` that would exceed the
+// pool-wide live-session count is answered immediately with an explicit
+// "admission denied" error instead of consuming memory. The count is taken
+// under no global lock (it sums per-engine counts), so a burst of racing
+// opens can transiently overshoot by the number of in-flight opens — a
+// deliberate trade: admission is a resource guard, not a mutex.
+//
+// `stats` drains every engine and answers one merged body:
+//   {"engines":[<per-engine stats_json>...],"pool":{...}}.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "service/engine.h"
+
+namespace rcfg::service {
+
+struct PoolOptions {
+  EngineOptions engine;       ///< applied to every engine in the pool
+  unsigned engines = 1;
+  std::size_t max_sessions = 0;  ///< 0 = unlimited; else opens beyond are denied
+};
+
+class EnginePool {
+ public:
+  explicit EnginePool(PoolOptions options = {});
+
+  EnginePool(const EnginePool&) = delete;
+  EnginePool& operator=(const EnginePool&) = delete;
+
+  /// Routes to the session's engine (kStats answers the merged pool body).
+  void submit(Request req, Engine::Callback callback);
+  Response call(Request req);
+
+  /// Block until every request submitted so far, on every engine, is done.
+  void drain();
+  void pause();
+  void resume();
+
+  std::size_t size() const { return engines_.size(); }
+  Engine& engine(std::size_t i) { return *engines_[i]; }
+  /// The engine that owns `session` under the sharding function.
+  Engine& engine_for(const std::string& session) { return *engines_[shard_(session)]; }
+
+  std::size_t session_count() const;
+  std::uint64_t admission_denials() const {
+    return denials_.load(std::memory_order_relaxed);
+  }
+
+  /// The merged `stats` body (drains first, like Engine::submit on kStats).
+  json::Value stats_json();
+
+ private:
+  std::size_t shard_(const std::string& session) const;
+
+  PoolOptions options_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::atomic<std::uint64_t> denials_{0};
+};
+
+}  // namespace rcfg::service

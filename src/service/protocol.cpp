@@ -96,6 +96,10 @@ SessionOptions parse_options(const json::Value& doc) {
   opts.recurrence_threshold =
       static_cast<std::uint64_t>(doc.get_int("recurrence_threshold", 0));
   opts.trace = doc.get_bool("trace", false);
+  opts.replicas = get_unsigned(doc, "replicas");
+  if (opts.replicas > kMaxReplicas) {
+    throw ProtocolError("'replicas' must be <= " + std::to_string(kMaxReplicas));
+  }
   opts.verifier.reclamation.enabled = doc.get_bool("reclaim", false);
   opts.verifier.reclamation.ec_watermark =
       static_cast<std::size_t>(doc.get_int("ec_watermark", 0));
@@ -260,6 +264,7 @@ Request parse_request_doc(const json::Value& doc) {
     case Verb::kQuery:
     case Verb::kExplain:
       req.query_policy = doc.get_string("policy");
+      req.force_primary = doc.get_bool("primary", false);
       break;
     case Verb::kSweep: {
       if (const json::Value* links = doc.find("links"); links != nullptr) {
@@ -283,6 +288,7 @@ Request parse_request_doc(const json::Value& doc) {
       req.config_text = doc.get_string("config");
       if (req.config_text.empty()) throw ProtocolError("relate needs a 'config'");
       req.relate = parse_relate(doc);
+      req.force_primary = doc.get_bool("primary", false);
       break;
     case Verb::kOrder:
       req.order = parse_order(doc);
@@ -303,12 +309,14 @@ Response error_response(std::uint64_t id, std::string message) {
   return r;
 }
 
-std::string serialize_response(const Response& r) {
+json::Value response_value(const Response& r) {
   json::Value out = r.body.is_object() ? r.body : json::Value();
   out["id"] = json::Value(r.id);
   out["ok"] = json::Value(r.ok);
   if (!r.ok) out["error"] = json::Value(r.error);
-  return out.dump();
+  return out;
 }
+
+std::string serialize_response(const Response& r) { return response_value(r).dump(); }
 
 }  // namespace rcfg::service

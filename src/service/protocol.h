@@ -28,13 +28,24 @@
 //                                           partition exceeds N atoms (0 = eager)
 //                 "bdd_watermark":N         defer BDD GC until the manager
 //                                           exceeds N live nodes (0 = eager)
+//                 "replicas":N              read replicas forked off the
+//                                           session (<= 16). query/explain/
+//                                           relate fan out round-robin across
+//                                           them; mutations apply once on the
+//                                           primary and stream deltas (see
+//                                           engine.h). Replica answers are
+//                                           bit-identical to the primary's at
+//                                           the same acknowledged epoch.
 //   propose     {"session", "config"}          config = the DSL text of the
 //                                              *whole* intended network
 //   commit      {"session"}
 //   abort       {"session"}
 //   add_policy  {"session", "policy":{"kind":"reachable"|"isolated"|
 //                "waypoint", "name","src","dst",["via"],"prefix"}}
-//   query       {"session", ["policy":NAME]}   no "policy" => summary
+//   query       {"session", ["policy":NAME], ["primary":true]}
+//               no "policy" => summary. On a session opened with replicas,
+//               "primary":true pins the read to the primary verifier
+//               (diagnostics; replicas answer identically by construction)
 //   explain     {"session", ["policy":NAME]}   no "policy" => the most
 //               recent violation; replays the policy's witness packet
 //               hop-by-hop (LPM rule + ACL verdict per hop) and names the
@@ -147,6 +158,9 @@ struct OrderSpec {
   bool detail = false;        ///< include per-step verdict records
 };
 
+/// Upper bound on per-session read replicas (open's "replicas" option).
+inline constexpr unsigned kMaxReplicas = 16;
+
 struct Request {
   std::uint64_t id = 0;
   Verb verb = Verb::kStats;
@@ -159,6 +173,7 @@ struct Request {
   RelateSpec relate;        ///< relate
   OrderSpec order;          ///< order
   SessionOptions options;   ///< open
+  bool force_primary = false;  ///< query/explain/relate: bypass read replicas
 };
 
 /// Parse one request line / document. Throws ProtocolError (including for
@@ -175,8 +190,11 @@ struct Response {
 
 Response error_response(std::uint64_t id, std::string message);
 
-/// One line, no trailing newline: {"id":..,"ok":..,<body fields>} with
-/// "error" added when !ok.
+/// The response as one JSON object: {"id":..,"ok":..,<body fields>} with
+/// "error" added when !ok. Both wire framings serialize this value.
+json::Value response_value(const Response& r);
+
+/// response_value(r).dump(): one line, no trailing newline.
 std::string serialize_response(const Response& r);
 
 }  // namespace rcfg::service

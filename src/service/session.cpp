@@ -10,7 +10,7 @@ namespace rcfg::service {
 Session::Session(std::string name, topo::Topology topology, config::NetworkConfig initial,
                  SessionOptions options)
     : name_(std::move(name)),
-      topo_(std::move(topology)),
+      topo_(std::make_shared<const topo::Topology>(std::move(topology))),
       options_(options) {
   options_.verifier.provenance = options_.trace;
   rc_ = make_verifier_();
@@ -23,7 +23,7 @@ Session::Session(std::string name, topo::Topology topology, config::NetworkConfi
 }
 
 std::unique_ptr<verify::RealConfig> Session::make_verifier_() const {
-  auto rc = std::make_unique<verify::RealConfig>(topo_, options_.verifier);
+  auto rc = std::make_unique<verify::RealConfig>(*topo_, options_.verifier);
   if (options_.flush_budget != 0) rc->generator().set_flush_budget(options_.flush_budget);
   if (options_.recurrence_threshold != 0) {
     rc->generator().set_recurrence_threshold(options_.recurrence_threshold);
@@ -167,6 +167,61 @@ relate::OrderResult Session::order(const std::vector<relate::UpdateStep>& steps,
                                    const relate::OrderOptions& options) {
   relate::UpdateOrderSynthesizer synth(*rc_, live_());
   return synth.synthesize(steps, options);
+}
+
+std::unique_ptr<Session> Session::fork_replica() const {
+  std::unique_ptr<Session> r(new Session());
+  r->name_ = name_;
+  r->topo_ = topo_;  // immutable, shared: both verifiers reference it
+  r->options_ = options_;
+  // fork() preserves EC ids and pins threads=1 — replica reads are cheap
+  // and many replicas share one machine.
+  r->rc_ = rc_->fork(*rc_->snapshot());
+  r->baseline_report_ = baseline_report_;
+  r->committed_ = committed_;
+  r->staged_ = staged_;
+  r->specs_ = specs_;
+  r->ids_ = ids_;
+  r->names_by_id_ = names_by_id_;
+  if (log_ != nullptr) r->log_ = std::make_unique<::rcfg::explain::ProvenanceLog>(*log_);
+  r->rebuilds_ = rebuilds_;
+  r->generation_ = generation_;
+  return r;
+}
+
+void Session::apply_replica_delta(const ReplicaDelta& delta) {
+  switch (delta.kind) {
+    case ReplicaDelta::Kind::kNoop:
+    case ReplicaDelta::Kind::kResync:  // the lane swaps sessions; nothing to do here
+      return;
+    case ReplicaDelta::Kind::kApply: {
+      // Deterministic replay of the primary's apply. The primary already
+      // converged on this input, reclamation did not fire (that would have
+      // been a kResync), so neither happens here either.
+      rc_->apply(*delta.config);
+      if (delta.staged_after) {
+        staged_ = *delta.config;
+      } else {
+        staged_.reset();
+      }
+      if (log_ != nullptr && delta.record != nullptr) {
+        // The primary's record verbatim (modulo the log-assigned seq, which
+        // advances in lockstep): spans carry the primary's timings.
+        log_->record(*delta.record);
+      }
+      return;
+    }
+    case ReplicaDelta::Kind::kCommit:
+      if (!staged_.has_value()) {
+        throw std::logic_error("replica '" + name_ + "': commit delta with no staged config");
+      }
+      committed_ = std::move(*staged_);
+      staged_.reset();
+      return;
+    case ReplicaDelta::Kind::kAddPolicy:
+      add_policy(*delta.policy);
+      return;
+  }
 }
 
 Session::ExplainResult Session::explain(const std::string& policy_name) const {

@@ -59,6 +59,10 @@ struct SessionOptions {
   /// default) means zero recording overhead on every batch.
   bool trace = false;
   std::size_t trace_capacity = 32;  ///< provenance ring size (trace only)
+  /// Read replicas forked off the session at open (engine-managed): queries
+  /// fan out across them while mutations stream deltas from the primary.
+  /// 0 (the default) keeps the single-verifier path.
+  unsigned replicas = 0;
 };
 
 /// Result of propose(): either a verification report (converged) or the
@@ -68,6 +72,8 @@ struct ProposeOutcome {
   verify::RealConfig::Report report;  ///< valid iff converged
   std::string error;                  ///< nontermination message otherwise
 };
+
+struct ReplicaDelta;
 
 class Session {
  public:
@@ -79,7 +85,7 @@ class Session {
           SessionOptions options = {});
 
   const std::string& name() const { return name_; }
-  const topo::Topology& topology() const { return topo_; }
+  const topo::Topology& topology() const { return *topo_; }
   const config::NetworkConfig& committed() const { return committed_; }
   const verify::RealConfig::Report& baseline_report() const { return baseline_report_; }
 
@@ -162,6 +168,23 @@ class Session {
   /// without tracing.
   const ::rcfg::explain::ProvenanceLog* provenance() const { return log_.get(); }
 
+  // --- read replicas -------------------------------------------------------
+  /// Clone the whole session state for a read replica: a forked verifier
+  /// (EC ids preserved — see RealConfig::fork), the policy registry with
+  /// identical PolicyIds, copies of committed/staged, and the provenance
+  /// window (so explain answers, including cause spans, match the primary's
+  /// byte for byte). The clone shares the immutable topology. The caller
+  /// must not mutate primary and clone concurrently *with each other's
+  /// construction*; afterwards they are fully independent.
+  /// Throws std::logic_error if the verifier is poisoned.
+  std::unique_ptr<Session> fork_replica() const;
+
+  /// Replay one primary mutation on this replica (see ReplicaDelta). The
+  /// verifier's apply() is deterministic, so replaying the same committed
+  /// stream from an identical fork keeps the replica bit-identical to the
+  /// primary — EC ids, verdicts, witnesses, and provenance all line up.
+  void apply_replica_delta(const ReplicaDelta& delta);
+
   // --- introspection -------------------------------------------------------
   std::size_t rebuilds() const { return rebuilds_; }
   std::size_t generation() const { return generation_; }  ///< verifier instance #
@@ -183,8 +206,13 @@ class Session {
     return staged_.has_value() ? *staged_ : committed_;
   }
 
+  /// Uninitialized shell for fork_replica (fills every member by hand).
+  Session() = default;
+
   std::string name_;
-  topo::Topology topo_;  ///< owned; rc_ holds a reference into it
+  /// Shared with replica clones (immutable after construction); rc_ holds a
+  /// reference into it, so clones keep it alive together.
+  std::shared_ptr<const topo::Topology> topo_;
   SessionOptions options_;
   std::unique_ptr<verify::RealConfig> rc_;
   verify::RealConfig::Report baseline_report_;
@@ -202,6 +230,47 @@ class Session {
 
   std::size_t rebuilds_ = 0;
   std::size_t generation_ = 1;
+};
+
+/// One primary-side mutation, as streamed to a session's read replicas.
+///
+/// Every request the primary processes advances the session's acknowledged
+/// epoch by exactly one and enqueues one delta per replica — kNoop for
+/// non-mutating verbs — so a query fenced at epoch E can always be answered
+/// once a replica has consumed deltas up to E (the fence never waits on
+/// anything that was not already acknowledged).
+///
+/// kApply deltas carry the *whole* proposed configuration, not a diff: the
+/// verifier's apply() is itself incremental (cost scales with the change),
+/// and replaying the identical input stream on an identical fork is what
+/// keeps replicas bit-identical — including EC ids, whose split history
+/// depends on every intermediate configuration. For the same reason replica
+/// catch-up never coalesces kApply deltas.
+///
+/// kResync replaces incremental replay where id-stability breaks: after a
+/// primary rebuild (nontermination recovery), after a reclamation merge
+/// (EcRemap — replaying it would renumber independently), and after a
+/// packet-space backend migration. The delta carries a fresh fork of the
+/// post-mutation primary.
+struct ReplicaDelta {
+  enum class Kind : std::uint8_t {
+    kNoop,       ///< non-mutating request; advances the epoch only
+    kApply,      ///< propose/abort: re-apply `config` on the replica
+    kCommit,     ///< promote staged -> committed (metadata only)
+    kAddPolicy,  ///< register `policy` (same PolicyId by construction)
+    kResync,     ///< adopt `resync`, a fresh fork of the primary
+  };
+
+  Kind kind = Kind::kNoop;
+  std::uint64_t epoch = 0;  ///< the acknowledged epoch this delta completes
+
+  std::shared_ptr<const config::NetworkConfig> config;  ///< kApply
+  bool staged_after = false;  ///< kApply: propose stages, abort un-stages
+  std::shared_ptr<const PolicySpec> policy;  ///< kAddPolicy
+  /// kApply, tracing sessions only: the primary's provenance record for
+  /// this batch, so replica explain answers carry the primary's timings.
+  std::shared_ptr<const ::rcfg::explain::BatchRecord> record;
+  std::unique_ptr<Session> resync;  ///< kResync
 };
 
 }  // namespace rcfg::service

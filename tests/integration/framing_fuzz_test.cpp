@@ -1,0 +1,259 @@
+// Framing-parity fuzz oracle (the "fuzz" label, FUZZ_ITERS widens):
+//
+//   (1) random JSON values round-trip the binary codec exactly
+//       (decode(encode(v)) == v), and the encoding is canonical
+//       (encode(decode(bytes)) == bytes for codec-produced bytes);
+//   (2) random service scripts — open (replicas 0 or 2, trace on/off),
+//       proposes, queries, explains, commits, aborts, add_policy, including
+//       ill-sequenced requests that must answer errors — replayed through
+//       run_service once as JSON-lines and once as binary frames produce
+//       value-identical responses keyed by request id, after scrubbing the
+//       wall-clock *_ms measurement fields (the only nondeterministic
+//       bytes; `stats` is excluded for the same reason).
+//
+// Every iteration is seeded deterministically; the seed is in the trace.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config/builders.h"
+#include "config/print.h"
+#include "core/rng.h"
+#include "service/framing.h"
+#include "service/io.h"
+#include "topo/generators.h"
+
+namespace rcfg {
+namespace {
+
+using service::json::Value;
+
+unsigned fuzz_iters() {
+  const char* v = std::getenv("FUZZ_ITERS");
+  if (v == nullptr || *v == '\0') return 6;  // tier-1 budget
+  const long parsed = std::strtol(v, nullptr, 10);
+  return parsed > 0 ? static_cast<unsigned>(parsed) : 6;
+}
+
+Value random_value(core::Rng& rng, unsigned depth) {
+  // Containers only while shallow; leaves past depth 4.
+  const std::uint64_t pick = rng.next_below(depth >= 4 ? 5 : 7);
+  switch (pick) {
+    case 0:
+      return Value();
+    case 1:
+      return Value(rng.next_below(2) == 0);
+    case 2:
+      return Value(static_cast<std::int64_t>(rng.next()));
+    case 3:
+      return Value(static_cast<double>(rng.next_in(-1'000'000, 1'000'000)) / 997.0);
+    case 4: {
+      std::string s;
+      const std::uint64_t len = rng.next_below(12);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng.next_below(256)));  // NUL and UTF-8 junk welcome
+      }
+      return Value(s);
+    }
+    case 5: {
+      Value arr(Value::Array{});
+      const std::uint64_t n = rng.next_below(4);
+      for (std::uint64_t i = 0; i < n; ++i) arr.push_back(random_value(rng, depth + 1));
+      return arr;
+    }
+    default: {
+      Value obj(Value::Object{});
+      const std::uint64_t n = rng.next_below(4);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        obj["k" + std::to_string(rng.next_below(8))] = random_value(rng, depth + 1);
+      }
+      return obj;
+    }
+  }
+}
+
+TEST(FramingFuzz, RandomValuesRoundTripAndEncodeCanonically) {
+  const unsigned iters = fuzz_iters();
+  for (unsigned iter = 0; iter < iters; ++iter) {
+    core::Rng rng{0xF7A3'0000ULL + iter};
+    for (unsigned i = 0; i < 200; ++i) {
+      SCOPED_TRACE("iter " + std::to_string(iter) + " value " + std::to_string(i));
+      const Value v = random_value(rng, 0);
+      std::string bytes;
+      service::encode_value(v, bytes);
+      const Value back = service::decode_value(bytes);
+      ASSERT_EQ(back, v);
+      // Canonical: re-encoding the decoded value reproduces the bytes
+      // (objects keep sorted keys, so there is exactly one encoding).
+      std::string bytes2;
+      service::encode_value(back, bytes2);
+      ASSERT_EQ(bytes2, bytes);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Script replay across framings.
+
+/// Drop every object key ending in "_ms" — wall-clock measurements are the
+/// only response bytes allowed to differ between two replays.
+void scrub_timings(Value& v) {
+  if (v.is_object()) {
+    auto& obj = v.as_object();
+    for (auto it = obj.begin(); it != obj.end();) {
+      const std::string& key = it->first;
+      if (key.size() > 3 && key.compare(key.size() - 3, 3, "_ms") == 0) {
+        it = obj.erase(it);
+      } else {
+        scrub_timings(it->second);
+        ++it;
+      }
+    }
+  } else if (v.is_array()) {
+    for (Value& child : v.as_array()) scrub_timings(child);
+  }
+}
+
+std::vector<Value> random_script(core::Rng& rng) {
+  const unsigned n = 4 + static_cast<unsigned>(rng.next_below(3));
+  const topo::Topology t = topo::make_ring(n);
+  const config::NetworkConfig base = config::build_ospf_network(t);
+
+  std::uint64_t id = 0;
+  std::vector<Value> script;
+
+  Value open;
+  open["id"] = Value(++id);
+  open["op"] = Value("open");
+  open["session"] = Value("fuzz");
+  Value topology;
+  topology["kind"] = Value("ring");
+  topology["n"] = Value(n);
+  open["topology"] = std::move(topology);
+  open["config"] = Value(config::print_network(base));
+  if (rng.next_below(2) == 0) open["replicas"] = Value(2);  // replicas 0 | 2
+  if (rng.next_below(2) == 0) open["trace"] = Value(true);
+  script.push_back(std::move(open));
+
+  bool policy_added = false;
+  const unsigned ops = 8 + static_cast<unsigned>(rng.next_below(8));
+  for (unsigned i = 0; i < ops; ++i) {
+    Value req;
+    req["id"] = Value(++id);
+    req["session"] = Value("fuzz");
+    switch (rng.next_below(7)) {
+      case 0: {  // propose a random link-failure variant (always convergent)
+        config::NetworkConfig cfg = base;
+        config::fail_link(cfg, t, static_cast<unsigned>(rng.next_below(t.link_count())));
+        req["op"] = Value("propose");
+        req["config"] = Value(config::print_network(cfg));
+        break;
+      }
+      case 1:
+        req["op"] = Value("commit");  // may answer "nothing staged" — both
+        break;                        // framings must agree on that too
+      case 2:
+        req["op"] = Value("abort");
+        break;
+      case 3: {
+        req["op"] = Value("add_policy");
+        Value policy;
+        policy["kind"] = Value("reachable");
+        policy["name"] = Value("p" + std::to_string(rng.next_below(3)));
+        policy["src"] = Value("r0");
+        policy["dst"] = Value("r" + std::to_string(1 + rng.next_below(n - 1)));
+        policy["prefix"] =
+            Value(config::host_prefix(t.find_node("r" + std::to_string(n - 1))).to_string());
+        req["policy"] = std::move(policy);
+        policy_added = true;
+        break;
+      }
+      case 4:
+        req["op"] = Value("query");
+        if (policy_added && rng.next_below(2) == 0) req["policy"] = Value("p0");
+        break;
+      case 5:
+        req["op"] = Value("explain");
+        break;
+      default:
+        req["op"] = Value("query");
+        req["primary"] = Value(true);
+        break;
+    }
+    script.push_back(std::move(req));
+  }
+  return script;
+}
+
+std::map<std::int64_t, Value> replay(const std::vector<Value>& script, bool binary) {
+  std::string input;
+  if (binary) {
+    std::ostringstream frames;
+    service::write_magic(frames);
+    for (const Value& req : script) {
+      std::string payload;
+      service::encode_value(req, payload);
+      service::write_frame(frames, payload);
+    }
+    input = frames.str();
+  } else {
+    for (const Value& req : script) input += req.dump() + "\n";
+  }
+
+  service::ServiceOptions options;
+  options.engine.coalesce = false;  // coalescing depends on queue timing
+  std::istringstream in(input);
+  std::ostringstream out;
+  service::run_service(in, out, options);
+
+  std::map<std::int64_t, Value> by_id;
+  if (binary) {
+    std::istringstream result(out.str());
+    service::read_magic(result);
+    std::string payload;
+    while (service::read_frame(result, payload)) {
+      Value doc = service::decode_value(payload);
+      scrub_timings(doc);
+      by_id[doc.get_int("id")] = std::move(doc);
+    }
+  } else {
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+      Value doc = Value::parse(line);
+      scrub_timings(doc);
+      by_id[doc.get_int("id")] = std::move(doc);
+    }
+  }
+  return by_id;
+}
+
+TEST(FramingFuzz, ScriptReplayAnswersAgreeAcrossFramings) {
+  const unsigned iters = fuzz_iters();
+  for (unsigned iter = 0; iter < iters; ++iter) {
+    SCOPED_TRACE("seed " + std::to_string(0xF7A3'1000ULL + iter));
+    core::Rng rng{0xF7A3'1000ULL + iter};
+    const std::vector<Value> script = random_script(rng);
+
+    const std::map<std::int64_t, Value> jsonl = replay(script, /*binary=*/false);
+    const std::map<std::int64_t, Value> binary = replay(script, /*binary=*/true);
+
+    ASSERT_EQ(jsonl.size(), script.size());
+    ASSERT_EQ(binary.size(), script.size());
+    for (const auto& [id, want] : jsonl) {
+      SCOPED_TRACE("request id " + std::to_string(id));
+      const auto it = binary.find(id);
+      ASSERT_NE(it, binary.end());
+      ASSERT_EQ(it->second, want) << "jsonl: " << want.dump() << "\nbinary: "
+                                  << it->second.dump();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rcfg

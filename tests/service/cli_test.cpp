@@ -1,0 +1,57 @@
+#include "service/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <string>
+
+namespace rcfg::service {
+namespace {
+
+TEST(Cli, ParseCountAcceptsPlainPositiveIntegers) {
+  EXPECT_EQ(parse_count_arg("1"), 1u);
+  EXPECT_EQ(parse_count_arg("64"), 64u);
+  EXPECT_EQ(parse_count_arg("10000"), 10000u);
+  EXPECT_EQ(parse_count_arg(std::to_string(UINT_MAX).c_str()), UINT_MAX);
+}
+
+TEST(Cli, ParseCountRejectsTrailingGarbage) {
+  // Regression: strtol with a null end pointer silently accepted "4x" as 4,
+  // so `--workers 4x` (or a mistyped "4,8") started the daemon with a
+  // misread thread count instead of failing fast.
+  EXPECT_FALSE(parse_count_arg("4x").has_value());
+  EXPECT_FALSE(parse_count_arg("4 8").has_value());
+  EXPECT_FALSE(parse_count_arg("4.5").has_value());
+  EXPECT_FALSE(parse_count_arg("0x10").has_value());
+}
+
+TEST(Cli, ParseCountRejectsNonPositiveAndNonNumeric) {
+  EXPECT_FALSE(parse_count_arg(nullptr).has_value());
+  EXPECT_FALSE(parse_count_arg("").has_value());
+  EXPECT_FALSE(parse_count_arg("0").has_value());
+  EXPECT_FALSE(parse_count_arg("-3").has_value());
+  EXPECT_FALSE(parse_count_arg("+3").has_value());  // first char must be a digit
+  EXPECT_FALSE(parse_count_arg(" 3").has_value());
+  EXPECT_FALSE(parse_count_arg("abc").has_value());
+}
+
+TEST(Cli, ParseCountRejectsOutOfRangeValues) {
+  // Regression: the old parser truncated long->unsigned, so values above
+  // UINT_MAX (or huge strings saturating strtol at LONG_MAX) wrapped into
+  // arbitrary small counts.
+  EXPECT_FALSE(parse_count_arg("4294967296").has_value());  // UINT_MAX + 1
+  EXPECT_FALSE(parse_count_arg("99999999999999999999999999").has_value());
+}
+
+TEST(Cli, ParseFramingRecognizesTheThreeModes) {
+  EXPECT_EQ(parse_framing_arg("auto"), Framing::kAuto);
+  EXPECT_EQ(parse_framing_arg("jsonl"), Framing::kJsonl);
+  EXPECT_EQ(parse_framing_arg("binary"), Framing::kBinary);
+  EXPECT_FALSE(parse_framing_arg("json").has_value());
+  EXPECT_FALSE(parse_framing_arg("BINARY").has_value());
+  EXPECT_FALSE(parse_framing_arg("").has_value());
+  EXPECT_FALSE(parse_framing_arg(nullptr).has_value());
+}
+
+}  // namespace
+}  // namespace rcfg::service

@@ -1,0 +1,187 @@
+#include "service/framing.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace rcfg::service {
+namespace {
+
+json::Value round_trip(const json::Value& v) {
+  std::string payload;
+  encode_value(v, payload);
+  return decode_value(payload);
+}
+
+TEST(Framing, ScalarsRoundTrip) {
+  EXPECT_EQ(round_trip(json::Value()), json::Value());
+  EXPECT_EQ(round_trip(json::Value(nullptr)), json::Value(nullptr));
+  EXPECT_EQ(round_trip(json::Value(true)), json::Value(true));
+  EXPECT_EQ(round_trip(json::Value(false)), json::Value(false));
+  EXPECT_EQ(round_trip(json::Value(std::int64_t{0})), json::Value(std::int64_t{0}));
+  EXPECT_EQ(round_trip(json::Value(std::int64_t{-1})), json::Value(std::int64_t{-1}));
+  EXPECT_EQ(round_trip(json::Value(std::numeric_limits<std::int64_t>::max())),
+            json::Value(std::numeric_limits<std::int64_t>::max()));
+  EXPECT_EQ(round_trip(json::Value(std::numeric_limits<std::int64_t>::min())),
+            json::Value(std::numeric_limits<std::int64_t>::min()));
+  EXPECT_EQ(round_trip(json::Value(1.5)), json::Value(1.5));
+  EXPECT_EQ(round_trip(json::Value(-0.0)), json::Value(-0.0));
+  EXPECT_EQ(round_trip(json::Value(1e308)), json::Value(1e308));
+}
+
+TEST(Framing, IntAndDoubleStayDistinctKinds) {
+  // JSON text would conflate 2 and 2.0; the binary tags must not.
+  EXPECT_TRUE(round_trip(json::Value(std::int64_t{2})).is_int());
+  EXPECT_TRUE(round_trip(json::Value(2.0)).is_double());
+}
+
+TEST(Framing, StringsRoundTrip) {
+  EXPECT_EQ(round_trip(json::Value("")), json::Value(""));
+  EXPECT_EQ(round_trip(json::Value("hello")), json::Value("hello"));
+  const std::string nul_embedded("a\0b", 3);
+  EXPECT_EQ(round_trip(json::Value(nul_embedded)).as_string(), nul_embedded);
+  EXPECT_EQ(round_trip(json::Value("päckchen → 包")), json::Value("päckchen → 包"));
+}
+
+TEST(Framing, ContainersRoundTrip) {
+  json::Value arr;
+  arr.push_back(json::Value(1));
+  arr.push_back(json::Value("two"));
+  arr.push_back(json::Value());
+  EXPECT_EQ(round_trip(arr), arr);
+
+  json::Value obj;
+  obj["id"] = json::Value(std::int64_t{7});
+  obj["ok"] = json::Value(true);
+  obj["nested"] = arr;
+  obj["empty_obj"] = json::Value(json::Value::Object{});
+  obj["empty_arr"] = json::Value(json::Value::Array{});
+  EXPECT_EQ(round_trip(obj), obj);
+}
+
+TEST(Framing, DeepNestingWithinLimitRoundTrips) {
+  json::Value v(std::int64_t{42});
+  for (int i = 0; i < 200; ++i) {
+    json::Value wrap;
+    wrap.push_back(std::move(v));
+    v = std::move(wrap);
+  }
+  EXPECT_EQ(round_trip(v), v);
+}
+
+TEST(Framing, NestingBeyondLimitThrows) {
+  // 300 nested arrays encode fine (encoding is iterative over structure the
+  // caller already built) but must be rejected on decode: the depth cap is
+  // the recursion bound against hostile input.
+  std::string payload;
+  for (int i = 0; i < 300; ++i) {
+    payload += '\x06';
+    payload += std::string("\x01\x00\x00\x00", 4);
+  }
+  payload += '\x00';
+  EXPECT_THROW(decode_value(payload), FramingError);
+}
+
+TEST(Framing, DecodeRejectsMalformedPayloads) {
+  EXPECT_THROW(decode_value(""), FramingError);               // no tag
+  EXPECT_THROW(decode_value("\xFF"), FramingError);           // unknown tag
+  EXPECT_THROW(decode_value("\x03\x01\x02"), FramingError);   // truncated int64
+  EXPECT_THROW(decode_value(std::string("\x05\x10\x00\x00\x00hi", 7)),
+               FramingError);                                 // truncated string
+  std::string trailing;
+  encode_value(json::Value(true), trailing);
+  trailing += 'x';
+  EXPECT_THROW(decode_value(trailing), FramingError);         // trailing bytes
+}
+
+TEST(Framing, HostileCountIsRejectedWithoutAllocating) {
+  // An array header claiming 2^32-1 elements inside a 5-byte payload must
+  // throw, not reserve gigabytes: counts are validated against the bytes
+  // actually remaining.
+  EXPECT_THROW(decode_value(std::string("\x06\xFF\xFF\xFF\xFF", 5)), FramingError);
+  EXPECT_THROW(decode_value(std::string("\x07\xFF\xFF\xFF\xFF", 5)), FramingError);
+}
+
+TEST(Framing, FramesRoundTripThroughStreams) {
+  json::Value req;
+  req["id"] = json::Value(std::int64_t{1});
+  req["op"] = json::Value("query");
+
+  std::stringstream stream;
+  write_magic(stream);
+  write_frame(stream, encode_frame(req).substr(4));  // write_frame adds the header
+  std::string payload2;
+  encode_value(json::Value("second"), payload2);
+  write_frame(stream, payload2);
+
+  read_magic(stream);
+  std::string payload;
+  ASSERT_TRUE(read_frame(stream, payload));
+  EXPECT_EQ(decode_value(payload), req);
+  ASSERT_TRUE(read_frame(stream, payload));
+  EXPECT_EQ(decode_value(payload), json::Value("second"));
+  EXPECT_FALSE(read_frame(stream, payload));  // clean EOF at a boundary
+}
+
+TEST(Framing, EncodeFrameIsHeaderPlusPayload) {
+  std::string payload;
+  encode_value(json::Value(true), payload);
+  const std::string frame = encode_frame(json::Value(true));
+  ASSERT_EQ(frame.size(), payload.size() + 4);
+  const auto len = static_cast<std::uint32_t>(static_cast<unsigned char>(frame[0])) |
+                   static_cast<std::uint32_t>(static_cast<unsigned char>(frame[1])) << 8 |
+                   static_cast<std::uint32_t>(static_cast<unsigned char>(frame[2])) << 16 |
+                   static_cast<std::uint32_t>(static_cast<unsigned char>(frame[3])) << 24;
+  EXPECT_EQ(len, payload.size());
+  EXPECT_EQ(frame.substr(4), payload);
+}
+
+TEST(Framing, TruncatedFrameThrows) {
+  std::stringstream stream;
+  const std::string frame = encode_frame(json::Value("truncate me"));
+  stream.write(frame.data(), static_cast<std::streamsize>(frame.size() - 3));
+  std::string payload;
+  EXPECT_THROW(read_frame(stream, payload), FramingError);
+
+  std::stringstream header_only;
+  header_only.write("\x10\x00", 2);  // half a length header
+  EXPECT_THROW(read_frame(header_only, payload), FramingError);
+}
+
+TEST(Framing, OversizedFrameLengthThrows) {
+  // Header declares 2 GiB — above kMaxFrameBytes; must throw before any
+  // attempt to read (or allocate) the payload.
+  std::stringstream stream;
+  stream.write("\x00\x00\x00\x80", 4);
+  std::string payload;
+  EXPECT_THROW(read_frame(stream, payload), FramingError);
+}
+
+TEST(Framing, BadMagicThrows) {
+  std::stringstream stream("{\"id\":1}");
+  EXPECT_THROW(read_magic(stream), FramingError);
+  std::stringstream truncated;
+  truncated.write("\xB5R", 2);
+  EXPECT_THROW(read_magic(truncated), FramingError);
+}
+
+TEST(Framing, MagicFirstByteCannotStartJson) {
+  // The auto-detection invariant: no JSON-lines request line may begin with
+  // the magic byte. Lines start with '{', whitespace, or '#'.
+  EXPECT_EQ(kFramingMagic[0], 0xB5);
+  EXPECT_THROW(json::Value::parse("\xB5"), json::ParseError);
+}
+
+TEST(Framing, EncodingMatchesParsedJson) {
+  // A value built from JSON text and re-encoded binary must decode equal —
+  // the two framings describe the same value space.
+  const json::Value doc = json::Value::parse(
+      R"({"id":3,"ok":true,"nested":{"xs":[1,2.5,"three",null,false]}})");
+  EXPECT_EQ(round_trip(doc), doc);
+}
+
+}  // namespace
+}  // namespace rcfg::service

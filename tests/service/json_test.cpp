@@ -130,6 +130,27 @@ TEST(Json, TypeErrors) {
 TEST(Json, NonFiniteNumbersSerializeAsNull) {
   EXPECT_EQ(Value(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
   EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Value(-std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, NonFiniteNumbersNestedStillRoundTrip) {
+  // Regression: a NaN born from a degenerate stat (0/0 mean, an inf
+  // min) must not leak a bare `nan`/`inf` token into a dump — that response
+  // line would be unparseable by every JSON consumer downstream. The dump
+  // substitutes null and therefore always re-parses.
+  Value doc;
+  doc["mean"] = Value(std::numeric_limits<double>::quiet_NaN());
+  doc["min"] = Value(std::numeric_limits<double>::infinity());
+  doc["scales"].push_back(Value(-std::numeric_limits<double>::infinity()));
+  doc["scales"].push_back(Value(2.5));
+  const std::string text = doc.dump();
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+  EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+  const Value back = Value::parse(text);
+  EXPECT_TRUE(back.find("mean")->is_null());
+  EXPECT_TRUE(back.find("min")->is_null());
+  EXPECT_TRUE(back.find("scales")->as_array()[0].is_null());
+  EXPECT_DOUBLE_EQ(back.find("scales")->as_array()[1].as_double(), 2.5);
 }
 
 }  // namespace

@@ -82,5 +82,46 @@ TEST(Metrics, ServiceMetricsJsonShape) {
   EXPECT_EQ(json::Value::parse(j.dump()), j);
 }
 
+TEST(Metrics, FreshMetricsDumpHasNoNonFiniteTokens) {
+  // Regression companion to the empty-histogram mean guard: a brand-new
+  // ServiceMetrics has 14 empty histograms (count 0, min seeded at +inf);
+  // without the guards their mean/min would dump as `nan`/`inf` and the
+  // very first `stats` response of a fresh daemon would be invalid JSON.
+  const ServiceMetrics m;
+  const std::string text = m.to_json().dump();
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  // "inf" appears only as the quoted overflow-bucket label, never bare.
+  std::size_t pos = 0;
+  while ((pos = text.find("inf", pos)) != std::string::npos) {
+    ASSERT_GT(pos, 0u);
+    EXPECT_EQ(text[pos - 1], '"') << text.substr(pos - 10, 20);
+    pos += 3;
+  }
+  EXPECT_NO_THROW(json::Value::parse(text));
+}
+
+TEST(Metrics, ReplicaAndLoadSectionsExported) {
+  ServiceMetrics m;
+  m.replica_queries.inc(4);
+  m.replica_deltas.inc(2);
+  m.replica_resyncs.inc();
+  m.replica_squashes.inc(2);
+  m.replicas_open.add(2);
+  m.replica_catchup_ms.record(0.2);
+  m.rejected_total.inc(3);
+
+  const json::Value j = m.to_json();
+  const json::Value* replicas = j.find("replicas");
+  ASSERT_NE(replicas, nullptr);
+  EXPECT_EQ(replicas->get_int("queries"), 4);
+  EXPECT_EQ(replicas->get_int("deltas"), 2);
+  EXPECT_EQ(replicas->get_int("resyncs"), 1);
+  EXPECT_EQ(replicas->get_int("squashes"), 2);
+  EXPECT_EQ(replicas->get_int("open"), 2);
+  EXPECT_EQ(replicas->get_int("open_max"), 2);
+  EXPECT_EQ(replicas->find("catchup_ms")->get_int("count"), 1);
+  EXPECT_EQ(j.find("load")->get_int("rejected"), 3);
+}
+
 }  // namespace
 }  // namespace rcfg::service
