@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 namespace rcfg::dpm {
@@ -208,6 +209,24 @@ double BddManager::sat_count(BddRef a) {
   };
   const unsigned top = var_of(a) == kTerminalVar ? var_count_ : var_of(a);
   return rec(a) * std::pow(2.0, top);
+}
+
+bool BddManager::depends_on_range(BddRef a, unsigned lo, unsigned hi) const {
+  std::vector<BddRef> stack = {a};
+  std::unordered_set<BddRef> seen;
+  while (!stack.empty()) {
+    const BddRef r = stack.back();
+    stack.pop_back();
+    if (r == kBddFalse || r == kBddTrue || !seen.insert(r).second) continue;
+    const Node& n = nodes_[r];
+    if (n.var >= lo && n.var < hi) return true;
+    // Variables are tested in increasing order, so once a node's var passes
+    // `hi` nothing below can fall back into the range.
+    if (n.var >= hi) continue;
+    stack.push_back(n.lo);
+    stack.push_back(n.hi);
+  }
+  return false;
 }
 
 std::optional<std::vector<bool>> BddManager::pick_one(BddRef a) const {

@@ -80,6 +80,10 @@ class BddManager {
   /// Number of satisfying assignments over all var_count() variables.
   double sat_count(BddRef a);
 
+  /// True when `a`'s value depends on some variable in [lo, hi) — i.e. the
+  /// diagram tests one of those variables. Pure support walk, no caching.
+  bool depends_on_range(BddRef a, unsigned lo, unsigned hi) const;
+
   /// One satisfying assignment (values indexed by variable), or nullopt for
   /// the false BDD. Unconstrained variables come back as 0. Used to extract
   /// a concrete witness packet from an EC.

@@ -94,6 +94,17 @@ BddRef PacketSpace::ip_prefix(unsigned base, net::Ipv4Prefix p) {
   return bdd_.cube(literals);
 }
 
+bool PacketSpace::depends_on(BddRef a, unsigned lo, unsigned hi) {
+  const BddRef c = canonical(a);
+  if (c == kBddFalse || c == kBddTrue) return false;
+  if (interval_active()) {
+    // Interval sets are unions of dst-address ranges: a non-trivial handle
+    // depends on dst bits and nothing else.
+    return lo < kDstIpBase + 32 && hi > kDstIpBase;
+  }
+  return bdd_.depends_on_range(c, lo, hi);
+}
+
 BddRef PacketSpace::dst_prefix(net::Ipv4Prefix p) {
   if (interval_active()) return interval_.dst_prefix(p);
   return ip_prefix(kDstIpBase, p);

@@ -102,6 +102,11 @@ class PacketSpace {
   bool disjoint(BddRef a, BddRef b) { return active_->disjoint(canonical(a), canonical(b)); }
   bool implies(BddRef a, BddRef b) { return active_->implies(canonical(a), canonical(b)); }
   double sat_count(BddRef a) { return active_->sat_count(canonical(a)); }
+  /// True when the set's membership can depend on a variable in [lo, hi).
+  /// Exact on the BDD backend (support walk); interval-backend sets
+  /// constrain the destination address only, so non-trivial handles report
+  /// dependence exactly on ranges meeting the dst bits.
+  bool depends_on(BddRef a, unsigned lo, unsigned hi);
   std::optional<std::vector<bool>> pick_one(BddRef a) {
     return active_->pick_one(canonical(a));
   }

@@ -590,6 +590,19 @@ json::Value sweep_body(const Session& session, const verify::FailureSweepResult&
         json::Value(link_id_array(links));
   }
   body["policy_violations"] = std::move(violations);
+  // Multi-link oscillation reports ride in the aggregate body so that
+  // detail:false consumers don't lose k >= 2 divergences (diverged_links
+  // only carries the single-link ones).
+  json::Value::Array diverged_scenarios;
+  for (const verify::FailureScenario& s : result.diverged_scenarios) {
+    diverged_scenarios.push_back(json::Value(link_id_array(s.links)));
+  }
+  body["diverged_scenarios"] = json::Value(std::move(diverged_scenarios));
+  body["total_scenarios"] = json::Value(result.total_scenarios);
+  body["explored_scenarios"] = json::Value(result.explored_scenarios);
+  body["replayed_scenarios"] = json::Value(result.replayed_scenarios);
+  body["pruned_scenarios"] = json::Value(result.pruned_scenarios);
+  body["coverage"] = json::Value(result.coverage);
   body["snapshot_ms"] = json::Value(result.snapshot_ms);
   body["sweep_ms"] = json::Value(result.sweep_ms);
   if (!detail) return body;
@@ -612,6 +625,7 @@ json::Value sweep_body(const Session& session, const verify::FailureSweepResult&
       }
       o["violated"] = json::Value(std::move(violated));
     }
+    if (out.orbit > 1) o["orbit"] = json::Value(out.orbit);
     o["total_ms"] = json::Value(out.total_ms);
     o["restore_ms"] = json::Value(out.restore_ms);
     outcomes.push_back(std::move(o));
@@ -1076,30 +1090,31 @@ Response Engine::handle_(Slot& slot, const Request& req, ReplicaEffect& effect) 
       case Verb::kSweep: {
         verify::FailureSweepOptions options;
         options.max_failures = req.sweep.max_failures;
+        options.budget = req.sweep.budget;
+        options.prune = req.sweep.prune;
+        options.symmetry = req.sweep.symmetry;
         options.threads = req.sweep.threads;
         if (!req.sweep.links.empty()) {
-          // An explicit link subset: generate the same scenario shapes a full
-          // sweep would (singles, then pairs when max_failures >= 2), but
-          // drawn only from the subset.
-          const std::vector<topo::LinkId>& ls = req.sweep.links;
+          // An explicit link subset becomes the generator's universe, after
+          // restoring the sorted-unique invariant the generator relies on:
+          // duplicated or unsorted ids used to leak duplicate scenarios
+          // straight into the report.
+          std::vector<topo::LinkId> ls = req.sweep.links;
+          std::sort(ls.begin(), ls.end());
+          ls.erase(std::unique(ls.begin(), ls.end()), ls.end());
           for (const topo::LinkId l : ls) {
             if (l >= session.topology().link_count()) {
               return error_response(req.id, "sweep: link id " + std::to_string(l) +
                                                 " out of range");
             }
-            options.scenarios.push_back(verify::FailureScenario{{l}});
           }
-          if (options.max_failures >= 2) {
-            for (std::size_t a = 0; a < ls.size(); ++a) {
-              for (std::size_t b = a + 1; b < ls.size(); ++b) {
-                options.scenarios.push_back(verify::FailureScenario{{ls[a], ls[b]}});
-              }
-            }
-          }
+          options.links = std::move(ls);
         }
         const verify::FailureSweepResult result = session.sweep(options);
         metrics_.sweep_ms.record(result.sweep_ms);
         metrics_.sweep_scenarios.inc(result.scenarios);
+        metrics_.sweep_pruned.inc(result.pruned_scenarios);
+        metrics_.sweep_replayed.inc(result.replayed_scenarios);
         std::uint64_t diverged = 0;
         for (const verify::ScenarioOutcome& out : result.outcomes) {
           metrics_.sweep_scenario_ms.record(out.total_ms);

@@ -117,6 +117,8 @@ json::Value ServiceMetrics::to_json() const {
   json::Value sweeping;
   sweeping["scenarios"] = json::Value(sweep_scenarios.value());
   sweeping["diverged"] = json::Value(sweep_diverged.value());
+  sweeping["pruned"] = json::Value(sweep_pruned.value());
+  sweeping["replayed"] = json::Value(sweep_replayed.value());
   sweeping["sweep_ms"] = sweep_ms.to_json();
   sweeping["scenario_ms"] = sweep_scenario_ms.to_json();
   out["sweeps"] = std::move(sweeping);

@@ -1,5 +1,7 @@
 #include "service/protocol.h"
 
+#include <limits>
+
 #include "topo/generators.h"
 
 namespace rcfg::service {
@@ -271,14 +273,22 @@ Request parse_request_doc(const json::Value& doc) {
         if (!links->is_array()) throw ProtocolError("'links' must be an array of link ids");
         for (const json::Value& l : links->as_array()) {
           const std::int64_t id = l.as_int();
-          if (id < 0) throw ProtocolError("'links' entries must be >= 0");
+          // Range-check before the narrowing cast: 2^32 must not alias
+          // link 0 past the engine's own bound check.
+          if (id < 0 || static_cast<std::uint64_t>(id) >
+                            std::numeric_limits<topo::LinkId>::max()) {
+            throw ProtocolError("'links' entries must be valid link ids");
+          }
           req.sweep.links.push_back(static_cast<topo::LinkId>(id));
         }
       }
       req.sweep.max_failures = get_unsigned(doc, "max_failures", 1);
-      if (req.sweep.max_failures < 1 || req.sweep.max_failures > 2) {
-        throw ProtocolError("'max_failures' must be 1 or 2");
+      if (req.sweep.max_failures < 1 || req.sweep.max_failures > kMaxSweepFailures) {
+        throw ProtocolError("'max_failures' must be between 1 and 6");
       }
+      req.sweep.budget = get_unsigned(doc, "budget", 0);
+      req.sweep.prune = doc.get_bool("prune", false);
+      req.sweep.symmetry = doc.get_bool("symmetry", false);
       req.sweep.threads = get_unsigned(doc, "threads", 1);
       if (req.sweep.threads == 0) req.sweep.threads = 1;
       req.sweep.detail = doc.get_bool("detail", false);

@@ -50,14 +50,21 @@
 //               recent violation; replays the policy's witness packet
 //               hop-by-hop (LPM rule + ACL verdict per hop) and names the
 //               batch + config lines that last moved the policy's ECs
-//   sweep       {"session", ["links":[IDs]], ["max_failures":1|2],
+//   sweep       {"session", ["links":[IDs]], ["max_failures":1..6],
+//                ["budget":N], ["prune":true], ["symmetry":true],
 //                ["threads":N], ["detail":true]}
 //               snapshot-fork failure sweep over the live configuration:
 //               every scenario runs on a forked replica of the session's
 //               verifier (the live state is never touched). "links" limits
-//               the swept links (default: all); "max_failures":2 adds every
-//               link pair; "threads" shards scenarios over that many
-//               replicas; "detail" includes the per-scenario outcome array.
+//               the swept links (default: all; duplicates collapse);
+//               "max_failures":k sweeps every scenario of up to k
+//               simultaneous failures; "prune" skips scenarios that cannot
+//               move a registered policy; "symmetry" dedups fat-tree pod
+//               orbits and replays the representative's outcome; "budget"
+//               caps the scenarios verified on replicas, spending them in
+//               priority order (coverage reports the shortfall); "threads"
+//               shards scenarios over that many replicas; "detail" includes
+//               the per-scenario outcome array.
 //   relate      {"session", "config", ["specs":[{"kind":"none"|
 //                "only_dst_in"|"only_src_in", ["prefixes":[CIDR,...]],
 //                ["name"]}]], ["witnesses":true], ["detail":true]}
@@ -129,10 +136,18 @@ struct TopologySpec {
 
 topo::Topology build_topology(const TopologySpec& spec);  // throws ProtocolError
 
+/// Upper bound on simultaneous failures per sweep scenario. Deep spaces are
+/// meant to be driven with "prune"/"symmetry"/"budget"; the cap only stops
+/// accidental combinatorial requests.
+inline constexpr unsigned kMaxSweepFailures = 6;
+
 /// Sweep parameters (the sweep verb).
 struct SweepSpec {
   std::vector<topo::LinkId> links;  ///< swept links; empty => every link
-  unsigned max_failures = 1;        ///< 1 = singles; 2 = singles + pairs
+  unsigned max_failures = 1;        ///< scenario size cap, 1..kMaxSweepFailures
+  std::uint64_t budget = 0;         ///< explored-scenario cap; 0 = unbounded
+  bool prune = false;               ///< dependency pruning (policy-relevant links)
+  bool symmetry = false;            ///< fat-tree pod symmetry dedup
   unsigned threads = 1;             ///< replicas to shard scenarios over
   bool detail = false;              ///< include per-scenario outcomes
 };

@@ -1,0 +1,314 @@
+#include "topo/symmetry.h"
+
+#include <algorithm>
+#include <charconv>
+#include <numeric>
+#include <string_view>
+
+namespace rcfg::topo {
+
+namespace {
+
+/// Parse "<prefix><number>" or "<prefix><number>-<number>"; returns false on
+/// any mismatch or trailing garbage.
+bool parse_indexed(std::string_view name, std::string_view prefix, unsigned& a,
+                   unsigned* b = nullptr) {
+  if (name.substr(0, prefix.size()) != prefix) return false;
+  std::string_view rest = name.substr(prefix.size());
+  const char* end = rest.data() + rest.size();
+  auto r = std::from_chars(rest.data(), end, a);
+  if (r.ec != std::errc{}) return false;
+  if (b == nullptr) return r.ptr == end;
+  if (r.ptr == end || *r.ptr != '-') return false;
+  auto r2 = std::from_chars(r.ptr + 1, end, *b);
+  return r2.ec == std::errc{} && r2.ptr == end;
+}
+
+}  // namespace
+
+Symmetry Symmetry::none() { return Symmetry{}; }
+
+bool Symmetry::trivial() const {
+  if (topo_ == nullptr) return true;
+  // All-singleton classes admit only the identity.
+  for (unsigned p = 0; p < pod_count_; ++p) {
+    for (unsigned q = p + 1; q < pod_count_; ++q) {
+      if (class_of_pod_[p] == class_of_pod_[q]) return false;
+    }
+  }
+  return true;
+}
+
+Symmetry Symmetry::fat_tree_pods(const Topology& t) {
+  Symmetry s;
+  const std::size_t n = t.node_count();
+  if (n == 0) return none();
+
+  // Classify nodes by name.
+  std::vector<int> kind(n, -1), pod(n, -1), index(n, -1);
+  unsigned max_pod = 0, max_half_index = 0, cores = 0;
+  for (NodeId id = 0; id < n; ++id) {
+    unsigned a = 0, b = 0;
+    const std::string& name = t.node(id).name;
+    if (parse_indexed(name, "core", a)) {
+      kind[id] = 0;
+      index[id] = static_cast<int>(a);
+      ++cores;
+    } else if (parse_indexed(name, "agg", a, &b)) {
+      kind[id] = 1;
+      pod[id] = static_cast<int>(a);
+      index[id] = static_cast<int>(b);
+    } else if (parse_indexed(name, "edge", a, &b)) {
+      kind[id] = 2;
+      pod[id] = static_cast<int>(a);
+      index[id] = static_cast<int>(b);
+    } else {
+      return none();
+    }
+    if (pod[id] >= 0) {
+      max_pod = std::max(max_pod, a);
+      max_half_index = std::max(max_half_index, b);
+    }
+  }
+  const unsigned k = max_pod + 1;
+  const unsigned half = max_half_index + 1;
+  if (k < 2 || k % 2 != 0 || half != k / 2) return none();
+  if (cores != half * half || n != cores + static_cast<std::size_t>(k) * k) return none();
+
+  // Node tables: pod_nodes_[p][kind-1][i].
+  s.pod_nodes_.assign(k, std::vector<std::vector<NodeId>>(
+                             2, std::vector<NodeId>(half, kInvalidNode)));
+  std::vector<NodeId> core(half * half, kInvalidNode);
+  for (NodeId id = 0; id < n; ++id) {
+    if (kind[id] == 0) {
+      if (static_cast<unsigned>(index[id]) >= core.size()) return none();
+      if (core[index[id]] != kInvalidNode) return none();
+      core[index[id]] = id;
+    } else {
+      if (static_cast<unsigned>(index[id]) >= half) return none();
+      NodeId& slot = s.pod_nodes_[pod[id]][kind[id] - 1][index[id]];
+      if (slot != kInvalidNode) return none();
+      slot = id;
+    }
+  }
+
+  // Classify links: (pod, role) with identical role layout in every pod.
+  const unsigned roles = half * half * 2;
+  s.pod_links_.assign(k, std::vector<LinkId>(roles, kInvalidLink));
+  s.link_pod_.assign(t.link_count(), -1);
+  s.link_role_.assign(t.link_count(), -1);
+  for (LinkId l = 0; l < t.link_count(); ++l) {
+    const Link& ln = t.link(l);
+    NodeId x = ln.a, y = ln.b;
+    // Normalize endpoint order to (edge, agg) or (agg, core).
+    if (kind[x] > kind[y]) std::swap(x, y);
+    unsigned p = 0, role = 0;
+    if (kind[x] == 1 && kind[y] == 2) {
+      // (agg, edge) intra-pod link.
+      if (pod[x] != pod[y]) return none();
+      p = static_cast<unsigned>(pod[x]);
+      role = static_cast<unsigned>(index[y]) * half + static_cast<unsigned>(index[x]);
+    } else if (kind[x] == 0 && kind[y] == 1) {
+      // (core, agg) uplink; agg i must hit core group i.
+      const unsigned j = static_cast<unsigned>(index[x]);
+      const unsigned a = static_cast<unsigned>(index[y]);
+      if (j / half != a) return none();
+      p = static_cast<unsigned>(pod[y]);
+      role = half * half + j;
+    } else {
+      return none();
+    }
+    if (s.pod_links_[p][role] != kInvalidLink) return none();
+    s.pod_links_[p][role] = l;
+    s.link_pod_[l] = static_cast<int>(p);
+    s.link_role_[l] = static_cast<int>(role);
+  }
+  for (unsigned p = 0; p < k; ++p) {
+    for (unsigned r = 0; r < roles; ++r) {
+      if (s.pod_links_[p][r] == kInvalidLink) return none();
+    }
+  }
+
+  s.topo_ = &t;
+  s.pod_count_ = k;
+  s.half_ = half;
+  s.node_kind_ = std::move(kind);
+  s.node_pod_ = std::move(pod);
+  s.node_index_ = std::move(index);
+  s.class_of_pod_.assign(k, 0);
+  return s;
+}
+
+int Symmetry::pod_of_link(LinkId l) const {
+  if (topo_ == nullptr || l >= link_pod_.size()) return -1;
+  return link_pod_[l];
+}
+
+int Symmetry::pod_of_node(NodeId n) const {
+  if (topo_ == nullptr || n >= node_pod_.size()) return -1;
+  return node_pod_[n];
+}
+
+void Symmetry::set_pod_classes(std::vector<unsigned> class_of_pod) {
+  if (topo_ == nullptr) return;
+  if (class_of_pod.size() != pod_count_) return;
+  class_of_pod_ = std::move(class_of_pod);
+}
+
+Automorphism Symmetry::pod_swap(unsigned p, unsigned q) const {
+  std::vector<unsigned> pod_map(pod_count_);
+  std::iota(pod_map.begin(), pod_map.end(), 0u);
+  std::swap(pod_map[p], pod_map[q]);
+  return automorphism(pod_map);
+}
+
+Automorphism Symmetry::automorphism(const std::vector<unsigned>& pod_map) const {
+  Automorphism a;
+  a.node.resize(topo_->node_count());
+  a.iface.resize(topo_->iface_count());
+  a.link.resize(topo_->link_count());
+  for (NodeId n = 0; n < a.node.size(); ++n) {
+    if (node_kind_[n] == 0) {
+      a.node[n] = n;  // cores are fixed
+    } else {
+      const unsigned p = pod_map[node_pod_[n]];
+      a.node[n] = pod_nodes_[p][node_kind_[n] - 1][node_index_[n]];
+    }
+  }
+  std::iota(a.iface.begin(), a.iface.end(), IfaceId{0});
+  for (LinkId l = 0; l < a.link.size(); ++l) {
+    const LinkId l2 = pod_links_[pod_map[link_pod_[l]]][link_role_[l]];
+    a.link[l] = l2;
+    const Link& src = topo_->link(l);
+    const Link& dst = topo_->link(l2);
+    if (a.node[src.a] == dst.a) {
+      a.iface[src.a_iface] = dst.a_iface;
+      a.iface[src.b_iface] = dst.b_iface;
+    } else {
+      a.iface[src.a_iface] = dst.b_iface;
+      a.iface[src.b_iface] = dst.a_iface;
+    }
+  }
+  return a;
+}
+
+std::vector<LinkId> Symmetry::apply_to_links(const std::vector<unsigned>& pod_map,
+                                             const std::vector<LinkId>& links) const {
+  std::vector<LinkId> out;
+  out.reserve(links.size());
+  for (const LinkId l : links) {
+    out.push_back(pod_links_[pod_map[link_pod_[l]]][link_role_[l]]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+template <typename Fn>
+void Symmetry::each_assignment(const std::vector<LinkId>& links, Fn&& fn) const {
+  // Pods occupied by the link set, ascending.
+  std::vector<unsigned> occupied;
+  for (const LinkId l : links) {
+    const unsigned p = static_cast<unsigned>(link_pod_[l]);
+    if (!std::count(occupied.begin(), occupied.end(), p)) occupied.push_back(p);
+  }
+  std::sort(occupied.begin(), occupied.end());
+
+  std::vector<unsigned> target(occupied.size());
+  std::vector<bool> used(pod_count_, false);
+  std::vector<unsigned> pod_map(pod_count_);
+
+  // Complete occupied->target into a full class-respecting permutation by
+  // mapping the remaining pods of each class onto the remaining slots in
+  // ascending order (deterministic).
+  const auto emit = [&]() {
+    std::iota(pod_map.begin(), pod_map.end(), 0u);
+    for (std::size_t i = 0; i < occupied.size(); ++i) pod_map[occupied[i]] = target[i];
+    std::vector<bool> taken(pod_count_, false);
+    for (std::size_t i = 0; i < occupied.size(); ++i) taken[target[i]] = true;
+    std::vector<bool> moved(pod_count_, false);
+    for (std::size_t i = 0; i < occupied.size(); ++i) moved[occupied[i]] = true;
+    // Per class, zip unmoved sources with free targets in ascending order.
+    for (unsigned cls = 0;; ++cls) {
+      std::vector<unsigned> src, dst;
+      for (unsigned p = 0; p < pod_count_; ++p) {
+        if (class_of_pod_[p] != cls) continue;
+        if (!moved[p]) src.push_back(p);
+        if (!taken[p]) dst.push_back(p);
+      }
+      if (src.empty() && dst.empty()) {
+        bool any = false;
+        for (unsigned p = 0; p < pod_count_; ++p) any |= class_of_pod_[p] > cls;
+        if (!any) break;
+        continue;
+      }
+      for (std::size_t i = 0; i < src.size(); ++i) pod_map[src[i]] = dst[i];
+    }
+    return fn(static_cast<const std::vector<unsigned>&>(pod_map));
+  };
+
+  // Backtracking over class-respecting injective target assignments.
+  bool stop = false;
+  auto rec = [&](auto&& self, std::size_t idx) -> void {
+    if (stop) return;
+    if (idx == occupied.size()) {
+      if (!emit()) stop = true;
+      return;
+    }
+    const unsigned p = occupied[idx];
+    for (unsigned q = 0; q < pod_count_ && !stop; ++q) {
+      if (used[q] || class_of_pod_[q] != class_of_pod_[p]) continue;
+      used[q] = true;
+      target[idx] = q;
+      self(self, idx + 1);
+      used[q] = false;
+    }
+  };
+  rec(rec, 0);
+}
+
+bool Symmetry::is_canonical(const std::vector<LinkId>& links) const {
+  if (topo_ == nullptr) return true;
+  bool canonical = true;
+  each_assignment(links, [&](const std::vector<unsigned>& pod_map) {
+    if (apply_to_links(pod_map, links) < links) {
+      canonical = false;
+      return false;  // stop
+    }
+    return true;
+  });
+  return canonical;
+}
+
+std::vector<LinkId> Symmetry::canonical(const std::vector<LinkId>& links) const {
+  if (topo_ == nullptr) return links;
+  std::vector<LinkId> best = links;
+  each_assignment(links, [&](const std::vector<unsigned>& pod_map) {
+    std::vector<LinkId> image = apply_to_links(pod_map, links);
+    if (image < best) best = std::move(image);
+    return true;
+  });
+  return best;
+}
+
+Symmetry::Orbit Symmetry::orbit(const std::vector<LinkId>& links) const {
+  Orbit o;
+  if (topo_ == nullptr) {
+    std::vector<unsigned> identity(pod_count_);
+    std::iota(identity.begin(), identity.end(), 0u);
+    o.images.push_back({links, std::move(identity)});
+    return o;
+  }
+  each_assignment(links, [&](const std::vector<unsigned>& pod_map) {
+    std::vector<LinkId> image = apply_to_links(pod_map, links);
+    for (const Orbit::Image& seen : o.images) {
+      if (seen.links == image) return true;  // keep first pod_map per image
+    }
+    o.images.push_back({std::move(image), pod_map});
+    return true;
+  });
+  std::sort(o.images.begin(), o.images.end(),
+            [](const Orbit::Image& x, const Orbit::Image& y) { return x.links < y.links; });
+  return o;
+}
+
+}  // namespace rcfg::topo

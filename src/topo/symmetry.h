@@ -1,0 +1,115 @@
+#pragma once
+
+// Topology symmetry: automorphisms that relabel nodes/interfaces/links while
+// preserving the wiring. Used by the failure-space explorer to deduplicate
+// scenarios that are equivalent modulo symmetric fat-tree pods: one orbit
+// representative is verified, the outcome is replayed across the orbit.
+//
+// The only group currently recognized is the pod-permutation group of a
+// make_fat_tree() topology, identified through the generator's naming
+// contract (core<j>, agg<p>-<i>, edge<p>-<i>) and validated structurally
+// (every link must classify as an intra-pod edge-agg link or an agg-core
+// uplink with the canonical core grouping). Anything else yields the
+// trivial symmetry. Callers narrow the group further with set_pod_classes()
+// — only pods in the same class may be exchanged (the verify layer computes
+// classes from configuration/policy equivariance, which topology alone
+// cannot see).
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace rcfg::topo {
+
+/// One automorphism: consistent relabelings of nodes, interfaces and links.
+/// Each vector maps old id -> new id and is a permutation.
+struct Automorphism {
+  std::vector<NodeId> node;
+  std::vector<IfaceId> iface;
+  std::vector<LinkId> link;
+};
+
+class Symmetry {
+ public:
+  /// The trivial symmetry (identity only).
+  static Symmetry none();
+
+  /// Recognize a make_fat_tree() topology and return its pod-permutation
+  /// symmetry; the trivial symmetry if `t` does not match the contract.
+  static Symmetry fat_tree_pods(const Topology& t);
+
+  /// True when only the identity is available (no dedup possible).
+  bool trivial() const;
+
+  /// Number of pods (0 for the trivial symmetry).
+  unsigned pods() const { return pod_count_; }
+
+  /// The pod a link belongs to; -1 for the trivial symmetry. Agg-core
+  /// uplinks belong to the agg's pod (cores are fixed by every pod
+  /// permutation).
+  int pod_of_link(LinkId l) const;
+
+  /// The pod a node belongs to; -1 for cores and for the trivial symmetry.
+  int pod_of_node(NodeId n) const;
+
+  /// Restrict the group to permutations that keep every pod inside its
+  /// class. `class_of_pod` must have pods() entries. Default: one class.
+  void set_pod_classes(std::vector<unsigned> class_of_pod);
+
+  /// The transposition of pods p and q (identity elsewhere). Requires a
+  /// non-trivial symmetry; p != q. Ignores classes (callers use it to
+  /// *decide* classes).
+  Automorphism pod_swap(unsigned p, unsigned q) const;
+
+  /// The automorphism induced by a full pod permutation (`pod_map[p]` =
+  /// image pod; must be a bijection respecting classes).
+  Automorphism automorphism(const std::vector<unsigned>& pod_map) const;
+
+  /// True if no class-respecting pod permutation maps `links` (sorted,
+  /// unique) to a lexicographically smaller link set. Always true for the
+  /// trivial symmetry.
+  bool is_canonical(const std::vector<LinkId>& links) const;
+
+  /// Lexicographically smallest image of `links` over the group.
+  std::vector<LinkId> canonical(const std::vector<LinkId>& links) const;
+
+  struct Orbit {
+    struct Image {
+      std::vector<LinkId> links;      ///< sorted
+      std::vector<unsigned> pod_map;  ///< full pod permutation producing it
+    };
+    /// Distinct images, sorted by link set (so the canonical member leads).
+    std::vector<Image> images;
+  };
+  /// The whole orbit of `links` under the class-respecting group. For the
+  /// trivial symmetry: the single identity image.
+  Orbit orbit(const std::vector<LinkId>& links) const;
+
+ private:
+  Symmetry() = default;
+
+  /// Enumerate class-respecting full pod permutations moving exactly the
+  /// pods occupied by `links`; calls fn(pod_map) until it returns false.
+  template <typename Fn>
+  void each_assignment(const std::vector<LinkId>& links, Fn&& fn) const;
+
+  std::vector<LinkId> apply_to_links(const std::vector<unsigned>& pod_map,
+                                     const std::vector<LinkId>& links) const;
+
+  const Topology* topo_ = nullptr;  ///< null for the trivial symmetry
+  unsigned pod_count_ = 0;
+  unsigned half_ = 0;  ///< k/2
+  std::vector<int> link_pod_, link_role_;
+  std::vector<int> node_pod_;   ///< -1 for cores
+  std::vector<int> node_kind_;  ///< 0 core, 1 agg, 2 edge
+  std::vector<int> node_index_; ///< j for cores, i within pod otherwise
+  /// [pod][role] -> link, roles 0..k^2/2: edge-agg first (e*half+a), then
+  /// agg-core (half^2 + a*half + c).
+  std::vector<std::vector<LinkId>> pod_links_;
+  /// [pod][kind-1][i] -> node (kind 1 = agg, 2 = edge).
+  std::vector<std::vector<std::vector<NodeId>>> pod_nodes_;
+  std::vector<unsigned> class_of_pod_;
+};
+
+}  // namespace rcfg::topo

@@ -108,6 +108,9 @@ class IncrementalChecker {
   bool policy_satisfied(PolicyId id) const { return satisfied_.at(id); }
   const Policy& policy(PolicyId id) const { return policies_.at(id); }
   std::size_t policy_count() const { return policies_.size(); }
+  /// The ECs policy `id`'s verdict depends on — the policy-side index the
+  /// failure-space pruner consults (sweep_space.h).
+  const std::vector<dpm::EcId>& policy_ecs(PolicyId id) const { return policy_ecs_.at(id); }
 
   /// Re-check everything the model delta touched. Incremental: cost scales
   /// with the number of affected ECs, not network size.

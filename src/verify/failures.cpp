@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
+#include <unordered_set>
 
 #include "config/builders.h"
 #include "core/worker_pool.h"
+#include "verify/sweep_space.h"
 
 namespace rcfg::verify {
 
@@ -43,46 +46,48 @@ struct HealthyBaseline {
 };
 
 /// Read a successfully verified scenario's verdicts off a verifier.
+/// `lost_out` receives the healthy pairs unreachable under the scenario
+/// (sorted) — the only per-scenario pair state the merge needs, and small
+/// enough to relabel cheaply during symmetry replay.
 void read_outcome(RealConfig& rc, const HealthyBaseline& base, ScenarioOutcome& out,
-                  std::vector<Pair>& pairs_out) {
-  pairs_out = rc.checker().reachable_pairs();
-  out.reachable_pairs = pairs_out.size();
+                  std::vector<Pair>& lost_out) {
+  const std::vector<Pair> now = rc.checker().reachable_pairs();
+  out.reachable_pairs = now.size();
+  lost_out.clear();
+  std::set_difference(base.pairs.begin(), base.pairs.end(), now.begin(), now.end(),
+                      std::back_inserter(lost_out));
+  out.pairs_lost = lost_out.size();
   for (const PolicyId id : base.watched) {
     if (!rc.checker().policy_satisfied(id)) out.violated.push_back(id);
   }
   out.gained_loop = rc.checker().loop_count() > base.loops;
 }
 
-std::size_t count_lost(const std::vector<Pair>& healthy, const std::vector<Pair>& now) {
-  // Both sorted; count healthy pairs missing under the scenario.
-  std::size_t lost = 0;
-  auto it = now.begin();
-  for (const Pair& p : healthy) {
-    while (it != now.end() && *it < p) ++it;
-    if (it == now.end() || *it != p) ++lost;
-  }
-  return lost;
-}
+/// Pair-set accumulation across scenarios. The mined fault-tolerant spec is
+/// healthy minus the union of every scenario's lost set — identical to the
+/// historical per-scenario intersection, but replayable: an orbit member
+/// contributes its (relabeled) lost set without materializing a full
+/// reachable-pair vector.
+struct MergeState {
+  std::unordered_set<std::uint64_t> lost_union;
 
-/// Fold one scenario (in scenario order) into the sweep aggregates.
-/// `pairs` is the scenario's reachable-pair set (ignored when diverged);
-/// link-keyed aggregate fields only see single-link scenarios.
-void merge_outcome(FailureSweepResult& result, ScenarioOutcome& out,
-                   const std::vector<Pair>& pairs) {
+  static std::uint64_t key(const Pair& p) {
+    return (std::uint64_t{p.first} << 32) | p.second;
+  }
+};
+
+/// Fold one scenario into the sweep aggregates. Link-keyed aggregate fields
+/// only see single-link scenarios; `lost` must match `out.pairs_lost`.
+void merge_outcome(FailureSweepResult& result, MergeState& ms, const ScenarioOutcome& out,
+                   const std::vector<Pair>& lost) {
   ++result.scenarios;
   const bool single = out.scenario.links.size() == 1;
   if (out.diverged) {
     if (single) result.diverged_links.push_back(out.scenario.links.front());
+    result.diverged_scenarios.push_back(out.scenario);
     return;
   }
-  out.pairs_lost = count_lost(result.healthy_pairs, pairs);
-
-  std::vector<Pair> kept;
-  kept.reserve(result.fault_tolerant_pairs.size());
-  std::set_intersection(result.fault_tolerant_pairs.begin(),
-                        result.fault_tolerant_pairs.end(), pairs.begin(), pairs.end(),
-                        std::back_inserter(kept));
-  result.fault_tolerant_pairs = std::move(kept);
+  for (const Pair& p : lost) ms.lost_union.insert(MergeState::key(p));
 
   if (!single) return;
   const topo::LinkId link = out.scenario.links.front();
@@ -91,18 +96,27 @@ void merge_outcome(FailureSweepResult& result, ScenarioOutcome& out,
   if (out.gained_loop) result.loop_scenarios.push_back(link);
 }
 
-std::vector<FailureScenario> generate_scenarios(const topo::Topology& topo,
-                                                const FailureSweepOptions& options) {
-  if (!options.scenarios.empty()) return options.scenarios;
-  std::vector<FailureScenario> scens;
-  const topo::LinkId n = static_cast<topo::LinkId>(topo.link_count());
-  for (topo::LinkId l = 0; l < n; ++l) scens.push_back(FailureScenario{{l}});
-  if (options.max_failures >= 2) {
-    for (topo::LinkId a = 0; a < n; ++a) {
-      for (topo::LinkId b = a + 1; b < n; ++b) scens.push_back(FailureScenario{{a, b}});
-    }
+/// Derive the final pair spec and put every aggregate into canonical
+/// (sorted) order, so pruned/deduplicated sweeps compare bit-identical to
+/// exhaustive ones regardless of merge order.
+void finalize(FailureSweepResult& result, const MergeState& ms) {
+  result.fault_tolerant_pairs.clear();
+  for (const Pair& p : result.healthy_pairs) {
+    if (!ms.lost_union.count(MergeState::key(p))) result.fault_tolerant_pairs.push_back(p);
   }
-  return scens;
+  std::sort(result.critical_links.begin(), result.critical_links.end());
+  std::sort(result.loop_scenarios.begin(), result.loop_scenarios.end());
+  std::sort(result.diverged_links.begin(), result.diverged_links.end());
+  for (auto& [id, links] : result.policy_violations) std::sort(links.begin(), links.end());
+  std::sort(result.diverged_scenarios.begin(), result.diverged_scenarios.end(),
+            [](const FailureScenario& a, const FailureScenario& b) {
+              return a.links < b.links;
+            });
+}
+
+void normalize(FailureScenario& s) {
+  std::sort(s.links.begin(), s.links.end());
+  s.links.erase(std::unique(s.links.begin(), s.links.end()), s.links.end());
 }
 
 }  // namespace
@@ -121,7 +135,6 @@ FailureSweepResult sweep_single_link_failures(RealConfig& rc,
   FailureSweepResult result;
   const HealthyBaseline base = HealthyBaseline::of(rc);
   result.healthy_pairs = base.pairs;
-  result.fault_tolerant_pairs = base.pairs;
 
   // Divergence insurance: a scenario (or the reconvergence back from one)
   // that oscillates is rolled back to this checkpoint instead of poisoning
@@ -130,17 +143,18 @@ FailureSweepResult sweep_single_link_failures(RealConfig& rc,
   const auto snap = rc.snapshot();
   result.snapshot_ms = snap_timer.ms();
 
+  MergeState ms;
   config::NetworkConfig scenario = healthy;
   for (const topo::LinkId link : scenario_links) {
     const Timer scenario_timer;
     ScenarioOutcome out;
     out.scenario.links = {link};
-    std::vector<Pair> pairs;
+    std::vector<Pair> lost;
 
     config::fail_link(scenario, topo, link);
     try {
       rc.apply(scenario);
-      read_outcome(rc, base, out, pairs);
+      read_outcome(rc, base, out, lost);
     } catch (const dd::NonterminationError&) {
       out.diverged = true;
     }
@@ -165,10 +179,14 @@ FailureSweepResult sweep_single_link_failures(RealConfig& rc,
     }
 
     out.total_ms = scenario_timer.ms();
-    merge_outcome(result, out, pairs);
+    merge_outcome(result, ms, out, lost);
     result.outcomes.push_back(std::move(out));
   }
 
+  finalize(result, ms);
+  result.total_scenarios = result.outcomes.size();
+  result.explored_scenarios = result.outcomes.size();
+  result.coverage = 1.0;
   result.sweep_ms = sweep_timer.ms();
   return result;
 }
@@ -176,13 +194,26 @@ FailureSweepResult sweep_single_link_failures(RealConfig& rc,
 FailureSweepResult sweep_failures(RealConfig& rc, const config::NetworkConfig& healthy,
                                   const FailureSweepOptions& options) {
   const topo::Topology& topo = rc.topology();
-  const std::vector<FailureScenario> scens = generate_scenarios(topo, options);
 
   const Timer sweep_timer;
   FailureSweepResult result;
   const HealthyBaseline base = HealthyBaseline::of(rc);
   result.healthy_pairs = base.pairs;
-  result.fault_tolerant_pairs = base.pairs;
+
+  std::vector<FailureScenario> scens;
+  std::unique_ptr<SweepSpace> space;
+  if (!options.scenarios.empty()) {
+    // Explicit scenarios run verbatim (normalized to the sorted-unique
+    // invariant); pruning/symmetry/budget apply to generated spaces only.
+    scens = options.scenarios;
+    for (FailureScenario& s : scens) normalize(s);
+    result.total_scenarios = scens.size();
+  } else {
+    space = std::make_unique<SweepSpace>(rc, healthy, options);
+    scens = space->reps();
+    result.total_scenarios = space->total_scenarios();
+    result.pruned_scenarios = space->pruned_scenarios();
+  }
 
   const Timer snap_timer;
   const auto snap = rc.snapshot();
@@ -192,7 +223,7 @@ FailureSweepResult sweep_failures(RealConfig& rc, const config::NetworkConfig& h
   // strides and the merge below walks them in index order, so the report is
   // bit-identical for every thread count.
   std::vector<ScenarioOutcome> outcomes(scens.size());
-  std::vector<std::vector<Pair>> scenario_pairs(scens.size());
+  std::vector<std::vector<Pair>> scenario_lost(scens.size());
 
   const unsigned threads = std::max(1u, options.threads);
   core::WorkerPool pool(threads);
@@ -216,7 +247,7 @@ FailureSweepResult sweep_failures(RealConfig& rc, const config::NetworkConfig& h
       }
       try {
         replica->apply(scenario_cfg);
-        read_outcome(*replica, base, out, scenario_pairs[i]);
+        read_outcome(*replica, base, out, scenario_lost[i]);
       } catch (const dd::NonterminationError&) {
         out.diverged = true;
       }
@@ -227,8 +258,54 @@ FailureSweepResult sweep_failures(RealConfig& rc, const config::NetworkConfig& h
     }
   });
 
+  // Deterministic single-threaded merge, replaying each representative's
+  // outcome across its symmetry orbit: the verifier is equivariant under
+  // admitted pod permutations, so a member's verdicts are the
+  // representative's with node-relabeled lost pairs (scalar fields are
+  // invariant). finalize() re-sorts every aggregate, keeping the result
+  // independent of orbit-visit order.
+  MergeState ms;
+  const bool replay = space != nullptr && space->symmetry_active();
   for (std::size_t i = 0; i < scens.size(); ++i) {
-    merge_outcome(result, outcomes[i], scenario_pairs[i]);
+    ScenarioOutcome& out = outcomes[i];
+    if (!replay) {
+      merge_outcome(result, ms, out, scenario_lost[i]);
+      continue;
+    }
+    const std::vector<SweepSpace::Member> members = space->expand(out.scenario);
+    out.orbit = members.size();
+    for (const SweepSpace::Member& member : members) {
+      if (member.node_map.empty()) {
+        merge_outcome(result, ms, out, scenario_lost[i]);
+        continue;
+      }
+      ScenarioOutcome image;
+      image.scenario = member.scenario;
+      image.diverged = out.diverged;
+      image.reachable_pairs = out.reachable_pairs;
+      image.pairs_lost = out.pairs_lost;
+      image.violated = out.violated;
+      image.gained_loop = out.gained_loop;
+      std::vector<Pair> lost;
+      lost.reserve(scenario_lost[i].size());
+      for (const Pair& p : scenario_lost[i]) {
+        lost.emplace_back(member.node_map[p.first], member.node_map[p.second]);
+      }
+      std::sort(lost.begin(), lost.end());
+      merge_outcome(result, ms, image, lost);
+      ++result.replayed_scenarios;
+    }
+  }
+  finalize(result, ms);
+
+  result.explored_scenarios = outcomes.size();
+  if (result.total_scenarios > 0) {
+    result.coverage =
+        static_cast<double>(result.explored_scenarios + result.replayed_scenarios +
+                            result.pruned_scenarios) /
+        static_cast<double>(result.total_scenarios);
+  } else {
+    result.coverage = 1.0;
   }
   result.outcomes = std::move(outcomes);
   result.sweep_ms = sweep_timer.ms();

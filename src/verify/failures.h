@@ -14,7 +14,13 @@
 //    then run every scenario as "restore snapshot -> apply delta -> check
 //    -> discard" on forked replicas, optionally sharded over a worker pool
 //    (one replica per worker, so nothing is shared but the immutable
-//    snapshot). Supports k simultaneous link failures (k <= 2 generated).
+//    snapshot). Supports k simultaneous link failures for any k, with
+//    Plankton-style pruning for the deep space (sweep_space.h): dependency
+//    pruning (skip scenarios that cannot move a registered policy),
+//    fat-tree pod symmetry dedup (verify one orbit representative, replay
+//    its outcome across the orbit), and prioritized budgeted generation
+//    with a coverage metric. DESIGN.md decision 13 states what each
+//    reduction does and does not preserve.
 //
 // Two consumers: Config2Spec-style mining ("which reachability guarantees
 // survive every single-link failure?") and operational what-if analysis
@@ -47,6 +53,10 @@ struct ScenarioOutcome {
   std::size_t pairs_lost = 0;       ///< healthy pairs unreachable here
   std::vector<PolicyId> violated;   ///< healthy-satisfied policies now violated
   bool gained_loop = false;         ///< some EC developed a forwarding loop
+  /// Scenarios this outcome stands for: the scenario itself plus every
+  /// symmetry-equivalent scenario it was replayed onto (1 when symmetry
+  /// dedup is off or the orbit is a singleton).
+  std::size_t orbit = 1;
   double total_ms = 0;              ///< wall time incl. state reset + verify
   double restore_ms = 0;            ///< snapshot-restore share (0 when in-place)
 };
@@ -67,12 +77,26 @@ struct FailureSweepResult {
   /// Single-link scenarios whose control plane oscillates instead of
   /// converging (paper §6) — recorded and skipped, never fatal.
   std::vector<topo::LinkId> diverged_links;
-  /// Per-scenario records, in scenario order (all single-link scenarios
-  /// first, then the k=2 pairs when requested). The link-keyed aggregate
-  /// fields above summarize only the single-link prefix; multi-link
-  /// results live here.
+  /// Every diverged scenario of any size, sorted by link set — the
+  /// multi-link counterpart of `diverged_links`, so detail-free consumers
+  /// don't lose k >= 2 oscillation reports.
+  std::vector<FailureScenario> diverged_scenarios;
+  /// Per-scenario records of the scenarios actually verified on a replica,
+  /// in generation order (sizes ascending; within a size, link-id order, or
+  /// priority order under a budget). The link-keyed aggregate fields above
+  /// summarize only the single-link scenarios; multi-link results live
+  /// here and in the aggregates that key by scenario.
   std::vector<ScenarioOutcome> outcomes;
+  /// Scenarios covered by verdicts: explored + symmetry-replayed.
   std::size_t scenarios = 0;
+  // --- failure-space accounting (sweep_space.h) --------------------------
+  std::uint64_t total_scenarios = 0;     ///< |space|: sum of C(links, m), m <= k
+  std::uint64_t explored_scenarios = 0;  ///< verified on a replica (== outcomes)
+  std::uint64_t replayed_scenarios = 0;  ///< covered via orbit replay
+  std::uint64_t pruned_scenarios = 0;    ///< skipped by dependency pruning
+  /// (explored + replayed + pruned) / total — 1.0 means every scenario is
+  /// accounted for; < 1.0 means the budget ran out first.
+  double coverage = 0;
   double snapshot_ms = 0;  ///< cost of checkpointing the healthy state
   double sweep_ms = 0;     ///< total wall time of the sweep
 };
@@ -89,11 +113,31 @@ FailureSweepResult sweep_single_link_failures(RealConfig& rc,
                                               const std::vector<topo::LinkId>& links = {});
 
 struct FailureSweepOptions {
-  /// Scenarios to run. Empty => generated from `max_failures` over every
-  /// link: all single-link scenarios, then (for max_failures >= 2) every
-  /// unordered pair of links.
+  /// Scenarios to run verbatim (normalized to sorted-unique). Empty =>
+  /// generated from `links`/`max_failures` by the lazy generator: sizes
+  /// 1..max_failures, each size enumerated in link-id order (or priority
+  /// order under a budget), subject to pruning and symmetry dedup.
   std::vector<FailureScenario> scenarios;
-  unsigned max_failures = 1;  ///< generated-scenario size cap (1 or 2)
+  /// The link universe scenarios draw from (sorted + deduped internally).
+  /// Empty => every link. A proper subset disables symmetry dedup (orbits
+  /// may leave the universe).
+  std::vector<topo::LinkId> links;
+  unsigned max_failures = 1;  ///< generated-scenario size cap (>= 1)
+  /// Cap on *explored* scenarios (replica verifications); 0 = unbounded.
+  /// When the cap binds, generation is priority-ordered: links ranked by
+  /// healthy-path betweenness over policy witness flows, so the most
+  /// load-bearing scenarios are spent on first. Coverage reports the rest.
+  std::uint64_t budget = 0;
+  /// Dependency pruning: skip scenarios whose failed links touch no EC any
+  /// registered policy depends on. Sound for policy verdicts (pruned
+  /// scenarios cannot flip them); mined pair/loop/divergence aggregates
+  /// then cover only the explored+replayed scenarios (see coverage).
+  bool prune = false;
+  /// Fat-tree pod symmetry dedup: verify one orbit representative per
+  /// equivalence class (modulo config/policy-equivariant pod permutations)
+  /// and replay its outcome across the orbit. Bit-identical to exhaustive
+  /// sweeps; off by default to keep outcome listings exhaustive.
+  bool symmetry = false;
   /// Worker-pool width. Each worker forks its own full replica from the
   /// healthy snapshot, so workers share no mutable state; results are
   /// bit-identical for every value (scenario slots are keyed by index and

@@ -1,0 +1,570 @@
+#include "verify/sweep_space.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rcfg::verify {
+
+namespace {
+
+/// C(n, m) saturating at uint64 max.
+std::uint64_t choose(std::uint64_t n, std::uint64_t m) {
+  if (m > n) return 0;
+  m = std::min(m, n - m);
+  unsigned __int128 acc = 1;
+  for (std::uint64_t i = 1; i <= m; ++i) {
+    acc = acc * (n - m + i) / i;
+    if (acc > ~std::uint64_t{0}) return ~std::uint64_t{0};
+  }
+  return static_cast<std::uint64_t>(acc);
+}
+
+// ---------------------------------------------------------------------------
+// Config equivariance under a pod automorphism: the relabeled configuration
+// must equal the original up to one consistent permutation of address
+// blocks. The correspondence (pi) is *mined* while walking the config —
+// every prefix-typed field of a device must relate to the same field of its
+// image device — then validated for global consistency below.
+// ---------------------------------------------------------------------------
+
+struct PrefixMapper {
+  std::map<std::pair<std::uint32_t, std::uint8_t>, net::Ipv4Prefix> map;
+
+  bool add(net::Ipv4Prefix from, net::Ipv4Prefix to) {
+    if (from.length() != to.length()) return false;
+    auto [it, inserted] = map.try_emplace({from.address().bits(), from.length()}, to);
+    return inserted || it->second == to;
+  }
+  const net::Ipv4Prefix* image(net::Ipv4Prefix p) const {
+    auto it = map.find({p.address().bits(), p.length()});
+    return it == map.end() ? nullptr : &it->second;
+  }
+};
+
+/// The name `iface` takes on the image device under `aut` (unchanged for
+/// names topology doesn't know, e.g. the "lan0" stub).
+std::string mapped_iface_name(const topo::Topology& topo, topo::NodeId node,
+                              const std::string& iface, const topo::Automorphism& aut) {
+  const topo::IfaceId i = topo.find_interface(node, iface);
+  if (i == topo::kInvalidIface) return iface;
+  return topo.iface(aut.iface[i]).name;
+}
+
+bool zip_redistribute(const std::vector<config::Redistribution>& a,
+                      const std::vector<config::Redistribution>& b) {
+  return a == b;  // no prefix-typed fields
+}
+
+/// Compare device `d` against its image `d2`, accumulating prefix
+/// constraints. Everything that is not a prefix or a topology-derived name
+/// must match exactly.
+bool compare_device(const topo::Topology& topo, topo::NodeId n, const config::DeviceConfig& d,
+                    const config::DeviceConfig& d2, const topo::Automorphism& aut,
+                    PrefixMapper& pm) {
+  if (d.interfaces.size() != d2.interfaces.size()) return false;
+  for (const config::InterfaceConfig& ic : d.interfaces) {
+    const config::InterfaceConfig* ic2 =
+        d2.find_interface(mapped_iface_name(topo, n, ic.name, aut));
+    if (ic2 == nullptr) return false;
+    if (ic.address.has_value() != ic2->address.has_value()) return false;
+    if (ic.address && !pm.add(*ic.address, *ic2->address)) return false;
+    if (ic.shutdown != ic2->shutdown || ic.ospf_cost != ic2->ospf_cost ||
+        ic.ospf_area != ic2->ospf_area || ic.ospf_passive != ic2->ospf_passive ||
+        ic.rip != ic2->rip || ic.acl_in != ic2->acl_in || ic.acl_out != ic2->acl_out) {
+      return false;
+    }
+  }
+
+  if (d.static_routes.size() != d2.static_routes.size()) return false;
+  for (std::size_t i = 0; i < d.static_routes.size(); ++i) {
+    const config::StaticRoute& r = d.static_routes[i];
+    const config::StaticRoute& r2 = d2.static_routes[i];
+    if (!pm.add(r.prefix, r2.prefix)) return false;
+    if (mapped_iface_name(topo, n, r.out_iface, aut) != r2.out_iface) return false;
+    if (r.admin_distance != r2.admin_distance) return false;
+  }
+
+  if (d.ospf.has_value() != d2.ospf.has_value()) return false;
+  if (d.ospf && !zip_redistribute(d.ospf->redistribute, d2.ospf->redistribute)) return false;
+  if (d.rip.has_value() != d2.rip.has_value()) return false;
+  if (d.rip && !zip_redistribute(d.rip->redistribute, d2.rip->redistribute)) return false;
+
+  if (d.bgp.has_value() != d2.bgp.has_value()) return false;
+  if (d.bgp) {
+    const config::BgpConfig& b = *d.bgp;
+    const config::BgpConfig& b2 = *d2.bgp;
+    if (b.local_as != b2.local_as) return false;
+    if (b.networks.size() != b2.networks.size()) return false;
+    for (std::size_t i = 0; i < b.networks.size(); ++i) {
+      if (!pm.add(b.networks[i], b2.networks[i])) return false;
+    }
+    if (b.neighbors.size() != b2.neighbors.size()) return false;
+    for (std::size_t i = 0; i < b.neighbors.size(); ++i) {
+      const config::BgpNeighbor& nb = b.neighbors[i];
+      const config::BgpNeighbor& nb2 = b2.neighbors[i];
+      if (mapped_iface_name(topo, n, nb.iface, aut) != nb2.iface) return false;
+      if (nb.remote_as != nb2.remote_as || nb.import_route_map != nb2.import_route_map ||
+          nb.export_route_map != nb2.export_route_map) {
+        return false;
+      }
+    }
+    if (b.aggregates.size() != b2.aggregates.size()) return false;
+    for (std::size_t i = 0; i < b.aggregates.size(); ++i) {
+      if (!pm.add(b.aggregates[i].prefix, b2.aggregates[i].prefix)) return false;
+      if (b.aggregates[i].summary_only != b2.aggregates[i].summary_only) return false;
+    }
+    if (!zip_redistribute(b.redistribute, b2.redistribute)) return false;
+  }
+
+  if (d.acls.size() != d2.acls.size()) return false;
+  for (const auto& [name, acl] : d.acls) {
+    const auto it = d2.acls.find(name);
+    if (it == d2.acls.end() || it->second.rules.size() != acl.rules.size()) return false;
+    for (std::size_t i = 0; i < acl.rules.size(); ++i) {
+      const config::AclRule& r = acl.rules[i];
+      const config::AclRule& r2 = it->second.rules[i];
+      if (r.seq != r2.seq || r.action != r2.action || r.proto != r2.proto ||
+          r.src_ports != r2.src_ports || r.dst_ports != r2.dst_ports) {
+        return false;
+      }
+      if (!pm.add(r.src, r2.src) || !pm.add(r.dst, r2.dst)) return false;
+    }
+  }
+
+  if (d.prefix_lists.size() != d2.prefix_lists.size()) return false;
+  for (const auto& [name, pl] : d.prefix_lists) {
+    const auto it = d2.prefix_lists.find(name);
+    if (it == d2.prefix_lists.end() || it->second.entries.size() != pl.entries.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < pl.entries.size(); ++i) {
+      const config::PrefixListEntry& e = pl.entries[i];
+      const config::PrefixListEntry& e2 = it->second.entries[i];
+      if (e.seq != e2.seq || e.action != e2.action || e.ge != e2.ge || e.le != e2.le) {
+        return false;
+      }
+      if (!pm.add(e.prefix, e2.prefix)) return false;
+    }
+  }
+
+  return d.route_maps == d2.route_maps;
+}
+
+/// Validate the mined correspondence as a genuine address-space
+/// permutation: translate the maximal moved blocks, identity elsewhere.
+/// Returns the maximal moved blocks through `moved_out`.
+bool validate_prefix_map(const PrefixMapper& pm, std::vector<net::Ipv4Prefix>& moved_out) {
+  std::vector<std::pair<net::Ipv4Prefix, net::Ipv4Prefix>> pairs;
+  for (const auto& [key, to] : pm.map) {
+    pairs.emplace_back(net::Ipv4Prefix{net::Ipv4Addr{key.first}, key.second}, to);
+  }
+  std::vector<net::Ipv4Prefix> maximal;
+  for (const auto& [x, y] : pairs) {
+    if (x == y) continue;
+    bool inside = false;
+    for (const auto& [x2, y2] : pairs) {
+      if (x2 == y2 || x2 == x) continue;
+      if (x2.contains(x) && x2 != x) inside = true;
+    }
+    if (!inside) maximal.push_back(x);
+  }
+
+  const auto translate = [](net::Ipv4Prefix x, net::Ipv4Prefix b, net::Ipv4Prefix b2) {
+    const std::uint32_t off = x.address().bits() - b.address().bits();
+    return net::Ipv4Prefix{net::Ipv4Addr{b2.address().bits() + off}, x.length()};
+  };
+
+  for (const auto& [x, y] : pairs) {
+    if (x != y) {
+      if (std::count(maximal.begin(), maximal.end(), x)) {
+        // Transposition-generated: the block map must be an involution.
+        const net::Ipv4Prefix* back = pm.image(y);
+        if (back == nullptr || *back != x) return false;
+      } else {
+        // Inside a moved block: must translate by the block offset.
+        const net::Ipv4Prefix* b = nullptr;
+        for (const net::Ipv4Prefix& m : maximal) {
+          if (m.contains(x)) b = &m;
+        }
+        if (b == nullptr) return false;
+        if (y != translate(x, *b, *pm.image(*b))) return false;
+      }
+    } else {
+      // Identity-mapped prefix: it must not sit inside a moved block, and
+      // any moved block inside it must stay inside it.
+      for (const net::Ipv4Prefix& m : maximal) {
+        if (m.contains(x)) return false;
+        if (x.contains(m) && !x.contains(*pm.image(m))) return false;
+      }
+    }
+  }
+  moved_out = std::move(maximal);
+  return true;
+}
+
+}  // namespace
+
+SweepSpace::SweepSpace(RealConfig& rc, const config::NetworkConfig& healthy,
+                       const FailureSweepOptions& options) {
+  const topo::Topology& topo = rc.topology();
+  universe_ = options.links;
+  if (universe_.empty()) {
+    universe_.resize(topo.link_count());
+    std::iota(universe_.begin(), universe_.end(), topo::LinkId{0});
+  } else {
+    std::sort(universe_.begin(), universe_.end());
+    universe_.erase(std::unique(universe_.begin(), universe_.end()), universe_.end());
+  }
+  prune_ = options.prune;
+
+  compute_relevance(rc, healthy);
+  if (options.budget > 0) compute_scores(rc);
+  // Orbit members of a universe-subset scenario may leave the universe, so
+  // symmetry dedup only engages over the full link set.
+  if (options.symmetry && universe_.size() == topo.link_count()) {
+    admit_symmetry(rc, healthy);
+  }
+  generate(options);
+}
+
+bool SweepSpace::link_relevant(topo::LinkId l) const {
+  return l < relevant_.size() && relevant_[l] != 0;
+}
+
+namespace {
+
+/// True when every device runs pure link-state/distance-vector IGP with no
+/// route redistribution — the setting where the downstream-cone relevance
+/// rule is provably sound (DESIGN.md decision 13). BGP or redistribution
+/// can propagate a withdrawal beyond the failed link's forwarding cone, so
+/// those networks fall back to the FIB-anywhere rule.
+bool igp_only(const config::NetworkConfig& net) {
+  for (const auto& [hostname, dev] : net.devices) {
+    if (dev.bgp) return false;
+    if (dev.ospf && !dev.ospf->redistribute.empty()) return false;
+    if (dev.rip && !dev.rip->redistribute.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void SweepSpace::compute_relevance(RealConfig& rc, const config::NetworkConfig& healthy) {
+  const topo::Topology& topo = rc.topology();
+  relevant_.assign(topo.link_count(), 0);
+
+  std::unordered_set<dpm::EcId> policy_ecs;
+  const IncrementalChecker& checker = rc.checker();
+  for (PolicyId id = 0; id < checker.policy_count(); ++id) {
+    for (const dpm::EcId ec : checker.policy_ecs(id)) policy_ecs.insert(ec);
+  }
+
+  // (a) Links carrying a policy EC's selected (FIB) traffic. Raw FIB ports,
+  // not ACL-filtered: a superset keeps pruning conservative. Two variants:
+  //  - IGP-only networks: only edges *reachable from a policy's source* in
+  //    that policy's EC forwarding graph count. Failing a link outside
+  //    every such cone cannot raise any in-cone node's distance (all of its
+  //    shortest paths stay intact), so every FIB row a policy verdict reads
+  //    is unchanged.
+  //  - Otherwise (BGP/redistribution): any edge of any policy EC's graph
+  //    counts. A link carrying no selected route for a policy EC withdraws
+  //    only never-best candidates, which cannot flip any best-path choice.
+  const bool narrow = igp_only(healthy);
+  for (PolicyId id = 0; id < checker.policy_count(); ++id) {
+    const Policy& p = checker.policy(id);
+    for (const dpm::EcId ec : checker.policy_ecs(id)) {
+      std::vector<bool> in_cone;
+      if (narrow) {
+        in_cone.assign(topo.node_count(), false);
+        if (p.src != topo::kInvalidNode) {
+          in_cone[p.src] = true;
+          bool grew = true;
+          while (grew) {
+            grew = false;
+            for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+              if (!in_cone[n]) continue;
+              const dpm::PortKey& pk = rc.model().port_of(n, ec);
+              if (pk.action != routing::FibAction::kForward) continue;
+              for (const topo::IfaceId i : pk.ifaces) {
+                const auto link = topo.iface(i).link;
+                if (!link) continue;
+                const topo::NodeId peer = topo.peer(*link, n);
+                if (!in_cone[peer]) {
+                  in_cone[peer] = true;
+                  grew = true;
+                }
+              }
+            }
+          }
+        }
+      }
+      for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+        if (narrow && !in_cone[n]) continue;
+        const dpm::PortKey& pk = rc.model().port_of(n, ec);
+        if (pk.action != routing::FibAction::kForward) continue;
+        for (const topo::IfaceId i : pk.ifaces) {
+          const auto link = topo.iface(i).link;
+          if (link) relevant_[*link] = 1;
+        }
+      }
+    }
+  }
+
+  // (b) Links whose interface subnets overlap a policy EC: failing the link
+  // withdraws those subnets network-wide even if no FIB forwards over it.
+  for (const topo::LinkId l : universe_) {
+    if (relevant_[l]) continue;
+    const topo::Link& ln = topo.link(l);
+    for (const topo::IfaceId i : {ln.a_iface, ln.b_iface}) {
+      const topo::Interface& iface = topo.iface(i);
+      const auto dev = healthy.devices.find(topo.node(iface.node).name);
+      if (dev == healthy.devices.end()) continue;
+      const config::InterfaceConfig* ic = dev->second.find_interface(iface.name);
+      if (ic == nullptr || !ic->address) continue;
+      for (const dpm::EcId ec : rc.ecs().ecs_in(rc.packet_space().dst_prefix(*ic->address))) {
+        if (policy_ecs.count(ec)) {
+          relevant_[l] = 1;
+          break;
+        }
+      }
+      if (relevant_[l]) break;
+    }
+  }
+
+  relevant_count_ = 0;
+  for (const topo::LinkId l : universe_) relevant_count_ += relevant_[l] ? 1u : 0u;
+}
+
+void SweepSpace::compute_scores(RealConfig& rc) {
+  const topo::Topology& topo = rc.topology();
+  score_.assign(topo.link_count(), 0);
+  const IncrementalChecker& checker = rc.checker();
+
+  struct Edge {
+    topo::NodeId from, to;
+    topo::LinkId link;
+  };
+  std::unordered_map<dpm::EcId, std::vector<Edge>> graphs;
+  const auto edges_of = [&](dpm::EcId ec) -> const std::vector<Edge>& {
+    auto it = graphs.find(ec);
+    if (it != graphs.end()) return it->second;
+    std::vector<Edge> edges;
+    for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+      const dpm::PortKey& pk = rc.model().port_of(n, ec);
+      if (pk.action != routing::FibAction::kForward) continue;
+      for (const topo::IfaceId i : pk.ifaces) {
+        const auto link = topo.iface(i).link;
+        if (link) edges.push_back({n, topo.peer(*link, n), *link});
+      }
+    }
+    return graphs.emplace(ec, std::move(edges)).first->second;
+  };
+
+  const auto reach = [&](const std::vector<Edge>& edges, topo::NodeId root, bool forward) {
+    std::vector<bool> seen(topo.node_count(), false);
+    if (root == topo::kInvalidNode) return seen;
+    seen[root] = true;
+    bool grew = true;  // edge-list relaxation; graphs are tiny
+    while (grew) {
+      grew = false;
+      for (const Edge& e : edges) {
+        const topo::NodeId src = forward ? e.from : e.to;
+        const topo::NodeId dst = forward ? e.to : e.from;
+        if (seen[src] && !seen[dst]) {
+          seen[dst] = true;
+          grew = true;
+        }
+      }
+    }
+    return seen;
+  };
+
+  // Witness-flow betweenness: a link scores once per (policy, EC) whose
+  // src-to-dst flow can cross it on the healthy FIBs.
+  for (PolicyId id = 0; id < checker.policy_count(); ++id) {
+    const Policy& p = checker.policy(id);
+    for (const dpm::EcId ec : checker.policy_ecs(id)) {
+      const std::vector<Edge>& edges = edges_of(ec);
+      const std::vector<bool> from_src = reach(edges, p.src, /*forward=*/true);
+      const std::vector<bool> to_dst = reach(edges, p.dst, /*forward=*/false);
+      for (const Edge& e : edges) {
+        if (from_src[e.from] && to_dst[e.to]) ++score_[e.link];
+      }
+    }
+  }
+}
+
+void SweepSpace::admit_symmetry(RealConfig& rc, const config::NetworkConfig& healthy) {
+  const topo::Topology& topo = rc.topology();
+  topo::Symmetry sym = topo::Symmetry::fat_tree_pods(topo);
+  if (sym.trivial()) return;
+  const unsigned pods = sym.pods();
+  const IncrementalChecker& checker = rc.checker();
+
+  // Pods hosting a policy endpoint are pinned: an admissible permutation
+  // must fix every policy.
+  std::vector<bool> pinned(pods, false);
+  for (PolicyId id = 0; id < checker.policy_count(); ++id) {
+    const Policy& p = checker.policy(id);
+    for (const topo::NodeId n : {p.src, p.dst, p.via}) {
+      if (n == topo::kInvalidNode) continue;
+      const int pod = sym.pod_of_node(n);
+      if (pod >= 0) pinned[pod] = true;
+    }
+  }
+
+  const auto admissible = [&](unsigned p, unsigned q) {
+    if (pinned[p] || pinned[q]) return false;
+    const topo::Automorphism aut = sym.pod_swap(p, q);
+    PrefixMapper pm;
+    for (const auto& [hostname, dev] : healthy.devices) {
+      const topo::NodeId n = topo.find_node(hostname);
+      if (n == topo::kInvalidNode) return false;  // off-topology device: bail
+      const auto image = healthy.devices.find(topo.node(aut.node[n]).name);
+      if (image == healthy.devices.end()) return false;
+      if (!compare_device(topo, n, dev, image->second, aut, pm)) return false;
+    }
+    std::vector<net::Ipv4Prefix> moved;
+    if (!validate_prefix_map(pm, moved)) return false;
+    // Every registered policy's packet set must be invariant under the
+    // address swap, checked per packet dimension. In one dimension the swap
+    // fixes a set when the set holds all of both swapped blocks, none of
+    // either, or ignores that dimension entirely (no support on its bits).
+    // The clause must hold jointly for a block and its image — "none of b,
+    // all of b2" swaps packets across the set boundary. dst and src swaps
+    // commute, so per-dimension invariance gives full-swap invariance.
+    dpm::PacketSpace& ps = rc.packet_space();
+    const auto swap_invariant = [&ps](dpm::BddRef w, dpm::BddRef blk, dpm::BddRef img) {
+      return (ps.disjoint(w, blk) && ps.disjoint(w, img)) ||
+             (ps.implies(blk, w) && ps.implies(img, w));
+    };
+    for (PolicyId id = 0; id < checker.policy_count(); ++id) {
+      const dpm::BddRef w = checker.policy(id).packets;
+      const bool uses_src = ps.depends_on(w, dpm::kSrcIpBase, dpm::kSrcIpBase + 32);
+      for (const net::Ipv4Prefix& b : moved) {
+        const net::Ipv4Prefix b2 = *pm.image(b);
+        if (!swap_invariant(w, ps.dst_prefix(b), ps.dst_prefix(b2))) return false;
+        if (uses_src && !swap_invariant(w, ps.src_prefix(b), ps.src_prefix(b2))) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  // Interchangeability classes: connected components of the admissible-
+  // transposition graph (admissible swaps compose, so each component's full
+  // symmetric group acts).
+  std::vector<unsigned> parent(pods);
+  std::iota(parent.begin(), parent.end(), 0u);
+  const auto find = [&](unsigned x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (unsigned p = 0; p < pods; ++p) {
+    for (unsigned q = p + 1; q < pods; ++q) {
+      if (find(p) == find(q)) continue;
+      if (admissible(p, q)) parent[find(q)] = find(p);
+    }
+  }
+  std::vector<unsigned> classes(pods);
+  for (unsigned p = 0; p < pods; ++p) classes[p] = find(p);
+  sym.set_pod_classes(std::move(classes));
+  if (!sym.trivial()) symmetry_ = std::move(sym);
+}
+
+void SweepSpace::generate(const FailureSweepOptions& options) {
+  const std::size_t n = universe_.size();
+  const unsigned max_failures = std::max(1u, options.max_failures);
+
+  total_ = 0;
+  pruned_ = 0;
+  const std::size_t irrelevant =
+      prune_ ? n - std::min(relevant_count_, n) : 0;
+  for (unsigned m = 1; m <= max_failures && m <= n; ++m) {
+    const std::uint64_t all = choose(n, m);
+    total_ = (~std::uint64_t{0} - total_ < all) ? ~std::uint64_t{0} : total_ + all;
+    if (prune_) pruned_ += choose(irrelevant, m);
+  }
+
+  // Enumeration order: plain link-id order keeps unbudgeted sweeps
+  // byte-compatible with the historical eager generator; a budget switches
+  // to priority order (relevant first, then betweenness score, then id) so
+  // the budget is spent on load-bearing links — and makes the dependency
+  // prune a single tail cut-off per size.
+  std::vector<topo::LinkId> ord = universe_;
+  if (options.budget > 0) {
+    std::stable_sort(ord.begin(), ord.end(), [&](topo::LinkId a, topo::LinkId b) {
+      const bool ra = link_relevant(a), rb = link_relevant(b);
+      if (ra != rb) return ra;
+      const std::uint64_t sa = a < score_.size() ? score_[a] : 0;
+      const std::uint64_t sb = b < score_.size() ? score_[b] : 0;
+      if (sa != sb) return sa > sb;
+      return a < b;
+    });
+  }
+  std::size_t relevant_prefix = n;
+  if (prune_ && options.budget > 0) relevant_prefix = relevant_count_;
+
+  exhausted_ = true;
+  std::vector<std::size_t> c;
+  std::vector<topo::LinkId> links;
+  for (unsigned m = 1; m <= max_failures && m <= n; ++m) {
+    c.resize(m);
+    std::iota(c.begin(), c.end(), std::size_t{0});
+    while (true) {
+      // Priority order puts every relevant link first: once the leading
+      // index leaves that prefix the whole remaining tail of this size is
+      // all-irrelevant, i.e. pruned in closed form.
+      if (c[0] >= relevant_prefix) break;
+      bool skip = false;
+      if (prune_) {
+        skip = true;
+        for (const std::size_t i : c) skip = skip && !link_relevant(ord[i]);
+      }
+      if (!skip) {
+        links.clear();
+        for (const std::size_t i : c) links.push_back(ord[i]);
+        std::sort(links.begin(), links.end());
+        if (!symmetry_.trivial() && !symmetry_.is_canonical(links)) skip = true;
+        if (!skip) {
+          reps_.push_back(FailureScenario{links});
+          if (options.budget > 0 && reps_.size() >= options.budget) {
+            exhausted_ = false;
+            return;
+          }
+        }
+      }
+      // Next lexicographic m-combination of {0..n-1}.
+      std::size_t i = m;
+      while (i > 0 && c[i - 1] == n - m + (i - 1)) --i;
+      if (i == 0) break;
+      ++c[i - 1];
+      for (std::size_t j = i; j < m; ++j) c[j] = c[j - 1] + 1;
+    }
+  }
+}
+
+std::vector<SweepSpace::Member> SweepSpace::expand(const FailureScenario& rep) const {
+  std::vector<Member> members;
+  if (symmetry_.trivial()) {
+    members.push_back({rep, {}});
+    return members;
+  }
+  const topo::Symmetry::Orbit orbit = symmetry_.orbit(rep.links);
+  members.reserve(orbit.images.size());
+  for (const topo::Symmetry::Orbit::Image& image : orbit.images) {
+    Member m;
+    m.scenario.links = image.links;
+    if (image.links != rep.links) {
+      m.node_map = symmetry_.automorphism(image.pod_map).node;
+    }
+    members.push_back(std::move(m));
+  }
+  return members;
+}
+
+}  // namespace rcfg::verify

@@ -1,0 +1,89 @@
+#pragma once
+
+// The pruned, budgeted failure-scenario space behind sweep_failures()
+// (ROADMAP item 1, Plankton-style reductions applied to link failures):
+//
+//  - Dependency pruning. A link is *policy-relevant* iff (a) some node's
+//    FIB forwards a policy EC out one of its interfaces, or (b) one of its
+//    interface subnets overlaps a policy EC (failing the link withdraws
+//    that subnet network-wide). A scenario all of whose links are
+//    irrelevant cannot change any registered policy's verdict: the failed
+//    links carry no selected route for any policy EC, so withdrawing them
+//    removes only never-selected candidates and the healthy fixpoint
+//    restricted to policy ECs persists. Pruned scenarios are counted in
+//    closed form (C(irrelevant, m) per size) and never visited.
+//
+//  - Symmetry dedup. On make_fat_tree() topologies, pods whose
+//    configurations are equal up to the induced relabeling (hostnames,
+//    interface names, and a consistent permutation of address blocks) and
+//    that carry no policy endpoint are interchangeable: the verifier is a
+//    deterministic function of (config, scenario), so permuting
+//    interchangeable pods permutes its output. Only the lexicographically
+//    minimal member of each scenario orbit is verified; the outcome is
+//    replayed across the orbit through the automorphism's node map.
+//
+//  - Lazy prioritized generation. Scenarios stream size by size; under a
+//    budget each size is enumerated over links ranked by healthy-path
+//    betweenness across policy witness flows, so the budget is spent on the
+//    scenarios most likely to matter. Everything not explored, replayed or
+//    pruned is reported through the coverage metric.
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/symmetry.h"
+#include "verify/failures.h"
+
+namespace rcfg::verify {
+
+class SweepSpace {
+ public:
+  /// Analyzes `rc`'s healthy state (FIBs, ECs, policies, `healthy` config)
+  /// and materializes the budgeted representative stream. `rc` is not
+  /// mutated (the packet space may hash-cons new predicate handles).
+  SweepSpace(RealConfig& rc, const config::NetworkConfig& healthy,
+             const FailureSweepOptions& options);
+
+  /// Representatives to verify, in stream order (capped by the budget).
+  const std::vector<FailureScenario>& reps() const { return reps_; }
+
+  /// One orbit member of a representative: the scenario plus the node
+  /// relabeling that carries the representative's outcome onto it.
+  struct Member {
+    FailureScenario scenario;
+    std::vector<topo::NodeId> node_map;  ///< empty => identity
+  };
+  /// The whole orbit of one representative, sorted by link set (the
+  /// representative itself leads). Singleton when symmetry is inactive.
+  std::vector<Member> expand(const FailureScenario& rep) const;
+
+  std::uint64_t total_scenarios() const { return total_; }
+  std::uint64_t pruned_scenarios() const { return pruned_; }
+  /// True when the stream ended before the budget did (coverage-complete
+  /// modulo pruning/replay).
+  bool exhausted() const { return exhausted_; }
+
+  bool symmetry_active() const { return !symmetry_.trivial(); }
+  const topo::Symmetry& symmetry() const { return symmetry_; }
+  bool link_relevant(topo::LinkId l) const;
+  std::size_t relevant_links() const { return relevant_count_; }
+
+ private:
+  void compute_relevance(RealConfig& rc, const config::NetworkConfig& healthy);
+  void compute_scores(RealConfig& rc);
+  void admit_symmetry(RealConfig& rc, const config::NetworkConfig& healthy);
+  void generate(const FailureSweepOptions& options);
+
+  std::vector<topo::LinkId> universe_;  ///< sorted unique
+  std::vector<char> relevant_;          ///< by LinkId
+  std::vector<std::uint64_t> score_;    ///< by LinkId (witness-flow betweenness)
+  std::size_t relevant_count_ = 0;      ///< relevant links within the universe
+  topo::Symmetry symmetry_ = topo::Symmetry::none();
+  std::vector<FailureScenario> reps_;
+  std::uint64_t total_ = 0;
+  std::uint64_t pruned_ = 0;
+  bool prune_ = false;
+  bool exhausted_ = true;
+};
+
+}  // namespace rcfg::verify

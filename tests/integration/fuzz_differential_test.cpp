@@ -13,7 +13,15 @@
 //   (5) what-if failure sweeps agree scenario-for-scenario between the
 //       reconverge-in-place strategy, the snapshot-fork strategy (sharded
 //       over 2 workers), and a from-scratch verifier built directly on
-//       each failed configuration.
+//       each failed configuration; and deep (max_failures=2) pruned sweeps
+//       stay bit-identical to exhaustive sweeps over the same universe
+//       wherever both looked — identical policy_violations, identical
+//       outcomes for every explored scenario, violation-free exhaustive
+//       counterparts for every scenario the pruner skipped, and closed
+//       accounting (explored + replayed + pruned == total). A separate
+//       fat-tree lane throws random asymmetries (costs, null routes,
+//       ACLs) at the pod-symmetry admission check, which must either
+//       replay correctly or refuse — never replay wrong.
 //   (6) lanes running online memory reclamation (eager EC merging + BDD GC
 //       after every batch) stay pair- and verdict-equivalent to the
 //       non-reclaiming lanes at every step, are bit-identical across thread
@@ -52,7 +60,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -334,6 +344,162 @@ TEST(FuzzDifferential, RandomNetworksAgreeAcrossOraclesAndThreadCounts) {
 
     // Both sweeps hand the verifier back in its healthy state.
     EXPECT_EQ(lanes[0]->checker().reachable_pairs(), serial.healthy_pairs);
+
+    // --- Oracle 5 (deep space): pruned vs exhaustive, same universe -------
+    // max_failures=2 over the sampled links: dependency pruning may only
+    // skip scenarios that cannot move a policy, and must say how many.
+    verify::FailureSweepOptions deep;
+    deep.links = sweep_links;
+    deep.max_failures = 2;
+    deep.threads = 2;
+    const verify::FailureSweepResult deep_full =
+        verify::sweep_failures(*lanes[0], cfg, deep);
+    verify::FailureSweepOptions deep_prune = deep;
+    deep_prune.prune = true;
+    const verify::FailureSweepResult deep_red =
+        verify::sweep_failures(*lanes[0], cfg, deep_prune);
+
+    EXPECT_EQ(deep_full.total_scenarios, deep_red.total_scenarios);
+    EXPECT_EQ(deep_red.explored_scenarios + deep_red.replayed_scenarios +
+                  deep_red.pruned_scenarios,
+              deep_red.total_scenarios);
+    EXPECT_EQ(deep_red.coverage, 1.0);
+    EXPECT_EQ(deep_full.policy_violations, deep_red.policy_violations);
+    std::map<std::vector<topo::LinkId>, const verify::ScenarioOutcome*> deep_ref;
+    for (const verify::ScenarioOutcome& o : deep_full.outcomes) {
+      deep_ref.emplace(o.scenario.links, &o);
+    }
+    std::set<std::vector<topo::LinkId>> deep_kept;
+    for (const verify::ScenarioOutcome& o : deep_red.outcomes) {
+      SCOPED_TRACE("deep pruned scenario");
+      deep_kept.insert(o.scenario.links);
+      const auto it = deep_ref.find(o.scenario.links);
+      ASSERT_NE(it, deep_ref.end()) << "pruned sweep explored an unknown scenario";
+      EXPECT_EQ(o.diverged, it->second->diverged);
+      EXPECT_EQ(o.reachable_pairs, it->second->reachable_pairs);
+      EXPECT_EQ(o.pairs_lost, it->second->pairs_lost);
+      EXPECT_EQ(o.violated, it->second->violated);
+      EXPECT_EQ(o.gained_loop, it->second->gained_loop);
+    }
+    // Soundness of the skip: everything the pruner never ran is
+    // violation-free in the exhaustive sweep.
+    for (const verify::ScenarioOutcome& o : deep_full.outcomes) {
+      if (deep_kept.count(o.scenario.links) == 0) {
+        EXPECT_TRUE(o.violated.empty())
+            << "the pruner skipped a policy-violating scenario";
+      }
+    }
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 5 (symmetry admission): random asymmetries on a fat tree
+// ---------------------------------------------------------------------------
+
+// Pod-symmetry dedup replays one representative's outcome across its orbit,
+// so a single wrongly-admitted pod permutation silently corrupts replayed
+// aggregates. This lane perturbs a fat tree with random cost tweaks, null
+// routes, and ACLs (multi-field predicates force the BDD backend, reaching
+// the support-query path of the admission check), then demands the reduced
+// sweep still matches the exhaustive one exactly where the reductions
+// promise: admission must shrink pod orbits rather than replay wrong.
+TEST(FuzzDifferential, SymmetryAdmissionSurvivesRandomAsymmetries) {
+  const unsigned iters = fuzz_iters();
+
+  for (unsigned iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed = 0xF0AA0000ULL + iter;
+    SCOPED_TRACE("fuzz seed " + std::to_string(seed) + " (iteration " +
+                 std::to_string(iter) + ")");
+    core::Rng rng(seed);
+
+    const topo::Topology t = topo::make_fat_tree(4);
+    config::NetworkConfig cfg = config::build_ospf_network(t);
+    const unsigned mutations = static_cast<unsigned>(rng.next_below(3));
+    for (unsigned m = 0; m < mutations; ++m) {
+      const auto node = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+      const auto adj = t.adjacencies(node);
+      const auto& ifc = t.iface(adj[rng.next_below(adj.size())].iface).name;
+      const double dice = rng.next_double();
+      if (dice < 0.4) {
+        config::set_ospf_cost(cfg, t.node(node).name, ifc,
+                              static_cast<std::uint32_t>(rng.next_in(1, 100)));
+      } else if (dice < 0.7) {
+        const auto victim = static_cast<topo::NodeId>(rng.next_below(t.node_count()));
+        cfg.devices.at(t.node(node).name)
+            .static_routes.push_back({config::host_prefix(victim), config::kNullInterface, 1});
+      } else {
+        config::attach_random_acl(cfg, t, t.node(node).name, ifc, rng.next_bool(0.5),
+                                  static_cast<unsigned>(rng.next_in(1, 4)), rng);
+      }
+    }
+
+    std::vector<topo::NodeId> edges;
+    for (topo::NodeId n = 0; n < static_cast<topo::NodeId>(t.node_count()); ++n) {
+      if (t.node(n).name.rfind("edge", 0) == 0) edges.push_back(n);
+    }
+    verify::RealConfig rc(t);
+    for (int p = 0; p < 2; ++p) {
+      const topo::NodeId src = edges[rng.next_below(edges.size())];
+      topo::NodeId dst = edges[rng.next_below(edges.size())];
+      if (dst == src) dst = edges[(rng.next_below(edges.size() - 1) + 1) % edges.size()];
+      rc.require_reachable(t.node(src).name, t.node(dst).name, config::host_prefix(dst));
+    }
+    rc.apply(cfg);
+
+    verify::FailureSweepOptions exhaustive;
+    exhaustive.max_failures = 1;
+    exhaustive.threads = 2;
+    const verify::FailureSweepResult full = sweep_failures(rc, cfg, exhaustive);
+    verify::FailureSweepOptions reduced_options = exhaustive;
+    reduced_options.prune = true;
+    reduced_options.symmetry = true;
+    reduced_options.threads = 2;
+    const verify::FailureSweepResult reduced = sweep_failures(rc, cfg, reduced_options);
+
+    // Accounting closes exactly, and orbit widths cover what replay claims.
+    EXPECT_EQ(full.total_scenarios, reduced.total_scenarios);
+    EXPECT_EQ(reduced.explored_scenarios + reduced.replayed_scenarios +
+                  reduced.pruned_scenarios,
+              reduced.total_scenarios);
+    EXPECT_EQ(reduced.coverage, 1.0);
+    std::uint64_t covered = 0;
+    for (const verify::ScenarioOutcome& o : reduced.outcomes) covered += o.orbit;
+    EXPECT_EQ(covered, reduced.explored_scenarios + reduced.replayed_scenarios);
+
+    // Policy verdicts are exact under both reductions; a wrongly-admitted
+    // orbit would relabel violations onto the wrong links and break this.
+    EXPECT_EQ(full.policy_violations, reduced.policy_violations);
+
+    // Representatives agree field-for-field with their exhaustive runs.
+    std::map<std::vector<topo::LinkId>, const verify::ScenarioOutcome*> ref;
+    for (const verify::ScenarioOutcome& o : full.outcomes) ref.emplace(o.scenario.links, &o);
+    for (const verify::ScenarioOutcome& o : reduced.outcomes) {
+      const auto it = ref.find(o.scenario.links);
+      ASSERT_NE(it, ref.end());
+      EXPECT_EQ(o.diverged, it->second->diverged);
+      EXPECT_EQ(o.reachable_pairs, it->second->reachable_pairs);
+      EXPECT_EQ(o.pairs_lost, it->second->pairs_lost);
+      EXPECT_EQ(o.violated, it->second->violated);
+      EXPECT_EQ(o.gained_loop, it->second->gained_loop);
+    }
+
+    // Mined aggregates are coverage-limited under pruning, never invented:
+    // the reduced fault-tolerant spec can only be coarser (a superset), and
+    // every critical link or loop/divergence report must exist exhaustively.
+    EXPECT_TRUE(std::includes(reduced.fault_tolerant_pairs.begin(),
+                              reduced.fault_tolerant_pairs.end(),
+                              full.fault_tolerant_pairs.begin(),
+                              full.fault_tolerant_pairs.end()));
+    EXPECT_TRUE(std::includes(full.critical_links.begin(), full.critical_links.end(),
+                              reduced.critical_links.begin(),
+                              reduced.critical_links.end()));
+    EXPECT_TRUE(std::includes(full.loop_scenarios.begin(), full.loop_scenarios.end(),
+                              reduced.loop_scenarios.begin(),
+                              reduced.loop_scenarios.end()));
+    EXPECT_TRUE(std::includes(full.diverged_links.begin(), full.diverged_links.end(),
+                              reduced.diverged_links.begin(),
+                              reduced.diverged_links.end()));
     if (::testing::Test::HasFailure()) return;
   }
 }

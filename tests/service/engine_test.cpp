@@ -384,6 +384,106 @@ TEST(Engine, SweepVerbMinesCriticalLinksAndViolations) {
   EXPECT_EQ(engine.metrics().sweep_diverged.value(), 0u);
 }
 
+TEST(Engine, SweepVerbNormalizesLinkSubsets) {
+  // A duplicated, unsorted subset must collapse to the sorted-unique
+  // universe before scenario generation: {1,0,1,0} is exactly {0,1}.
+  // The unnormalized list used to leak duplicate scenarios (and {l,l}
+  // "pairs") straight into the report.
+  const topo::Topology t = topo::make_grid(3, 1);
+  const config::NetworkConfig cfg = config::build_ospf_network(t);
+  Engine engine;
+  Request open = open_request(1, "net", "grid", 0, cfg);
+  open.topology.w = 3;
+  open.topology.h = 1;
+  ASSERT_TRUE(engine.call(std::move(open)).ok);
+
+  Request sweep = verb_request(2, "net", Verb::kSweep);
+  sweep.sweep.links = {1, 0, 1, 0};
+  sweep.sweep.max_failures = 2;
+  sweep.sweep.detail = true;
+  const Response r = engine.call(std::move(sweep));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.body.get_int("scenarios"), 3);  // {0}, {1}, {0,1}
+  const auto& outcomes = r.body.find("outcomes")->as_array();
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].find("links")->as_array().size(), 1u);
+  EXPECT_EQ(outcomes[1].find("links")->as_array().size(), 1u);
+  EXPECT_EQ(outcomes[2].find("links")->as_array().size(), 2u);
+}
+
+TEST(Engine, SweepVerbDeepSpaceWithPruneAndBudget) {
+  // Full mesh with one policy pinned to link 0: the k<=3 space holds 41
+  // scenarios of which only the 16 touching link 0 are policy-relevant.
+  const topo::Topology t = topo::make_full_mesh(4);
+  const config::NetworkConfig cfg = config::build_ospf_network(t);
+  Engine engine;
+  ASSERT_TRUE(engine.call(open_request(1, "net", "full_mesh", 4, cfg)).ok);
+
+  Request policy = verb_request(2, "net", Verb::kAddPolicy);
+  policy.policy.name = "p";
+  policy.policy.src = "m0";
+  policy.policy.dst = "m1";
+  policy.policy.prefix = config::host_prefix(t.find_node("m1"));
+  ASSERT_TRUE(engine.call(std::move(policy)).ok);
+
+  Request sweep = verb_request(3, "net", Verb::kSweep);
+  sweep.sweep.max_failures = 3;
+  sweep.sweep.prune = true;
+  sweep.sweep.threads = 2;
+  const Response r = engine.call(std::move(sweep));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.body.get_int("total_scenarios"), 41);
+  EXPECT_EQ(r.body.get_int("explored_scenarios"), 16);
+  EXPECT_EQ(r.body.get_int("pruned_scenarios"), 25);
+  EXPECT_EQ(r.body.find("coverage")->as_double(), 1.0);
+  EXPECT_EQ(engine.metrics().sweep_pruned.value(), 25u);
+
+  // A budget caps exploration and the shortfall shows up in coverage.
+  Request budgeted = verb_request(4, "net", Verb::kSweep);
+  budgeted.sweep.max_failures = 3;
+  budgeted.sweep.prune = true;
+  budgeted.sweep.budget = 5;
+  const Response rb = engine.call(std::move(budgeted));
+  ASSERT_TRUE(rb.ok) << rb.error;
+  EXPECT_EQ(rb.body.get_int("explored_scenarios"), 5);
+  EXPECT_LT(rb.body.find("coverage")->as_double(), 1.0);
+}
+
+TEST(Engine, SweepVerbSymmetryReplaysFatTreePods) {
+  const topo::Topology t = topo::make_fat_tree(4);
+  const config::NetworkConfig cfg = config::build_ospf_network(t);
+  Engine engine;
+  ASSERT_TRUE(engine.call(open_request(1, "net", "fat_tree", 4, cfg)).ok);
+
+  Request policy = verb_request(2, "net", Verb::kAddPolicy);
+  policy.policy.name = "p";
+  policy.policy.src = "edge0-0";
+  policy.policy.dst = "edge1-0";
+  policy.policy.prefix = config::host_prefix(t.find_node("edge1-0"));
+  ASSERT_TRUE(engine.call(std::move(policy)).ok);
+
+  // Pods 2 and 3 are interchangeable (the policy pins 0 and 1): 8 of the
+  // 32 single-link scenarios are replayed from their orbit representative.
+  Request sweep = verb_request(3, "net", Verb::kSweep);
+  sweep.sweep.symmetry = true;
+  sweep.sweep.threads = 2;
+  sweep.sweep.detail = true;
+  const Response r = engine.call(std::move(sweep));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.body.get_int("scenarios"), 32);
+  EXPECT_EQ(r.body.get_int("explored_scenarios"), 24);
+  EXPECT_EQ(r.body.get_int("replayed_scenarios"), 8);
+  EXPECT_EQ(r.body.find("coverage")->as_double(), 1.0);
+  EXPECT_EQ(engine.metrics().sweep_replayed.value(), 8u);
+
+  // Replayed coverage is visible per-outcome through the orbit counts.
+  std::int64_t covered = 0;
+  for (const json::Value& o : r.body.find("outcomes")->as_array()) {
+    covered += o.get_int("orbit", 1);
+  }
+  EXPECT_EQ(covered, 32);
+}
+
 TEST(Engine, SweepVerbSurvivesDivergentScenarios) {
   // The stabilized bad gadget: healthy converges because m1 strongly
   // prefers its direct route from m0; failing link m0-m1 re-exposes the
@@ -406,9 +506,41 @@ TEST(Engine, SweepVerbSurvivesDivergentScenarios) {
   EXPECT_EQ(r.body.find("diverged_links")->as_array().size(), 1u);
   EXPECT_EQ(engine.metrics().sweep_diverged.value(), 1u);
 
+  // k >= 2 oscillations have no single-link slot in diverged_links; they
+  // must still surface through diverged_scenarios even without detail.
+  // Give m1 a second escape hatch through m4 (outside the dispute wheel):
+  // every single failure converges, but cutting any two of
+  // {m0-m1, m0-m4, m1-m4} strands m1 on the wheel and oscillates.
+  const topo::Topology t5 = topo::make_full_mesh(5);
+  config::NetworkConfig c5 = config::build_bgp_network(t5);
+  for (unsigned i = 1; i <= 3; ++i) {
+    c5.devices.at("m" + std::to_string(i)).bgp->networks.clear();
+  }
+  config::set_local_pref(c5, "m1", "to-m2", 200);
+  config::set_local_pref(c5, "m2", "to-m3", 200);
+  config::set_local_pref(c5, "m3", "to-m1", 200);
+  config::set_local_pref(c5, "m1", "to-m0", 300);
+  config::set_local_pref(c5, "m1", "to-m4", 250);
+  Request open5 = open_request(3, "net5", "full_mesh", 5, c5);
+  open5.options = testutil::fast_divergence_options();
+  ASSERT_TRUE(engine.call(std::move(open5)).ok);
+
+  Request pairs = verb_request(4, "net5", Verb::kSweep);
+  pairs.sweep.max_failures = 2;
+  pairs.sweep.threads = 2;
+  const Response rp = engine.call(std::move(pairs));
+  ASSERT_TRUE(rp.ok) << rp.error;
+  EXPECT_EQ(rp.body.find("outcomes"), nullptr);  // detail:false
+  EXPECT_TRUE(rp.body.find("diverged_links")->as_array().empty());
+  const auto& diverged = rp.body.find("diverged_scenarios")->as_array();
+  ASSERT_EQ(diverged.size(), 3u);
+  for (const json::Value& s : diverged) EXPECT_EQ(s.as_array().size(), 2u);
+  EXPECT_EQ(diverged[0].as_array()[0].as_int(), 0);  // {m0-m1, m0-m4}
+  EXPECT_EQ(diverged[0].as_array()[1].as_int(), 3);
+
   // The sweep ran on forked replicas: the live verifier is untouched and
   // the session keeps serving.
-  const Response q = engine.call(verb_request(3, "net", Verb::kQuery));
+  const Response q = engine.call(verb_request(5, "net", Verb::kQuery));
   ASSERT_TRUE(q.ok);
   EXPECT_EQ(q.body.get_int("rebuilds"), 0);
 }

@@ -73,8 +73,42 @@ TEST(Protocol, ParsesEveryVerb) {
   r = parse_request(R"({"id":9,"op":"sweep","session":"s"})");
   EXPECT_TRUE(r.sweep.links.empty());
   EXPECT_EQ(r.sweep.max_failures, 1u);
+  EXPECT_EQ(r.sweep.budget, 0u);
+  EXPECT_FALSE(r.sweep.prune);
+  EXPECT_FALSE(r.sweep.symmetry);
   EXPECT_EQ(r.sweep.threads, 1u);
   EXPECT_FALSE(r.sweep.detail);
+
+  // Deep-space knobs: k up to 6, explored-scenario budget, pruning and
+  // symmetry dedup flags.
+  r = parse_request(
+      R"({"id":9,"op":"sweep","session":"s","max_failures":3,"budget":500,)"
+      R"("prune":true,"symmetry":true})");
+  EXPECT_EQ(r.sweep.max_failures, 3u);
+  EXPECT_EQ(r.sweep.budget, 500u);
+  EXPECT_TRUE(r.sweep.prune);
+  EXPECT_TRUE(r.sweep.symmetry);
+}
+
+TEST(Protocol, RejectsBadSweepRequests) {
+  EXPECT_THROW(
+      parse_request(R"({"id":1,"op":"sweep","session":"s","max_failures":0})"),
+      ProtocolError);
+  EXPECT_THROW(
+      parse_request(R"({"id":2,"op":"sweep","session":"s","max_failures":7})"),
+      ProtocolError);
+  EXPECT_THROW(
+      parse_request(R"({"id":3,"op":"sweep","session":"s","links":[-1]})"),
+      ProtocolError);
+  // 2^32 must not truncate to link 0 and silently alias a valid id.
+  EXPECT_THROW(
+      parse_request(R"({"id":4,"op":"sweep","session":"s","links":[4294967296]})"),
+      ProtocolError);
+  // The largest representable id still parses (the engine range-checks it
+  // against the topology).
+  const Request r = parse_request(
+      R"({"id":5,"op":"sweep","session":"s","links":[4294967295]})");
+  EXPECT_EQ(r.sweep.links, (std::vector<topo::LinkId>{4294967295u}));
 }
 
 TEST(Protocol, ParsesRelateRequests) {
@@ -177,8 +211,8 @@ TEST(Protocol, RejectsMalformedRequests) {
   EXPECT_THROW(parse_request(R"({"op":"sweep","session":"s","links":3})"),
                ProtocolError);  // links must be an array
   EXPECT_THROW(parse_request(R"({"op":"sweep","session":"s","links":[-1]})"), ProtocolError);
-  EXPECT_THROW(parse_request(R"({"op":"sweep","session":"s","max_failures":3})"),
-               ProtocolError);  // only k <= 2 scenarios are generated
+  EXPECT_THROW(parse_request(R"({"op":"sweep","session":"s","max_failures":9})"),
+               ProtocolError);  // deep spaces cap at kMaxSweepFailures
 }
 
 TEST(Protocol, BuildTopologyKinds) {

@@ -1,0 +1,165 @@
+#include "topo/symmetry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "topo/generators.h"
+
+namespace rcfg::topo {
+namespace {
+
+TEST(Symmetry, RecognizesFatTreesOnly) {
+  EXPECT_FALSE(Symmetry::fat_tree_pods(make_fat_tree(4)).trivial());
+  EXPECT_FALSE(Symmetry::fat_tree_pods(make_fat_tree(6)).trivial());
+  EXPECT_TRUE(Symmetry::fat_tree_pods(make_grid(3, 3)).trivial());
+  EXPECT_TRUE(Symmetry::fat_tree_pods(make_ring(8)).trivial());
+  EXPECT_TRUE(Symmetry::fat_tree_pods(make_full_mesh(5)).trivial());
+  EXPECT_TRUE(Symmetry::none().trivial());
+}
+
+TEST(Symmetry, PodsAndLinkClassification) {
+  const Topology t = make_fat_tree(4);
+  const Symmetry s = Symmetry::fat_tree_pods(t);
+  ASSERT_EQ(s.pods(), 4u);
+  // Every link belongs to exactly one pod; pods hold equal link counts.
+  std::vector<unsigned> per_pod(4, 0);
+  for (LinkId l = 0; l < t.link_count(); ++l) {
+    const int p = s.pod_of_link(l);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 4);
+    ++per_pod[p];
+  }
+  for (const unsigned c : per_pod) EXPECT_EQ(c, t.link_count() / 4);
+  // Node classification: cores have no pod.
+  for (NodeId n = 0; n < t.node_count(); ++n) {
+    const bool core = t.node(n).name.rfind("core", 0) == 0;
+    EXPECT_EQ(s.pod_of_node(n) < 0, core) << t.node(n).name;
+  }
+}
+
+/// An automorphism must preserve the wiring: the image of every link joins
+/// the images of its endpoints, through the images of its interfaces.
+void expect_valid_automorphism(const Topology& t, const Automorphism& a) {
+  ASSERT_EQ(a.node.size(), t.node_count());
+  ASSERT_EQ(a.iface.size(), t.iface_count());
+  ASSERT_EQ(a.link.size(), t.link_count());
+  // Permutations.
+  for (const auto& v : {a.link}) {
+    std::set<LinkId> seen(v.begin(), v.end());
+    EXPECT_EQ(seen.size(), v.size());
+  }
+  for (LinkId l = 0; l < t.link_count(); ++l) {
+    const Link& src = t.link(l);
+    const Link& dst = t.link(a.link[l]);
+    const std::set<NodeId> want = {a.node[src.a], a.node[src.b]};
+    EXPECT_EQ(want, (std::set<NodeId>{dst.a, dst.b}));
+    const std::set<IfaceId> want_if = {a.iface[src.a_iface], a.iface[src.b_iface]};
+    EXPECT_EQ(want_if, (std::set<IfaceId>{dst.a_iface, dst.b_iface}));
+    // Interface/node consistency.
+    EXPECT_EQ(t.iface(a.iface[src.a_iface]).node, a.node[src.a]);
+    EXPECT_EQ(t.iface(a.iface[src.b_iface]).node, a.node[src.b]);
+  }
+}
+
+TEST(Symmetry, PodSwapIsAValidAutomorphism) {
+  const Topology t = make_fat_tree(4);
+  const Symmetry s = Symmetry::fat_tree_pods(t);
+  for (unsigned p = 0; p < 4; ++p) {
+    for (unsigned q = p + 1; q < 4; ++q) {
+      expect_valid_automorphism(t, s.pod_swap(p, q));
+    }
+  }
+  // Swapping preserves node names up to the pod index.
+  const Automorphism a = s.pod_swap(0, 2);
+  EXPECT_EQ(t.node(a.node[t.find_node("edge0-1")]).name, "edge2-1");
+  EXPECT_EQ(t.node(a.node[t.find_node("agg2-0")]).name, "agg0-0");
+  EXPECT_EQ(t.node(a.node[t.find_node("agg1-1")]).name, "agg1-1");
+  EXPECT_EQ(t.node(a.node[t.find_node("core3")]).name, "core3");
+}
+
+TEST(Symmetry, CanonicalIsOrbitMinimumBruteForce) {
+  const Topology t = make_fat_tree(4);
+  const Symmetry s = Symmetry::fat_tree_pods(t);
+  // Brute force: every pod permutation of S_4 via repeated next_permutation.
+  std::vector<unsigned> perm(4);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::vector<std::vector<unsigned>> perms;
+  do {
+    perms.push_back(perm);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  const std::vector<std::vector<LinkId>> cases = {
+      {0}, {17}, {31}, {0, 8}, {3, 19, 30}, {5, 6, 7, 21}};
+  for (const std::vector<LinkId>& links : cases) {
+    std::vector<LinkId> best = links;
+    for (const std::vector<unsigned>& pm : perms) {
+      const Automorphism a = s.automorphism(pm);
+      std::vector<LinkId> image;
+      for (const LinkId l : links) image.push_back(a.link[l]);
+      std::sort(image.begin(), image.end());
+      best = std::min(best, image);
+    }
+    EXPECT_EQ(s.canonical(links), best);
+    EXPECT_EQ(s.is_canonical(links), links == best);
+    // The orbit contains the canonical member first, and only images.
+    const Symmetry::Orbit orbit = s.orbit(links);
+    ASSERT_FALSE(orbit.images.empty());
+    EXPECT_EQ(orbit.images.front().links, s.canonical(links));
+    for (const auto& img : orbit.images) {
+      EXPECT_EQ(s.canonical(img.links), orbit.images.front().links);
+    }
+  }
+}
+
+TEST(Symmetry, OrbitSizesOnSingleLinks) {
+  const Topology t = make_fat_tree(4);
+  const Symmetry s = Symmetry::fat_tree_pods(t);
+  // A single link's orbit visits the same role in all 4 pods.
+  const Symmetry::Orbit o = s.orbit({0});
+  EXPECT_EQ(o.images.size(), 4u);
+  // Two links in distinct pods: orbit has 4*3 = 12 ordered pod choices but
+  // images may coincide only when roles coincide; distinct roles => 12.
+  const Symmetry::Orbit o2 = s.orbit(s.canonical({0, 9}));
+  EXPECT_EQ(o2.images.size(), 12u);
+}
+
+TEST(Symmetry, PodClassesRestrictTheGroup) {
+  const Topology t = make_fat_tree(4);
+  Symmetry s = Symmetry::fat_tree_pods(t);
+  // Pods {0,1} and {2,3} in separate classes: link 0 (pod 0) can only
+  // reach its pod-1 sibling.
+  s.set_pod_classes({0, 0, 1, 1});
+  EXPECT_EQ(s.orbit({0}).images.size(), 2u);
+  // Singleton classes admit only the identity.
+  s.set_pod_classes({0, 1, 2, 3});
+  EXPECT_TRUE(s.trivial());
+  EXPECT_EQ(s.orbit({0}).images.size(), 1u);
+  EXPECT_TRUE(s.is_canonical({17}));
+}
+
+TEST(Symmetry, ReplayMapsLostPairsAcrossPods) {
+  // The pod_map attached to each orbit image must be usable to relabel
+  // node-level facts: check it maps pod-0 nodes onto the image pod.
+  const Topology t = make_fat_tree(6);
+  const Symmetry s = Symmetry::fat_tree_pods(t);
+  const std::vector<LinkId> rep = s.canonical({2});
+  const Symmetry::Orbit o = s.orbit(rep);
+  ASSERT_EQ(o.images.size(), 6u);
+  for (const auto& img : o.images) {
+    const Automorphism a = s.automorphism(img.pod_map);
+    expect_valid_automorphism(t, a);
+    const int rep_pod = s.pod_of_link(rep.front());
+    const int img_pod = s.pod_of_link(img.links.front());
+    for (NodeId n = 0; n < t.node_count(); ++n) {
+      if (s.pod_of_node(n) == rep_pod) {
+        EXPECT_EQ(s.pod_of_node(a.node[n]), img_pod);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rcfg::topo
