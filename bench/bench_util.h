@@ -16,13 +16,24 @@
 #include <string>
 #include <vector>
 
+#include "service/cli.h"
+
 namespace rcfg::bench {
 
+/// Environment sizing knob: unset/empty means `fallback`; anything else
+/// must be a strictly positive decimal count (the same bounds-checked
+/// parser the rcfgd CLI uses), and junk exits 2 instead of being silently
+/// swallowed into the fallback — a typo'd RCFG_FATTREE_K must not quietly
+/// benchmark the wrong scale.
 inline unsigned env_unsigned(const char* name, unsigned fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
-  const long parsed = std::strtol(v, nullptr, 10);
-  return parsed > 0 ? static_cast<unsigned>(parsed) : fallback;
+  const std::optional<unsigned> parsed = service::parse_count_arg(v);
+  if (!parsed) {
+    std::fprintf(stderr, "%s: expected a positive count, got \"%s\"\n", name, v);
+    std::exit(2);
+  }
+  return *parsed;
 }
 
 inline unsigned fat_tree_k() { return env_unsigned("RCFG_FATTREE_K", 8); }

@@ -184,4 +184,72 @@ void attach_random_acl(NetworkConfig& net, const topo::Topology& topo,
   (inbound ? i.acl_in : i.acl_out) = acl_name;
 }
 
+void apply_link_costs(NetworkConfig& net, const topo::Topology& topo,
+                      const std::vector<std::uint32_t>& cost) {
+  if (cost.size() != topo.link_count()) {
+    throw std::invalid_argument("apply_link_costs: need exactly one cost per link");
+  }
+  for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+    if (cost[l] < 1) {
+      throw std::invalid_argument("apply_link_costs: OSPF costs must be >= 1");
+    }
+    const topo::Link& lk = topo.link(l);
+    iface_or_throw(device_or_throw(net, topo.node(lk.a).name), topo.iface(lk.a_iface).name)
+        .ospf_cost = cost[l];
+    iface_or_throw(device_or_throw(net, topo.node(lk.b).name), topo.iface(lk.b_iface).name)
+        .ospf_cost = cost[l];
+  }
+}
+
+NetworkConfig build_wan_ospf_network(const topo::WeightedTopology& wan) {
+  NetworkConfig net = build_ospf_network(wan.topo);
+  apply_link_costs(net, wan.topo, wan.link_cost);
+  return net;
+}
+
+net::Ipv4Prefix isp_extra_prefix(topo::NodeId node) {
+  return net::Ipv4Prefix{net::Ipv4Addr{(100u << 24) | (node << 8)}, 24};
+}
+
+void isp_route_churn_step(NetworkConfig& net, const topo::Topology& topo, core::Rng& rng) {
+  // Pick a random device with at least one wired interface (every churn
+  // profile keeps the step count independent of the draw outcome, so the
+  // sequence stays reproducible across topologies).
+  const auto node = static_cast<topo::NodeId>(rng.next_below(topo.node_count()));
+  DeviceConfig& dev = device_or_throw(net, topo.node(node).name);
+  if (!dev.bgp) {
+    throw std::invalid_argument("ISP churn requires a BGP configuration (build_bgp_network)");
+  }
+  const auto adj = topo.adjacencies(node);
+  if (rng.next_bool(0.5) && !adj.empty()) {
+    // Local-pref churn on a random neighbor session.
+    static constexpr std::uint32_t kPrefs[] = {50, 100, 150, 200};
+    const auto& a = adj[rng.next_below(adj.size())];
+    set_local_pref(net, dev.hostname, topo.iface(a.iface).name,
+                   kPrefs[rng.next_below(4)]);
+  } else {
+    // Route churn: toggle the device's extra announcement.
+    const net::Ipv4Prefix extra = isp_extra_prefix(node);
+    auto& nets = dev.bgp->networks;
+    for (auto it = nets.begin(); it != nets.end(); ++it) {
+      if (*it == extra) {
+        nets.erase(it);
+        return;
+      }
+    }
+    nets.push_back(extra);
+  }
+}
+
+void campus_acl_churn_step(NetworkConfig& net, const topo::Topology& topo, core::Rng& rng) {
+  const auto node = static_cast<topo::NodeId>(rng.next_below(topo.node_count()));
+  const auto adj = topo.adjacencies(node);
+  if (adj.empty()) return;  // isolated node: nothing to filter
+  const auto& a = adj[rng.next_below(adj.size())];
+  const bool inbound = rng.next_bool(0.5);
+  const auto rules = static_cast<unsigned>(rng.next_in(2, 6));
+  attach_random_acl(net, topo, topo.node(node).name, topo.iface(a.iface).name, inbound,
+                    rules, rng);
+}
+
 }  // namespace rcfg::config

@@ -14,6 +14,7 @@
 
 #include "config/types.h"
 #include "core/rng.h"
+#include "topo/generators.h"
 #include "topo/topology.h"
 
 namespace rcfg::config {
@@ -66,5 +67,45 @@ void set_local_pref(NetworkConfig& net, const std::string& device, const std::st
 void attach_random_acl(NetworkConfig& net, const topo::Topology& topo,
                        const std::string& device, const std::string& iface, bool inbound,
                        unsigned rules, core::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Weighted (WAN) metrics
+// ---------------------------------------------------------------------------
+
+/// Set the OSPF cost of both end interfaces of every link to `cost[link]`
+/// (the per-link metrics of a topo::WeightedTopology). `cost` must hold
+/// exactly one entry per link; entries must be >= 1 (OSPF interface costs
+/// are 1..65535 and the routing simulators require strictly positive
+/// distances).
+void apply_link_costs(NetworkConfig& net, const topo::Topology& topo,
+                      const std::vector<std::uint32_t>& cost);
+
+/// build_ospf_network + apply_link_costs over a weighted WAN graph.
+NetworkConfig build_wan_ospf_network(const topo::WeightedTopology& wan);
+
+// ---------------------------------------------------------------------------
+// Churn profiles. One `*_churn_step` call mutates the configuration the way
+// one operator change would; benches and fuzz harnesses chain steps into
+// apply() sequences. Both are deterministic in the caller's Rng.
+// ---------------------------------------------------------------------------
+
+/// The extra /24 a node announces and withdraws under ISP route churn
+/// (disjoint from host_prefix and link_subnet blocks).
+net::Ipv4Prefix isp_extra_prefix(topo::NodeId node);
+
+/// BGP-heavy ISP-edge churn: one step either rewrites the local preference
+/// of a random neighbor session (set_local_pref with a pref drawn from
+/// {50, 100, 150, 200}) or toggles the announcement of the device's
+/// isp_extra_prefix — the local-pref/route-churn mix that dominates an ISP
+/// edge. The configuration must have been built by build_bgp_network (every
+/// device runs BGP on every wired interface); throws std::invalid_argument
+/// otherwise.
+void isp_route_churn_step(NetworkConfig& net, const topo::Topology& topo, core::Rng& rng);
+
+/// ACL-heavy campus churn: one step re-randomizes an ACL on a random wired
+/// interface (attach_random_acl with 2..6 multi-field rules, random
+/// direction). The multi-field matches are exactly what forces the
+/// interval-atom packet-space backend through its one-time BDD migration.
+void campus_acl_churn_step(NetworkConfig& net, const topo::Topology& topo, core::Rng& rng);
 
 }  // namespace rcfg::config

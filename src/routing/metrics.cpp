@@ -1,0 +1,86 @@
+#include "routing/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace rcfg::routing {
+
+namespace {
+
+constexpr std::uint64_t kUnreachable = std::numeric_limits<std::uint64_t>::max();
+
+}  // namespace
+
+MetricPathStats metric_path_stats(const topo::Topology& topo,
+                                  const std::vector<std::uint32_t>& link_cost) {
+  if (!link_cost.empty() && link_cost.size() != topo.link_count()) {
+    throw std::invalid_argument("metric_path_stats: need one cost per link (or none)");
+  }
+  for (const std::uint32_t c : link_cost) {
+    if (c < 1) throw std::invalid_argument("metric_path_stats: link costs must be >= 1");
+  }
+  const auto cost_of = [&](topo::LinkId l) -> std::uint64_t {
+    return link_cost.empty() ? 1 : link_cost[l];
+  };
+
+  const std::size_t n = topo.node_count();
+  MetricPathStats stats;
+  std::vector<std::uint64_t> dist(n);
+  std::vector<unsigned> hops(n);
+  using Item = std::pair<std::uint64_t, topo::NodeId>;  // (distance, node)
+
+  for (topo::NodeId s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), kUnreachable);
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+    dist[s] = 0;
+    heap.push({0, s});
+    // `order` collects nodes in the settled (distance-ascending) order the
+    // DAG pass below needs.
+    std::vector<topo::NodeId> order;
+    order.reserve(n);
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d != dist[u]) continue;  // stale entry
+      order.push_back(u);
+      for (const auto& adj : topo.adjacencies(u)) {
+        const std::uint64_t nd = d + cost_of(adj.link);
+        if (nd < dist[adj.peer]) {
+          dist[adj.peer] = nd;
+          heap.push({nd, adj.peer});
+        }
+      }
+    }
+    // Longest hop path inside the shortest-path DAG rooted at s: process
+    // nodes by ascending distance; every tight edge (dist[u] + w == dist[v])
+    // is a DAG edge.
+    std::fill(hops.begin(), hops.end(), 0);
+    for (const topo::NodeId u : order) {
+      for (const auto& adj : topo.adjacencies(u)) {
+        if (dist[u] != kUnreachable &&
+            dist[u] + cost_of(adj.link) == dist[adj.peer]) {
+          hops[adj.peer] = std::max(hops[adj.peer], hops[u] + 1);
+        }
+      }
+    }
+    for (topo::NodeId v = 0; v < n; ++v) {
+      if (dist[v] == kUnreachable) {
+        stats.connected = false;
+        continue;
+      }
+      stats.weighted_diameter = std::max(stats.weighted_diameter, dist[v]);
+      stats.max_hops = std::max(stats.max_hops, hops[v]);
+    }
+  }
+  return stats;
+}
+
+unsigned recommended_max_rounds(const topo::Topology& topo,
+                                const std::vector<std::uint32_t>& link_cost,
+                                unsigned slack) {
+  return metric_path_stats(topo, link_cost).max_hops + slack;
+}
+
+}  // namespace rcfg::routing

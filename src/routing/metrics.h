@@ -1,0 +1,49 @@
+#pragma once
+
+// Metric-aware sizing of the round-stratified route evaluation.
+//
+// The generator materializes GeneratorOptions::max_rounds synchronous
+// propagation stages, and convergence requires that no NEW minimal-cost
+// route candidate can appear after the last stage. On unweighted fabrics
+// the hop diameter bounds that; on WAN-style weighted graphs a minimal-cost
+// path may prefer many cheap hops over one expensive link, so its hop count
+// — not the hop diameter — is the binding quantity. metric_path_stats
+// computes the exact bound: the longest (in hops) path that is still
+// minimal-cost between some pair, i.e. the longest path through any
+// shortest-path DAG. recommended_max_rounds adds the slack the protocol
+// semantics need on top (origination + FIB selection stages).
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace rcfg::routing {
+
+struct MetricPathStats {
+  /// Hop count of the longest minimal-cost path between any node pair
+  /// (maximized over equal-cost alternatives: ties may be broken toward
+  /// either path by the per-round select, so both must have stabilized).
+  unsigned max_hops = 0;
+  /// Largest minimal-cost distance between any connected pair.
+  std::uint64_t weighted_diameter = 0;
+  /// False when some node pair has no path at all.
+  bool connected = true;
+};
+
+/// Per-source Dijkstra over `link_cost` (indexed by LinkId, all >= 1; one
+/// entry per link, both directions priced identically), then the longest
+/// hop path inside each shortest-path DAG. O(n * m log n); intended for
+/// generator sizing, not per-apply hot paths. An empty `link_cost` prices
+/// every link at 1 (pure hop metric).
+MetricPathStats metric_path_stats(const topo::Topology& topo,
+                                  const std::vector<std::uint32_t>& link_cost = {});
+
+/// GeneratorOptions::max_rounds for a (possibly weighted) topology:
+/// max_hops plus `slack` rounds for origination, redistribution, and the
+/// convergence-detection comparison of the final two stages.
+unsigned recommended_max_rounds(const topo::Topology& topo,
+                                const std::vector<std::uint32_t>& link_cost = {},
+                                unsigned slack = 4);
+
+}  // namespace rcfg::routing

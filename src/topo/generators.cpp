@@ -1,20 +1,25 @@
 #include "topo/generators.h"
 
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 #include "core/hash.h"
 
 namespace rcfg::topo {
 
-Topology make_fat_tree(unsigned k) {
+FatTreeShape::FatTreeShape(unsigned k_) : k(k_) {
   if (k < 2 || k % 2 != 0) {
     throw std::invalid_argument("fat tree requires even k >= 2");
   }
+}
+
+Topology make_fat_tree(unsigned k) {
+  const FatTreeShape shape{k};
   const unsigned half = k / 2;
   Topology t;
 
-  std::vector<NodeId> core(half * half);
+  std::vector<NodeId> core(static_cast<std::size_t>(shape.cores()));
   for (unsigned j = 0; j < core.size(); ++j) {
     core[j] = t.add_node("core" + std::to_string(j));
   }
@@ -87,12 +92,26 @@ Topology make_full_mesh(unsigned n) {
   return t;
 }
 
-Topology make_random_connected(unsigned n, unsigned links, core::Rng& rng) {
+namespace {
+
+/// Shared body of make_random_connected / make_wan: spanning tree plus
+/// random extra links, simple by construction. Node names "<prefix><i>".
+Topology random_connected(const char* prefix, unsigned n, unsigned links,
+                          core::Rng& rng) {
   if (n < 2) throw std::invalid_argument("random graph requires n >= 2");
   if (links < n - 1) throw std::invalid_argument("need at least n-1 links");
+  const std::uint64_t simple_cap = std::uint64_t{n} * (n - 1) / 2;
+  if (links > simple_cap) {
+    // Downstream consumers (failure-sweep link normalization, per-link
+    // subnets) assume simple graphs; refuse rather than silently emitting
+    // parallel links once the simple graph saturates.
+    throw std::invalid_argument("random graph on " + std::to_string(n) +
+                                " nodes holds at most " + std::to_string(simple_cap) +
+                                " simple links; asked for " + std::to_string(links));
+  }
   Topology t;
   std::vector<NodeId> ids(n);
-  for (unsigned i = 0; i < n; ++i) ids[i] = t.add_node("v" + std::to_string(i));
+  for (unsigned i = 0; i < n; ++i) ids[i] = t.add_node(prefix + std::to_string(i));
 
   std::unordered_set<std::uint64_t> used;
   auto key = [](NodeId a, NodeId b) {
@@ -106,19 +125,188 @@ Topology make_random_connected(unsigned n, unsigned links, core::Rng& rng) {
     t.connect(parent, ids[i]);
     used.insert(key(parent, ids[i]));
   }
-  // Extra links. Parallel links allowed only if the simple graph saturates.
-  const std::uint64_t simple_cap = std::uint64_t{n} * (n - 1) / 2;
+  // Extra links, always distinct from the ones already placed.
   unsigned added = n - 1;
   while (added < links) {
     const NodeId a = ids[rng.next_below(n)];
     const NodeId b = ids[rng.next_below(n)];
     if (a == b) continue;
-    if (used.size() < simple_cap && used.contains(key(a, b))) continue;
+    if (used.contains(key(a, b))) continue;
     used.insert(key(a, b));
     t.connect(a, b);
     ++added;
   }
   return t;
+}
+
+}  // namespace
+
+Topology make_random_connected(unsigned n, unsigned links, core::Rng& rng) {
+  return random_connected("v", n, links, rng);
+}
+
+// --- torus -----------------------------------------------------------------
+
+TorusShape::TorusShape(std::vector<unsigned> dims_) : dims(std::move(dims_)) {
+  if (dims.size() != 2 && dims.size() != 3) {
+    throw std::invalid_argument("torus requires 2 or 3 dimensions");
+  }
+  for (const unsigned m : dims) {
+    if (m < 2) throw std::invalid_argument("torus extents must be >= 2");
+  }
+}
+
+std::uint64_t TorusShape::nodes() const {
+  std::uint64_t n = 1;
+  for (const unsigned m : dims) n *= m;
+  return n;
+}
+
+std::uint64_t TorusShape::links() const {
+  const std::uint64_t n = nodes();
+  std::uint64_t total = 0;
+  for (const unsigned m : dims) {
+    // n/m lines of m nodes: m links each with a wrap (m >= 3), else 1.
+    total += n / m * (m >= 3 ? m : 1);
+  }
+  return total;
+}
+
+unsigned TorusShape::degree() const {
+  unsigned d = 0;
+  for (const unsigned m : dims) d += m >= 3 ? 2 : 1;
+  return d;
+}
+
+namespace {
+
+Topology make_torus_impl(const std::vector<unsigned>& dims) {
+  const TorusShape shape{dims};
+  Topology t;
+  // Row-major node ids: coordinate (c0, c1[, c2]) at index
+  // ((c2) * dims[1] + c1) * dims[0] + c0 for the 3-D case.
+  std::vector<unsigned> coord(dims.size(), 0);
+  const std::uint64_t n = shape.nodes();
+  std::vector<NodeId> ids(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t rest = i;
+    std::string name = "ts";
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      coord[d] = static_cast<unsigned>(rest % dims[d]);
+      rest /= dims[d];
+      name += (d == 0 ? "" : "-") + std::to_string(coord[d]);
+    }
+    ids[i] = t.add_node(std::move(name));
+  }
+  auto index_of = [&](const std::vector<unsigned>& c) {
+    std::uint64_t idx = 0;
+    for (std::size_t d = dims.size(); d-- > 0;) idx = idx * dims[d] + c[d];
+    return idx;
+  };
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t rest = i;
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      coord[d] = static_cast<unsigned>(rest % dims[d]);
+      rest /= dims[d];
+    }
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      const unsigned m = dims[d];
+      // +1 neighbor with wraparound; skip the wrap link when m == 2 (it
+      // would duplicate the path link) and always skip self-links (m == 1
+      // is already rejected by the shape).
+      if (coord[d] + 1 == m && m < 3) continue;
+      std::vector<unsigned> peer = coord;
+      peer[d] = (coord[d] + 1) % m;
+      t.connect(ids[i], ids[index_of(peer)]);
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+Topology make_torus(unsigned w, unsigned h) { return make_torus_impl({w, h}); }
+
+Topology make_torus(unsigned x, unsigned y, unsigned z) {
+  return make_torus_impl({x, y, z});
+}
+
+// --- dragonfly -------------------------------------------------------------
+
+DragonflyShape::DragonflyShape(DragonflyParams params) : p(params) {
+  if (p.groups < 2) throw std::invalid_argument("dragonfly requires >= 2 groups");
+  if (p.routers_per_group < 1) {
+    throw std::invalid_argument("dragonfly requires >= 1 router per group");
+  }
+  if (p.global_per_router < 1) {
+    throw std::invalid_argument("dragonfly requires >= 1 global link per router");
+  }
+  if (std::uint64_t{p.groups} - 1 >
+      std::uint64_t{p.routers_per_group} * p.global_per_router) {
+    throw std::invalid_argument(
+        "dragonfly global capacity exceeded: groups-1 must be <= "
+        "routers_per_group * global_per_router");
+  }
+}
+
+Topology make_dragonfly(const DragonflyParams& params) {
+  const DragonflyShape shape{params};
+  const unsigned g = params.groups;
+  const unsigned a = params.routers_per_group;
+  Topology t;
+
+  std::vector<std::vector<NodeId>> router(g);
+  for (unsigned gi = 0; gi < g; ++gi) {
+    router[gi].resize(a);
+    for (unsigned r = 0; r < a; ++r) {
+      router[gi][r] =
+          t.add_node("dfr" + std::to_string(gi) + "-" + std::to_string(r));
+    }
+  }
+  // Terminals: p single-homed leaves per router.
+  for (unsigned gi = 0; gi < g; ++gi) {
+    for (unsigned r = 0; r < a; ++r) {
+      for (unsigned ti = 0; ti < params.terminals_per_router; ++ti) {
+        const NodeId term = t.add_node("dft" + std::to_string(gi) + "-" +
+                                       std::to_string(r) + "-" + std::to_string(ti));
+        t.connect(router[gi][r], term);
+      }
+    }
+  }
+  // Intra-group full mesh.
+  for (unsigned gi = 0; gi < g; ++gi) {
+    for (unsigned i = 0; i < a; ++i) {
+      for (unsigned j = i + 1; j < a; ++j) t.connect(router[gi][i], router[gi][j]);
+    }
+  }
+  // One global link per group pair, endpoints assigned round-robin over
+  // each group's routers so per-router global degree stays <= h.
+  std::vector<unsigned> next_port(g, 0);
+  for (unsigned i = 0; i < g; ++i) {
+    for (unsigned j = i + 1; j < g; ++j) {
+      const NodeId from = router[i][next_port[i]++ % a];
+      const NodeId to = router[j][next_port[j]++ % a];
+      t.connect(from, to);
+    }
+  }
+  return t;
+}
+
+// --- WAN -------------------------------------------------------------------
+
+WeightedTopology make_wan(const WanParams& params, core::Rng& rng) {
+  if (params.min_cost < 1 || params.max_cost < params.min_cost ||
+      params.max_cost > 65535) {
+    throw std::invalid_argument("WAN link costs must satisfy 1 <= min <= max <= 65535");
+  }
+  WeightedTopology wt;
+  wt.topo = random_connected("w", params.nodes, params.links, rng);
+  wt.link_cost.reserve(wt.topo.link_count());
+  for (std::size_t l = 0; l < wt.topo.link_count(); ++l) {
+    wt.link_cost.push_back(static_cast<std::uint32_t>(
+        rng.next_in(params.min_cost, params.max_cost)));
+  }
+  return wt;
 }
 
 }  // namespace rcfg::topo

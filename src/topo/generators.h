@@ -1,10 +1,13 @@
 #pragma once
 
 // Synthetic topology generators used by tests, examples, and the paper's
-// evaluation (fat tree). Node-name conventions are part of the contract:
-// config builders key on them to assign roles.
+// evaluation (fat tree), plus the diversity families the benchmarks sweep:
+// tori, dragonflies, and WAN-style weighted random graphs. Node-name
+// conventions are part of the contract: config builders key on them to
+// assign roles.
 
 #include <cstdint>
+#include <vector>
 
 #include "core/rng.h"
 #include "topo/topology.h"
@@ -17,15 +20,21 @@ namespace rcfg::topo {
 /// 864 links.
 Topology make_fat_tree(unsigned k);
 
-/// Structural facts about a fat tree, used by config builders.
+/// Structural facts about a fat tree, used by config builders. Constructing
+/// a shape validates k exactly like make_fat_tree (even, >= 2), so shape
+/// arithmetic can never disagree with a topology the generator refuses to
+/// build; counts are computed in 64 bits (k=2000 already overflows 32-bit
+/// link math).
 struct FatTreeShape {
+  explicit FatTreeShape(unsigned k);
+
   unsigned k = 0;
   unsigned pods() const { return k; }
   unsigned edge_per_pod() const { return k / 2; }
   unsigned agg_per_pod() const { return k / 2; }
-  unsigned cores() const { return (k / 2) * (k / 2); }
-  unsigned nodes() const { return 5 * k * k / 4; }
-  unsigned links() const { return k * k * k / 2; }
+  std::uint64_t cores() const { return (std::uint64_t{k} / 2) * (k / 2); }
+  std::uint64_t nodes() const { return 5 * std::uint64_t{k} * k / 4; }
+  std::uint64_t links() const { return std::uint64_t{k} * k * k / 2; }
 };
 
 /// 2-D grid (w x h), names "n<x>-<y>", links to right and down neighbors.
@@ -38,7 +47,95 @@ Topology make_ring(unsigned n);
 Topology make_full_mesh(unsigned n);
 
 /// Connected random graph: a random spanning tree plus extra random links
-/// until `links` total (links >= n-1). Names "v<i>".
+/// until `links` total. Requires n-1 <= links <= n*(n-1)/2: the graph is
+/// always simple (downstream failure-sweep link normalization relies on
+/// that), so link counts beyond the simple-graph capacity are rejected
+/// with std::invalid_argument instead of silently emitting parallel links.
+/// Names "v<i>".
 Topology make_random_connected(unsigned n, unsigned links, core::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Torus (2-D / 3-D)
+// ---------------------------------------------------------------------------
+
+/// Structural facts about a torus. `dims` holds 2 or 3 extents, each >= 2.
+/// Along a dimension of extent m every line of m nodes carries m links
+/// (path + wraparound) when m >= 3, and a single link when m == 2 — the
+/// wrap link would duplicate the path link, and the graphs stay simple.
+struct TorusShape {
+  explicit TorusShape(std::vector<unsigned> dims);
+
+  std::vector<unsigned> dims;
+  std::uint64_t nodes() const;
+  std::uint64_t links() const;
+  /// Uniform node degree: sum over dims of 2 (m >= 3) or 1 (m == 2).
+  unsigned degree() const;
+};
+
+/// 2-D torus (w x h wraparound grid), names "ts<x>-<y>".
+Topology make_torus(unsigned w, unsigned h);
+
+/// 3-D torus (x * y * z), names "ts<x>-<y>-<z>".
+Topology make_torus(unsigned x, unsigned y, unsigned z);
+
+// ---------------------------------------------------------------------------
+// Dragonfly
+// ---------------------------------------------------------------------------
+
+/// Dragonfly parameters: `groups` groups of `routers_per_group` routers in
+/// a full intra-group mesh; every pair of groups is joined by exactly one
+/// global link, distributed round-robin over each group's routers (so a
+/// router carries at most `global_per_router` global links — validated:
+/// groups-1 <= routers_per_group * global_per_router); every router hosts
+/// `terminals_per_router` single-homed terminal nodes.
+struct DragonflyParams {
+  unsigned groups = 0;               ///< g >= 2
+  unsigned routers_per_group = 0;    ///< a >= 1
+  unsigned global_per_router = 0;    ///< h >= 1
+  unsigned terminals_per_router = 0; ///< p >= 0
+};
+
+/// Structural facts about a dragonfly (validates params on construction).
+struct DragonflyShape {
+  explicit DragonflyShape(DragonflyParams params);
+
+  DragonflyParams p;
+  std::uint64_t routers() const { return std::uint64_t{p.groups} * p.routers_per_group; }
+  std::uint64_t terminals() const { return routers() * p.terminals_per_router; }
+  std::uint64_t nodes() const { return routers() + terminals(); }
+  std::uint64_t links() const {
+    const std::uint64_t a = p.routers_per_group;
+    const std::uint64_t g = p.groups;
+    return g * (a * (a - 1) / 2)  // intra-group full mesh
+           + g * (g - 1) / 2      // one global link per group pair
+           + terminals();         // one access link per terminal
+  }
+};
+
+/// Router names "dfr<g>-<r>", terminal names "dft<g>-<r>-<t>".
+Topology make_dragonfly(const DragonflyParams& params);
+
+// ---------------------------------------------------------------------------
+// WAN-style weighted random graphs
+// ---------------------------------------------------------------------------
+
+/// A topology plus one IGP metric per link (indexed by LinkId), produced by
+/// make_wan. Costs feed config::apply_link_costs / set_ospf_cost.
+struct WeightedTopology {
+  Topology topo;
+  std::vector<std::uint32_t> link_cost;
+};
+
+struct WanParams {
+  unsigned nodes = 0;            ///< >= 2
+  unsigned links = 0;            ///< n-1 .. n*(n-1)/2 (simple, connected)
+  std::uint32_t min_cost = 1;    ///< >= 1 (OSPF interface costs are 1..65535)
+  std::uint32_t max_cost = 64;   ///< >= min_cost, <= 65535
+};
+
+/// Connected simple random graph with per-link costs drawn uniformly from
+/// [min_cost, max_cost]. Names "w<i>". Same structural rules as
+/// make_random_connected (and the same rejection of saturating counts).
+WeightedTopology make_wan(const WanParams& params, core::Rng& rng);
 
 }  // namespace rcfg::topo

@@ -170,5 +170,114 @@ TEST(Mutators, AttachRandomAclBindsAndParses) {
   EXPECT_EQ(parse_network(print_network(cfg)), cfg);
 }
 
+TEST(WanMetrics, ApplyLinkCostsSetsBothEnds) {
+  topo::WanParams p;
+  p.nodes = 10;
+  p.links = 18;
+  p.min_cost = 2;
+  p.max_cost = 50;
+  core::Rng rng{11};
+  const topo::WeightedTopology wan = topo::make_wan(p, rng);
+  NetworkConfig cfg = build_ospf_network(wan.topo);
+  apply_link_costs(cfg, wan.topo, wan.link_cost);
+  for (topo::LinkId l = 0; l < wan.topo.link_count(); ++l) {
+    const auto& lk = wan.topo.link(l);
+    const auto* ia = cfg.devices.at(wan.topo.node(lk.a).name)
+                         .find_interface(wan.topo.iface(lk.a_iface).name);
+    const auto* ib = cfg.devices.at(wan.topo.node(lk.b).name)
+                         .find_interface(wan.topo.iface(lk.b_iface).name);
+    ASSERT_NE(ia, nullptr);
+    ASSERT_NE(ib, nullptr);
+    EXPECT_EQ(ia->ospf_cost, wan.link_cost[l]);
+    EXPECT_EQ(ib->ospf_cost, wan.link_cost[l]);
+  }
+  // build_wan_ospf_network is exactly the composition of the two.
+  EXPECT_EQ(build_wan_ospf_network(wan), cfg);
+}
+
+TEST(WanMetrics, ApplyLinkCostsValidatesInput) {
+  const topo::Topology t = topo::make_ring(4);
+  NetworkConfig cfg = build_ospf_network(t);
+  EXPECT_THROW(apply_link_costs(cfg, t, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(apply_link_costs(cfg, t, {1, 2, 3, 4, 5}), std::invalid_argument);
+  EXPECT_THROW(apply_link_costs(cfg, t, {1, 0, 3, 4}), std::invalid_argument);
+  EXPECT_NO_THROW(apply_link_costs(cfg, t, {1, 2, 3, 4}));
+}
+
+TEST(ChurnProfiles, IspExtraPrefixesDisjointFromAddressPlan) {
+  for (topo::NodeId n = 0; n < 200; ++n) {
+    const auto extra = isp_extra_prefix(n);
+    EXPECT_EQ(extra.length(), 24);
+    for (topo::NodeId m = 0; m < 200; ++m) {
+      EXPECT_FALSE(extra.overlaps(host_prefix(m)));
+      if (m != n) EXPECT_FALSE(extra == isp_extra_prefix(m));
+    }
+    for (topo::LinkId l = 0; l < 200; ++l) {
+      EXPECT_FALSE(extra.overlaps(link_subnet(l)));
+    }
+  }
+}
+
+TEST(ChurnProfiles, IspStepsMutateAndStayParseable) {
+  const topo::Topology t = topo::make_ring(6);
+  NetworkConfig cfg = build_bgp_network(t);
+  core::Rng rng{17};
+  bool saw_local_pref = false, saw_route_toggle = false;
+  unsigned mutated = 0;
+  for (int step = 0; step < 40; ++step) {
+    const NetworkConfig before = cfg;
+    isp_route_churn_step(cfg, t, rng);
+    // Re-drawing a neighbor's existing local pref is a legal no-op, but the
+    // profile must not degenerate into one.
+    if (cfg != before) ++mutated;
+    for (const auto& [name, dev] : cfg.devices) {
+      ASSERT_TRUE(dev.bgp.has_value()) << name;
+      if (!dev.route_maps.empty()) saw_local_pref = true;
+      if (dev.bgp->networks.size() != 1) saw_route_toggle = true;
+    }
+  }
+  EXPECT_GT(mutated, 20u) << "churn profile degenerated into no-ops";
+  EXPECT_TRUE(saw_local_pref) << "40 steps never rewrote a local pref";
+  EXPECT_TRUE(saw_route_toggle) << "40 steps never toggled an announcement";
+  EXPECT_EQ(parse_network(print_network(cfg)), cfg);
+}
+
+TEST(ChurnProfiles, IspStepRequiresBgp) {
+  const topo::Topology t = topo::make_ring(4);
+  NetworkConfig cfg = build_ospf_network(t);
+  core::Rng rng{1};
+  EXPECT_THROW(isp_route_churn_step(cfg, t, rng), std::invalid_argument);
+}
+
+TEST(ChurnProfiles, StepsAreDeterministicInTheSeed) {
+  const topo::Topology t = topo::make_ring(5);
+  NetworkConfig a = build_bgp_network(t);
+  NetworkConfig b = a;
+  core::Rng ra{23}, rb{23};
+  for (int step = 0; step < 10; ++step) {
+    isp_route_churn_step(a, t, ra);
+    isp_route_churn_step(b, t, rb);
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(ChurnProfiles, CampusStepsAttachMultiFieldAcls) {
+  const topo::Topology t = topo::make_torus(3, 3);
+  NetworkConfig cfg = build_ospf_network(t);
+  core::Rng rng{29};
+  for (int step = 0; step < 10; ++step) campus_acl_churn_step(cfg, t, rng);
+  std::size_t acls = 0;
+  for (const auto& [name, dev] : cfg.devices) {
+    acls += dev.acls.size();
+    // Every binding must reference an ACL that exists on the device.
+    for (const auto& i : dev.interfaces) {
+      if (i.acl_in) EXPECT_TRUE(dev.acls.contains(*i.acl_in)) << name;
+      if (i.acl_out) EXPECT_TRUE(dev.acls.contains(*i.acl_out)) << name;
+    }
+  }
+  EXPECT_GT(acls, 0u) << "10 campus steps attached no ACL";
+  EXPECT_EQ(parse_network(print_network(cfg)), cfg);
+}
+
 }  // namespace
 }  // namespace rcfg::config

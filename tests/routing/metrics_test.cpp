@@ -1,0 +1,106 @@
+#include "routing/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "config/builders.h"
+#include "routing/generator.h"
+#include "topo/generators.h"
+
+namespace rcfg::routing {
+namespace {
+
+TEST(MetricPathStats, UnitCostsMatchHopDiameter) {
+  const auto ring = metric_path_stats(topo::make_ring(6));
+  EXPECT_TRUE(ring.connected);
+  EXPECT_EQ(ring.max_hops, 3u);
+  EXPECT_EQ(ring.weighted_diameter, 3u);
+
+  const auto chain = metric_path_stats(topo::make_grid(5, 1));
+  EXPECT_EQ(chain.max_hops, 4u);
+  EXPECT_EQ(chain.weighted_diameter, 4u);
+}
+
+TEST(MetricPathStats, WeightedPathPrefersManyCheapHops) {
+  // 10-ring where the r9--r0 closing link costs 1000: the minimal-cost
+  // r0 -> r9 path walks the other nine unit links, so the hop bound is 9
+  // even though the hop diameter of the ring is 5.
+  const topo::Topology t = topo::make_ring(10);
+  std::vector<std::uint32_t> cost(t.link_count(), 1);
+  cost[9] = 1000;
+  const auto stats = metric_path_stats(t, cost);
+  EXPECT_TRUE(stats.connected);
+  EXPECT_EQ(stats.max_hops, 9u);
+  EXPECT_EQ(stats.weighted_diameter, 9u);
+}
+
+TEST(MetricPathStats, EqualCostTiesCountTheLongerPath) {
+  // A -- B -- C at cost 1+1 ties the direct A -- C link at cost 2; the
+  // per-round select may stabilize on either, so the bound must cover the
+  // two-hop alternative.
+  topo::Topology t;
+  const auto a = t.add_node("a");
+  const auto b = t.add_node("b");
+  const auto c = t.add_node("c");
+  t.connect(a, b);
+  t.connect(b, c);
+  t.connect(a, c);
+  const auto stats = metric_path_stats(t, {1, 1, 2});
+  EXPECT_EQ(stats.max_hops, 2u);
+  EXPECT_EQ(stats.weighted_diameter, 2u);
+}
+
+TEST(MetricPathStats, ReportsDisconnection) {
+  topo::Topology t;
+  t.add_node("x");
+  t.add_node("y");
+  const auto stats = metric_path_stats(t);
+  EXPECT_FALSE(stats.connected);
+}
+
+TEST(MetricPathStats, ValidatesCostVector) {
+  const topo::Topology t = topo::make_ring(4);
+  EXPECT_THROW(metric_path_stats(t, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(metric_path_stats(t, {1, 2, 3, 4, 5}), std::invalid_argument);
+  EXPECT_THROW(metric_path_stats(t, {1, 0, 1, 1}), std::invalid_argument);
+}
+
+TEST(RecommendedMaxRounds, SizesTheGeneratorForWeightedGraphs) {
+  // 30-ring with one cost-1000 link: the longest minimal-cost path is 29
+  // hops, past the generator's default 24 rounds. recommended_max_rounds
+  // must make apply() converge where the default detects non-convergence.
+  const topo::Topology t = topo::make_ring(30);
+  std::vector<std::uint32_t> cost(t.link_count(), 1);
+  cost[29] = 1000;
+  config::NetworkConfig cfg = config::build_ospf_network(t);
+  config::apply_link_costs(cfg, t, cost);
+
+  const unsigned rounds = recommended_max_rounds(t, cost);
+  EXPECT_GE(rounds, 29u + 1);
+
+  {
+    IncrementalGenerator gen(t);  // default max_rounds = 24
+    EXPECT_THROW(gen.apply(cfg), dd::NonterminationError);
+  }
+
+  GeneratorOptions opts;
+  opts.max_rounds = rounds;
+  IncrementalGenerator gen(t, opts);
+  gen.apply(cfg);
+  // r0 reaches r29's hosts the cheap way round (29 unit hops beat the
+  // cost-1000 closing link).
+  const auto p29 = config::host_prefix(t.find_node("r29"));
+  const topo::NodeId r0 = t.find_node("r0");
+  bool found = false;
+  for (const auto& [e, w] : gen.fib()) {
+    if (e.node != r0 || e.prefix != p29) continue;
+    found = true;
+    ASSERT_EQ(e.out_ifaces.size(), 1u);
+    EXPECT_EQ(e.out_ifaces[0], t.find_interface(r0, "to-r1"));
+  }
+  EXPECT_TRUE(found) << "no FIB row for r0 -> " << p29.to_string();
+}
+
+}  // namespace
+}  // namespace rcfg::routing

@@ -4,6 +4,9 @@
 
 #include <functional>
 #include <queue>
+#include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace rcfg::topo {
@@ -116,6 +119,245 @@ TEST(RandomConnected, AlwaysConnectedWithExactLinkCount) {
 TEST(RandomConnected, RejectsTooFewLinks) {
   core::Rng rng{1};
   EXPECT_THROW(make_random_connected(10, 8, rng), std::invalid_argument);
+}
+
+/// All links must be simple: the generator is allowed to fill the graph up
+/// to the full-mesh capacity, but one more used to silently emit parallel
+/// links (which the sweep's link normalization assumes cannot exist).
+TEST(RandomConnected, RejectsCountsBeyondSimpleCapacity) {
+  core::Rng rng{7};
+  const Topology full = make_random_connected(4, 6, rng);  // K4: exactly the cap
+  EXPECT_EQ(full.link_count(), 6u);
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (LinkId l = 0; l < full.link_count(); ++l) {
+    auto a = full.link(l).a, b = full.link(l).b;
+    if (a > b) std::swap(a, b);
+    EXPECT_TRUE(pairs.emplace(a, b).second) << "parallel link " << l;
+  }
+  EXPECT_THROW(make_random_connected(4, 7, rng), std::invalid_argument);
+}
+
+// --- FatTreeShape validation (must agree with make_fat_tree) ---------------
+
+TEST(FatTreeShape, RejectsWhatTheGeneratorRejects) {
+  EXPECT_THROW(FatTreeShape{0}, std::invalid_argument);
+  EXPECT_THROW(FatTreeShape{3}, std::invalid_argument);
+  EXPECT_THROW(FatTreeShape{7}, std::invalid_argument);
+  EXPECT_NO_THROW(FatTreeShape{2});
+}
+
+TEST(FatTreeShape, CountsComputedIn64Bit) {
+  // k=2000: links = k^3/2 = 4e9, which silently overflowed 32-bit math.
+  const FatTreeShape shape{2000};
+  EXPECT_EQ(shape.nodes(), 5'000'000ull);
+  EXPECT_EQ(shape.links(), 4'000'000'000ull);
+  EXPECT_EQ(shape.cores(), 1'000'000ull);
+}
+
+// --- torus -----------------------------------------------------------------
+
+TEST(Torus, Shape2D) {
+  const Topology t = make_torus(4, 3);
+  const TorusShape shape{{4, 3}};
+  EXPECT_EQ(t.node_count(), shape.nodes());
+  EXPECT_EQ(t.link_count(), shape.links());
+  EXPECT_EQ(shape.nodes(), 12u);
+  EXPECT_EQ(shape.links(), 24u);  // 3 lines of 4 (wrap) + 4 lines of 3 (wrap)
+  EXPECT_TRUE(is_connected(t));
+}
+
+TEST(Torus, Shape3D) {
+  const Topology t = make_torus(3, 3, 3);
+  const TorusShape shape{{3, 3, 3}};
+  EXPECT_EQ(t.node_count(), 27u);
+  EXPECT_EQ(t.link_count(), 81u);
+  EXPECT_EQ(t.link_count(), shape.links());
+  EXPECT_TRUE(is_connected(t));
+  for (NodeId n = 0; n < t.node_count(); ++n) {
+    EXPECT_EQ(t.adjacencies(n).size(), shape.degree()) << t.node(n).name;
+  }
+}
+
+TEST(Torus, ParameterSweepHoldsFormulasAndDegrees) {
+  for (unsigned w = 2; w <= 5; ++w) {
+    for (unsigned h = 2; h <= 5; ++h) {
+      const Topology t = make_torus(w, h);
+      const TorusShape shape{{w, h}};
+      ASSERT_EQ(t.node_count(), shape.nodes()) << w << "x" << h;
+      ASSERT_EQ(t.link_count(), shape.links()) << w << "x" << h;
+      ASSERT_TRUE(is_connected(t)) << w << "x" << h;
+      for (NodeId n = 0; n < t.node_count(); ++n) {
+        ASSERT_EQ(t.adjacencies(n).size(), shape.degree()) << w << "x" << h;
+      }
+    }
+  }
+}
+
+TEST(Torus, MinimalExtentAvoidsParallelLinks) {
+  // 2x2: every wrap link would duplicate the path link, so it's a plain
+  // 4-cycle (simple graph), not a multigraph.
+  const Topology t = make_torus(2, 2);
+  EXPECT_EQ(t.node_count(), 4u);
+  EXPECT_EQ(t.link_count(), 4u);
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (LinkId l = 0; l < t.link_count(); ++l) {
+    auto a = t.link(l).a, b = t.link(l).b;
+    if (a > b) std::swap(a, b);
+    EXPECT_TRUE(pairs.emplace(a, b).second);
+  }
+}
+
+TEST(Torus, NameConventionAndValidation) {
+  const Topology t2 = make_torus(3, 2);
+  EXPECT_NE(t2.find_node("ts0-0"), kInvalidNode);
+  EXPECT_NE(t2.find_node("ts2-1"), kInvalidNode);
+  EXPECT_EQ(t2.find_node("ts3-0"), kInvalidNode);
+  const Topology t3 = make_torus(2, 3, 4);
+  EXPECT_NE(t3.find_node("ts0-0-0"), kInvalidNode);
+  EXPECT_NE(t3.find_node("ts1-2-3"), kInvalidNode);
+  EXPECT_THROW(make_torus(1, 5), std::invalid_argument);
+  EXPECT_THROW(make_torus(5, 0), std::invalid_argument);
+  EXPECT_THROW(make_torus(1, 2, 2), std::invalid_argument);
+  EXPECT_THROW((TorusShape{{4}}), std::invalid_argument);
+  EXPECT_THROW((TorusShape{{2, 2, 2, 2}}), std::invalid_argument);
+}
+
+// --- dragonfly -------------------------------------------------------------
+
+DragonflyParams df(unsigned g, unsigned a, unsigned h, unsigned p) {
+  DragonflyParams params;
+  params.groups = g;
+  params.routers_per_group = a;
+  params.global_per_router = h;
+  params.terminals_per_router = p;
+  return params;
+}
+
+TEST(Dragonfly, ShapeAndConnectivity) {
+  const DragonflyParams p = df(5, 4, 2, 2);
+  const Topology t = make_dragonfly(p);
+  const DragonflyShape shape{p};
+  EXPECT_EQ(shape.routers(), 20u);
+  EXPECT_EQ(shape.terminals(), 40u);
+  EXPECT_EQ(t.node_count(), shape.nodes());
+  EXPECT_EQ(t.link_count(), shape.links());
+  EXPECT_EQ(shape.links(), 5u * 6 + 10 + 40);
+  EXPECT_TRUE(is_connected(t));
+}
+
+TEST(Dragonfly, DegreesAndNameConvention) {
+  const DragonflyParams p = df(5, 4, 2, 2);
+  const Topology t = make_dragonfly(p);
+  // Every group owns g-1 = 4 global links spread round-robin over a = 4
+  // routers, so every router carries exactly one: degree = (a-1) intra +
+  // p terminals + 1 global.
+  for (NodeId n = 0; n < t.node_count(); ++n) {
+    const auto& name = t.node(n).name;
+    if (name.starts_with("dfr")) {
+      EXPECT_EQ(t.adjacencies(n).size(), 3u + 2 + 1) << name;
+    } else {
+      ASSERT_TRUE(name.starts_with("dft")) << name;
+      EXPECT_EQ(t.adjacencies(n).size(), 1u) << name;
+    }
+  }
+  EXPECT_NE(t.find_node("dfr0-0"), kInvalidNode);
+  EXPECT_NE(t.find_node("dfr4-3"), kInvalidNode);
+  EXPECT_NE(t.find_node("dft4-3-1"), kInvalidNode);
+  EXPECT_EQ(t.find_node("dfr5-0"), kInvalidNode);
+}
+
+TEST(Dragonfly, GlobalDegreeNeverExceedsParameter) {
+  for (unsigned g = 2; g <= 7; ++g) {
+    for (unsigned a = 1; a <= 4; ++a) {
+      for (unsigned h = 1; h <= 3; ++h) {
+        if (g - 1 > a * h) continue;  // rejected by validation, tested below
+        const Topology t = make_dragonfly(df(g, a, h, 1));
+        const DragonflyShape shape{df(g, a, h, 1)};
+        ASSERT_EQ(t.link_count(), shape.links());
+        ASSERT_TRUE(is_connected(t));
+        for (NodeId n = 0; n < t.node_count(); ++n) {
+          if (!t.node(n).name.starts_with("dfr")) continue;
+          const std::string group =
+              t.node(n).name.substr(3, t.node(n).name.find('-') - 3);
+          unsigned global = 0;
+          for (const auto& adj : t.adjacencies(n)) {
+            const auto& peer = t.node(adj.peer).name;
+            if (peer.starts_with("dfr") &&
+                peer.substr(3, peer.find('-') - 3) != group) {
+              ++global;
+            }
+          }
+          ASSERT_LE(global, h) << t.node(n).name;
+        }
+      }
+    }
+  }
+}
+
+TEST(Dragonfly, MinimalAndInvalidParameters) {
+  const Topology tiny = make_dragonfly(df(2, 1, 1, 0));
+  EXPECT_EQ(tiny.node_count(), 2u);
+  EXPECT_EQ(tiny.link_count(), 1u);  // just the one global link
+  EXPECT_THROW(make_dragonfly(df(1, 4, 2, 2)), std::invalid_argument);
+  EXPECT_THROW(make_dragonfly(df(5, 0, 2, 2)), std::invalid_argument);
+  EXPECT_THROW(make_dragonfly(df(5, 4, 0, 2)), std::invalid_argument);
+  // Global capacity: g-1 must fit in a*h.
+  EXPECT_THROW(make_dragonfly(df(10, 2, 2, 0)), std::invalid_argument);
+}
+
+// --- WAN -------------------------------------------------------------------
+
+TEST(Wan, ShapeCostsAndNames) {
+  WanParams p;
+  p.nodes = 20;
+  p.links = 40;
+  p.min_cost = 5;
+  p.max_cost = 9;
+  core::Rng rng{42};
+  const WeightedTopology wan = make_wan(p, rng);
+  EXPECT_EQ(wan.topo.node_count(), 20u);
+  EXPECT_EQ(wan.topo.link_count(), 40u);
+  ASSERT_EQ(wan.link_cost.size(), wan.topo.link_count());
+  EXPECT_TRUE(is_connected(wan.topo));
+  for (const std::uint32_t c : wan.link_cost) {
+    EXPECT_GE(c, 5u);
+    EXPECT_LE(c, 9u);
+  }
+  EXPECT_NE(wan.topo.find_node("w0"), kInvalidNode);
+  EXPECT_NE(wan.topo.find_node("w19"), kInvalidNode);
+  EXPECT_EQ(wan.topo.find_node("w20"), kInvalidNode);
+}
+
+TEST(Wan, DeterministicInTheSeed) {
+  WanParams p;
+  p.nodes = 12;
+  p.links = 20;
+  core::Rng a{7}, b{7};
+  const WeightedTopology x = make_wan(p, a);
+  const WeightedTopology y = make_wan(p, b);
+  EXPECT_EQ(x.link_cost, y.link_cost);
+  ASSERT_EQ(x.topo.link_count(), y.topo.link_count());
+  for (LinkId l = 0; l < x.topo.link_count(); ++l) {
+    EXPECT_EQ(x.topo.link(l).a, y.topo.link(l).a);
+    EXPECT_EQ(x.topo.link(l).b, y.topo.link(l).b);
+  }
+}
+
+TEST(Wan, RejectsInvalidParameters) {
+  core::Rng rng{3};
+  WanParams p;
+  p.nodes = 5;
+  p.links = 11;  // simple capacity is 10
+  EXPECT_THROW(make_wan(p, rng), std::invalid_argument);
+  p.links = 8;
+  p.min_cost = 0;
+  EXPECT_THROW(make_wan(p, rng), std::invalid_argument);
+  p.min_cost = 10;
+  p.max_cost = 9;
+  EXPECT_THROW(make_wan(p, rng), std::invalid_argument);
+  p.min_cost = 1;
+  p.max_cost = 70000;
+  EXPECT_THROW(make_wan(p, rng), std::invalid_argument);
 }
 
 }  // namespace
